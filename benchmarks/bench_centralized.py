@@ -1,0 +1,91 @@
+"""S2 — economies of scale: centralized vs per-user tracking.
+
+Section 2.1 (URL-minder) and 8.3 (server-side tracking): "Centralizing
+the update checks on a W3 server has the advantage of polling hosts
+only once regardless of the number of users interested"; "Regardless of
+how many users have registered an interest in a page, it need only be
+checked once".
+
+The bench sweeps the number of users sharing one community page set and
+counts origin-server requests per day under (a) every user running
+their own poller and (b) one central tracker serving everyone.
+"""
+
+from repro.aide.tracker import CentralTracker
+from repro.baselines.w3new import W3New
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.pagegen import PageGenerator
+
+USER_COUNTS = (1, 5, 25, 100)
+SHARED_PAGES = 20
+SIM_DAYS = 7
+
+
+def build_network():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("community.org")
+    generator = PageGenerator(seed=2)
+    urls = []
+    for index in range(SHARED_PAGES):
+        path = f"/doc{index}.html"
+        server.set_page(path, generator.page())
+        urls.append(f"http://community.org{path}")
+    return clock, network, server, urls
+
+
+def run_sweep():
+    results = {}
+    for users in USER_COUNTS:
+        # (a) per-user pollers.
+        clock, network, server, urls = build_network()
+        hotlist = Hotlist.from_lines("\n".join(urls))
+        pollers = [
+            W3New(clock, UserAgent(network, clock), hotlist)
+            for _ in range(users)
+        ]
+        for day in range(1, SIM_DAYS + 1):
+            clock.advance_to(day * DAY)
+            for poller in pollers:
+                poller.run()
+        per_user_requests = server.request_count
+
+        # (b) one central tracker.
+        clock, network, server, urls = build_network()
+        store = SnapshotStore(clock, UserAgent(network, clock))
+        tracker = CentralTracker(store, clock)
+        for user_index in range(users):
+            for url in urls:
+                tracker.subscribe(f"user{user_index}", url)
+        for day in range(1, SIM_DAYS + 1):
+            clock.advance_to(day * DAY)
+            tracker.poll()
+            for user_index in range(users):
+                tracker.report_for(f"user{user_index}")
+        central_requests = server.request_count
+
+        results[users] = (per_user_requests, central_requests)
+    return results
+
+
+def test_centralized_economy(benchmark, sink):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    sink.row("S2: origin requests over one week, 20 shared pages")
+    sink.row(f"{'users':>6s} {'per-user pollers':>17s} {'central':>9s} "
+             f"{'ratio':>7s}")
+    for users in USER_COUNTS:
+        per_user, central = results[users]
+        sink.row(f"{users:6d} {per_user:17d} {central:9d} "
+                 f"{per_user / central:6.1f}x")
+
+    # The paper's claim: central cost is flat in user count…
+    baseline_central = results[USER_COUNTS[0]][1]
+    for users in USER_COUNTS:
+        assert results[users][1] == baseline_central
+    # …while per-user cost is linear in it.
+    assert results[100][0] >= 90 * results[1][0]

@@ -1,0 +1,114 @@
+"""S12 — hierarchical tracking: one bookmark, a whole collection (§8.3).
+
+"Many times, a 'home page' refers to a number of other pages, both
+within the same namespace and external.  By following the internal
+pages automatically, a single entry in one's hotlist could result in
+notification whenever any of those pages is modified...  Following
+links recursively is inappropriate for tools run by every user
+individually but would be feasible for a centralized service."
+
+The bench compares notification *coverage* for changes to a home
+page's subpages:
+
+* plain per-user w3newer with only the home page bookmarked — blind to
+  subpage edits unless the home page itself changes;
+* the centralized tracker with the home page as a crawl root — every
+  subpage edit surfaces.
+"""
+
+from repro.aide.tracker import CentralTracker
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.mutate import edit_sentence
+from repro.workloads.pagegen import PageGenerator
+
+SUBPAGES = 8
+SIM_DAYS = 10
+
+
+def build_site():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("project.org")
+    generator = PageGenerator(seed=6)
+    for index in range(SUBPAGES):
+        server.set_page(f"/part{index}.html",
+                        generator.page(title=f"Part {index}"))
+    links = "".join(
+        f'<LI><A HREF="/part{i}.html">Part {i}</A>' for i in range(SUBPAGES)
+    )
+    server.set_page(
+        "/",
+        "<HTML><HEAD><TITLE>The Project</TITLE></HEAD><BODY>"
+        f"<H1>The Project</H1><UL>{links}</UL></BODY></HTML>",
+    )
+    return clock, network, server
+
+
+def run_comparison():
+    import random
+
+    # --- per-user w3newer, home page only ------------------------------
+    clock, network, server = build_site()
+    rng = random.Random(13)
+    tracker = W3Newer(
+        clock, UserAgent(network, clock),
+        Hotlist.from_lines("http://project.org/ The project home page"),
+        config=parse_threshold_config("Default 0\n"),
+    )
+    # The user has already read the home page; only *new* changes count.
+    tracker.mark_page_viewed("http://project.org/")
+    w3newer_detected = 0
+    subpage_edits = 0
+    for day in range(1, SIM_DAYS + 1):
+        clock.advance_to(day * DAY)
+        # One subpage edited per day; the home page itself never changes.
+        index = day % SUBPAGES
+        page = server.get_page(f"/part{index}.html")
+        server.set_page(f"/part{index}.html", edit_sentence(page.body, rng))
+        subpage_edits += 1
+        run = tracker.run()
+        w3newer_detected += len(run.changed)
+        for outcome in run.changed:
+            tracker.mark_page_viewed(outcome.url)
+
+    # --- central tracker with a crawl root -----------------------------
+    clock, network, server = build_site()
+    rng = random.Random(13)
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    central = CentralTracker(store, clock)
+    central.add_crawl_root("fred", "http://project.org/", depth=1)
+    central.poll()  # baseline crawl + archive
+    crawler_detected = 0
+    for day in range(1, SIM_DAYS + 1):
+        clock.advance_to(day * DAY)
+        index = day % SUBPAGES
+        page = server.get_page(f"/part{index}.html")
+        server.set_page(f"/part{index}.html", edit_sentence(page.body, rng))
+        changed = central.poll()
+        crawler_detected += sum(1 for flag in changed.values() if flag)
+    tracked = len(central.tracked_urls())
+    return subpage_edits, w3newer_detected, crawler_detected, tracked
+
+
+def test_hierarchical_tracking(benchmark, sink):
+    edits, w3newer_hits, crawler_hits, tracked = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+
+    sink.row("S12: one bookmarked home page, subpages edited daily")
+    sink.row(f"  subpage edits made:               {edits}")
+    sink.row(f"  detected by home-page-only w3newer: {w3newer_hits}")
+    sink.row(f"  detected by crawl-root tracker:     {crawler_hits}")
+    sink.row(f"  pages tracked from one bookmark:    {tracked}")
+
+    # The home page never changes, so the bookmark-only tracker sees
+    # nothing; the crawler sees every edit.
+    assert w3newer_hits == 0
+    assert crawler_hits == edits
+    assert tracked == 1 + SUBPAGES

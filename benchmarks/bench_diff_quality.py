@@ -1,0 +1,102 @@
+"""S3 — comparison quality: the sentence model vs UNIX diff on HTML.
+
+Section 2.3: "Line-based comparison utilities such as UNIX diff clearly
+are ill-suited to the comparison of structured documents such as HTML."
+Section 5.1's worked example: paragraph-to-list restructuring should
+show "no change to content, but a change to the formatting".
+
+The bench runs a labelled mutation suite — content edits (must be
+flagged), formatting-only edits (must NOT be flagged as content
+change), and byte-noise edits (whitespace reflow; no change at all) —
+through HtmlDiff and the line-diff baseline, and reports each tool's
+confusion counts.
+"""
+
+import random
+
+from repro.baselines.linediff import line_diff_html
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.classify import EntryClass
+from repro.workloads.mutate import (
+    append_paragraph,
+    cosmetic_whitespace,
+    delete_paragraph,
+    edit_sentence,
+    restructure,
+)
+from repro.workloads.pagegen import PageGenerator
+
+CASES_PER_KIND = 30
+
+#: (operator, does it change CONTENT?)
+SUITE = (
+    ("edit_sentence", edit_sentence, True),
+    ("append_paragraph", append_paragraph, True),
+    ("delete_paragraph", delete_paragraph, True),
+    ("restructure (para->list)", restructure, False),
+    ("cosmetic whitespace", cosmetic_whitespace, False),
+)
+
+
+def htmldiff_sees_content_change(old, new):
+    """Did HtmlDiff report changed *sentences* (as opposed to only
+    formatting / break-markup changes)?"""
+    result = html_diff(old, new)
+    for entry in result.diff.entries:
+        if entry.cls is EntryClass.OLD or entry.cls is EntryClass.NEW:
+            token = entry.old_token or entry.new_token
+            if not hasattr(token, "normalized"):  # a sentence, not a break
+                return True
+        elif entry.is_fuzzy_common:
+            return True
+    return False
+
+
+def run_suite():
+    scores = {}
+    for label, operator, is_content in SUITE:
+        html_correct = 0
+        line_correct = 0
+        for case in range(CASES_PER_KIND):
+            rng = random.Random(case)
+            page = PageGenerator(seed=case).page(paragraphs=6, links=4)
+            mutated = operator(page, rng)
+            if mutated == page:
+                # Operator declined (e.g. nothing to delete): skip par.
+                html_correct += 1
+                line_correct += 1
+                continue
+            html_flags = htmldiff_sees_content_change(page, mutated)
+            line_flags = line_diff_html(page, mutated).flags_change
+            if html_flags == is_content:
+                html_correct += 1
+            if line_flags == is_content:
+                line_correct += 1
+        scores[label] = (html_correct, line_correct, is_content)
+    return scores
+
+
+def test_diff_quality(benchmark, sink):
+    scores = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    sink.row("S3: content-change detection accuracy "
+             f"({CASES_PER_KIND} cases per class)")
+    sink.row(f"{'edit class':28s} {'content?':>8s} {'HtmlDiff':>9s} "
+             f"{'line diff':>10s}")
+    for label, (html_ok, line_ok, is_content) in scores.items():
+        sink.row(f"{label:28s} {'yes' if is_content else 'no':>8s} "
+                 f"{html_ok:8d}/{CASES_PER_KIND} {line_ok:9d}/{CASES_PER_KIND}")
+
+    # Content edits: both tools catch them.
+    for label, (html_ok, line_ok, is_content) in scores.items():
+        if is_content:
+            assert html_ok == CASES_PER_KIND, label
+            assert line_ok == CASES_PER_KIND, label
+    # Formatting-only / byte-noise edits: line diff cries wolf on every
+    # one; HtmlDiff keeps quiet — the whole point of the sentence model.
+    restructure_scores = scores["restructure (para->list)"]
+    whitespace_scores = scores["cosmetic whitespace"]
+    assert restructure_scores[0] == CASES_PER_KIND   # HtmlDiff right
+    assert restructure_scores[1] == 0                # line diff wrong
+    assert whitespace_scores[0] == CASES_PER_KIND
+    assert whitespace_scores[1] == 0

@@ -1,0 +1,99 @@
+"""F1 — Figure 1: the w3newer report.
+
+"Output of w3newer showing a number of anchors (the descriptive text
+comes from the hotlist).  The ones that are marked as 'changed' have
+modification dates after the time the user's browser history indicates
+the URL was seen.  Some URLs were not checked at all, and others were
+checked and are known to have been seen by the user."
+
+The bench builds a hotlist exhibiting exactly those three row classes
+(plus an error row), generates the report, and verifies its structure:
+grouping, bolded changed entries, Remember/Diff/History anchors.
+"""
+
+import re
+
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.pagegen import PageGenerator
+
+CONFIG = parse_threshold_config(
+    "Default 2d\nhttp://fresh\\.com/.* never\n"
+)
+
+
+def build_world():
+    clock = SimClock()
+    network = Network(clock)
+    generator = PageGenerator(seed=14)
+    server = network.create_server("tracked.com")
+    for i in range(6):
+        server.set_page(f"/page{i}.html", generator.page(title=f"Tracked {i}"))
+    never = network.create_server("fresh.com")
+    never.set_page("/daily.html", "<P>different every day</P>")
+    hotlist = Hotlist.from_lines(
+        "\n".join(
+            [f"http://tracked.com/page{i}.html Interesting page {i}"
+             for i in range(6)]
+            + ["http://fresh.com/daily.html The daily page",
+               "http://tracked.com/gone.html A dead page"]
+        )
+    )
+    tracker = W3Newer(clock, UserAgent(network, clock), hotlist, config=CONFIG)
+    return clock, server, tracker
+
+
+def generate_report():
+    clock, server, tracker = build_world()
+    # pages 0-2: user saw them, then they changed -> "changed"
+    # page 3: user saw it after its last change -> "seen"
+    # page 4: changed but user recently visited -> "not checked"
+    # page 5: never seen by the user -> "changed (never seen)"
+    for i in range(4):
+        tracker.mark_page_viewed(f"http://tracked.com/page{i}.html")
+    clock.advance(3 * DAY)
+    generator = PageGenerator(seed=77)
+    for i in range(3):
+        server.set_page(f"/page{i}.html", generator.page(title=f"Tracked {i} v2"))
+    server.set_page("/page4.html", generator.page(title="Tracked 4 v2"))
+    clock.advance(3 * DAY)
+    tracker.mark_page_viewed("http://tracked.com/page4.html")
+    clock.advance(DAY)
+    return tracker.run()
+
+
+def test_fig1_report(benchmark, sink):
+    result = benchmark.pedantic(generate_report, rounds=1, iterations=1)
+    html = result.report_html
+
+    sink.row("F1: w3newer report rows (state per hotlist anchor)")
+    for outcome in result.outcomes:
+        sink.row(f"  {outcome.state.value:24s} {outcome.url}")
+    sink.row()
+    changed = [o for o in result.outcomes if o.is_new_to_user]
+    sink.row(f"changed: {len(changed)}  errors: {len(result.errors)}  "
+             f"skipped: {result.skipped}")
+
+    # The three links per anchor (Section 6 / Figure 1's right-hand side).
+    assert html.count("[Remember]") == len(result.outcomes)
+    assert html.count("[Diff]") == len(result.outcomes)
+    assert html.count("[History]") == len(result.outcomes)
+    # Changed rows are bolded and sorted before unchanged ones.
+    assert len(changed) == 4  # pages 0-2 + never-seen page 5
+    first_unchanged = min(
+        html.find("Interesting page 3"), html.find("The daily page")
+    )
+    for outcome in changed:
+        title_pos = html.find(outcome.url)
+        assert 0 <= title_pos < first_unchanged
+    # The dead page surfaces as an error row with the status text.
+    assert "404" in html
+    # The never-checked page is present but marked never checked.
+    assert "never checked" in html
+    # Row classes match Figure 1's three categories.
+    states = {o.state.value for o in result.outcomes}
+    assert {"changed", "seen", "not checked"} <= states

@@ -1,0 +1,57 @@
+"""F2 — Figure 2: HtmlDiff's merged page over the USENIX home page.
+
+"Output of HtmlDiff showing the differences between a subset of two
+versions of the USENIX Association home page (as of 9/29/95 and
+11/3/95).  Small arrows point to changes, with bold italics indicating
+additions and with deleted text struck out.  The banner at the top of
+the page was inserted by HtmlDiff."
+
+The bench regenerates that page from our reconstructions of the two
+versions and reports the visual inventory: banner, arrow chain,
+struck-out deletions, emphasized additions, eliminated old markups.
+"""
+
+import re
+
+from repro.core.htmldiff.api import html_diff
+from repro.web.sites import usenix_home_v1, usenix_home_v2
+
+
+def run_diff():
+    return html_diff(usenix_home_v1(), usenix_home_v2())
+
+
+def test_fig2_htmldiff(benchmark, sink):
+    result = benchmark(run_diff)
+    html = result.html
+
+    strikes = len(re.findall(r"<STRIKE>", html))
+    adds = len(re.findall(r"<STRONG><I>", html))
+    arrows = len(re.findall(r'<IMG SRC="/aide-icons/', html))
+    anchors = re.findall(r'<A NAME="(aidediff\d+)">', html)
+    links = re.findall(r'<A HREF="#(aidediff\d+)">', html)
+
+    sink.row("F2: HtmlDiff merged page over USENIX home v1 -> v2")
+    sink.row(f"  differences (arrow regions): {result.difference_count}")
+    sink.row(f"  struck-out deletions:        {strikes}")
+    sink.row(f"  emphasized additions:        {adds}")
+    sink.row(f"  arrow images:                {arrows}")
+    sink.row(f"  chain anchors:               {len(anchors)}")
+    sink.row(f"  change density:              {result.change_density:.0%}")
+    sink.row()
+    sink.row("  merged page (first 25 lines):")
+    for line in html.splitlines()[:25]:
+        sink.row("    " + line[:100])
+
+    # Figure 2's visual inventory.
+    assert "AT&amp;T Internet Difference Engine" in html  # the banner
+    assert strikes >= 1 and adds >= 1
+    assert arrows == result.difference_count
+    for target in links:
+        assert target in anchors, f"dangling chain link {target}"
+    # The dropped event's link must be gone, its text struck.
+    assert "/events/lisa95/" not in html
+    assert re.search(r"<STRIKE>[^<]*LISA", html)
+    # The added event must arrive with a live link.
+    assert '/events/usenix96/' in html
+    assert not result.density_suppressed

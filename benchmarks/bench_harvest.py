@@ -1,0 +1,119 @@
+"""S9 — Harvest-style notification vs. client polling (§3.1).
+
+"Even if servers had a mechanism to notify all interested parties when
+a page has changed, immediate notification might not be worth the
+overhead.  Instead, one could envision using something like the Harvest
+replication and caching services to notify interested parties in a lazy
+fashion...  Either way, there would not be a large number of clients
+polling each interesting HTTP server."
+
+The bench puts N users interested in one page population and compares,
+over a simulated week:
+
+* per-user daily polling (w3new-style) — origin requests scale with N;
+* the Harvest design — the repository polls (or the provider pushes),
+  regional caches fan out, origin load is flat in N;
+
+and reports notification latency for poll vs provider-push discovery.
+"""
+
+from repro.aide.harvest import DistributedRepository, RegionalCache
+from repro.baselines.w3new import W3New
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.pagegen import PageGenerator
+
+USERS = 50
+PAGES = 10
+SIM_DAYS = 7
+
+
+def build_origin():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("origin.com")
+    generator = PageGenerator(seed=8)
+    urls = []
+    for index in range(PAGES):
+        server.set_page(f"/p{index}.html", generator.page())
+        urls.append(f"http://origin.com/p{index}.html")
+    return clock, network, server, urls
+
+
+def run_polling():
+    clock, network, server, urls = build_origin()
+    hotlist = Hotlist.from_lines("\n".join(urls))
+    pollers = [W3New(clock, UserAgent(network, clock), hotlist)
+               for _ in range(USERS)]
+    for day in range(1, SIM_DAYS + 1):
+        clock.advance_to(day * DAY)
+        for poller in pollers:
+            poller.run()
+    return server.request_count
+
+
+def run_harvest(mode):
+    clock, network, server, urls = build_origin()
+    generator = PageGenerator(seed=80)
+    repo = DistributedRepository(clock, UserAgent(network, clock))
+    caches = [RegionalCache(f"cache{i}", repo, clock) for i in range(5)]
+    for index, url in enumerate(urls):
+        repo.track(url, mode=mode)
+        for user in range(USERS):
+            caches[user % len(caches)].register_interest(f"user{user}", url)
+    latencies = []
+    for day in range(1, SIM_DAYS + 1):
+        # The page changes mid-morning...
+        clock.advance_to(day * DAY + 10 * HOUR)
+        changed_at = clock.now
+        changed_path = f"/p{day % PAGES}.html"
+        server.set_page(changed_path, generator.page())
+        if mode == "provider-notify":
+            repo.provider_changed(f"http://origin.com{changed_path}")
+        # ...and the repository's nightly poll runs at midnight.
+        clock.advance_to((day + 1) * DAY)
+        if mode == "poll":
+            repo.poll_round()
+        # Latency as the *user* experiences it: delivery time minus the
+        # true change time (which only this bench knows — a polling
+        # repository discovers changes late by construction).
+        for cache in caches:
+            for user in range(USERS):
+                for notice in cache.collect(f"user{user}"):
+                    latencies.append(notice.delivered_at - changed_at)
+    return server.request_count, latencies
+
+
+def test_harvest_vs_polling(benchmark, sink):
+    def run_all():
+        return run_polling(), run_harvest("poll"), run_harvest("provider-notify")
+
+    polling_requests, (poll_requests, poll_latencies), (
+        push_requests, push_latencies
+    ) = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sink.row(f"S9: {USERS} users x {PAGES} pages, one week")
+    sink.row(f"{'architecture':28s} {'origin requests':>16s} "
+             f"{'median latency':>15s}")
+    sink.row(f"{'per-user daily polling':28s} {polling_requests:16d} "
+             f"{'<= 1 day':>15s}")
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2] if ordered else 0
+
+    sink.row(f"{'harvest, repository polls':28s} {poll_requests:16d} "
+             f"{median(poll_latencies) / HOUR:13.0f}h")
+    sink.row(f"{'harvest, provider notifies':28s} {push_requests:16d} "
+             f"{median(push_latencies) / HOUR:13.0f}h")
+
+    # Origin load: harvest is ~USERS times cheaper than per-user polling.
+    assert poll_requests * (USERS // 2) < polling_requests
+    # Push discovery cuts latency to zero and polls the origin least.
+    assert push_requests <= poll_requests
+    assert median(push_latencies) == 0
+    assert median(poll_latencies) > 0
+    # Everyone eventually heard about every change (no drops configured).
+    assert len(poll_latencies) == len(push_latencies) == USERS * SIM_DAYS

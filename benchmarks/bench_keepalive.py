@@ -1,0 +1,62 @@
+"""S10 — the CGI timeout problem and the keep-alive remedy (§4.2).
+
+"When a CGI script is invoked, httpd sets up a default timeout, and if
+the script does not generate output for a full timeout interval, httpd
+will return an error to the browser.  This was a problem for snapshot
+because the script might have to retrieve a page over the Internet and
+then do a time-consuming comparison...  snapshot forks a child process
+that generates one space character... every several seconds."
+
+The bench sweeps operation durations against an httpd timeout with the
+keep-alive child on and off, and reports survival rates plus the
+padding overhead (bytes of spaces per request).
+"""
+
+from repro.core.snapshot.keepalive import CgiTimeout, KeepAlive
+
+DURATIONS = (5, 30, 59, 60, 120, 600)
+HTTPD_TIMEOUT = 60
+EMIT_INTERVAL = 10
+
+
+def run_matrix():
+    with_child = KeepAlive(httpd_timeout=HTTPD_TIMEOUT,
+                           emit_interval=EMIT_INTERVAL)
+    without_child = KeepAlive(httpd_timeout=HTTPD_TIMEOUT, enabled=False)
+    rows = []
+    for duration in DURATIONS:
+        try:
+            guarded = with_child.run(duration)
+            guarded_ok, padding = True, guarded.padding_spaces
+        except CgiTimeout:
+            guarded_ok, padding = False, 0
+        try:
+            without_child.run(duration)
+            naked_ok = True
+        except CgiTimeout:
+            naked_ok = False
+        rows.append((duration, naked_ok, guarded_ok, padding))
+    return rows
+
+
+def test_keepalive_survival(benchmark, sink):
+    rows = benchmark(run_matrix)
+
+    sink.row(f"S10: CGI survival vs operation duration "
+             f"(httpd timeout {HTTPD_TIMEOUT}s, child emits every "
+             f"{EMIT_INTERVAL}s)")
+    sink.row(f"{'duration':>9s} {'no child':>9s} {'with child':>11s} "
+             f"{'padding bytes':>14s}")
+    for duration, naked_ok, guarded_ok, padding in rows:
+        sink.row(f"{duration:8d}s {'ok' if naked_ok else 'TIMEOUT':>9s} "
+                 f"{'ok' if guarded_ok else 'TIMEOUT':>11s} {padding:14d}")
+
+    by_duration = {row[0]: row for row in rows}
+    # Below the timeout both configurations survive.
+    assert by_duration[59][1] and by_duration[59][2]
+    # At/over the timeout the naked script dies; the child saves it.
+    for duration in (60, 120, 600):
+        assert not by_duration[duration][1]
+        assert by_duration[duration][2]
+    # The overhead is honest: one space per emit interval.
+    assert by_duration[600][3] == 600 // EMIT_INTERVAL

@@ -1,0 +1,115 @@
+"""S4 — the comparison engine's speed optimizations.
+
+Section 5.1: "We apply Hirshberg's solution to the longest common
+subsequence (LCS) problem (with several speed optimizations)".  This
+ablation measures the two reproduced optimizations over a
+document-size sweep:
+
+* common-affix trimming before the quadratic core (successive page
+  versions share large head/tail regions);
+* the sentence-length pre-filter (step 1 of the two-step match), which
+  skips the inner word-level LCS for obviously mismatched sentences.
+
+Myers's O(ND) algorithm is included as the modern speed reference on
+the equality-only (line diff) workload.
+"""
+
+import random
+
+from repro.core.htmldiff.matcher import TokenMatcher, match_tokens
+from repro.core.htmldiff.options import HtmlDiffOptions
+from repro.core.htmldiff.tokenizer import tokenize_document
+from repro.diffcore.huntmcilroy import hunt_mcilroy_pairs
+from repro.diffcore.myers import myers_pairs
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+
+PARAGRAPH_COUNTS = (10, 30, 60)
+
+
+def make_version_pair(paragraphs, edits=4, seed=3):
+    page = PageGenerator(seed=seed).page(paragraphs=paragraphs, links=6)
+    mix = MutationMix.typical(seed=seed)
+    mutated = page
+    for _ in range(edits):
+        mutated = mix.apply(mutated)
+    return page, mutated
+
+
+def match_with(options, old_tokens, new_tokens):
+    matcher = TokenMatcher(options)
+    match_tokens(old_tokens, new_tokens, matcher=matcher)
+    return matcher
+
+
+def test_length_prefilter_ablation(benchmark, sink):
+    old, new = make_version_pair(40)
+    old_tokens = tokenize_document(old)
+    new_tokens = tokenize_document(new)
+
+    with_filter = match_with(HtmlDiffOptions(), old_tokens, new_tokens)
+    without_filter = match_with(
+        HtmlDiffOptions(use_length_prefilter=False), old_tokens, new_tokens
+    )
+
+    sink.row("S4a: sentence-length pre-filter ablation (40-paragraph page)")
+    sink.row(f"  tokens: {len(old_tokens)} old / {len(new_tokens)} new")
+    sink.row(f"  inner sentence-LCS runs with pre-filter:    "
+             f"{with_filter.inner_lcs_runs}")
+    sink.row(f"  inner sentence-LCS runs without pre-filter: "
+             f"{without_filter.inner_lcs_runs}")
+    sink.row(f"  pairs rejected by length alone:             "
+             f"{with_filter.prefilter_rejections}")
+    saved = without_filter.inner_lcs_runs - with_filter.inner_lcs_runs
+    sink.row(f"  inner LCS runs avoided:                     {saved}")
+
+    assert with_filter.inner_lcs_runs < without_filter.inner_lcs_runs
+    # The filter is a pure speed optimization here: same matching.
+    pairs_with = match_tokens(old_tokens, new_tokens,
+                              options=HtmlDiffOptions())
+    pairs_without = match_tokens(
+        old_tokens, new_tokens,
+        options=HtmlDiffOptions(use_length_prefilter=False),
+    )
+    assert len(pairs_with) == len(pairs_without)
+
+    benchmark(lambda: match_with(HtmlDiffOptions(), old_tokens, new_tokens))
+
+
+def test_affix_trimming_effect(benchmark, sink):
+    sink.row("S4b: token matching runtime over page size (typical edits)")
+    sink.row(f"{'paragraphs':>10s} {'tokens':>7s} {'matches':>8s}")
+    rows = []
+    for paragraphs in PARAGRAPH_COUNTS:
+        old, new = make_version_pair(paragraphs)
+        old_tokens = tokenize_document(old)
+        new_tokens = tokenize_document(new)
+        pairs = match_tokens(old_tokens, new_tokens)
+        rows.append((paragraphs, len(old_tokens), len(pairs)))
+        sink.row(f"{paragraphs:10d} {len(old_tokens):7d} {len(pairs):8d}")
+    # Most tokens survive a typical small edit — exactly the workload
+    # affix trimming exists for.
+    for paragraphs, tokens, matches in rows:
+        assert matches > 0.7 * tokens
+
+    old, new = make_version_pair(PARAGRAPH_COUNTS[-1])
+    old_tokens = tokenize_document(old)
+    new_tokens = tokenize_document(new)
+    benchmark(lambda: match_tokens(old_tokens, new_tokens))
+
+
+def test_line_diff_engines(benchmark, sink):
+    """Hunt–McIlroy (the RCS/delta engine) vs Myers on line workloads."""
+    old, new = make_version_pair(60, edits=6)
+    old_lines = old.split("\n")
+    new_lines = new.split("\n")
+
+    hm = hunt_mcilroy_pairs(old_lines, new_lines)
+    my = myers_pairs(old_lines, new_lines)
+    sink.row("S4c: line-diff engines on a 60-paragraph page pair")
+    sink.row(f"  lines: {len(old_lines)} -> {len(new_lines)}")
+    sink.row(f"  Hunt-McIlroy matches: {len(hm)}")
+    sink.row(f"  Myers matches:        {len(my)}")
+    assert len(hm) == len(my)  # both find an optimal LCS
+
+    benchmark(lambda: hunt_mcilroy_pairs(old_lines, new_lines))

@@ -1,0 +1,85 @@
+"""S8 — ablation of HtmlDiff's symbolic constants (§5.1, §5.3).
+
+The paper leaves two thresholds symbolic — sentence lengths must be
+"sufficiently close" and the ``2W/L`` percentage "sufficiently large" —
+and reports experimenting with "thresholds to specify when the changes
+are too numerous to display meaningfully" (§5.3).  This bench sweeps
+all three and reports how the match behaviour responds on a fixed
+edited-page workload, justifying the 0.5 defaults.
+"""
+
+import random
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.options import HtmlDiffOptions
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+
+MATCH_THRESHOLDS = (0.1, 0.3, 0.5, 0.7, 0.9)
+DENSITY_THRESHOLDS = (0.25, 0.5, 0.75, 1.0)
+CASES = 12
+
+
+def make_pairs():
+    pairs = []
+    for case in range(CASES):
+        page = PageGenerator(seed=case).page(paragraphs=8, links=4)
+        mix = MutationMix.typical(seed=case)
+        mutated = page
+        for _ in range(3):
+            mutated = mix.apply(mutated)
+        pairs.append((page, mutated))
+    return pairs
+
+
+def sweep():
+    pairs = make_pairs()
+    by_match = {}
+    for threshold in MATCH_THRESHOLDS:
+        options = HtmlDiffOptions(match_threshold=threshold,
+                                  density_fallback="merge")
+        fuzzy = replaced = 0
+        for old, new in pairs:
+            result = html_diff(old, new, options)
+            for entry in result.diff.entries:
+                if entry.is_fuzzy_common:
+                    fuzzy += 1
+                elif entry.cls.value in ("old", "new"):
+                    replaced += 1
+        by_match[threshold] = (fuzzy, replaced)
+
+    by_density = {}
+    heavy_old = PageGenerator(seed=99).page(paragraphs=8)
+    heavy_new = PageGenerator(seed=100).page(paragraphs=8)
+    for threshold in DENSITY_THRESHOLDS:
+        options = HtmlDiffOptions(density_threshold=threshold)
+        result = html_diff(heavy_old, heavy_new, options)
+        by_density[threshold] = result.density_suppressed
+    return by_match, by_density
+
+
+def test_match_threshold_ablation(benchmark, sink):
+    by_match, by_density = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    sink.row("S8a: match_threshold sweep (2W/L 'sufficiently large')")
+    sink.row(f"{'threshold':>9s} {'fuzzy matches':>14s} "
+             f"{'replaced (old+new)':>19s}")
+    for threshold in MATCH_THRESHOLDS:
+        fuzzy, replaced = by_match[threshold]
+        sink.row(f"{threshold:9.1f} {fuzzy:14d} {replaced:19d}")
+    sink.row()
+    sink.row("S8b: density_threshold sweep on a near-total rewrite")
+    for threshold in DENSITY_THRESHOLDS:
+        verdict = "suppressed" if by_density[threshold] else "merged"
+        sink.row(f"  density_threshold={threshold:4.2f}: {verdict}")
+
+    # Monotonicity: a stricter match threshold never invents matches.
+    fuzzies = [by_match[t][0] for t in MATCH_THRESHOLDS]
+    assert all(a >= b for a, b in zip(fuzzies, fuzzies[1:]))
+    replaceds = [by_match[t][1] for t in MATCH_THRESHOLDS]
+    assert all(a <= b for a, b in zip(replaceds, replaceds[1:]))
+    # The default 0.5 sits between the extremes.
+    assert by_match[0.1][0] > by_match[0.9][0]
+    # Low density ceilings suppress the rewrite; a ceiling of 1.0 never does.
+    assert by_density[0.25] is True
+    assert by_density[1.0] is False

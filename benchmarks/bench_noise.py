@@ -1,0 +1,110 @@
+"""S5 — noisy modifications: the junk-mail problem.
+
+Section 3.1: "automatic detection of modifications based on information
+such as modification date and checksum can lead to the generation of
+'junk mail' as 'noisy' modifications trigger change notifications.  For
+instance, pages that report the number of times they have been
+accessed, or embed the current time, will look different every time
+they are retrieved."
+
+The bench tracks a mixed population — stable pages, genuinely changing
+pages, counter pages, clock pages — for two simulated weeks and reports
+each strategy's junk-notification rate:
+
+* date-based checking (w3newer's primary path);
+* checksum-based checking (URL-minder / the CGI fallback);
+* the Table 1 remedy: a ``never`` threshold on known-noisy URLs.
+"""
+
+from repro.baselines.urlminder import UrlMinder
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.cgi import ClockScript, CounterScript
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.mutate import edit_sentence
+from repro.workloads.pagegen import PageGenerator
+
+SIM_DAYS = 14
+STABLE, REAL, NOISY = 5, 3, 4
+
+
+def build_world(threshold_config):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("mixed.com")
+    generator = PageGenerator(seed=5)
+    urls = []
+    for i in range(STABLE):
+        server.set_page(f"/stable{i}.html", generator.page())
+        urls.append(f"http://mixed.com/stable{i}.html")
+    for i in range(REAL):
+        server.set_page(f"/real{i}.html", generator.page())
+        urls.append(f"http://mixed.com/real{i}.html")
+    for i in range(NOISY // 2):
+        server.register_cgi(f"/cgi-bin/counter{i}", CounterScript())
+        urls.append(f"http://mixed.com/cgi-bin/counter{i}")
+        server.register_cgi(f"/cgi-bin/clock{i}", ClockScript())
+        urls.append(f"http://mixed.com/cgi-bin/clock{i}")
+    hotlist = Hotlist.from_lines("\n".join(urls))
+    tracker = W3Newer(
+        clock, UserAgent(network, clock), hotlist,
+        config=parse_threshold_config(threshold_config),
+    )
+    return clock, network, server, tracker
+
+
+def run_tracking(threshold_config):
+    clock, network, server, tracker = build_world(threshold_config)
+    import random
+
+    rng = random.Random(9)
+    real_notifications = 0
+    junk_notifications = 0
+    for day in range(1, SIM_DAYS + 1):
+        clock.advance_to(day * DAY)
+        if day % 3 == 0:  # the real pages change every third day
+            for i in range(REAL):
+                page = server.get_page(f"/real{i}.html")
+                server.set_page(f"/real{i}.html", edit_sentence(page.body, rng))
+        run = tracker.run()
+        for outcome in run.changed:
+            if "/cgi-bin/" in outcome.url:
+                junk_notifications += 1
+            else:
+                real_notifications += 1
+            tracker.mark_page_viewed(outcome.url)
+    return real_notifications, junk_notifications
+
+
+def test_noise_junk_mail(benchmark, sink):
+    def run_all():
+        plain = run_tracking("Default 0\n")
+        with_never = run_tracking(
+            "Default 0\nhttp://mixed\\.com/cgi-bin/.* never\n"
+        )
+        return plain, with_never
+
+    (plain_real, plain_junk), (never_real, never_junk) = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    sink.row("S5: change notifications over two weeks "
+             f"({STABLE} stable / {REAL} real / {NOISY} noisy pages)")
+    sink.row(f"{'strategy':34s} {'real':>5s} {'junk':>5s} {'junk share':>11s}")
+    total_plain = plain_real + plain_junk
+    sink.row(f"{'checksum, no thresholds':34s} {plain_real:5d} "
+             f"{plain_junk:5d} {plain_junk / total_plain:10.0%}")
+    total_never = never_real + never_junk
+    sink.row(f"{'with Table-1 never rule':34s} {never_real:5d} "
+             f"{never_junk:5d} "
+             f"{never_junk / max(1, total_never):10.0%}")
+
+    # The junk dominates without the remedy…
+    assert plain_junk > plain_real
+    # …and the Table 1 'never' rule eliminates it without losing
+    # any real notifications.
+    assert never_junk == 0
+    assert never_real == plain_real

@@ -1,0 +1,93 @@
+"""S13 — aggravating an overloaded proxy, and the abort remedy (§3.1).
+
+"Proxy-caching servers are sometimes overloaded to the point of timing
+out large numbers of requests, and a background task that retrieves
+many URLs in a short time can aggravate their condition.  W3newer
+should therefore be able to detect cases when it should abort and try
+again later."
+
+The bench fires a 40-URL w3newer run through proxies of decreasing
+burst capacity and reports, per capacity: URLs checked before abort,
+timeouts inflicted on the proxy, and whether the systemic-failure
+detector tripped — plus the paced-checking alternative that stays under
+every limit.
+"""
+
+from repro.core.w3newer.checker import UrlChecker
+from repro.core.w3newer.errors import SystemicFailureDetector
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.statuscache import StatusCache
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.web.proxy import ProxyCache
+
+URL_COUNT = 40
+LIMITS = (0, 20, 8, 3)
+CONFIG = parse_threshold_config("Default 0\n")
+
+
+def build_world(limit):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    for i in range(URL_COUNT):
+        server.set_page(f"/p{i}.html", f"<P>page {i}</P>")
+    proxy = ProxyCache(network, clock, ttl=HOUR)
+    proxy.requests_per_instant_limit = limit
+    agent = UserAgent(network, clock, proxy=proxy)
+    hotlist = Hotlist.from_lines(
+        "\n".join(f"http://site.com/p{i}.html" for i in range(URL_COUNT))
+    )
+    return clock, agent, proxy, hotlist
+
+
+def run_sweep():
+    rows = []
+    for limit in LIMITS:
+        clock, agent, proxy, hotlist = build_world(limit)
+        tracker = W3Newer(clock, agent, hotlist, config=CONFIG,
+                          proxy=proxy, abort_after_failures=3)
+        clock.advance(DAY)
+        result = tracker.run()
+        rows.append((limit, len(result.outcomes), bool(result.aborted)))
+    # The paced alternative under the tightest limit.
+    clock, agent, proxy, hotlist = build_world(LIMITS[-1])
+    clock.advance(DAY)
+    checker = UrlChecker(
+        clock=clock, agent=agent, config=CONFIG,
+        history=BrowserHistory(),
+        cache=StatusCache(),
+        proxy=proxy,
+        failure_detector=SystemicFailureDetector(abort_after=3),
+    )
+    errors = 0
+    for index, entry in enumerate(hotlist):
+        if index:
+            clock.advance(2)  # spread the burst over time
+        if checker.check(entry.url).error:
+            errors += 1
+    return rows, errors
+
+
+def test_proxy_overload_abort(benchmark, sink):
+    rows, paced_errors = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    sink.row(f"S13: {URL_COUNT}-URL burst through a weak proxy")
+    sink.row(f"{'burst limit':>11s} {'URLs checked':>13s} {'aborted':>8s}")
+    for limit, checked, aborted in rows:
+        label = "unlimited" if limit == 0 else str(limit)
+        sink.row(f"{label:>11s} {checked:13d} {'yes' if aborted else 'no':>8s}")
+    sink.row(f"\npaced checking under limit {LIMITS[-1]}: {paced_errors} errors")
+
+    by_limit = {limit: (checked, aborted) for limit, checked, aborted in rows}
+    # A healthy proxy: full run, no abort.
+    assert by_limit[0] == (URL_COUNT, False)
+    # The weakest proxy: the run aborts early instead of hammering on.
+    assert by_limit[3][1] is True
+    assert by_limit[3][0] < URL_COUNT
+    # Pacing the same work avoids every timeout.
+    assert paced_errors == 0

@@ -1,0 +1,88 @@
+"""S1 — w3newer's scalability against poll-everything trackers.
+
+Section 3's engineering claim: w3newer "omits checks of pages already
+known to be modified since the user last saw the page, and pages that
+have been viewed by the user within some threshold", plus cached robot
+verdicts and proxy dates — so it issues far fewer HTTP requests per run
+than w3new (its ancestor) or SmartMarks-style pollers, and the gap
+widens with hotlist size.
+
+The bench sweeps hotlist size, runs each tracker daily for two
+simulated weeks over the same evolving web, and reports total HTTP
+requests per tracker per size.
+"""
+
+from repro.aide.engine import Aide
+from repro.baselines.smartmarks import SmartMarks
+from repro.baselines.w3new import W3New
+from repro.core.w3newer.history import BrowserHistory
+from repro.simclock import DAY
+from repro.web.client import UserAgent
+from repro.workloads.scenario import build_hotlist, build_web
+
+SIZES = (25, 50, 100, 200)
+SIM_DAYS = 14
+
+
+def run_sweep():
+    results = {}
+    for size in SIZES:
+        web = build_web(sites=25, pages_per_site=10, seed=31)
+        aide = Aide(clock=web.clock, network=web.network)
+        hotlist = build_hotlist(web, size=size, seed=5)
+
+        user = aide.add_user("w3newer-user", hotlist)
+        w3new_history = BrowserHistory()
+        w3new = W3New(web.clock, UserAgent(web.network, web.clock),
+                      hotlist, history=w3new_history)
+        marks_history = BrowserHistory()
+        marks = SmartMarks(web.clock, UserAgent(web.network, web.clock),
+                           hotlist, history=marks_history)
+
+        counts = {"w3newer": 0, "w3new": 0, "smartmarks": 0}
+        for day in range(1, SIM_DAYS + 1):
+            web.cron.run_until(day * DAY)
+            before = len(web.network.log)
+            run = user.tracker.run()
+            counts["w3newer"] += len(web.network.log) - before
+
+            before = len(web.network.log)
+            w3new.run()
+            counts["w3new"] += len(web.network.log) - before
+
+            before = len(web.network.log)
+            marks.poll()
+            counts["smartmarks"] += len(web.network.log) - before
+
+            # All three users read some of what changed.
+            for outcome in run.changed[:10]:
+                user.visit(outcome.url, aide.clock)
+                w3new_history.visit(outcome.url, web.clock.now)
+                marks_history.visit(outcome.url, web.clock.now)
+        results[size] = counts
+    return results
+
+
+def test_scalability_sweep(benchmark, sink):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    sink.row("S1: total HTTP requests, daily runs for two weeks")
+    sink.row(f"{'hotlist size':>12s} {'w3newer':>9s} {'w3new':>9s} "
+             f"{'smartmarks':>11s} {'saving vs w3new':>16s}")
+    for size in SIZES:
+        counts = results[size]
+        saving = counts["w3new"] / max(1, counts["w3newer"])
+        sink.row(f"{size:12d} {counts['w3newer']:9d} {counts['w3new']:9d} "
+                 f"{counts['smartmarks']:11d} {saving:15.1f}x")
+
+    # Shape: w3newer always cheapest; the advantage holds at every size.
+    for size in SIZES:
+        counts = results[size]
+        assert counts["w3newer"] < counts["w3new"]
+        assert counts["w3newer"] < counts["smartmarks"]
+    # And the ratio does not collapse as hotlists grow.
+    small = results[SIZES[0]]
+    large = results[SIZES[-1]]
+    assert large["w3new"] / large["w3newer"] >= 0.8 * (
+        small["w3new"] / small["w3newer"]
+    )

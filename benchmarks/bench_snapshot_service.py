@@ -1,0 +1,87 @@
+"""S6 — snapshot service resource use under concurrent demand.
+
+Section 4.2: "These loads can be alleviated by caching the output of
+HtmlDiff for a while, so many users who have seen versions N and N+1 of
+a page could retrieve HtmlDiff(pageN, pageN+1) with a single invocation
+of HtmlDiff"; and the lock-queueing wish: "the second snapshot process
+would just wait for the page and then return, rather than repeating
+the work."
+
+The bench sends a crowd of users at one popular page's Diff and
+Remember endpoints and counts HtmlDiff invocations and origin fetches
+with the caching/coalescing machinery on and off.
+"""
+
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.pagegen import PageGenerator
+
+USERS = 40
+
+
+def build_store(diff_cache_ttl):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("popular.com")
+    generator = PageGenerator(seed=21)
+    server.set_page("/story.html", generator.page(paragraphs=12))
+    store = SnapshotStore(clock, UserAgent(network, clock),
+                          diff_cache_ttl=diff_cache_ttl)
+    return clock, network, server, store
+
+
+def exercise(diff_cache_ttl):
+    clock, network, server, store = build_store(diff_cache_ttl)
+    users = [f"user{i}@att.com" for i in range(USERS)]
+    # Everyone remembers the page on day 0 (same cron-driven instant).
+    for user in users:
+        store.remember(user, "http://popular.com/story.html")
+    fetches_day0 = server.get_count
+
+    # The page changes; next day the whole crowd clicks Diff.
+    clock.advance(DAY)
+    generator = PageGenerator(seed=22)
+    server.set_page("/story.html", generator.page(paragraphs=12))
+    clock.advance(DAY)
+    for user in users:
+        store.diff(user, "http://popular.com/story.html")
+    return {
+        "fetches_day0": fetches_day0,
+        "total_fetches": server.get_count,
+        "htmldiff_invocations": store.htmldiff_invocations,
+        "lock_contentions": store.locks.contentions,
+        "coalesced": store.coalescer.coalesced,
+    }
+
+
+def test_snapshot_service_caching(benchmark, sink):
+    def run_both():
+        return exercise(diff_cache_ttl=HOUR), exercise(diff_cache_ttl=0)
+
+    cached, uncached_ttl = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    sink.row(f"S6: {USERS} users remember + diff one page")
+    sink.row(f"{'metric':26s} {'with caching':>13s} {'ttl=0':>7s} "
+             f"{'naive (no sharing)':>19s}")
+    naive_fetches = USERS * 2  # every user fetches for remember and diff
+    naive_diffs = USERS
+    sink.row(f"{'origin fetches':26s} {cached['total_fetches']:13d} "
+             f"{uncached_ttl['total_fetches']:7d} {naive_fetches:19d}")
+    sink.row(f"{'HtmlDiff invocations':26s} "
+             f"{cached['htmldiff_invocations']:13d} "
+             f"{uncached_ttl['htmldiff_invocations']:7d} {naive_diffs:19d}")
+    sink.row(f"{'lock contentions':26s} {cached['lock_contentions']:13d} "
+             f"{uncached_ttl['lock_contentions']:7d} {'-':>19s}")
+    sink.row(f"{'requests coalesced':26s} {cached['coalesced']:13d} "
+             f"{uncached_ttl['coalesced']:7d} {'-':>19s}")
+
+    # One fetch for 40 simultaneous remembers (request coalescing)…
+    assert cached["fetches_day0"] == 1
+    # …and one HtmlDiff run serves the whole crowd's identical diff.
+    assert cached["htmldiff_invocations"] == 1
+    # Same-instant coalescing works even with the TTL cache off.
+    assert uncached_ttl["htmldiff_invocations"] == 1
+    # Versus 40 invocations if every request ran its own comparison.
+    assert cached["htmldiff_invocations"] * USERS == naive_diffs

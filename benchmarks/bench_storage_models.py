@@ -1,0 +1,104 @@
+"""S7 — the Section 4.1 storage-architecture comparison.
+
+"Client-side support... requires that every page of interest be saved
+by every user, which is unattractive as the number of pages in the
+average user's hotlist increases...  Our approach is to run a service
+... Once a page is stored with the service, subsequent requests to
+remember the state of the page result in an RCS 'check-in' operation
+that saves only the differences."
+
+The bench sweeps the user population over a shared page set with
+overlapping interests and compares total bytes stored under three
+architectures:
+
+* client-side: every user keeps a private full copy of every version
+  of every page they track;
+* external service, full copies: shared store, one full copy per
+  version;
+* external service, RCS (AIDE): shared store, reverse deltas.
+"""
+
+import random
+
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+
+USER_COUNTS = (5, 20, 50)
+PAGES = 30
+PAGES_PER_USER = 12
+SIM_DAYS = 14
+
+
+def run_model(users):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("shared.org")
+    generator = PageGenerator(seed=4)
+    rng = random.Random(4)
+    mixes = {}
+    for index in range(PAGES):
+        server.set_page(f"/p{index}.html", generator.page(paragraphs=8))
+        mixes[index] = MutationMix.typical(seed=index)
+
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    interests = {
+        f"user{u}": rng.sample(range(PAGES), PAGES_PER_USER)
+        for u in range(users)
+    }
+    client_side_bytes = 0
+
+    for day in range(1, SIM_DAYS + 1):
+        clock.advance_to(day * DAY)
+        # A third of the pages change each day.
+        for index in range(PAGES):
+            if (index + day) % 3 == 0:
+                page = server.get_page(f"/p{index}.html")
+                server.set_page(f"/p{index}.html", mixes[index].apply(page.body))
+        # Every user re-remembers their pages daily.
+        for user, pages in interests.items():
+            for index in pages:
+                store.remember(user, f"http://shared.org/p{index}.html")
+    # Client-side total: every user holds a full copy of every version
+    # of every page they track.
+    for user, pages in interests.items():
+        for index in pages:
+            url = f"http://shared.org/p{index}.html"
+            archive = store.archive_for(url)
+            for info in archive.revisions():
+                client_side_bytes += len(archive.checkout(info.number))
+    return {
+        "client_side": client_side_bytes,
+        "service_full": store.full_copy_bytes(),
+        "service_rcs": store.total_bytes(),
+    }
+
+
+def test_storage_models(benchmark, sink):
+    def sweep():
+        return {users: run_model(users) for users in USER_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    sink.row("S7: bytes stored after two weeks "
+             f"({PAGES} pages, {PAGES_PER_USER} per user)")
+    sink.row(f"{'users':>6s} {'client-side':>12s} {'service+copies':>15s} "
+             f"{'service+RCS':>12s} {'RCS saving':>11s}")
+    for users in USER_COUNTS:
+        r = results[users]
+        sink.row(
+            f"{users:6d} {r['client_side']:12,d} {r['service_full']:15,d} "
+            f"{r['service_rcs']:12,d} "
+            f"{r['client_side'] / r['service_rcs']:10.1f}x"
+        )
+
+    for users in USER_COUNTS:
+        r = results[users]
+        # The service stores each version once; RCS compresses further.
+        assert r["service_rcs"] < r["service_full"] < r["client_side"]
+    # Client-side cost grows with users; the shared service's does not.
+    assert results[50]["client_side"] > 5 * results[5]["client_side"]
+    assert results[50]["service_rcs"] <= results[5]["service_rcs"] * 1.2

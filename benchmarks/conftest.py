@@ -1,0 +1,37 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures (or a
+claim made in prose) and both prints the rows and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ResultSink:
+    """Collects a benchmark's regenerated table and writes it out."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines = []
+
+    def row(self, text: str = "") -> None:
+        self.lines.append(text)
+        print(text)
+
+    def flush(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.name}.txt")
+        with open(path, "w") as handle:
+            handle.write("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def sink(request):
+    out = ResultSink(request.node.name)
+    yield out
+    out.flush()

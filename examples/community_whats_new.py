@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Community tracking: fixed pages, a central tracker, and a crawler.
+
+Recreates the Section 8.2/8.3 extensions:
+
+* a **fixed-page collection** auto-archives a set of community URLs the
+  moment they change and publishes a "What's New" page;
+* a **central tracker** polls each page once no matter how many users
+  subscribed (the economy-of-scale argument);
+* a **crawl root** turns one virtual-library bookmark into tracking of
+  every page it links to.
+
+Run:  python examples/community_whats_new.py
+"""
+
+from repro import DAY, WEEK, SimClock
+from repro.aide.fixedpages import FixedPageCollection
+from repro.aide.tracker import CentralTracker
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import CronScheduler
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.web.sites import build_virtual_library
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+from repro.workloads.schedule import WebEvolver
+
+
+def main() -> None:
+    clock = SimClock()
+    network = Network(clock)
+    cron = CronScheduler(clock)
+    generator = PageGenerator(seed=5)
+
+    # A small intranet of project pages that change at different rates.
+    server = network.create_server("projects.att.com")
+    evolver = WebEvolver(cron, seed=5)
+    urls = []
+    for index, period in enumerate((DAY, 2 * DAY, WEEK, 0, 0)):
+        path = f"/project{index}.html"
+        server.set_page(path, generator.page(title=f"Project {index}"))
+        urls.append(f"http://projects.att.com{path}")
+        if period:
+            evolver.evolve(server, path, period,
+                           mix=MutationMix.typical(seed=index))
+
+    # A virtual-library page linking to the projects.
+    server.set_page(
+        "/library.html",
+        "<HTML><BODY><H1>Project library</H1><UL>\n"
+        + "\n".join(f'<LI><A HREF="/project{i}.html">Project {i}</A>'
+                    for i in range(5))
+        + "\n</UL></BODY></HTML>",
+    )
+
+    agent = UserAgent(network, clock, agent_name="AIDE-snapshot/1.0")
+    store = SnapshotStore(clock, agent)
+
+    # --- fixed pages (8.2) ---------------------------------------------
+    collection = FixedPageCollection(store, clock, title="ATT What's New")
+    for url in urls:
+        collection.add_url(url)
+    collection.schedule(cron, period=DAY)
+
+    # --- central tracker with a crawl root (8.3) ------------------------
+    tracker = CentralTracker(store, clock)
+    for member in ("alice", "bob", "carol"):
+        tracker.subscribe(member, urls[0])
+    tracker.add_crawl_root("dave", "http://projects.att.com/library.html",
+                           depth=1)
+    tracker.schedule(cron, period=DAY)
+
+    # Two weeks pass.
+    cron.run_until(2 * WEEK)
+
+    print("== What's New page (excerpt) ==")
+    page = collection.whats_new_page()
+    for line in page.split("<LI>")[1:4]:
+        print("  *", line.split("&#183;")[0].strip()[:70])
+
+    print("\n== Central tracker economy of scale ==")
+    head_hits = [r for r in network.log if r.path == "/project0.html"
+                 and r.method == "GET"]
+    print(f"  subscribers to project0: 3 (+ fixed pages + crawler)")
+    print(f"  total fetches of project0 over 14 days: {len(head_hits)}")
+
+    print("\n== Dave's crawled report ==")
+    for row in tracker.report_for("dave"):
+        flag = "CHANGED" if row.changed_since_seen else "ok     "
+        print(f"  [{flag}] {row.url}  ({row.via})")
+
+    print("\n== Archive growth ==")
+    print(f"  URLs archived: {store.url_count()}")
+    print(f"  total bytes:   {store.total_bytes()}")
+    print(f"  vs full copies: {store.full_copy_bytes()}")
+    print("\ncommunity_whats_new: OK")
+
+
+if __name__ == "__main__":
+    main()

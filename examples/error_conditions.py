@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Error conditions: everything Section 3.1 says can go wrong, going wrong.
+
+One hotlist, one run, every failure mode: a moved URL (with forwarding
+pointer), a vanished page, a dead host, a robot-excluded area, a noisy
+CGI counter, and finally a total network outage that aborts the run.
+
+Run:  python examples/error_conditions.py
+"""
+
+from repro import DAY, Hotlist, SimClock, W3Newer
+from repro.core.w3newer.errors import UrlState
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.web.cgi import CounterScript
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+def main() -> None:
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("flaky.com")
+    server.set_page("/fine.html", "<P>perfectly healthy page.</P>")
+    server.set_page("/old-home.html", "<P>x</P>")
+    server.add_redirect("/old-home.html", "http://flaky.com/new-home.html")
+    server.set_page("/new-home.html", "<P>moved here.</P>")
+    server.set_page("/doomed.html", "<P>soon gone.</P>")
+    server.remove_page("/doomed.html", status=410)
+    server.set_robots_txt("User-agent: *\nDisallow: /private/\n")
+    server.set_page("/private/secret.html", "<P>no robots.</P>")
+    server.register_cgi("/cgi-bin/hits", CounterScript())
+
+    hotlist = Hotlist.from_lines(
+        "http://flaky.com/fine.html A fine page\n"
+        "http://flaky.com/old-home.html Moved page\n"
+        "http://flaky.com/doomed.html Deleted page\n"
+        "http://flaky.com/private/secret.html Robot-excluded page\n"
+        "http://flaky.com/cgi-bin/hits Noisy counter\n"
+        "http://dead.example/ Dead host\n"
+    )
+    agent = UserAgent(network, clock)
+    tracker = W3Newer(
+        clock, agent, hotlist,
+        config=parse_threshold_config("Default 0\n"),
+        # During the outage most URLs still answer from the status
+        # cache without HTTP; only two need the wire, so abort after 2.
+        abort_after_failures=2,
+    )
+
+    clock.advance(DAY)
+    print("== run 1: individual failures ==")
+    result = tracker.run()
+    for outcome in result.outcomes:
+        detail = outcome.error or outcome.moved_to or ""
+        print(f"  {outcome.state.value:28s} {outcome.url}  {detail}")
+    assert any(o.moved_to for o in result.outcomes), "redirect must surface"
+    assert any(o.state is UrlState.ERROR and "410" in o.error
+               for o in result.outcomes)
+    assert any(o.state is UrlState.ROBOT_FORBIDDEN for o in result.outcomes)
+
+    # The noisy counter: checked twice, "changes" every time (junk).
+    clock.advance(DAY)
+    second = tracker.run()
+    counter = next(o for o in second.outcomes if "hits" in o.url)
+    print(f"\nnoisy counter on run 2: {counter.state.value} (junk-mail problem)")
+
+    # Run 3: the network goes away entirely -> abort, not a hang.
+    clock.advance(DAY)
+    network.unreachable = True
+    print("\n== run 3: total outage ==")
+    aborted = tracker.run()
+    print(f"  aborted: {aborted.aborted}")
+    assert aborted.aborted
+    network.unreachable = False
+
+    # Run 4: the world is back; the tracker recovers by itself.
+    clock.advance(DAY)
+    recovered = tracker.run()
+    print(f"\nrun 4 after recovery: {len(recovered.errors)} hard errors "
+          f"(dead host + deleted page)")
+    print("\nerror_conditions: OK")
+
+
+if __name__ == "__main__":
+    main()

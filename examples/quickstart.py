@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: track a page, see what changed, marked up.
+
+The smallest end-to-end AIDE loop:
+
+1. stand up a simulated web with one page;
+2. add a user whose hotlist contains it;
+3. Remember the page through the snapshot service;
+4. let a week pass while the page changes;
+5. run w3newer — the report flags the change;
+6. follow the report's Diff link — HtmlDiff shows WHAT changed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Aide, DAY, Hotlist
+
+
+def main() -> None:
+    aide = Aide()
+
+    # --- a tiny web ---------------------------------------------------
+    server = aide.network.create_server("www.example.com")
+    server.set_page(
+        "/status.html",
+        "<HTML><HEAD><TITLE>Project status</TITLE></HEAD>\n"
+        "<BODY>\n"
+        "<H1>Project status</H1>\n"
+        "<P>The prototype parser is complete. Testing begins next month.</P>\n"
+        "<P>Contact the team for access to the repository.</P>\n"
+        "</BODY></HTML>\n",
+    )
+
+    # --- a user -------------------------------------------------------
+    hotlist = Hotlist.from_lines(
+        "http://www.example.com/status.html Project status page"
+    )
+    user = aide.add_user("fred@research.att.com", hotlist)
+
+    # The user reads the page today and asks AIDE to remember it.
+    user.visit("http://www.example.com/status.html", aide.clock)
+    response = aide.remember("fred@research.att.com",
+                             "http://www.example.com/status.html")
+    print("== Remember ==")
+    print(response.body.strip()[:200], "...\n")
+
+    # --- a week passes; the page changes ------------------------------
+    aide.clock.advance(4 * DAY)
+    server.set_page(
+        "/status.html",
+        "<HTML><HEAD><TITLE>Project status</TITLE></HEAD>\n"
+        "<BODY>\n"
+        "<H1>Project status</H1>\n"
+        "<P>The prototype parser is complete. Testing is underway now.</P>\n"
+        "<P>A public beta is planned for the spring.</P>\n"
+        "</BODY></HTML>\n",
+    )
+    aide.clock.advance(3 * DAY)
+
+    # --- w3newer flags it ----------------------------------------------
+    result = aide.run_w3newer("fred@research.att.com")
+    print("== w3newer report ==")
+    print(f"{len(result.changed)} page(s) changed; "
+          f"{result.http_requests} HTTP request(s) spent")
+    assert len(result.changed) == 1
+
+    # --- the report's Diff link: what changed since MY saved copy? -----
+    diff = aide.diff("fred@research.att.com", "http://www.example.com/status.html")
+    print("\n== HtmlDiff merged page ==")
+    print(diff.body)
+    assert "<STRIKE>" in diff.body          # deleted text, struck out
+    assert "<STRONG><I>" in diff.body       # added text, emphasized
+    print("\nquickstart: OK")
+
+
+if __name__ == "__main__":
+    main()

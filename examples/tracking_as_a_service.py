@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Tracking as a service: hosted w3newer and Harvest-style notification.
+
+Section 7's adoption lesson ("it is too time-consuming to install
+w3newer on one's own machine") and Section 3.1's architectural sketch,
+running side by side:
+
+* three users upload their hotlists to the AIDE server's hosted
+  tracker — no local installation, one shared check per page per cycle;
+* the same pages are wired into a Harvest-style distributed repository
+  with a regional cache, showing the push path and the replica serving.
+
+Run:  python examples/tracking_as_a_service.py
+"""
+
+from repro.aide.harvest import DistributedRepository, RegionalCache
+from repro.aide.hosted import HostedTrackerService
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, CronScheduler, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+from repro.workloads.schedule import WebEvolver
+
+
+def main() -> None:
+    clock = SimClock()
+    network = Network(clock)
+    cron = CronScheduler(clock)
+    generator = PageGenerator(seed=17)
+    server = network.create_server("docs.org")
+    evolver = WebEvolver(cron, seed=17)
+    urls = []
+    for index in range(6):
+        path = f"/doc{index}.html"
+        server.set_page(path, generator.page(title=f"Document {index}"))
+        urls.append(f"http://docs.org{path}")
+        if index < 4:  # four of six pages change every few days
+            evolver.evolve(server, path, (index + 1) * DAY,
+                           mix=MutationMix.typical(seed=index))
+
+    # --- the hosted tracker (Section 7) --------------------------------
+    service = HostedTrackerService(
+        clock, UserAgent(network, clock),
+        config=parse_threshold_config("Default 1d\n"),
+    )
+    aide_host = network.create_server("aide.att.com")
+    aide_host.register_cgi("/cgi-bin/w3newer", service)
+    browser = UserAgent(network, clock, agent_name="Mozilla/1.1N")
+
+    # Users upload hotlists through the CGI — no local install.
+    for user, picks in (("alice", urls[:4]), ("bob", urls[2:]),
+                        ("carol", urls)):
+        hotlist = "\n".join(picks).replace("&", "%26")
+        browser.post(
+            "http://aide.att.com/cgi-bin/w3newer",
+            body=f"action=upload&user={user}&hotlist={hotlist}",
+        )
+    service.schedule(cron, period=DAY)
+
+    # --- the Harvest repository (Section 3.1) --------------------------
+    repo = DistributedRepository(clock, UserAgent(network, clock))
+    cache = RegionalCache("nj-cache", repo, clock)
+    for url in urls:
+        cache.register_interest("alice", url)
+    repo.schedule(cron, period=DAY)
+
+    # Two weeks pass.
+    cron.run_until(14 * DAY)
+
+    print("== hosted tracker ==")
+    print(f"  check cycles run:      {service.check_cycles}")
+    print(f"  distinct URLs tracked: {len(service.tracked_urls())}")
+    report = browser.get(
+        "http://aide.att.com/cgi-bin/w3newer?action=report&user=alice"
+    ).response
+    changed_rows = report.body.count("[changed]")
+    print(f"  alice's report: {changed_rows} changed entries")
+    assert report.status == 200 and changed_rows >= 1
+
+    print("\n== harvest notifications for alice ==")
+    notices = cache.collect("alice")
+    print(f"  notices waiting: {len(notices)}")
+    assert notices
+    replica = cache.page(urls[0])
+    assert replica is not None
+    print(f"  replica of {urls[0]}: {len(replica)} bytes, "
+          "served without touching docs.org")
+
+    print("\n== origin economy ==")
+    origin_requests = sum(1 for r in network.log if r.host == "docs.org")
+    users = 3
+    naive = 14 * users * len(urls)
+    print(f"  origin requests over two weeks: {origin_requests}")
+    print(f"  naive per-user polling would be: {naive}")
+    assert origin_requests < naive
+    print("\ntracking_as_a_service: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on offline machines that lack the ``wheel``
+package (pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "AIDE: the AT&T Internet Difference Engine "
+        "(Douglis & Ball, USENIX 1996) — full reproduction"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["aide=repro.cli:main"]},
+)

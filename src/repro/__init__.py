@@ -1,0 +1,57 @@
+"""AIDE: the AT&T Internet Difference Engine.
+
+A full reproduction of *Tracking and Viewing Changes on the Web*
+(Douglis & Ball, 1996 USENIX Technical Conference): w3newer, snapshot,
+and HtmlDiff, with every substrate they rely on — a simulated web, an
+RCS reimplementation, an HTML lexer, and the comparison algorithms —
+plus the extensions of Sections 7–8 and the baselines of Section 2.
+
+Quickstart::
+
+    from repro import Aide, Hotlist, html_diff
+
+    aide = Aide()
+    server = aide.network.create_server("www.example.com")
+    server.set_page("/", "<P>hello world.</P>")
+    user = aide.add_user("fred@att.com", Hotlist.from_lines("http://www.example.com/"))
+    aide.clock.advance(3 * 24 * 3600)
+    report = aide.run_w3newer("fred@att.com")
+    print(report.report_html)
+"""
+
+from .aide.engine import Aide, AideUser
+from .core.htmldiff.api import HtmlDiffResult, html_diff
+from .core.htmldiff.options import HtmlDiffOptions, PresentationMode
+from .core.snapshot.service import SnapshotService
+from .core.snapshot.store import SnapshotStore
+from .core.w3newer.hotlist import Hotlist, HotlistEntry
+from .core.w3newer.runner import RunResult, W3Newer
+from .core.w3newer.thresholds import ThresholdConfig, parse_threshold_config
+from .simclock import DAY, HOUR, WEEK, CronScheduler, SimClock
+from .web.network import Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aide",
+    "AideUser",
+    "HtmlDiffResult",
+    "html_diff",
+    "HtmlDiffOptions",
+    "PresentationMode",
+    "SnapshotService",
+    "SnapshotStore",
+    "Hotlist",
+    "HotlistEntry",
+    "RunResult",
+    "W3Newer",
+    "ThresholdConfig",
+    "parse_threshold_config",
+    "DAY",
+    "HOUR",
+    "WEEK",
+    "CronScheduler",
+    "SimClock",
+    "Network",
+    "__version__",
+]

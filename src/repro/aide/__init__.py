@@ -1,0 +1,44 @@
+"""AIDE integration: the three tools as one system, plus Section 8.
+
+The :class:`Aide` facade stands up the deployment (Section 6); the rest
+of the package is the extensions the paper describes: fixed-page
+community archives (8.2), centralized tracking with a crawler (8.3),
+server-side RCS CGIs (8.1), POST-form snapshotting (8.4), Tapestry-like
+prioritization (Section 7), and the WebWeaver wiki (Section 1).
+"""
+
+from .browser import FormBookmark, IntegratedBrowser
+from .engine import Aide, AideUser
+from .harvest import ChangeNotice, DistributedRepository, RegionalCache
+from .hosted import HostedReportRow, HostedTrackerService
+from .fixedpages import FixedPageCollection, PollResult
+from .postforms import PostFormRegistry, StoredForm
+from .prioritize import PriorityConfig, PriorityRule, parse_priority_config
+from .serverside import ServerSideVersioning
+from .tracker import CentralTracker, TrackerReportRow, extract_links
+from .webweaver import WebWeaver, WikiPageInfo
+
+__all__ = [
+    "FormBookmark",
+    "IntegratedBrowser",
+    "ChangeNotice",
+    "DistributedRepository",
+    "RegionalCache",
+    "HostedReportRow",
+    "HostedTrackerService",
+    "Aide",
+    "AideUser",
+    "FixedPageCollection",
+    "PollResult",
+    "PostFormRegistry",
+    "StoredForm",
+    "PriorityConfig",
+    "PriorityRule",
+    "parse_priority_config",
+    "ServerSideVersioning",
+    "CentralTracker",
+    "TrackerReportRow",
+    "extract_links",
+    "WebWeaver",
+    "WikiPageInfo",
+]

@@ -1,0 +1,182 @@
+"""The AIDE facade: w3newer + snapshot + HtmlDiff as one system.
+
+Section 6: "There are two entry points to AIDE, one through w3newer and
+one through snapshot."  :class:`Aide` stands up the whole deployment on
+a simulated internet: the snapshot service mounted as a CGI on an AIDE
+host, per-user w3newer trackers whose reports link into that CGI, and a
+browser model per user so the history-integration wart is faithfully
+reproduced (clicking Diff does *not* mark the page as seen; visiting it
+directly does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.snapshot.service import SnapshotService
+from ..core.snapshot.store import SnapshotStore
+from ..core.w3newer.checker import CheckerFlags
+from ..core.w3newer.history import BrowserHistory
+from ..core.w3newer.hotlist import Hotlist
+from ..core.w3newer.report import ReportOptions
+from ..core.w3newer.runner import RunResult, W3Newer
+from ..core.w3newer.statuscache import StatusCache
+from ..core.w3newer.thresholds import ThresholdConfig
+from ..simclock import SimClock
+from ..web.cgi import encode_query_string
+from ..web.client import UserAgent
+from ..web.http import Response
+from ..web.network import Network
+from ..web.proxy import ProxyCache
+
+__all__ = ["Aide", "AideUser"]
+
+
+@dataclass
+class AideUser:
+    """One person using AIDE: their hotlist, history, and tracker."""
+
+    name: str
+    hotlist: Hotlist
+    history: BrowserHistory
+    tracker: W3Newer
+    browser: UserAgent
+
+    def visit(self, url: str, clock: SimClock) -> Response:
+        """Browse to a page directly: fetches it AND updates history —
+        the only way a page stops being reported as changed."""
+        result = self.browser.get(url)
+        self.history.visit(url, clock.now)
+        return result.response
+
+
+class Aide:
+    """A complete AIDE deployment on a simulated internet."""
+
+    SERVICE_HOST = "aide.research.att.com"
+    SERVICE_PATH = "/cgi-bin/snapshot"
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        network: Optional[Network] = None,
+        proxy_ttl: int = 3600,
+        use_proxy: bool = True,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.network = network or Network(self.clock)
+        self.proxy = (
+            ProxyCache(self.network, self.clock, ttl=proxy_ttl)
+            if use_proxy else None
+        )
+        #: The service's own fetches go direct (it sits near the backbone).
+        self.service_agent = UserAgent(self.network, self.clock,
+                                       agent_name="AIDE-snapshot/1.0")
+        self.store = SnapshotStore(self.clock, self.service_agent)
+        self.service = SnapshotService(self.store, script_path=self.SERVICE_PATH)
+        self.server = self.network.create_server(self.SERVICE_HOST)
+        self.server.register_cgi(self.SERVICE_PATH, self.service)
+        self.users: Dict[str, AideUser] = {}
+
+    # ------------------------------------------------------------------
+    def add_user(
+        self,
+        name: str,
+        hotlist: Hotlist,
+        config: Optional[ThresholdConfig] = None,
+        flags: Optional[CheckerFlags] = None,
+    ) -> AideUser:
+        """Provision a user: browser, history, and a w3newer wired to
+        the shared proxy and the snapshot service."""
+        history = BrowserHistory()
+        browser = UserAgent(self.network, self.clock, proxy=self.proxy,
+                            agent_name="Mozilla/1.1N")
+        agent = UserAgent(self.network, self.clock, proxy=self.proxy,
+                          agent_name="w3newer/1.0")
+        tracker = W3Newer(
+            clock=self.clock,
+            agent=agent,
+            hotlist=hotlist,
+            config=config,
+            history=history,
+            cache=StatusCache(),
+            proxy=self.proxy,
+            flags=flags,
+            report_options=ReportOptions(
+                snapshot_base=f"http://{self.SERVICE_HOST}{self.SERVICE_PATH}",
+                user=name,
+            ),
+        )
+        user = AideUser(name=name, hotlist=hotlist, history=history,
+                        tracker=tracker, browser=browser)
+        self.users[name] = user
+        return user
+
+    # ------------------------------------------------------------------
+    # The three report links, exercised the way a browser would.
+    # ------------------------------------------------------------------
+    def _service_call(self, user: AideUser, params: Dict[str, str]) -> Response:
+        query = encode_query_string(params)
+        url = f"http://{self.SERVICE_HOST}{self.SERVICE_PATH}?{query}"
+        return user.browser.get(url).response
+
+    def remember(self, user_name: str, url: str) -> Response:
+        user = self.users[user_name]
+        return self._service_call(
+            user, {"action": "remember", "url": url, "user": user_name}
+        )
+
+    def diff(self, user_name: str, url: str) -> Response:
+        """Clicking Diff: shows the changes but — Section 6's wart —
+        records only the CGI URL in the browser history, so w3newer
+        keeps reporting the page as modified."""
+        user = self.users[user_name]
+        response = self._service_call(
+            user, {"action": "diff", "url": url, "user": user_name}
+        )
+        # The browser history records the *CGI* URL, not the page.
+        user.history.visit(
+            f"http://{self.SERVICE_HOST}{self.SERVICE_PATH}", self.clock.now
+        )
+        return response
+
+    def history_page(self, user_name: str, url: str) -> Response:
+        user = self.users[user_name]
+        return self._service_call(
+            user, {"action": "history", "url": url, "user": user_name}
+        )
+
+    def run_w3newer(self, user_name: str) -> RunResult:
+        return self.users[user_name].tracker.run()
+
+    # ------------------------------------------------------------------
+    # Optional services mounted onto the AIDE host
+    # ------------------------------------------------------------------
+    def enable_hosted_tracking(self, config=None):
+        """Mount the §7 hosted w3newer at ``/cgi-bin/w3newer``."""
+        from .hosted import HostedTrackerService
+
+        service = HostedTrackerService(
+            self.clock, self.service_agent, config=config,
+            script_path="/cgi-bin/w3newer",
+        )
+        self.server.register_cgi("/cgi-bin/w3newer", service)
+        return service
+
+    def enable_wiki(self):
+        """Mount a WebWeaver wiki on the AIDE host (``/wiki/...``)."""
+        from .webweaver import WebWeaver
+
+        weaver = WebWeaver(self.clock)
+        weaver.mount(self.server)
+        return weaver
+
+    def enable_server_side_versioning(self, origin_host: str):
+        """Give an origin server the §8.1 rlog/co/rcsdiff CGIs."""
+        from .serverside import ServerSideVersioning
+
+        server = self.network.server_for(origin_host)
+        if server is None:
+            raise ValueError(f"no such host: {origin_host}")
+        return ServerSideVersioning(server)

@@ -1,0 +1,76 @@
+"""URL prioritization against information overload (paper Section 7).
+
+"Merely sorting URLs by most recent modification dates is not
+satisfactory when the number of URLs grows into the hundreds.  Instead,
+we are moving toward a user-specified prioritization of URLs along the
+lines of the Tapestry system."
+
+The configuration mirrors the threshold file: perl-style patterns with
+a numeric priority, first match wins.  The resulting callable plugs
+into :class:`repro.core.w3newer.report.ReportOptions` ``priority``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["PriorityRule", "PriorityConfig", "parse_priority_config"]
+
+
+@dataclass(frozen=True)
+class PriorityRule:
+    pattern: str
+    priority: float
+    compiled: re.Pattern
+
+    def matches(self, url: str) -> bool:
+        return self.compiled.match(url) is not None
+
+
+class PriorityConfig:
+    """Ordered pattern → priority rules; higher sorts earlier."""
+
+    def __init__(self, rules: List[PriorityRule], default: float = 0.0) -> None:
+        self.rules = rules
+        self.default = default
+
+    def priority_for(self, url: str) -> float:
+        for rule in self.rules:
+            if rule.matches(url):
+                return rule.priority
+        return self.default
+
+    def as_function(self) -> Callable[[str], float]:
+        return self.priority_for
+
+
+def parse_priority_config(text: str) -> PriorityConfig:
+    """``<pattern> <priority>`` lines; ``Default <n>`` sets the floor."""
+    rules: List[PriorityRule] = []
+    default = 0.0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"line {line_number}: expected '<pattern> <priority>': {line!r}"
+            )
+        pattern, value_text = parts
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"line {line_number}: bad priority {value_text!r}")
+        if pattern.lower() == "default":
+            default = value
+            continue
+        try:
+            compiled = re.compile(pattern)
+        except re.error as exc:
+            raise ValueError(f"line {line_number}: bad pattern {pattern!r}: {exc}")
+        rules.append(PriorityRule(pattern=pattern, priority=value,
+                                  compiled=compiled))
+    return PriorityConfig(rules=rules, default=default)

@@ -1,0 +1,119 @@
+"""Server-side version control (paper Section 8.1).
+
+"if a server runs HtmlDiff and some perl scripts, it can provide a
+direct version-control interface and avoid the need to store copies of
+its HTML documents elsewhere.  A CGI script (/cgi-bin/rlog) converts
+the output of rlog into HTML... Another script (/cgi-bin/co) displays a
+version of a document under RCS control, while still another
+(/cgi-bin/rcsdiff) displays the differences.  If the file's name ends
+in .html then HtmlDiff is used to display the differences, rather than
+the rcsdiff program."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.htmldiff.api import html_diff
+from ..core.htmldiff.options import HtmlDiffOptions
+from ..html.entities import encode_entities
+from ..rcs.archive import RcsArchive, UnknownRevision
+from ..rcs.rcsdiff import rcsdiff_text
+from ..rcs.rlog import rlog_html
+from ..web.cgi import parse_query_string
+from ..web.http import Request, Response, make_response
+from ..web.server import HttpServer
+
+__all__ = ["ServerSideVersioning"]
+
+
+class ServerSideVersioning:
+    """Mounts rlog/co/rcsdiff CGIs over a server's own RCS archives."""
+
+    def __init__(self, server: HttpServer,
+                 diff_options: Optional[HtmlDiffOptions] = None) -> None:
+        self.server = server
+        self.diff_options = diff_options
+        self.archives: Dict[str, RcsArchive] = {}
+        server.register_cgi("/cgi-bin/rlog", self._rlog)
+        server.register_cgi("/cgi-bin/co", self._co)
+        server.register_cgi("/cgi-bin/rcsdiff", self._rcsdiff)
+
+    # ------------------------------------------------------------------
+    # Content management: the server checks its own documents in.
+    # ------------------------------------------------------------------
+    def publish(self, path: str, body: str, author: str = "webmaster",
+                log: str = "") -> str:
+        """Update a document: serve it AND check it into its archive.
+
+        Returns the new revision number.  The page gets an unobtrusive
+        footer linking to its own history (the paper's suggestion of a
+        Last-Modified field that links to the rlog script).
+        """
+        archive = self.archives.get(path)
+        if archive is None:
+            archive = RcsArchive(name=path)
+            self.archives[path] = archive
+        revision, _changed = archive.checkin(
+            body, date=self.server.clock.now, author=author, log=log
+        )
+        footer = (
+            f'\n<P><I><A HREF="/cgi-bin/rlog?file={path}">'
+            f"Last modified: revision {revision}</A></I></P>"
+        )
+        self.server.set_page(path, body + footer)
+        return revision
+
+    def archive_for(self, path: str) -> Optional[RcsArchive]:
+        return self.archives.get(path)
+
+    # ------------------------------------------------------------------
+    # The three CGIs
+    # ------------------------------------------------------------------
+    def _lookup(self, params: Dict[str, str]):
+        path = params.get("file", "")
+        archive = self.archives.get(path)
+        return path, archive
+
+    def _rlog(self, request: Request, now: int) -> Response:
+        params = parse_query_string(request.url.query)
+        path, archive = self._lookup(params)
+        if archive is None:
+            return make_response(
+                404, f"<P>No version history for {encode_entities(path)}</P>"
+            )
+        return make_response(200, rlog_html(archive, file_param=path))
+
+    def _co(self, request: Request, now: int) -> Response:
+        params = parse_query_string(request.url.query)
+        path, archive = self._lookup(params)
+        if archive is None:
+            return make_response(404, f"<P>No archive for {encode_entities(path)}</P>")
+        try:
+            text = archive.checkout(params.get("rev"))
+        except UnknownRevision as exc:
+            return make_response(404, f"<P>No such revision: {exc}</P>")
+        content_type = "text/html" if path.endswith(".html") else "text/plain"
+        return make_response(200, text, content_type=content_type)
+
+    def _rcsdiff(self, request: Request, now: int) -> Response:
+        params = parse_query_string(request.url.query)
+        path, archive = self._lookup(params)
+        if archive is None:
+            return make_response(404, f"<P>No archive for {encode_entities(path)}</P>")
+        r1 = params.get("r1")
+        r2 = params.get("r2")
+        if not r1:
+            return make_response(400, "<P>r1 is required</P>")
+        try:
+            if path.endswith(".html"):
+                old = archive.checkout(r1)
+                new = archive.checkout(r2)
+                result = html_diff(old, new, options=self.diff_options)
+                return make_response(200, result.html)
+            text = rcsdiff_text(archive, r1, r2)
+            return make_response(
+                200, f"<PRE>{encode_entities(text)}</PRE>"
+            )
+        except UnknownRevision as exc:
+            return make_response(404, f"<P>No such revision: {exc}</P>")

@@ -1,0 +1,23 @@
+"""The systems AIDE is compared against.
+
+w3new (poll everything — what w3newer descends from), URL-minder
+(centralized checksum + email), Smart Bookmarks (HEAD polling +
+provider bulletins), and plain UNIX diff as an HTML presentation.
+"""
+
+from .linediff import LineDiffReport, line_diff_html, render_as_page
+from .smartmarks import SmartMarkRow, SmartMarks, extract_bulletin
+from .urlminder import Email, UrlMinder
+from .w3new import W3New
+
+__all__ = [
+    "LineDiffReport",
+    "line_diff_html",
+    "render_as_page",
+    "SmartMarkRow",
+    "SmartMarks",
+    "extract_bulletin",
+    "Email",
+    "UrlMinder",
+    "W3New",
+]

@@ -1,0 +1,72 @@
+"""UNIX diff over HTML: the presentation baseline HtmlDiff displaces.
+
+Section 2.3: "Line-based comparison utilities such as UNIX diff clearly
+are ill-suited to the comparison of structured documents such as HTML."
+This module makes that claim measurable: it diffs the raw HTML lines
+and reports which *content* changes that misses or misreports, so the
+S3 quality benchmark can count false positives (pure reformatting
+flagged as change) and false negatives relative to HtmlDiff's
+sentence-level view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..diffcore.huntmcilroy import hunt_mcilroy_pairs
+from ..diffcore.textdiff import unified_diff
+from ..html.entities import encode_entities
+
+__all__ = ["LineDiffReport", "line_diff_html"]
+
+
+@dataclass
+class LineDiffReport:
+    """What a line diff sees between two HTML sources."""
+
+    old_lines: int
+    new_lines: int
+    deleted_lines: int
+    added_lines: int
+    unified: str
+
+    @property
+    def flags_change(self) -> bool:
+        return self.deleted_lines > 0 or self.added_lines > 0
+
+    @property
+    def changed_fraction(self) -> float:
+        total = self.old_lines + self.new_lines
+        if total == 0:
+            return 0.0
+        return (self.deleted_lines + self.added_lines) / total
+
+
+def line_diff_html(old_html: str, new_html: str) -> LineDiffReport:
+    """Diff two HTML documents the way ``diff old.html new.html`` would."""
+    old_lines = old_html.split("\n")
+    new_lines = new_html.split("\n")
+    pairs = hunt_mcilroy_pairs(old_lines, new_lines)
+    common = len(pairs)
+    return LineDiffReport(
+        old_lines=len(old_lines),
+        new_lines=len(new_lines),
+        deleted_lines=len(old_lines) - common,
+        added_lines=len(new_lines) - common,
+        unified=unified_diff(old_lines, new_lines, "old.html", "new.html"),
+    )
+
+
+def render_as_page(report: LineDiffReport) -> str:
+    """The best a line tool can offer the browser: a <PRE> dump.
+
+    No merged context, no live links, raw markup shown as text — the
+    presentation gap the merged page closes.
+    """
+    return (
+        "<HTML><HEAD><TITLE>diff output</TITLE></HEAD><BODY><PRE>"
+        + encode_entities(report.unified)
+        + "</PRE></BODY></HTML>"
+    )
+
+
+__all__.append("render_as_page")

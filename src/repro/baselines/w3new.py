@@ -1,0 +1,106 @@
+"""w3new: the baseline w3newer was derived from (Cutter, 1995).
+
+"To our knowledge, the tools described in Section 2.1 poll every URL
+with the same frequency.  We modified w3new to make it more scalable."
+The baseline therefore: no thresholds, no status cache, no proxy
+consultation — every run HEADs every URL (falling back to GET+checksum
+when Last-Modified is missing), and compares against the browser
+history.  The S1 scalability benchmark measures exactly how many HTTP
+requests this costs versus w3newer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.w3newer.checker import content_checksum
+from ..core.w3newer.errors import CheckOutcome, CheckSource, UrlState
+from ..core.w3newer.history import BrowserHistory
+from ..core.w3newer.hotlist import Hotlist
+from ..simclock import SimClock
+from ..web.client import UserAgent
+from ..web.http import NetworkError
+
+__all__ = ["W3New"]
+
+
+@dataclass
+class _Baseline:
+    checksum: Optional[str] = None
+
+
+class W3New:
+    """Poll-everything change tracker."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        agent: UserAgent,
+        hotlist: Hotlist,
+        history: Optional[BrowserHistory] = None,
+    ) -> None:
+        self.clock = clock
+        self.agent = agent
+        self.hotlist = hotlist
+        # Explicit None check: an empty BrowserHistory is falsy.
+        self.history = history if history is not None else BrowserHistory()
+        self._baselines: Dict[str, _Baseline] = {}
+        self.runs: List[List[CheckOutcome]] = []
+
+    def run(self) -> List[CheckOutcome]:
+        """Check every URL, every time."""
+        outcomes = [self._check(entry.url) for entry in self.hotlist]
+        self.runs.append(outcomes)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _check(self, url: str) -> CheckOutcome:
+        last_seen = self.history.last_seen(url)
+        try:
+            result = self.agent.head(url)
+        except NetworkError as exc:
+            return CheckOutcome(url=url, state=UrlState.ERROR, error=str(exc),
+                                last_seen=last_seen, http_requests=1)
+        requests = 1 + len(result.redirects)
+        response = result.response
+        if not response.ok:
+            return CheckOutcome(
+                url=url, state=UrlState.ERROR,
+                error=f"HTTP {response.status}", last_seen=last_seen,
+                http_requests=requests,
+            )
+        mod = response.last_modified
+        if mod is not None:
+            if last_seen is None:
+                state = UrlState.NEVER_SEEN
+            elif mod > last_seen:
+                state = UrlState.CHANGED
+            else:
+                state = UrlState.SEEN
+            return CheckOutcome(
+                url=url, state=state, source=CheckSource.HEAD,
+                modification_date=mod, last_seen=last_seen,
+                http_requests=requests,
+            )
+        # No Last-Modified: GET and checksum the whole page, every run.
+        try:
+            got = self.agent.get(url)
+        except NetworkError as exc:
+            return CheckOutcome(url=url, state=UrlState.ERROR, error=str(exc),
+                                last_seen=last_seen, http_requests=requests + 1)
+        requests += 1 + len(got.redirects)
+        checksum = content_checksum(got.response.body)
+        baseline = self._baselines.setdefault(url, _Baseline())
+        previous = baseline.checksum
+        baseline.checksum = checksum
+        if previous is None:
+            state = UrlState.NEVER_SEEN if last_seen is None else UrlState.SEEN
+        elif checksum != previous:
+            state = UrlState.CHANGED if last_seen is not None else UrlState.NEVER_SEEN
+        else:
+            state = UrlState.SEEN if last_seen is not None else UrlState.NEVER_SEEN
+        return CheckOutcome(
+            url=url, state=state, source=CheckSource.CHECKSUM,
+            last_seen=last_seen, http_requests=requests,
+        )

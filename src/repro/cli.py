@@ -1,0 +1,347 @@
+"""Command-line interface.
+
+Two pieces of AIDE are immediately useful outside the simulation:
+HtmlDiff over real files, and the RCS-style versioning over real ``,v``
+archives — so the CLI provides both:
+
+    aide htmldiff old.html new.html -o merged.html
+    aide htmldiff old.html new.html --mode only-differences
+    aide tokenize page.html
+    aide thresholds config.txt http://www.yahoo.com/x http://a.com/
+    aide ci page.html -m "weekly snapshot"     # check into page.html,v
+    aide co page.html -r 1.1                   # print an old revision
+    aide rlog page.html                        # revision history
+    aide rcsdiff page.html -r 1.1 -r 1.3       # diff two revisions
+
+``aide htmldiff``/``rcsdiff`` exit 0 when identical and 1 when
+differences were found (the ``diff``/``cmp`` convention), 2 on usage
+errors.  ``aide ci`` exits 0 on a new revision and 1 when the file was
+unchanged (mirroring real ``ci``'s warning).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .core.htmldiff.api import html_diff
+from .core.htmldiff.options import HtmlDiffOptions, PresentationMode
+from .core.htmldiff.tokenizer import tokenize_document
+from .core.htmldiff.tokens import BreakToken
+from .core.w3newer.thresholds import parse_threshold_config
+from .diffcore.textdiff import unified_diff
+from .rcs.archive import RcsArchive, UnknownRevision
+from .rcs.rcsfile import RcsParseError, parse_rcsfile, serialize_rcsfile
+from .rcs.rlog import rlog_text
+from .simclock import NEVER, format_duration
+
+__all__ = ["main"]
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return handle.read()
+
+
+def _now_timestamp() -> int:
+    """Wall-clock time as a simulation timestamp (seconds since the
+    1 Sep 1995 epoch), so CLI check-ins carry real, ordered dates."""
+    from datetime import datetime, timezone
+
+    epoch = datetime(1995, 9, 1, tzinfo=timezone.utc).timestamp()
+    return max(0, int(time.time() - epoch))
+
+
+def _archive_path(path: str) -> str:
+    return path + ",v"
+
+
+def _load_archive(path: str) -> RcsArchive:
+    archive_path = _archive_path(path)
+    if os.path.exists(archive_path):
+        with open(archive_path, "r", encoding="utf-8") as handle:
+            return parse_rcsfile(handle.read())
+    return RcsArchive(name=os.path.basename(path))
+
+
+def _cmd_htmldiff(args: argparse.Namespace) -> int:
+    old_html = _read(args.old)
+    new_html = _read(args.new)
+    options = HtmlDiffOptions(
+        mode=PresentationMode(args.mode),
+        match_threshold=args.match_threshold,
+        length_ratio=args.length_ratio,
+        density_threshold=args.density_threshold,
+        refine_matched_sentences=not args.no_refine,
+    )
+    result = html_diff(old_html, new_html, options)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.html)
+    else:
+        sys.stdout.write(result.html)
+        if not result.html.endswith("\n"):
+            sys.stdout.write("\n")
+    if not args.quiet:
+        noun = "difference" if result.difference_count == 1 else "differences"
+        print(
+            f"htmldiff: {result.difference_count} {noun}, "
+            f"density {result.change_density:.0%}"
+            + (" (merge suppressed: too pervasive)"
+               if result.density_suppressed else ""),
+            file=sys.stderr,
+        )
+    return 0 if result.identical else 1
+
+
+def _cmd_tokenize(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    for token in tokenize_document(source):
+        kind = "BREAK   " if isinstance(token, BreakToken) else "SENTENCE"
+        text = str(token)
+        if len(text) > args.width:
+            text = text[: args.width - 3] + "..."
+        print(f"{kind} {text}")
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    config = parse_threshold_config(_read(args.config))
+    for url in args.urls:
+        threshold = config.threshold_for(url)
+        rule = config.rule_for(url)
+        label = format_duration(threshold) if threshold != NEVER else "never"
+        source = rule.pattern if rule else "(default)"
+        print(f"{label:8s} {url}  <- {source}")
+    return 0
+
+
+def _cmd_ci(args: argparse.Namespace) -> int:
+    contents = _read(args.file)
+    archive = _load_archive(args.file)
+    author = args.author or os.environ.get("USER", "aide")
+    revision, changed = archive.checkin(
+        contents, date=_now_timestamp(), author=author, log=args.message
+    )
+    with open(_archive_path(args.file), "w", encoding="utf-8") as handle:
+        handle.write(serialize_rcsfile(archive))
+    if changed:
+        print(f"ci: {args.file} -> revision {revision}", file=sys.stderr)
+        return 0
+    print(f"ci: {args.file} unchanged since revision {revision}",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_co(args: argparse.Namespace) -> int:
+    archive = _load_archive(args.file)
+    if archive.revision_count == 0:
+        print(f"aide: no archive for {args.file}", file=sys.stderr)
+        return 2
+    try:
+        text = archive.checkout(args.revision)
+    except UnknownRevision as exc:
+        print(f"aide: no such revision: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_rlog(args: argparse.Namespace) -> int:
+    archive = _load_archive(args.file)
+    if archive.revision_count == 0:
+        print(f"aide: no archive for {args.file}", file=sys.stderr)
+        return 2
+    sys.stdout.write(rlog_text(archive))
+    return 0
+
+
+def _cmd_rcsdiff(args: argparse.Namespace) -> int:
+    archive = _load_archive(args.file)
+    if archive.revision_count == 0:
+        print(f"aide: no archive for {args.file}", file=sys.stderr)
+        return 2
+    revisions = args.revision or []
+    try:
+        if len(revisions) >= 2:
+            old_text = archive.checkout(revisions[0])
+            new_text = archive.checkout(revisions[1])
+            new_label = revisions[1]
+        else:
+            # Like rcsdiff: stored revision vs the working file.
+            rev = revisions[0] if revisions else archive.head_revision
+            old_text = archive.checkout(rev)
+            new_text = _read(args.file)
+            new_label = "working file"
+    except UnknownRevision as exc:
+        print(f"aide: no such revision: {exc}", file=sys.stderr)
+        return 2
+    if args.html:
+        result = html_diff(old_text, new_text)
+        sys.stdout.write(result.html + "\n")
+        return 0 if result.identical else 1
+    out = unified_diff(
+        old_text.split("\n"), new_text.split("\n"),
+        old_label=f"{args.file} {revisions[0] if revisions else archive.head_revision}",
+        new_label=f"{args.file} {new_label}",
+    )
+    sys.stdout.write(out)
+    return 0 if not out else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """A zero-setup tour: simulated site, tracker run, merged diff."""
+    from .aide.engine import Aide
+    from .core.w3newer.hotlist import Hotlist
+    from .simclock import DAY
+
+    aide = Aide()
+    server = aide.network.create_server("www.example.com")
+    server.set_page(
+        "/news.html",
+        "<HTML><HEAD><TITLE>Example news</TITLE></HEAD><BODY>\n"
+        "<H1>Example news</H1>\n"
+        "<P>The committee will meet in October. Agenda to follow.</P>\n"
+        "<P>Contact the secretary with questions.</P>\n"
+        "</BODY></HTML>\n",
+    )
+    user = aide.add_user(
+        "you@example.com",
+        Hotlist.from_lines("http://www.example.com/news.html Example news"),
+    )
+    user.visit("http://www.example.com/news.html", aide.clock)
+    aide.remember("you@example.com", "http://www.example.com/news.html")
+
+    aide.clock.advance(3 * DAY)
+    server.set_page(
+        "/news.html",
+        "<HTML><HEAD><TITLE>Example news</TITLE></HEAD><BODY>\n"
+        "<H1>Example news</H1>\n"
+        "<P>The committee met early. Minutes are now available.</P>\n"
+        "<P>Contact the secretary with questions.</P>\n"
+        "</BODY></HTML>\n",
+    )
+    aide.clock.advance(3 * DAY)
+
+    run = aide.run_w3newer("you@example.com")
+    print("# One simulated week later, w3newer reports:")
+    print(f"#   {len(run.changed)} of {len(run.outcomes)} pages changed, "
+          f"{run.http_requests} HTTP requests spent")
+    diff = aide.diff("you@example.com", "http://www.example.com/news.html")
+    print("#\n# The Diff link returns this merged page:\n")
+    print(diff.body.strip())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The aide argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="aide",
+        description="AIDE: the AT&T Internet Difference Engine (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff = sub.add_parser(
+        "htmldiff", help="compare two HTML files; emit a marked-up page"
+    )
+    diff.add_argument("old", help="older HTML file (or - for stdin)")
+    diff.add_argument("new", help="newer HTML file")
+    diff.add_argument("-o", "--output", help="write the page here (default stdout)")
+    diff.add_argument(
+        "--mode",
+        choices=[mode.value for mode in PresentationMode],
+        default=PresentationMode.MERGED.value,
+        help="presentation mode (default: merged)",
+    )
+    diff.add_argument("--match-threshold", type=float, default=0.5,
+                      help="2W/L ratio for sentences to match (default 0.5)")
+    diff.add_argument("--length-ratio", type=float, default=0.5,
+                      help="length pre-filter ratio (default 0.5)")
+    diff.add_argument("--density-threshold", type=float, default=0.75,
+                      help="change density above which merging is suppressed")
+    diff.add_argument("--no-refine", action="store_true",
+                      help="disable word-level refinement of fuzzy matches")
+    diff.add_argument("-q", "--quiet", action="store_true",
+                      help="suppress the summary line on stderr")
+    diff.set_defaults(func=_cmd_htmldiff)
+
+    tokenize = sub.add_parser(
+        "tokenize", help="show a document's HtmlDiff token stream"
+    )
+    tokenize.add_argument("file", help="HTML file (or - for stdin)")
+    tokenize.add_argument("--width", type=int, default=100,
+                          help="truncate token display at this width")
+    tokenize.set_defaults(func=_cmd_tokenize)
+
+    thresholds = sub.add_parser(
+        "thresholds", help="evaluate a w3newer threshold config against URLs"
+    )
+    thresholds.add_argument("config", help="threshold configuration file")
+    thresholds.add_argument("urls", nargs="+", help="URLs to classify")
+    thresholds.set_defaults(func=_cmd_thresholds)
+
+    ci = sub.add_parser("ci", help="check a file into its ,v archive")
+    ci.add_argument("file")
+    ci.add_argument("-m", "--message", default="", help="log message")
+    ci.add_argument("--author", default="", help="author (default: $USER)")
+    ci.set_defaults(func=_cmd_ci)
+
+    co = sub.add_parser("co", help="check a revision out of a ,v archive")
+    co.add_argument("file")
+    co.add_argument("-r", "--revision", help="revision (default: head)")
+    co.add_argument("-o", "--output", help="write here instead of stdout")
+    co.set_defaults(func=_cmd_co)
+
+    rlog = sub.add_parser("rlog", help="show a ,v archive's history")
+    rlog.add_argument("file")
+    rlog.set_defaults(func=_cmd_rlog)
+
+    rcsdiff = sub.add_parser(
+        "rcsdiff", help="diff two revisions (or a revision vs the file)"
+    )
+    rcsdiff.add_argument("file")
+    rcsdiff.add_argument("-r", "--revision", action="append",
+                         help="revision; give twice for a pair")
+    rcsdiff.add_argument("--html", action="store_true",
+                         help="render with HtmlDiff instead of unified text")
+    rcsdiff.set_defaults(func=_cmd_rcsdiff)
+
+    demo = sub.add_parser(
+        "demo", help="run a self-contained track-and-diff tour"
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors; preserve that for callers.
+        return int(exc.code or 0)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"aide: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, RcsParseError) as exc:
+        print(f"aide: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

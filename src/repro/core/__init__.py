@@ -1,0 +1,6 @@
+"""The paper's primary contribution: HtmlDiff, snapshot, and w3newer.
+
+Each subpackage is one of the three AIDE tools (paper Sections 3-5);
+the substrates they stand on live under ``repro.web``, ``repro.rcs``,
+``repro.html``, and ``repro.diffcore``.
+"""

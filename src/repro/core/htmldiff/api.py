@@ -1,0 +1,112 @@
+"""The public HtmlDiff entry point.
+
+>>> from repro.core.htmldiff import html_diff
+>>> result = html_diff("<P>old text.</P>", "<P>new text.</P>")
+>>> result.identical
+False
+>>> "<STRIKE>" in result.html and "<STRONG><I>" in result.html
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .classify import ClassifiedDiff, classify_documents
+from .markup import MergedPageRenderer
+from .matcher import TokenMatcher
+from .options import HtmlDiffOptions, PresentationMode
+from .tokenizer import tokenize_document
+from .tokens import Token
+
+__all__ = ["HtmlDiffResult", "html_diff"]
+
+
+@dataclass
+class HtmlDiffResult:
+    """Everything HtmlDiff produces for one comparison."""
+
+    #: The marked-up page in the requested presentation mode.
+    html: str
+    #: The classification (entries + statistics) behind the page.
+    diff: ClassifiedDiff
+    #: True when the density fallback suppressed the merge (Section
+    #: 5.3: "changes... so pervasive as to make the resulting merged
+    #: HTML unreadable").
+    density_suppressed: bool = False
+
+    @property
+    def identical(self) -> bool:
+        return self.diff.identical
+
+    @property
+    def difference_count(self) -> int:
+        return self.diff.difference_count
+
+    @property
+    def change_density(self) -> float:
+        return self.diff.change_density
+
+
+def html_diff(
+    old_html: str,
+    new_html: str,
+    options: Optional[HtmlDiffOptions] = None,
+    matcher: Optional[TokenMatcher] = None,
+) -> HtmlDiffResult:
+    """Compare two HTML documents and produce a marked-up page.
+
+    ``options`` selects the presentation mode and the comparison
+    thresholds; ``matcher`` may be supplied to share a memoization
+    cache (and its instrumentation) across calls.
+    """
+    options = options or HtmlDiffOptions()
+    options.validate()
+    if matcher is None:
+        matcher = TokenMatcher(options)
+
+    if options.mode is PresentationMode.MERGED_REVERSED:
+        # "By reversing the sense of 'old' and 'new' one can create a
+        # merged page with the old markups intact and the new deleted."
+        old_html, new_html = new_html, old_html
+
+    old_tokens: List[Token] = tokenize_document(old_html)
+    new_tokens: List[Token] = tokenize_document(new_html)
+    diff = classify_documents(old_tokens, new_tokens, matcher=matcher)
+    renderer = MergedPageRenderer(options)
+
+    density_suppressed = False
+    note = ""
+    if (
+        not diff.identical
+        and diff.change_density > options.density_threshold
+        and options.density_fallback == "banner-only"
+        and options.mode in (PresentationMode.MERGED, PresentationMode.MERGED_REVERSED)
+    ):
+        # Too pervasive to interleave meaningfully: show the new page
+        # with a banner explaining why there are no inline markups.
+        density_suppressed = True
+        percent = int(round(diff.change_density * 100))
+        note = (
+            f"Changes are too pervasive to display inline "
+            f"({percent}% of the page changed); showing the newer "
+            "version unmarked."
+        )
+        from ...html.repair import repair_nodes
+        from ...html.serializer import serialize_nodes
+        from ...html.lexer import tokenize_html as _lex
+
+        repaired_new = serialize_nodes(repair_nodes(_lex(new_html)))
+        body = renderer._insert_banner(repaired_new, renderer._banner(diff, note))
+        return HtmlDiffResult(html=body, diff=diff, density_suppressed=True)
+
+    if options.mode in (PresentationMode.MERGED, PresentationMode.MERGED_REVERSED):
+        html = renderer.render_merged(diff, note)
+    elif options.mode is PresentationMode.ONLY_DIFFERENCES:
+        html = renderer.render_only_differences(diff, note)
+    elif options.mode is PresentationMode.NEW_ONLY:
+        html = renderer.render_new_only(diff, note)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unknown presentation mode: {options.mode}")
+    return HtmlDiffResult(html=html, diff=diff, density_suppressed=density_suppressed)

@@ -1,0 +1,112 @@
+"""Token matching: the weighted LCS of Section 5.1.
+
+Two token kinds, two matching rules:
+
+* **Sentence-breaking markups** match only identical (normalized)
+  sentence-breaking markups, with weight 1.
+* **Sentences** match fuzzily in two steps — a cheap length pre-filter,
+  then a word-level LCS whose ``2W/L`` ratio must clear the threshold;
+  a successful match has weight ``W`` (the number of words and
+  content-defining markups in the common subsequence).
+
+Per-pair weights are memoized on sentence keys: the Hirschberg driver
+evaluates the same pair many times across recursion levels, and the
+inner sentence LCS is the expensive part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ...diffcore.lcs import weighted_lcs_pairs
+from .options import HtmlDiffOptions
+from .tokens import BreakToken, SentenceToken, Token
+
+__all__ = ["TokenMatcher", "match_tokens"]
+
+#: Small enough that no realistic number of presentational-markup
+#: matches (< 1e6 per sentence) outweighs one content match.
+_PRESENTATION_EPSILON = 1e-6
+
+
+def _item_weight(x, y) -> float:
+    """Sentence-item weight: exact equality, content items dominant."""
+    if x != y:
+        return 0.0
+    return 1.0 if x.counts_toward_length else _PRESENTATION_EPSILON
+
+
+class TokenMatcher:
+    """Weight function over tokens, with memoization."""
+
+    def __init__(self, options: HtmlDiffOptions = None) -> None:
+        self.options = options or HtmlDiffOptions()
+        self.options.validate()
+        self._cache: Dict[Tuple, float] = {}
+        #: Instrumentation for the S4 ablation: how many sentence pairs
+        #: were rejected by the length pre-filter alone (each one an
+        #: inner LCS avoided).
+        self.prefilter_rejections = 0
+        self.inner_lcs_runs = 0
+
+    # ------------------------------------------------------------------
+    def weight(self, a: Token, b: Token) -> float:
+        """Non-negative match weight; 0 means "do not match"."""
+        a_is_break = isinstance(a, BreakToken)
+        b_is_break = isinstance(b, BreakToken)
+        if a_is_break != b_is_break:
+            return 0.0  # sentences only match sentences, breaks breaks
+        if a_is_break:
+            return 1.0 if a.normalized == b.normalized else 0.0
+        return self._sentence_weight(a, b)
+
+    def _sentence_weight(self, a: SentenceToken, b: SentenceToken) -> float:
+        key = (a.key, b.key)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        weight = self._compute_sentence_weight(a, b)
+        self._cache[key] = weight
+        self._cache[(b.key, a.key)] = weight  # symmetry
+        return weight
+
+    def _compute_sentence_weight(self, a: SentenceToken, b: SentenceToken) -> float:
+        la, lb = a.length, b.length
+        if la == 0 and lb == 0:
+            # Content-free sentences (only <B>-class markups): match
+            # only when literally identical; tiny weight so a sea of
+            # them never outweighs real content.
+            return 0.5 if a.key == b.key else 0.0
+        # Step 1: the length pre-filter.
+        if self.options.use_length_prefilter:
+            if min(la, lb) < self.options.length_ratio * max(la, lb):
+                self.prefilter_rejections += 1
+                return 0.0
+        # Step 2: LCS of the item sequences.  Content items (words and
+        # content-defining markups) weigh 1; presentational markups get
+        # an epsilon so they align when convenient but can never steal
+        # an alignment from content.  (With uniform weights, "<B></B>
+        # <IMG>" vs "<B><IMG></B>" could tie-break toward matching the
+        # </B> pair instead of the IMG, making W direction-dependent.)
+        self.inner_lcs_runs += 1
+        common = weighted_lcs_pairs(a.items, b.items, _item_weight)
+        w = sum(1 for _i, _j, weight in common if weight == 1.0)
+        total = la + lb
+        if total == 0 or 2.0 * w / total < self.options.match_threshold:
+            return 0.0
+        return float(w)
+
+
+def match_tokens(
+    old_tokens: Sequence[Token],
+    new_tokens: Sequence[Token],
+    options: HtmlDiffOptions = None,
+    matcher: TokenMatcher = None,
+) -> List[Tuple[int, int, float]]:
+    """The heaviest common subsequence of two token streams.
+
+    Returns (old_index, new_index, weight) triples in increasing order.
+    """
+    if matcher is None:
+        matcher = TokenMatcher(options)
+    return weighted_lcs_pairs(list(old_tokens), list(new_tokens), matcher.weight)

@@ -1,0 +1,118 @@
+"""HtmlDiff's token model.
+
+Paper Section 5.1: "In HtmlDiff, a token is either a sentence-breaking
+markup or a sentence, which consists of a sequence of words and
+non-sentence-breaking markups."  Sentences are *not* recursive; their
+elements are words (compared exactly) and inline markups (compared by
+normalized form).  Sentence *length* counts only words and
+content-defining markups — ``<B>`` and ``<I>`` are invisible to the
+length metric and to the match weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from ...html.lexer import Tag
+
+__all__ = ["Word", "InlineMarkup", "SentenceItem", "SentenceToken",
+           "BreakToken", "Token"]
+
+
+@dataclass(frozen=True)
+class Word:
+    """One word of raw text (entities decoded, whitespace-delimited)."""
+
+    text: str
+
+    @property
+    def counts_toward_length(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class InlineMarkup:
+    """A non-sentence-breaking markup inside a sentence.
+
+    ``normalized`` is the comparison key (case/order/whitespace
+    canonical); ``raw`` is what rendering emits; ``content_defining``
+    decides whether it counts toward sentence length and whether a
+    change to it is highlighted.
+    """
+
+    normalized: str
+    raw: str
+    content_defining: bool
+
+    @property
+    def counts_toward_length(self) -> bool:
+        return self.content_defining
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, InlineMarkup):
+            return self.normalized == other.normalized
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.normalized)
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+SentenceItem = Union[Word, InlineMarkup]
+
+
+@dataclass(frozen=True)
+class SentenceToken:
+    """A sentence: the fuzzy-matchable unit of comparison."""
+
+    items: Tuple[SentenceItem, ...]
+    #: True when the sentence came from inside <PRE>: whitespace is
+    #: content there and rendering must not re-flow it.
+    preformatted: bool = False
+
+    @property
+    def length(self) -> int:
+        """Paper: "the number of words and 'content-defining' markups
+        such as <IMG> or <A> in a sentence.  Markups such as <B> or <I>
+        are not counted."""
+        return sum(1 for item in self.items if item.counts_toward_length)
+
+    @property
+    def key(self) -> Tuple:
+        """Hashable identity used for weight memoization."""
+        return tuple(
+            item.text if isinstance(item, Word) else item.normalized
+            for item in self.items
+        )
+
+    @property
+    def words(self) -> Tuple[str, ...]:
+        return tuple(item.text for item in self.items if isinstance(item, Word))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return " ".join(str(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class BreakToken:
+    """A sentence-breaking markup: matches only identical break markups
+    (modulo whitespace, case, and attribute reordering), weight 1."""
+
+    tag: Tag = field(compare=False)
+    normalized: str = ""
+
+    @property
+    def key(self) -> Tuple:
+        return (self.normalized,)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.normalized
+
+
+Token = Union[SentenceToken, BreakToken]

@@ -1,0 +1,41 @@
+"""snapshot: page versioning as an external service (paper Section 4).
+
+RCS archives per URL, per-user seen-version control files, advisory
+locking with simultaneous-request coalescing, HtmlDiff output caching,
+BASE rewriting for relative links, and the CGI face with its keep-alive
+trick against httpd timeouts.
+"""
+
+from .auth import AccountRegistry, AuthenticatedSnapshotService, AuthError
+from .keepalive import CgiTimeout, KeepAlive, KeepAliveResult
+from .locking import LockManager, RequestCoalescer
+from .replication import AdmissionControl, ReplicatedSnapshotService
+from .service import OperationCosts, SnapshotService
+from .store import (
+    RememberResult,
+    SnapshotError,
+    SnapshotStore,
+    add_base_directive,
+)
+from .usercontrol import SeenVersion, UserControl
+
+__all__ = [
+    "AccountRegistry",
+    "AuthenticatedSnapshotService",
+    "AuthError",
+    "CgiTimeout",
+    "KeepAlive",
+    "KeepAliveResult",
+    "LockManager",
+    "RequestCoalescer",
+    "AdmissionControl",
+    "ReplicatedSnapshotService",
+    "OperationCosts",
+    "SnapshotService",
+    "RememberResult",
+    "SnapshotError",
+    "SnapshotStore",
+    "add_base_directive",
+    "SeenVersion",
+    "UserControl",
+]

@@ -1,0 +1,83 @@
+"""The CGI keep-alive trick.
+
+Paper Section 4.2: "When a CGI script is invoked, httpd sets up a
+default timeout, and if the script does not generate output for a full
+timeout interval, httpd will return an error to the browser...  In
+order to keep the HTTP connection alive, snapshot forks a child process
+that generates one space character (ignored by the W3 browser) every
+several seconds while the parent is retrieving a page or executing
+HtmlDiff."
+
+The simulation models the timing arithmetic: given an operation that
+takes ``duration`` seconds and an httpd that kills silent connections
+after ``httpd_timeout`` seconds, :meth:`KeepAlive.run` decides whether
+the request survives and how many padding spaces the child emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KeepAlive", "KeepAliveResult", "CgiTimeout"]
+
+
+class CgiTimeout(Exception):
+    """httpd gave up on the silent CGI script."""
+
+
+@dataclass
+class KeepAliveResult:
+    """How a guarded operation fared."""
+
+    survived: bool
+    padding_spaces: int
+    duration: int
+
+
+@dataclass
+class KeepAlive:
+    """Timeout survival calculator.
+
+    ``emit_interval`` is how often the forked child writes one space;
+    it must be below ``httpd_timeout`` for the trick to work at all.
+    ``enabled=False`` models snapshot without the child — the
+    configuration whose failures motivated the mechanism.
+    """
+
+    httpd_timeout: int = 60
+    emit_interval: int = 15
+    enabled: bool = True
+
+    def run(self, duration: int) -> KeepAliveResult:
+        """Would an operation of ``duration`` seconds survive?
+
+        Raises :class:`CgiTimeout` when httpd would have killed the
+        connection before the operation produced output.
+        """
+        if duration < 0:
+            raise ValueError("negative duration")
+        if not self.enabled:
+            if duration >= self.httpd_timeout:
+                raise CgiTimeout(
+                    f"no output for {duration}s exceeds httpd's "
+                    f"{self.httpd_timeout}s timeout"
+                )
+            return KeepAliveResult(survived=True, padding_spaces=0,
+                                   duration=duration)
+        if self.emit_interval >= self.httpd_timeout:
+            # The child is too slow to help; first gap already fatal.
+            if duration >= self.httpd_timeout:
+                raise CgiTimeout(
+                    f"keep-alive interval {self.emit_interval}s is not "
+                    f"shorter than the {self.httpd_timeout}s timeout"
+                )
+            return KeepAliveResult(survived=True, padding_spaces=0,
+                                   duration=duration)
+        spaces = duration // self.emit_interval
+        return KeepAliveResult(survived=True, padding_spaces=spaces,
+                               duration=duration)
+
+    def padding(self, duration: int) -> str:
+        """The literal spaces the child would have written (prepended
+        to the CGI response body; browsers ignore leading whitespace)."""
+        return " " * self.run(duration).padding_spaces

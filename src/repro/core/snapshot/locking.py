@@ -1,0 +1,113 @@
+"""Synchronization for the snapshot facility.
+
+Paper Section 4.2: "The system must synchronize access to the RCS
+repository, the locally cached copy of the HTML document, and the
+control files that record the versions of each page a user has checked
+in.  Currently this is done by using UNIX file locking on both a
+per-URL lock file and the per-user control file.  Ideally the locks
+could be queued such that if multiple users request the same page
+simultaneously, the second snapshot process would just wait for the
+page and then return, rather than repeating the work."
+
+The simulation is single-threaded, so locks model *bookkeeping* rather
+than blocking: acquisition order, contention counts, and — the part the
+paper wishes for and we implement — coalescing of simultaneous
+identical requests so the work runs once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ...simclock import SimClock
+
+__all__ = ["LockManager", "RequestCoalescer"]
+
+
+class LockManager:
+    """Advisory locks keyed by name (per-URL and per-user files)."""
+
+    def __init__(self) -> None:
+        self._held: Dict[str, int] = {}
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self, key: str) -> "_Lease":
+        """Take the lock; re-entrant acquisition counts as contention
+        (a second simultaneous process would have blocked here)."""
+        self.acquisitions += 1
+        if self._held.get(key, 0) > 0:
+            self.contentions += 1
+        self._held[key] = self._held.get(key, 0) + 1
+        return _Lease(self, key)
+
+    def _release(self, key: str) -> None:
+        remaining = self._held.get(key, 0) - 1
+        if remaining <= 0:
+            self._held.pop(key, None)
+        else:
+            self._held[key] = remaining
+
+    def held(self, key: str) -> bool:
+        return self._held.get(key, 0) > 0
+
+
+@dataclass
+class _Lease:
+    manager: LockManager
+    key: str
+    _released: bool = False
+
+    def __enter__(self) -> "_Lease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self.manager._release(self.key)
+            self._released = True
+
+
+class RequestCoalescer:
+    """Run identical expensive work once per simulated instant.
+
+    Two users clicking Diff on the same page "simultaneously" (the same
+    simulation timestamp) share one execution: "there is no reason to
+    run HtmlDiff twice on the same data."  Results are also kept for a
+    TTL, implementing the paper's "caching the output of HtmlDiff for a
+    while".
+    """
+
+    def __init__(self, clock: SimClock, ttl: int = 0) -> None:
+        self.clock = clock
+        self.ttl = ttl
+        self._results: Dict[str, Tuple[int, Any]] = {}
+        self.executions = 0
+        self.coalesced = 0
+
+    def do(self, key: str, work: Callable[[], Any]) -> Any:
+        """Return a cached result when fresh, else run ``work``."""
+        entry = self._results.get(key)
+        if entry is not None:
+            produced_at, value = entry
+            if self.clock.now == produced_at or (
+                self.ttl > 0 and self.clock.now - produced_at < self.ttl
+            ):
+                self.coalesced += 1
+                return value
+        self.executions += 1
+        value = work()
+        self._results[key] = (self.clock.now, value)
+        return value
+
+    def invalidate(self, prefix: str = "") -> None:
+        """Drop cached results (all, or those whose key starts with
+        ``prefix`` — e.g. every diff of one URL after a new check-in)."""
+        if not prefix:
+            self._results.clear()
+            return
+        for key in [k for k in self._results if k.startswith(prefix)]:
+            del self._results[key]

@@ -1,0 +1,127 @@
+"""On-disk persistence for the snapshot repository.
+
+The paper's service kept its state in a CGI-owned directory: RCS ``,v``
+files per URL, plus "the per-user control file" — and its security
+section turns on exactly that layout ("the data in the repository is
+vulnerable to any CGI script and any user with access to the CGI area.
+Data in this repository can be browsed, altered, or deleted").
+
+This module writes and reads that directory:
+
+* ``archives/<mangled-url>,v`` — one RCS file per tracked URL;
+* ``users.ctl`` — the seen-version control file;
+* ``MANIFEST`` — mangled-name → URL map (URL characters that cannot
+  appear in filenames are percent-escaped, so the map is also
+  reconstructible from names alone).
+
+Everything is plain text on purpose: the repository is as browsable —
+and as unprotected — as the paper describes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from ...rcs.rcsfile import parse_rcsfile, serialize_rcsfile
+from .store import SnapshotStore
+from .usercontrol import UserControl
+
+__all__ = ["save_store", "load_store", "mangle_url", "unmangle_name"]
+
+_SAFE = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_"
+)
+
+
+def mangle_url(url: str) -> str:
+    """A URL as a safe, reversible filename (percent-escaping)."""
+    out = []
+    for ch in url:
+        if ch in _SAFE:
+            out.append(ch)
+        else:
+            out.append(f"%{ord(ch):02X}")
+    return "".join(out)
+
+
+def unmangle_name(name: str) -> str:
+    """Inverse of :func:`mangle_url` (tolerates malformed escapes)."""
+    out = []
+    index = 0
+    while index < len(name):
+        if name[index] == "%" and index + 2 < len(name) + 1:
+            try:
+                out.append(chr(int(name[index + 1:index + 3], 16)))
+                index += 3
+                continue
+            except ValueError:
+                pass
+        out.append(name[index])
+        index += 1
+    return "".join(out)
+
+
+def save_store(store: SnapshotStore, directory: str) -> int:
+    """Write the repository to ``directory``; returns files written."""
+    archives_dir = os.path.join(directory, "archives")
+    os.makedirs(archives_dir, exist_ok=True)
+    written = 0
+    manifest: Dict[str, str] = {}
+    for url, archive in sorted(store.archives.items()):
+        name = mangle_url(url) + ",v"
+        manifest[name] = url
+        path = os.path.join(archives_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_rcsfile(archive))
+        written += 1
+    with open(os.path.join(directory, "users.ctl"), "w",
+              encoding="utf-8") as handle:
+        handle.write(store.users.serialize())
+    written += 1
+    with open(os.path.join(directory, "MANIFEST"), "w",
+              encoding="utf-8") as handle:
+        for name, url in sorted(manifest.items()):
+            handle.write(f"{name}\t{url}\n")
+    written += 1
+    return written
+
+
+def load_store(store: SnapshotStore, directory: str) -> int:
+    """Populate an (empty or existing) store from ``directory``.
+
+    Returns the number of archives loaded.  Existing in-memory archives
+    for the same URLs are replaced — the disk copy wins, as it would
+    for a restarted CGI process.
+    """
+    archives_dir = os.path.join(directory, "archives")
+    loaded = 0
+    manifest = _read_manifest(os.path.join(directory, "MANIFEST"))
+    if os.path.isdir(archives_dir):
+        for name in sorted(os.listdir(archives_dir)):
+            if not name.endswith(",v"):
+                continue
+            with open(os.path.join(archives_dir, name), "r",
+                      encoding="utf-8") as handle:
+                archive = parse_rcsfile(handle.read())
+            url = manifest.get(name) or unmangle_name(name[:-2])
+            archive.name = url
+            store.archives[url] = archive
+            loaded += 1
+    users_path = os.path.join(directory, "users.ctl")
+    if os.path.exists(users_path):
+        with open(users_path, "r", encoding="utf-8") as handle:
+            store.users = UserControl.deserialize(handle.read())
+    return loaded
+
+
+def _read_manifest(path: str) -> Dict[str, str]:
+    if not os.path.exists(path):
+        return {}
+    out: Dict[str, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            name, _, url = line.rstrip("\n").partition("\t")
+            if name and url:
+                out[name] = url
+    return out

@@ -1,0 +1,217 @@
+"""The snapshot CGI: AIDE's HTTP face.
+
+One CGI script (``/cgi-bin/snapshot``) dispatches on ``action``:
+
+* ``remember`` — save a copy of a page for a user;
+* ``diff`` — marked-up differences since the user last saved it (or
+  between two explicit revisions ``r1``/``r2``);
+* ``history`` — "a full log of versions of this page, with the ability
+  to run HtmlDiff on any pair of versions or to view a particular
+  version directly";
+* ``view`` — one stored version, BASE-rewritten;
+* no action — the registration form ("Pages can be registered with the
+  service via an HTML form").
+
+The identifier is an email address, unauthenticated — Section 4.2's
+security discussion applies verbatim and deliberately.
+
+Long operations go through :class:`~repro.core.snapshot.keepalive.KeepAlive`;
+surviving responses carry the child's padding spaces, timed-out ones
+become 504s (what the browser saw when the trick was disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...html.entities import encode_entities
+from ...web.cgi import encode_query_string, parse_query_string
+from ...web.http import Request, Response, make_response
+from .keepalive import CgiTimeout, KeepAlive
+from .store import SnapshotError, SnapshotStore
+
+__all__ = ["SnapshotService", "OperationCosts"]
+
+
+@dataclass
+class OperationCosts:
+    """Simulated wall-clock cost of the expensive steps (seconds).
+
+    The paper's problem case: "the script might have to retrieve a page
+    over the Internet and then do a time-consuming comparison against
+    an archived version."
+    """
+
+    fetch: int = 20
+    htmldiff: int = 30
+    cheap: int = 1
+
+
+class SnapshotService:
+    """The CGI wrapper around a :class:`SnapshotStore`."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        keepalive: Optional[KeepAlive] = None,
+        costs: Optional[OperationCosts] = None,
+        script_path: str = "/cgi-bin/snapshot",
+    ) -> None:
+        self.store = store
+        self.keepalive = keepalive or KeepAlive()
+        self.costs = costs or OperationCosts()
+        self.script_path = script_path
+
+    # ------------------------------------------------------------------
+    # CGI entry point
+    # ------------------------------------------------------------------
+    def __call__(self, request: Request, now: int) -> Response:
+        if request.method == "POST":
+            params = parse_query_string(request.body)
+        else:
+            params = parse_query_string(request.url.query)
+        action = params.get("action", "")
+        url = params.get("url", "")
+        user = params.get("user", "")
+        try:
+            if not action:
+                return make_response(200, self._form_page())
+            if not url:
+                return self._error_page(400, "missing the url parameter")
+            if action == "remember":
+                return self._remember(user, url)
+            if action == "diff":
+                return self._diff(user, url, params.get("r1"), params.get("r2"))
+            if action == "history":
+                return self._history(user, url)
+            if action == "view":
+                return self._view(url, params.get("rev"), params.get("date"))
+            return self._error_page(400, f"unknown action {action!r}")
+        except SnapshotError as exc:
+            return self._error_page(404, str(exc))
+        except CgiTimeout as exc:
+            return make_response(
+                504, f"<P>httpd timed out the snapshot script: "
+                     f"{encode_entities(str(exc))}</P>"
+            )
+
+    # ------------------------------------------------------------------
+    def _remember(self, user: str, url: str) -> Response:
+        if not user:
+            return self._error_page(400, "an identifier (email) is required")
+        padding = self.keepalive.padding(self.costs.fetch)
+        result = self.store.remember(user, url)
+        verdict = (
+            f"saved as revision {result.revision}"
+            if result.changed
+            else f"unchanged; you are marked as having seen revision "
+                 f"{result.revision}"
+        )
+        links = self._action_links(url, user)
+        body = (
+            "<HTML><HEAD><TITLE>Remembered</TITLE></HEAD><BODY>"
+            f"<H1>Snapshot taken</H1><P><A HREF=\"{url}\">"
+            f"{encode_entities(url)}</A>: {verdict} "
+            f"({result.fetched_bytes} bytes retrieved).</P>{links}"
+            "</BODY></HTML>"
+        )
+        return make_response(200, padding + body)
+
+    def _diff(
+        self, user: str, url: str, r1: Optional[str], r2: Optional[str]
+    ) -> Response:
+        if not user and r1 is None:
+            return self._error_page(
+                400, "a user (for 'since I last saved') or explicit "
+                     "revisions are required"
+            )
+        padding = self.keepalive.padding(self.costs.fetch + self.costs.htmldiff)
+        result = self.store.diff(user, url, rev_old=r1, rev_new=r2)
+        return make_response(200, padding + result.html)
+
+    def _history(self, user: str, url: str) -> Response:
+        padding = self.keepalive.padding(self.costs.cheap)
+        rows = []
+        history = self.store.history(user, url)
+        for info, seen_by_user in reversed(history):
+            view_link = self._link(
+                {"action": "view", "url": url, "rev": info.number},
+                f"view {info.number}",
+            )
+            marker = " &#183; <B>seen by you</B>" if seen_by_user else ""
+            row = (
+                f"<LI>{info.number} &#183; {info.date_string} &#183; "
+                f"{encode_entities(info.author)}{marker} &#183; {view_link}"
+            )
+            rows.append(row)
+        # Pairwise diff links between consecutive revisions.
+        numbers = [info.number for info, _ in history]
+        pair_links = []
+        for older, newer in zip(numbers, numbers[1:]):
+            pair_links.append(
+                self._link(
+                    {"action": "diff", "url": url, "user": user,
+                     "r1": older, "r2": newer},
+                    f"diff {older} &rarr; {newer}",
+                )
+            )
+        pairs_html = (
+            "<P>Compare: " + " | ".join(pair_links) + "</P>" if pair_links else ""
+        )
+        body = (
+            "<HTML><HEAD><TITLE>History</TITLE></HEAD><BODY>"
+            f"<H1>Versions of {encode_entities(url)}</H1>"
+            f"<UL>{''.join(rows)}</UL>{pairs_html}</BODY></HTML>"
+        )
+        return make_response(200, padding + body)
+
+    def _view(self, url: str, revision: Optional[str],
+              date: Optional[str] = None) -> Response:
+        padding = self.keepalive.padding(self.costs.cheap)
+        if date is not None and revision is None:
+            # §2.2's time travel: the page as it existed at a date.
+            try:
+                when = int(date)
+            except ValueError:
+                return self._error_page(400, f"unparseable date {date!r}")
+            text = self.store.view_at(url, when)
+        else:
+            text = self.store.view(url, revision)
+        return make_response(200, padding + text)
+
+    # ------------------------------------------------------------------
+    def _link(self, params: dict, label: str) -> str:
+        query = encode_query_string({k: v for k, v in params.items() if v})
+        return f'<A HREF="{self.script_path}?{query}">[{label}]</A>'
+
+    def _action_links(self, url: str, user: str) -> str:
+        return "<P>" + " ".join(
+            self._link({"action": action, "url": url, "user": user},
+                       action.capitalize())
+            for action in ("remember", "diff", "history")
+        ) + "</P>"
+
+    def _form_page(self) -> str:
+        return (
+            "<HTML><HEAD><TITLE>AIDE snapshot service</TITLE></HEAD><BODY>"
+            "<H1>AT&amp;T Internet Difference Engine</H1>"
+            f'<FORM METHOD=GET ACTION="{self.script_path}">'
+            "<P>URL: <INPUT NAME=url SIZE=60></P>"
+            "<P>Your email: <INPUT NAME=user SIZE=30></P>"
+            "<P>Action: <SELECT NAME=action>"
+            "<OPTION VALUE=remember>Remember"
+            "<OPTION VALUE=diff>Diff"
+            "<OPTION VALUE=history>History"
+            "</SELECT></P>"
+            "<P><INPUT TYPE=submit VALUE=Go></P>"
+            "</FORM></BODY></HTML>"
+        )
+
+    def _error_page(self, status: int, message: str) -> Response:
+        return make_response(
+            status,
+            "<HTML><HEAD><TITLE>Snapshot error</TITLE></HEAD><BODY>"
+            f"<H1>Snapshot error</H1><P>{encode_entities(message)}</P>"
+            "</BODY></HTML>",
+        )

@@ -1,0 +1,297 @@
+"""The snapshot store: RCS archives per URL, plus user bookkeeping.
+
+The paper's "external service" design (Section 4.1): the store is
+neither the content provider nor the client; anyone can register a page
+and later retrieve differences.  Responsibilities:
+
+* **remember** — fetch the live page, check it into the URL's RCS
+  archive (a no-op when unchanged), stamp the user's control file;
+* **diff** — HtmlDiff between the user's last-saved version and the
+  newest stored version (or any explicit pair), with output caching and
+  simultaneous-request coalescing;
+* **history** — the version log annotated with the user's seen set;
+* **view** — any stored version, BASE-rewritten so relative links still
+  resolve against the original site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...html.lexer import Tag, tokenize_html
+from ...rcs.archive import RcsArchive, RevisionInfo, UnknownRevision
+from ...simclock import SimClock
+from ...web.client import UserAgent
+from ...web.http import NetworkError
+from ...web.url import parse_url
+from ..htmldiff.api import HtmlDiffResult, html_diff
+from ..htmldiff.options import HtmlDiffOptions
+from .locking import LockManager, RequestCoalescer
+from .usercontrol import UserControl
+
+__all__ = ["SnapshotStore", "RememberResult", "SnapshotError",
+           "add_base_directive"]
+
+
+class SnapshotError(Exception):
+    """A snapshot operation could not be completed (message is
+    user-facing; the CGI layer turns it into an HTML error page)."""
+
+
+@dataclass
+class RememberResult:
+    """Outcome of a remember (check-in) request."""
+
+    url: str
+    revision: str
+    changed: bool
+    fetched_bytes: int
+    when: int
+
+
+def add_base_directive(html: str, original_url: str) -> str:
+    """Insert ``<BASE HREF=...>`` so relative links resolve.
+
+    "HTML supports a BASE directive that makes relative links relative
+    to a different URL, which mostly addresses this problem."  The
+    directive goes right after ``<HEAD>`` when present, else at the
+    front.  An existing BASE is left alone — the page author knew
+    better.
+    """
+    for node in tokenize_html(html):
+        if isinstance(node, Tag) and node.name == "BASE" and not node.closing:
+            return html
+    base = f'<BASE HREF="{original_url}">'
+    lower = html.lower()
+    idx = lower.find("<head")
+    if idx != -1:
+        end = html.find(">", idx)
+        if end != -1:
+            return html[: end + 1] + base + html[end + 1:]
+    return base + html
+
+
+class SnapshotStore:
+    """One snapshot service instance (the AIDE server's heart)."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        agent: UserAgent,
+        diff_options: Optional[HtmlDiffOptions] = None,
+        diff_cache_ttl: int = 3600,
+    ) -> None:
+        self.clock = clock
+        self.agent = agent
+        self.diff_options = diff_options
+        self.archives: Dict[str, RcsArchive] = {}
+        self.users = UserControl()
+        self.locks = LockManager()
+        self.coalescer = RequestCoalescer(clock, ttl=diff_cache_ttl)
+        #: Local cached copy of the most recent fetch per URL (the
+        #: paper's "locally cached copy of the HTML document").
+        self.page_cache: Dict[str, str] = {}
+        self.htmldiff_invocations = 0
+
+    # ------------------------------------------------------------------
+    def _canonical(self, url: str) -> str:
+        return str(parse_url(url).normalized())
+
+    def archive_for(self, url: str) -> RcsArchive:
+        key = self._canonical(url)
+        archive = self.archives.get(key)
+        if archive is None:
+            archive = RcsArchive(name=key)
+            self.archives[key] = archive
+        return archive
+
+    # ------------------------------------------------------------------
+    # remember
+    # ------------------------------------------------------------------
+    def remember(self, user: str, url: str) -> RememberResult:
+        """Fetch the live page and check it in for ``user``.
+
+        "Though the page is retrieved, the RCS ci command ensures that
+        it is not saved if it is unchanged from the previous time it
+        was stored away."  Either way the user's control file records
+        that they have now seen the head revision.
+        """
+        key = self._canonical(url)
+        with self.locks.acquire(f"url:{key}"), self.locks.acquire(f"user:{user}"):
+            body = self.coalescer.do(
+                f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
+            )
+            return self._checkin(user, key, body)
+
+    def checkin_content(self, user: str, url: str, body: str) -> RememberResult:
+        """Check in content the caller already fetched.
+
+        The centralized tracker and the fixed-page archiver poll pages
+        themselves (once per page, for everyone); re-fetching inside
+        remember() would double the request count the Section 8.3
+        economy-of-scale argument is about.
+        """
+        key = self._canonical(url)
+        with self.locks.acquire(f"url:{key}"), self.locks.acquire(f"user:{user}"):
+            return self._checkin(user, key, body)
+
+    def _checkin(self, user: str, key: str, body: str) -> RememberResult:
+        """The shared check-in tail (callers hold the locks)."""
+        archive = self.archive_for(key)
+        revision, changed = archive.checkin(
+            body, date=self.clock.now, author=user,
+            log=f"snapshot by {user}",
+        )
+        if changed:
+            # New head: cached diffs of existing pairs stay valid; new
+            # pairs simply get their own cache entries.
+            self.page_cache[key] = body
+        self.users.record(user, key, revision, self.clock.now)
+        return RememberResult(
+            url=key, revision=revision, changed=changed,
+            fetched_bytes=len(body), when=self.clock.now,
+        )
+
+    def _fetch(self, url: str) -> str:
+        try:
+            result = self.agent.get(url)
+        except NetworkError as exc:
+            raise SnapshotError(f"could not retrieve {url}: {exc}")
+        if not result.response.ok:
+            raise SnapshotError(
+                f"could not retrieve {url}: HTTP {result.response.status} "
+                f"{result.response.reason}"
+            )
+        return result.response.body
+
+    # ------------------------------------------------------------------
+    # diff
+    # ------------------------------------------------------------------
+    def diff(
+        self,
+        user: str,
+        url: str,
+        rev_old: Optional[str] = None,
+        rev_new: Optional[str] = None,
+    ) -> HtmlDiffResult:
+        """HtmlDiff between two stored versions.
+
+        Defaults reproduce the report's Diff link: old = the user's
+        last-saved version, new = the newest stored version.  Output is
+        cached so "many users who have seen versions N and N+1 of a
+        page could retrieve HtmlDiff(pageN, pageN+1) with a single
+        invocation".
+        """
+        key = self._canonical(url)
+        archive = self.archives.get(key)
+        if archive is None or archive.revision_count == 0:
+            raise SnapshotError(f"no snapshots of {key} — Remember it first")
+        if rev_old is None:
+            seen = self.users.last_seen_version(user, key)
+            if seen is None:
+                raise SnapshotError(
+                    f"{user} has no saved version of {key} — Remember it first"
+                )
+            rev_old = seen.revision
+        if rev_new is None:
+            # The report's Diff link compares against the page as it is
+            # NOW: fetch the live copy and archive it (once, for every
+            # user) before diffing.  If the site is unreachable, fall
+            # back to the newest stored version.
+            try:
+                body = self.coalescer.do(
+                    f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
+                )
+                self.checkin_content("aide-snapshot", key, body)
+            except SnapshotError:
+                pass
+            rev_new = archive.head_revision
+        cache_key = f"diff:{key}:{rev_old}:{rev_new}"
+        with self.locks.acquire(f"url:{key}"):
+            return self.coalescer.do(
+                cache_key, lambda: self._run_htmldiff(archive, rev_old, rev_new)
+            )
+
+    def _run_htmldiff(
+        self, archive: RcsArchive, rev_old: str, rev_new: str
+    ) -> HtmlDiffResult:
+        try:
+            old_text = archive.checkout(rev_old)
+            new_text = archive.checkout(rev_new)
+        except UnknownRevision as exc:
+            raise SnapshotError(f"no such revision of {archive.name}: {exc}")
+        self.htmldiff_invocations += 1
+        return html_diff(old_text, new_text, options=self.diff_options)
+
+    # ------------------------------------------------------------------
+    # history / view
+    # ------------------------------------------------------------------
+    def history(self, user: str, url: str) -> List[Tuple[RevisionInfo, bool]]:
+        """(revision, seen-by-this-user) pairs, oldest first.
+
+        "present the user with a set of versions seen by that person
+        regardless of what other versions are also stored."
+        """
+        key = self._canonical(url)
+        archive = self.archives.get(key)
+        if archive is None:
+            raise SnapshotError(f"no snapshots of {key}")
+        seen = {v.revision for v in self.users.versions_seen(user, key)}
+        return [(info, info.number in seen) for info in archive.revisions()]
+
+    def view(self, url: str, revision: Optional[str] = None,
+             rewrite_base: bool = True) -> str:
+        """A stored version's text, BASE-rewritten by default."""
+        key = self._canonical(url)
+        archive = self.archives.get(key)
+        if archive is None or archive.revision_count == 0:
+            raise SnapshotError(f"no snapshots of {key}")
+        text = archive.checkout(revision)
+        if rewrite_base:
+            return add_base_directive(text, key)
+        return text
+
+    def view_at(self, url: str, date: int, rewrite_base: bool = True) -> str:
+        """The page as it existed at a particular time (§2.2).
+
+        "A CGI interface to RCS allows a user to request a URL at a
+        particular date... similar in spirit to the 'time travel'
+        capability of file systems such as 3DFS."  Raises when nothing
+        that old is archived.
+        """
+        key = self._canonical(url)
+        archive = self.archives.get(key)
+        if archive is None or archive.revision_count == 0:
+            raise SnapshotError(f"no snapshots of {key}")
+        text = archive.checkout_at(date)
+        if text is None:
+            raise SnapshotError(
+                f"nothing archived for {key} as early as {date}"
+            )
+        if rewrite_base:
+            return add_base_directive(text, key)
+        return text
+
+    # ------------------------------------------------------------------
+    # accounting (Section 7 disk-usage experiment)
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        return sum(archive.size_bytes() for archive in self.archives.values())
+
+    def url_count(self) -> int:
+        return len(self.archives)
+
+    def bytes_by_url(self) -> Dict[str, int]:
+        return {
+            url: archive.size_bytes() for url, archive in self.archives.items()
+        }
+
+    def full_copy_bytes(self) -> int:
+        """What storage would cost with a full copy per revision — the
+        baseline the RCS design is measured against."""
+        total = 0
+        for archive in self.archives.values():
+            for info in archive.revisions():
+                total += len(archive.checkout(info.number))
+        return total

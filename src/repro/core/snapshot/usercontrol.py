@@ -1,0 +1,105 @@
+"""Per-user control files: which versions has each user seen?
+
+Paper Section 2.2/4.1: "we wish to track the times at which each user
+checked in a page, even if the page hasn't changed between check-ins of
+that page by different users.  This is accomplished outside of RCS by
+maintaining a per-user control file"; and "in the next version of the
+system, a set of version numbers is retained for each <user,URL>
+combination.  This removes any confusion that could arise if the
+timestamps provided for a page do not increase monotonically."
+
+This module implements the "next version": explicit version-number sets
+per <user, URL>, with check-in times, serializable like the on-disk
+control files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["UserControl", "SeenVersion"]
+
+
+@dataclass(frozen=True)
+class SeenVersion:
+    """One check-in by one user: the revision they saved, and when."""
+
+    revision: str
+    when: int
+
+
+class UserControl:
+    """All users' control files (user → URL → seen versions)."""
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, Dict[str, List[SeenVersion]]] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, user: str, url: str, revision: str, when: int) -> None:
+        """Note that ``user`` checked in / saw ``revision`` of ``url``.
+
+        Recording the same revision again updates the time only — the
+        paper's point is that a re-save of an unchanged page still
+        refreshes the user's "I have seen this" marker.
+        """
+        per_user = self._seen.setdefault(user, {})
+        versions = per_user.setdefault(url, [])
+        for index, seen in enumerate(versions):
+            if seen.revision == revision:
+                versions[index] = SeenVersion(revision=revision, when=when)
+                return
+        versions.append(SeenVersion(revision=revision, when=when))
+
+    def versions_seen(self, user: str, url: str) -> List[SeenVersion]:
+        """All versions this user has seen of this URL (check-in order)."""
+        return list(self._seen.get(user, {}).get(url, []))
+
+    def last_seen_version(self, user: str, url: str) -> Optional[SeenVersion]:
+        versions = self._seen.get(user, {}).get(url)
+        return versions[-1] if versions else None
+
+    def users_tracking(self, url: str) -> List[str]:
+        """Who has registered an interest in this page.
+
+        The privacy surface Section 4.2 worries about: "Browsing the
+        repository can... indicate which user has an interest in which
+        page" — reproduced faithfully, including the weakness.
+        """
+        return sorted(
+            user for user, pages in self._seen.items() if url in pages
+        )
+
+    def urls_for(self, user: str) -> List[str]:
+        return sorted(self._seen.get(user, {}).keys())
+
+    # ------------------------------------------------------------------
+    def serialize(self) -> str:
+        """``user|url|rev@when,rev@when,...`` lines."""
+        lines = []
+        for user in sorted(self._seen):
+            for url in sorted(self._seen[user]):
+                versions = ",".join(
+                    f"{seen.revision}@{seen.when}"
+                    for seen in self._seen[user][url]
+                )
+                lines.append(f"{user}|{url}|{versions}")
+        return "\n".join(lines)
+
+    @classmethod
+    def deserialize(cls, text: str) -> "UserControl":
+        control = cls()
+        for line in text.splitlines():
+            parts = line.split("|")
+            if len(parts) != 3:
+                continue
+            user, url, versions = parts
+            for chunk in versions.split(","):
+                if "@" not in chunk:
+                    continue
+                revision, _, when_text = chunk.partition("@")
+                try:
+                    control.record(user, url, revision, int(when_text))
+                except ValueError:
+                    continue
+        return control

@@ -1,0 +1,103 @@
+"""Check outcomes and the systemic-failure abort policy.
+
+Section 3.1 ("Error Conditions") distinguishes local/systemic problems
+(network down, proxy overloaded — every request fails; w3newer "should
+be able to detect cases when it should abort and try again later") from
+per-URL errors (moved, gone, robot-forbidden, timeout).  The outcome
+vocabulary here feeds the Figure 1 report; the
+:class:`SystemicFailureDetector` implements the abort heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["UrlState", "CheckSource", "CheckOutcome", "SystemicFailureDetector",
+           "RunAborted"]
+
+
+class UrlState(Enum):
+    """What a run concluded about one hotlist entry."""
+
+    #: Modified since the user last saw it.
+    CHANGED = "changed"
+    #: Checked; not modified since the user saw it.
+    SEEN = "seen"
+    #: Checked; modified, but the user never visited it (no history).
+    NEVER_SEEN = "never-seen"
+    #: Skipped: threshold says the check is not due yet.
+    NOT_CHECKED = "not checked"
+    #: Skipped forever (threshold ``never``).
+    NEVER_CHECK = "never checked"
+    #: robots.txt forbids automated retrieval (cached verdict).
+    ROBOT_FORBIDDEN = "robots"
+    #: The URL moved (301); the report shows the forwarding pointer.
+    MOVED = "moved"
+    #: Some per-URL error (404/410, timeout, DNS, refused...).
+    ERROR = "error"
+
+
+class CheckSource(Enum):
+    """Where the verdict's modification information came from."""
+
+    NONE = "none"
+    STATUS_CACHE = "status-cache"
+    PROXY_CACHE = "proxy-cache"
+    HEAD = "head"
+    CHECKSUM = "checksum"
+    LOCAL_STAT = "stat"
+
+
+@dataclass
+class CheckOutcome:
+    """The result of checking one URL."""
+
+    url: str
+    state: UrlState
+    source: CheckSource = CheckSource.NONE
+    modification_date: Optional[int] = None
+    last_seen: Optional[int] = None
+    error: str = ""
+    error_count: int = 0
+    moved_to: str = ""
+    #: Number of HTTP requests this check cost (the scalability metric).
+    http_requests: int = 0
+
+    @property
+    def is_new_to_user(self) -> bool:
+        return self.state in (UrlState.CHANGED, UrlState.NEVER_SEEN)
+
+
+class RunAborted(Exception):
+    """Raised when systemic failure makes continuing pointless."""
+
+
+class SystemicFailureDetector:
+    """Abort after too many *consecutive* transport failures.
+
+    Transport failures (not HTTP error statuses) from distinct hosts in
+    a row point at the local network or proxy, not at the URLs; w3newer
+    should "abort and try again later (preferably in time for the user
+    to see an updated report)".
+    """
+
+    def __init__(self, abort_after: int = 5) -> None:
+        if abort_after < 1:
+            raise ValueError("abort_after must be at least 1")
+        self.abort_after = abort_after
+        self.consecutive_failures = 0
+        self.total_failures = 0
+
+    def record_transport_failure(self) -> None:
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.abort_after:
+            raise RunAborted(
+                f"{self.consecutive_failures} consecutive transport failures; "
+                "local network or proxy trouble — aborting this run"
+            )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0

@@ -1,0 +1,48 @@
+"""A tiny local filesystem for ``file:`` hotlist entries.
+
+"Local files are checked upon every execution, since a stat call is
+cheap" — Table 1 gives ``file:.*`` threshold 0, and w3newer "supports
+the 'file:' specification and can find out if a local file has
+changed".  The simulation is a path → (mtime, contents) map whose
+``stat`` never touches the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["LocalFiles", "FileStat"]
+
+
+@dataclass(frozen=True)
+class FileStat:
+    mtime: int
+    size: int
+
+
+class LocalFiles:
+    """The user's (simulated) local files, keyed by absolute path."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, tuple] = {}
+        self.stat_calls = 0
+
+    def write(self, path: str, contents: str, mtime: int) -> None:
+        self._files[path] = (mtime, contents)
+
+    def remove(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def stat(self, path: str) -> Optional[FileStat]:
+        """mtime/size, or None when the file does not exist."""
+        self.stat_calls += 1
+        entry = self._files.get(path)
+        if entry is None:
+            return None
+        mtime, contents = entry
+        return FileStat(mtime=mtime, size=len(contents))
+
+    def read(self, path: str) -> Optional[str]:
+        entry = self._files.get(path)
+        return entry[1] if entry else None

@@ -1,0 +1,181 @@
+"""The w3newer report: Figure 1's HTML page.
+
+"w3newer... generates an HTML document indicating which pages have
+changed", with each hotlist entry carrying three links into the
+snapshot facility:
+
+* **Remember** — save a copy of the page;
+* **Diff** — HtmlDiff against the user's last-saved version;
+* **History** — the full version log.
+
+Rows are grouped: changed pages first (most recently modified first,
+the paper's sort), then errors (so the user can prune dead URLs), then
+skipped/seen pages.  Section 7's "information overload" lesson is
+addressed by an optional priority function (see
+:mod:`repro.aide.prioritize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...html.entities import encode_entities
+from ...simclock import format_timestamp
+from ...web.cgi import encode_query_string
+from .errors import CheckOutcome, UrlState
+from .hotlist import HotlistEntry
+
+__all__ = ["ReportOptions", "render_report", "render_all_dates_report",
+           "render_report_text"]
+
+
+@dataclass
+class ReportOptions:
+    """Where the snapshot facility lives and who is asking."""
+
+    snapshot_base: str = "http://aide.research.att.com/cgi-bin/snapshot"
+    user: str = "user@host"
+    title: str = "w3newer: what's new on your hotlist"
+    #: Optional priority: higher floats sort first within their group.
+    priority: Optional[Callable[[str], float]] = None
+
+
+_STATE_LABELS: Dict[UrlState, str] = {
+    UrlState.CHANGED: "changed",
+    UrlState.NEVER_SEEN: "changed (never seen)",
+    UrlState.SEEN: "seen",
+    UrlState.NOT_CHECKED: "not checked",
+    UrlState.NEVER_CHECK: "never checked",
+    UrlState.ROBOT_FORBIDDEN: "robots.txt forbids checking",
+    UrlState.MOVED: "moved",
+    UrlState.ERROR: "error",
+}
+
+_GROUP_ORDER = {
+    UrlState.CHANGED: 0,
+    UrlState.NEVER_SEEN: 0,
+    UrlState.MOVED: 1,
+    UrlState.ERROR: 1,
+    UrlState.ROBOT_FORBIDDEN: 2,
+    UrlState.SEEN: 3,
+    UrlState.NOT_CHECKED: 4,
+    UrlState.NEVER_CHECK: 4,
+}
+
+
+def _aide_links(url: str, options: ReportOptions) -> str:
+    """The Remember / Diff / History trio (Section 6)."""
+    pieces = []
+    for action in ("remember", "diff", "history"):
+        query = encode_query_string(
+            {"action": action, "url": url, "user": options.user}
+        )
+        label = action.capitalize()
+        pieces.append(f'<A HREF="{options.snapshot_base}?{query}">[{label}]</A>')
+    return " ".join(pieces)
+
+
+def _sort_key(outcome: CheckOutcome, options: ReportOptions):
+    group = _GROUP_ORDER.get(outcome.state, 5)
+    priority = options.priority(outcome.url) if options.priority else 0.0
+    recency = outcome.modification_date or 0
+    return (group, -priority, -recency, outcome.url)
+
+
+def render_report(
+    outcomes: Sequence[CheckOutcome],
+    entries: Sequence[HotlistEntry],
+    options: Optional[ReportOptions] = None,
+    now: Optional[int] = None,
+    aborted: str = "",
+) -> str:
+    """The Figure 1 HTML report."""
+    options = options or ReportOptions()
+    titles = {entry.url: entry.display_title() for entry in entries}
+
+    rows: List[str] = []
+    for outcome in sorted(outcomes, key=lambda o: _sort_key(o, options)):
+        title = encode_entities(titles.get(outcome.url, outcome.url))
+        label = _STATE_LABELS.get(outcome.state, outcome.state.value)
+        detail = ""
+        if outcome.modification_date is not None and outcome.is_new_to_user:
+            detail = f" &#183; modified {format_timestamp(outcome.modification_date)}"
+        if outcome.state is UrlState.ERROR:
+            detail = f" &#183; {encode_entities(outcome.error)}"
+            if outcome.error_count > 1:
+                detail += f" ({outcome.error_count} consecutive errors)"
+        if outcome.moved_to:
+            detail += (
+                f' &#183; moved to <A HREF="{outcome.moved_to}">'
+                f"{outcome.moved_to}</A>"
+            )
+        strong_open, strong_close = ("<B>", "</B>") if outcome.is_new_to_user else ("", "")
+        rows.append(
+            f'<LI>{strong_open}<A HREF="{outcome.url}">{title}</A>{strong_close} '
+            f"&#151; {label}{detail}<BR>{_aide_links(outcome.url, options)}"
+        )
+
+    changed = sum(1 for o in outcomes if o.is_new_to_user)
+    errors = sum(1 for o in outcomes if o.state is UrlState.ERROR)
+    header_bits = [f"{len(outcomes)} URLs", f"{changed} changed"]
+    if errors:
+        header_bits.append(f"{errors} errors")
+    status_line = ", ".join(header_bits)
+    abort_html = (
+        f'<P><B>Run aborted early:</B> {encode_entities(aborted)}</P>'
+        if aborted
+        else ""
+    )
+    generated = format_timestamp(now) if now is not None else ""
+    return (
+        "<HTML><HEAD><TITLE>"
+        f"{encode_entities(options.title)}</TITLE></HEAD><BODY>"
+        f"<H1>{encode_entities(options.title)}</H1>"
+        f"<P>{status_line}. Generated {generated} for "
+        f"{encode_entities(options.user)}.</P>{abort_html}<HR><UL>"
+        + "\n".join(rows)
+        + "</UL></BODY></HTML>"
+    )
+
+
+def render_all_dates_report(
+    outcomes: Sequence[CheckOutcome],
+    entries: Sequence[HotlistEntry],
+) -> str:
+    """The other 1995 report style (§2.1): "a sorted list of all
+    modification times", newest first, regardless of what the user has
+    or hasn't seen.  Included for comparison with the personalized
+    report — this is the presentation w3newer improves upon.
+    """
+    titles = {entry.url: entry.display_title() for entry in entries}
+    dated = [o for o in outcomes if o.modification_date is not None]
+    undated = [o for o in outcomes if o.modification_date is None]
+    rows = []
+    for outcome in sorted(dated, key=lambda o: -o.modification_date):
+        title = encode_entities(titles.get(outcome.url, outcome.url))
+        rows.append(
+            f'<LI>{format_timestamp(outcome.modification_date)} &#183; '
+            f'<A HREF="{outcome.url}">{title}</A>'
+        )
+    for outcome in undated:
+        title = encode_entities(titles.get(outcome.url, outcome.url))
+        rows.append(
+            f'<LI>(no modification date) &#183; '
+            f'<A HREF="{outcome.url}">{title}</A>'
+        )
+    return (
+        "<HTML><HEAD><TITLE>All modification times</TITLE></HEAD><BODY>"
+        "<H1>Hotlist by modification time</H1><UL>"
+        + "\n".join(rows)
+        + "</UL></BODY></HTML>"
+    )
+
+
+def render_report_text(outcomes: Sequence[CheckOutcome]) -> str:
+    """One-line-per-URL plain text summary (for logs and tests)."""
+    lines = []
+    for outcome in outcomes:
+        label = _STATE_LABELS.get(outcome.state, outcome.state.value)
+        lines.append(f"{label:28s} {outcome.url}")
+    return "\n".join(lines)

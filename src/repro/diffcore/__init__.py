@@ -1,0 +1,46 @@
+"""Comparison algorithms underlying AIDE.
+
+HtmlDiff runs a weighted Hirschberg LCS over HTML tokens; RCS deltas and
+the rcsdiff CGI use Hunt–McIlroy line diffs; Myers is included as the
+modern ablation comparator.
+"""
+
+from .huntmcilroy import hunt_mcilroy_length, hunt_mcilroy_pairs
+from .lcs import (
+    Match,
+    lcs_length,
+    lcs_pairs,
+    similarity_ratio,
+    trim_common_affixes,
+    weighted_lcs_pairs,
+    weighted_lcs_score,
+)
+from .myers import myers_edit_distance, myers_pairs
+from .textdiff import (
+    EditCommand,
+    EditScript,
+    apply_edit_script,
+    make_edit_script,
+    script_size,
+    unified_diff,
+)
+
+__all__ = [
+    "Match",
+    "lcs_length",
+    "lcs_pairs",
+    "similarity_ratio",
+    "trim_common_affixes",
+    "weighted_lcs_pairs",
+    "weighted_lcs_score",
+    "hunt_mcilroy_length",
+    "hunt_mcilroy_pairs",
+    "myers_edit_distance",
+    "myers_pairs",
+    "EditCommand",
+    "EditScript",
+    "apply_edit_script",
+    "make_edit_script",
+    "script_size",
+    "unified_diff",
+]

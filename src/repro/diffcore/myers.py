@@ -1,0 +1,148 @@
+"""Myers O(ND) greedy edit distance plus a linear-space pair recovery.
+
+Not cited by the paper (it predates widespread adoption of Myers's
+algorithm in diff tools), but included as the modern comparator for the
+S4 ablation benchmark: it shows where the paper's Hirschberg choice sits
+against the algorithm later diff implementations converged on.
+Equality-based only — the weighted sentence matching of HtmlDiff needs
+the DP formulation in :mod:`repro.diffcore.lcs`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+__all__ = ["myers_edit_distance", "myers_pairs"]
+
+
+def myers_edit_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Length of the shortest edit script (insertions + deletions).
+
+    The classic greedy forward pass: O((N+M) * D) time, O(N+M) space,
+    where D is the edit distance — very fast when versions are similar,
+    which is exactly the successive-page-version workload.
+    """
+    n, m = len(a), len(b)
+    max_d = n + m
+    if max_d == 0:
+        return 0
+    v = [0] * (2 * max_d + 1)
+    for d in range(max_d + 1):
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1 + max_d] < v[k + 1 + max_d]):
+                x = v[k + 1 + max_d]
+            else:
+                x = v[k - 1 + max_d] + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k + max_d] = x
+            if x >= n and y >= m:
+                return d
+    return max_d  # pragma: no cover - loop always terminates earlier
+
+
+def myers_pairs(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> List[Tuple[int, int]]:
+    """Matched (i, j) pairs of an LCS, recovered in linear space.
+
+    Affix trimming plus Hirschberg-style splitting on the score rows;
+    small cores fall through to a direct DP traceback.  Output pairs are
+    strictly increasing in both coordinates.
+    """
+    out: List[Tuple[int, int]] = []
+    _recurse(a, b, 0, 0, out)
+    return out
+
+
+def _recurse(
+    a: Sequence[Hashable],
+    b: Sequence[Hashable],
+    a_off: int,
+    b_off: int,
+    out: List[Tuple[int, int]],
+) -> None:
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return
+    prefix = 0
+    limit = min(n, m)
+    while prefix < limit and a[prefix] == b[prefix]:
+        out.append((a_off + prefix, b_off + prefix))
+        prefix += 1
+    suffix = 0
+    while suffix < limit - prefix and a[n - 1 - suffix] == b[m - 1 - suffix]:
+        suffix += 1
+    core_a = a[prefix:n - suffix]
+    core_b = b[prefix:m - suffix]
+    if core_a and core_b:
+        if len(core_a) * len(core_b) <= 4096:
+            _dp_pairs(core_a, core_b, a_off + prefix, b_off + prefix, out)
+        else:
+            mid = len(core_a) // 2
+            forward = _score_row(core_a[:mid], core_b)
+            backward = _score_row(core_a[mid:][::-1], core_b[::-1])
+            mlen = len(core_b)
+            best_k, best = 0, -1
+            for k in range(mlen + 1):
+                score = forward[k] + backward[mlen - k]
+                if score > best:
+                    best, best_k = score, k
+            _recurse(
+                core_a[:mid], core_b[:best_k],
+                a_off + prefix, b_off + prefix, out,
+            )
+            _recurse(
+                core_a[mid:], core_b[best_k:],
+                a_off + prefix + mid, b_off + prefix + best_k, out,
+            )
+    for k in range(suffix):
+        out.append((a_off + n - suffix + k, b_off + m - suffix + k))
+
+
+def _score_row(a: Sequence[Hashable], b: Sequence[Hashable]) -> List[int]:
+    """Last row of the LCS-length DP table."""
+    prev = [0] * (len(b) + 1)
+    for item in a:
+        cur = [0]
+        for j in range(1, len(b) + 1):
+            if item == b[j - 1]:
+                cur.append(prev[j - 1] + 1)
+            else:
+                cur.append(cur[j - 1] if cur[j - 1] >= prev[j] else prev[j])
+        prev = cur
+    return prev
+
+
+def _dp_pairs(
+    a: Sequence[Hashable],
+    b: Sequence[Hashable],
+    a_off: int,
+    b_off: int,
+    out: List[Tuple[int, int]],
+) -> None:
+    """Full-table DP with traceback, for small cores only."""
+    n, m = len(a), len(b)
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        row = table[i]
+        prev = table[i - 1]
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = row[j - 1] if row[j - 1] >= prev[j] else prev[j]
+    i, j = n, m
+    stack: List[Tuple[int, int]] = []
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1] and table[i][j] == table[i - 1][j - 1] + 1:
+            stack.append((a_off + i - 1, b_off + j - 1))
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    out.extend(reversed(stack))

@@ -1,0 +1,213 @@
+"""A lexical analyzer for 1995-era HTML.
+
+Paper Section 5.1: "A simple lexical analysis of an HTML document
+creates the token sequence and converts the case of the markup name and
+associated (variable,value) pairs to uppercase; parsing is not
+required."  This module supplies that lexical pass: it splits a document
+into tags, text runs, comments, and declarations without building a
+tree.  Downstream, :mod:`repro.core.htmldiff.tokenizer` groups these
+nodes into sentences and sentence-breaking markups.
+
+Each node keeps its raw source slice so serialization can reproduce the
+original byte-for-byte; normalized forms (used for comparison) are
+computed on demand.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+__all__ = ["Tag", "Text", "Comment", "Declaration", "Node", "tokenize_html"]
+
+_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9._\-]*")
+_WS_RE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A start or end tag, with parsed attributes.
+
+    ``attrs`` preserves source order and case; ``name`` is stored
+    uppercase (the lexer's canonical case, per the paper).  ``raw`` is
+    the exact source text including angle brackets.
+    """
+
+    name: str
+    attrs: Tuple[Tuple[str, Optional[str]], ...] = ()
+    closing: bool = False
+    raw: str = ""
+
+    @property
+    def normalized(self) -> str:
+        """Comparison key: case-folded, whitespace-collapsed, attributes
+        sorted — per the paper, markups "must be identical (modulo
+        whitespace, case, and reordering of (variable,value) pairs)".
+        """
+        parts = [("/" if self.closing else "") + self.name]
+        for key, value in sorted(self.attrs, key=lambda kv: (kv[0].upper(), kv[1] or "")):
+            if value is None:
+                parts.append(key.upper())
+            else:
+                parts.append(f"{key.upper()}={value.upper()}")
+        return "<" + " ".join(parts) + ">"
+
+    def attr(self, name: str) -> Optional[str]:
+        """First value of an attribute, case-insensitively (None if absent
+        or valueless)."""
+        wanted = name.upper()
+        for key, value in self.attrs:
+            if key.upper() == wanted:
+                return value
+        return None
+
+    def has_attr(self, name: str) -> bool:
+        wanted = name.upper()
+        return any(key.upper() == wanted for key, value in self.attrs)
+
+    def __str__(self) -> str:
+        return self.raw or self.normalized
+
+
+@dataclass(frozen=True)
+class Text:
+    """A run of character data between tags (entities not yet decoded)."""
+
+    data: str
+
+    def __str__(self) -> str:
+        return self.data
+
+
+@dataclass(frozen=True)
+class Comment:
+    """``<!-- ... -->`` — ignored by comparison, preserved by output."""
+
+    data: str
+    raw: str = ""
+
+    def __str__(self) -> str:
+        return self.raw or f"<!--{self.data}-->"
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """``<!DOCTYPE ...>`` and friends."""
+
+    raw: str
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+Node = Union[Tag, Text, Comment, Declaration]
+
+
+def _parse_attrs(body: str) -> Tuple[Tuple[str, Optional[str]], ...]:
+    """Parse the attribute region of a start tag.
+
+    Handles ``name``, ``name=value``, ``name="value"``, ``name='value'``
+    in any mix, tolerating sloppy whitespace — 1995 HTML was hand-typed.
+    """
+    attrs: List[Tuple[str, Optional[str]]] = []
+    pos = 0
+    length = len(body)
+    while pos < length:
+        ws = _WS_RE.match(body, pos)
+        if ws:
+            pos = ws.end()
+        if pos >= length:
+            break
+        name_match = _NAME_RE.match(body, pos)
+        if not name_match:
+            pos += 1  # skip stray characters rather than failing
+            continue
+        name = name_match.group(0)
+        pos = name_match.end()
+        ws = _WS_RE.match(body, pos)
+        if ws:
+            pos = ws.end()
+        if pos < length and body[pos] == "=":
+            pos += 1
+            ws = _WS_RE.match(body, pos)
+            if ws:
+                pos = ws.end()
+            if pos < length and body[pos] in ("'", '"'):
+                quote = body[pos]
+                end = body.find(quote, pos + 1)
+                if end == -1:
+                    value = body[pos + 1:]
+                    pos = length
+                else:
+                    value = body[pos + 1:end]
+                    pos = end + 1
+            else:
+                end = pos
+                while end < length and not body[end].isspace():
+                    end += 1
+                value = body[pos:end]
+                pos = end
+            attrs.append((name, value))
+        else:
+            attrs.append((name, None))
+    return tuple(attrs)
+
+
+def tokenize_html(source: str) -> List[Node]:
+    """Lex an HTML document into a flat node list.
+
+    Never raises on malformed input: unterminated tags become text, junk
+    inside tags is skipped.  Robustness matters more than strictness —
+    w3newer and snapshot feed this whatever the wire delivered.
+    """
+    return list(iter_nodes(source))
+
+
+def iter_nodes(source: str) -> Iterator[Node]:
+    """Streaming form of :func:`tokenize_html`."""
+    pos = 0
+    length = len(source)
+    while pos < length:
+        lt = source.find("<", pos)
+        if lt == -1:
+            yield Text(source[pos:])
+            return
+        if lt > pos:
+            yield Text(source[pos:lt])
+        if source.startswith("<!--", lt):
+            end = source.find("-->", lt + 4)
+            if end == -1:
+                yield Comment(source[lt + 4:], raw=source[lt:])
+                return
+            yield Comment(source[lt + 4:end], raw=source[lt:end + 3])
+            pos = end + 3
+            continue
+        if source.startswith("<!", lt):
+            end = source.find(">", lt)
+            if end == -1:
+                yield Text(source[lt:])
+                return
+            yield Declaration(source[lt:end + 1])
+            pos = end + 1
+            continue
+        end = source.find(">", lt)
+        if end == -1:
+            # Unterminated tag: emit as literal text, as browsers did.
+            yield Text(source[lt:])
+            return
+        inner = source[lt + 1:end]
+        closing = inner.startswith("/")
+        if closing:
+            inner = inner[1:]
+        name_match = _NAME_RE.match(inner.strip())
+        if not name_match:
+            # "<>" or "< 3" — not markup; literal text.
+            yield Text(source[lt:end + 1])
+            pos = end + 1
+            continue
+        name = name_match.group(0).upper()
+        attr_body = inner.strip()[name_match.end():]
+        attrs = _parse_attrs(attr_body) if not closing else ()
+        yield Tag(name=name, attrs=attrs, closing=closing, raw=source[lt:end + 1])
+        pos = end + 1

@@ -1,0 +1,97 @@
+"""Tag classification: the paper's document model.
+
+Section 5.1 views an HTML document as "a sequence of sentences and
+'sentence-breaking' markups (such as <P>, <HR>, <LI>, or <H1>) where a
+'sentence' is a sequence of words and certain (non-sentence-breaking)
+markups (such as <B> or <A>)".  Separately, some markups are
+"content-defining" — images and hypertext references — and those count
+toward sentence length and are highlighted when changed, while purely
+presentational markups are not.
+
+These sets reflect HTML 2.0 / early-Netscape-extension vocabulary, which
+is the language the paper's corpus was written in.
+"""
+
+from __future__ import annotations
+
+from .lexer import Tag
+
+__all__ = [
+    "SENTENCE_BREAKING_TAGS",
+    "CONTENT_DEFINING_TAGS",
+    "EMPTY_TAGS",
+    "PRESERVED_WHITESPACE_TAGS",
+    "AUTO_CLOSE",
+    "is_sentence_breaking",
+    "is_content_defining",
+    "is_empty_tag",
+]
+
+#: Markups that terminate the current sentence.  Structural / block
+#: elements: paragraphs, headings, lists, rules, tables, forms.
+SENTENCE_BREAKING_TAGS = frozenset({
+    "HTML", "HEAD", "BODY", "TITLE",
+    "H1", "H2", "H3", "H4", "H5", "H6",
+    "P", "BR", "HR",
+    "UL", "OL", "DL", "LI", "DT", "DD", "DIR", "MENU",
+    "PRE", "BLOCKQUOTE", "ADDRESS", "CENTER", "DIV",
+    "TABLE", "TR", "TD", "TH", "CAPTION",
+    "FORM", "SELECT", "OPTION", "TEXTAREA",
+    "MAP", "AREA", "FRAME", "FRAMESET", "META", "LINK", "BASE",
+    "ISINDEX", "NEXTID", "SCRIPT", "STYLE",
+})
+
+#: Markups that define content rather than presentation; they count
+#: toward sentence length and changes to them are highlighted.
+CONTENT_DEFINING_TAGS = frozenset({
+    "A", "IMG", "INPUT", "APPLET", "EMBED", "OBJECT", "AREA",
+})
+
+#: Tags with no closing counterpart in this era's HTML.
+EMPTY_TAGS = frozenset({
+    "BR", "HR", "IMG", "INPUT", "META", "LINK", "BASE",
+    "ISINDEX", "NEXTID", "AREA", "PARAM",
+})
+
+#: Inside these, whitespace carries content (paper: "Whitespace in a
+#: document does not provide any content (except perhaps inside a
+#: <PRE>)").
+PRESERVED_WHITESPACE_TAGS = frozenset({"PRE", "TEXTAREA", "XMP", "LISTING"})
+
+#: Implicit end tags: opening the key closes any open element in the
+#: value set (stack-based repair uses this).
+AUTO_CLOSE = {
+    "LI": frozenset({"LI"}),
+    "DT": frozenset({"DT", "DD"}),
+    "DD": frozenset({"DT", "DD"}),
+    "P": frozenset({"P"}),
+    "TR": frozenset({"TR", "TD", "TH"}),
+    "TD": frozenset({"TD", "TH"}),
+    "TH": frozenset({"TD", "TH"}),
+    "OPTION": frozenset({"OPTION"}),
+    "H1": frozenset({"P"}),
+    "H2": frozenset({"P"}),
+    "H3": frozenset({"P"}),
+    "H4": frozenset({"P"}),
+    "H5": frozenset({"P"}),
+    "H6": frozenset({"P"}),
+}
+
+
+def is_sentence_breaking(tag: Tag) -> bool:
+    """Whether this markup ends the current sentence."""
+    return tag.name in SENTENCE_BREAKING_TAGS
+
+
+def is_content_defining(tag: Tag) -> bool:
+    """Whether this markup counts as content (paper Section 5.1).
+
+    Only opening tags count — ``</A>`` carries no HREF, and counting it
+    would double-weight every anchor in the sentence-length metric.
+    """
+    return tag.name in CONTENT_DEFINING_TAGS and not tag.closing
+
+
+def is_empty_tag(name: str) -> bool:
+    """Whether the tag takes no end tag in 1995-era HTML."""
+    return name.upper() in EMPTY_TAGS

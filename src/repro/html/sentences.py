@@ -1,0 +1,66 @@
+"""Sentence segmentation of HTML text runs.
+
+The paper's unit of comparison is the *sentence*: "a sequence of words
+and certain (non-sentence-breaking) markups... A 'sentence' contains at
+most one English sentence, but may be a fragment of an English
+sentence."  Text between markups is therefore split on sentence-final
+punctuation, and each piece contributes its whitespace-separated words.
+
+Inside ``<PRE>`` whitespace is content, so preformatted text is split
+into *lines*, each line one "sentence" whose words include the exact
+spacing (we keep each line as a single word so indentation changes are
+detected).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .entities import decode_entities
+
+__all__ = ["split_sentences", "split_words", "split_preformatted"]
+
+# A sentence ends at . ! or ? (possibly followed by closing quotes or
+# parens) when followed by whitespace.  Abbreviation detection is
+# deliberately absent: the paper's matcher tolerates fragments, so an
+# over-split costs little.
+_SENTENCE_END_RE = re.compile(r"(?<=[.!?])[\"')\]]*\s+")
+_WS_RE = re.compile(r"\s+")
+
+
+def split_words(text: str) -> List[str]:
+    """Whitespace-separated words of a text run, entities decoded.
+
+    Words compare exactly (weight 1 in the sentence LCS), so decoding
+    entities first makes ``&amp;`` equal to ``&``.
+    """
+    return [w for w in _WS_RE.split(decode_entities(text)) if w]
+
+
+def split_sentences(text: str) -> List[List[str]]:
+    """Split a text run into sentences, each a list of words.
+
+    >>> split_sentences("One two. Three!")
+    [['One', 'two.'], ['Three!']]
+    """
+    sentences: List[List[str]] = []
+    for piece in _SENTENCE_END_RE.split(text):
+        words = split_words(piece)
+        if words:
+            sentences.append(words)
+    return sentences
+
+
+def split_preformatted(text: str) -> List[List[str]]:
+    """Split ``<PRE>`` content into per-line single-word sentences.
+
+    Each non-empty line is one sentence holding one word: the entire
+    line, whitespace intact, so that indentation edits inside code
+    listings are visible to the comparison.
+    """
+    out: List[List[str]] = []
+    for line in decode_entities(text).split("\n"):
+        if line.strip():
+            out.append([line])
+    return out

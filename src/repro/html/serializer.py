@@ -1,0 +1,20 @@
+"""Node stream back to HTML text.
+
+Serialization reproduces each node's raw source where available (the
+lexer preserves it), so lex → serialize is the identity on well-formed
+input; synthetic nodes (repair closes, HtmlDiff highlight markup) render
+from their normalized form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .lexer import Node
+
+__all__ = ["serialize_nodes"]
+
+
+def serialize_nodes(nodes: Iterable[Node]) -> str:
+    """Concatenate the textual form of every node."""
+    return "".join(str(node) for node in nodes)

@@ -1,0 +1,23 @@
+"""Revision Control System (RCS) reimplementation.
+
+The version substrate under the snapshot facility: reverse-delta
+archives with datestamped trunk revisions, plus the ``rlog`` and
+``rcsdiff`` views that Section 8.1's server-side CGIs expose.
+"""
+
+from .archive import RcsArchive, RevisionInfo, UnknownRevision
+from .rcsdiff import rcsdiff_text
+from .rcsfile import RcsParseError, parse_rcsfile, serialize_rcsfile
+from .rlog import rlog_html, rlog_text
+
+__all__ = [
+    "RcsArchive",
+    "RevisionInfo",
+    "UnknownRevision",
+    "rcsdiff_text",
+    "RcsParseError",
+    "parse_rcsfile",
+    "serialize_rcsfile",
+    "rlog_html",
+    "rlog_text",
+]

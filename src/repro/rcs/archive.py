@@ -1,0 +1,185 @@
+"""An RCS archive: reverse-delta version storage (Tichy 1985).
+
+The snapshot facility "uses RCS to store versions... subsequent requests
+to remember the state of the page result in an RCS 'check-in' operation
+that saves only the differences between the page and its previously
+checked-in version" (Section 4.1).  The properties AIDE leans on, all
+reproduced here:
+
+* the head revision is stored in full; every older revision is a
+  *reverse* edit script from its successor, so checking out the newest
+  text (the common case) costs nothing;
+* checking in text identical to the head creates **no** new revision —
+  "the RCS ci command ensures that it is not saved if it is unchanged";
+* each revision carries a datestamp, and a revision can be requested
+  "as it existed at a particular time";
+* revision numbers are 1.1, 1.2, 1.3, ... on the trunk (AIDE never
+  branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..diffcore.textdiff import (
+    EditScript,
+    apply_edit_script,
+    make_edit_script,
+    script_size,
+)
+from ..simclock import format_timestamp
+
+__all__ = ["RcsArchive", "RevisionInfo", "UnknownRevision"]
+
+
+class UnknownRevision(KeyError):
+    """Requested revision number does not exist in the archive."""
+
+
+@dataclass
+class RevisionInfo:
+    """Metadata of one revision (the rlog view)."""
+
+    number: str
+    date: int
+    author: str
+    log: str
+    #: Serialized size of this revision's contribution to the archive:
+    #: full text for the head, delta size otherwise.  Section 7's disk
+    #: accounting sums these.
+    stored_bytes: int = 0
+
+    @property
+    def date_string(self) -> str:
+        return format_timestamp(self.date)
+
+
+@dataclass
+class _StoredRevision:
+    info: RevisionInfo
+    #: Reverse delta reconstructing THIS revision from its successor.
+    #: None for the head (its text is stored whole).
+    reverse_delta: Optional[EditScript] = None
+
+
+class RcsArchive:
+    """One RCS file (`,v` in real RCS), for one URL's page history."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._head_lines: List[str] = []
+        self._revisions: List[_StoredRevision] = []  # oldest first
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def head_revision(self) -> Optional[str]:
+        if not self._revisions:
+            return None
+        return self._revisions[-1].info.number
+
+    @property
+    def revision_count(self) -> int:
+        return len(self._revisions)
+
+    def revisions(self) -> List[RevisionInfo]:
+        """All revision metadata, oldest first."""
+        return [stored.info for stored in self._revisions]
+
+    def info(self, number: str) -> RevisionInfo:
+        return self._stored(number).info
+
+    def size_bytes(self) -> int:
+        """Approximate on-disk size: head text + all reverse deltas +
+        a small per-revision metadata overhead (RCS headers)."""
+        head = sum(len(line) + 1 for line in self._head_lines)
+        deltas = sum(rev.info.stored_bytes for rev in self._revisions[:-1])
+        metadata = 64 * len(self._revisions)
+        return head + deltas + metadata
+
+    # ------------------------------------------------------------------
+    # ci / co
+    # ------------------------------------------------------------------
+    def checkin(
+        self,
+        text: str,
+        date: int,
+        author: str = "aide",
+        log: str = "",
+    ) -> Tuple[str, bool]:
+        """Check in new content; returns (revision number, changed).
+
+        Identical content returns the existing head number with
+        ``changed=False`` and stores nothing.
+        """
+        new_lines = text.split("\n")
+        if self._revisions and new_lines == self._head_lines:
+            return self._revisions[-1].info.number, False
+        number = f"1.{len(self._revisions) + 1}"
+        if self._revisions:
+            # The old head becomes delta-reconstructible from the new.
+            reverse = make_edit_script(new_lines, self._head_lines)
+            old_head = self._revisions[-1]
+            old_head.reverse_delta = reverse
+            old_head.info.stored_bytes = script_size(reverse)
+        info = RevisionInfo(
+            number=number,
+            date=date,
+            author=author,
+            log=log,
+            stored_bytes=sum(len(line) + 1 for line in new_lines),
+        )
+        self._revisions.append(_StoredRevision(info=info, reverse_delta=None))
+        self._head_lines = new_lines
+        return number, True
+
+    def checkout(self, number: Optional[str] = None) -> str:
+        """Reconstruct a revision's text (head by default).
+
+        Walks reverse deltas from the head back to the requested
+        revision — the cost model the paper's storage argument assumes.
+        """
+        if not self._revisions:
+            raise UnknownRevision("archive is empty")
+        if number is None:
+            return "\n".join(self._head_lines)
+        index = self._index_of(number)
+        lines = self._head_lines
+        # Walk backward: revision k is rebuilt by applying revision k's
+        # reverse delta to revision k+1's text.
+        for pos in range(len(self._revisions) - 2, index - 1, -1):
+            delta = self._revisions[pos].reverse_delta
+            assert delta is not None  # only the head lacks one
+            lines = apply_edit_script(lines, delta)
+        return "\n".join(lines)
+
+    def checkout_at(self, date: int) -> Optional[str]:
+        """Text of the newest revision dated at or before ``date``.
+
+        None when the archive has nothing that old — "requesting a page
+        as it existed at a particular time" (Section 4.1).
+        """
+        info = self.revision_at(date)
+        if info is None:
+            return None
+        return self.checkout(info.number)
+
+    def revision_at(self, date: int) -> Optional[RevisionInfo]:
+        """Newest revision whose datestamp is <= ``date``."""
+        best = None
+        for stored in self._revisions:
+            if stored.info.date <= date:
+                best = stored.info
+        return best
+
+    # ------------------------------------------------------------------
+    def _index_of(self, number: str) -> int:
+        for index, stored in enumerate(self._revisions):
+            if stored.info.number == number:
+                return index
+        raise UnknownRevision(number)
+
+    def _stored(self, number: str) -> _StoredRevision:
+        return self._revisions[self._index_of(number)]

@@ -1,0 +1,32 @@
+"""rcsdiff: differences between stored revisions.
+
+The Section 8.1 server-side interface displays differences between two
+revisions; for ``.html`` files it delegates to HtmlDiff, otherwise it
+produces the classic unified text diff rendered here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..diffcore.textdiff import unified_diff
+from .archive import RcsArchive
+
+__all__ = ["rcsdiff_text"]
+
+
+def rcsdiff_text(
+    archive: RcsArchive,
+    rev_old: str,
+    rev_new: Optional[str] = None,
+) -> str:
+    """Unified diff between two revisions (new defaults to the head)."""
+    old_text = archive.checkout(rev_old)
+    new_text = archive.checkout(rev_new)
+    new_label = rev_new if rev_new is not None else (archive.head_revision or "head")
+    return unified_diff(
+        old_text.split("\n"),
+        new_text.split("\n"),
+        old_label=f"{archive.name} {rev_old}",
+        new_label=f"{archive.name} {new_label}",
+    )

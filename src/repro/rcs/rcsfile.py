@@ -1,0 +1,253 @@
+"""The RCS ``,v`` file format: serialize and parse archives.
+
+Real RCS persists each archive as a ``file,v`` text file: an admin
+header (``head``, ``access``, ``symbols``, ``locks``), per-revision
+metadata paragraphs, and per-revision ``log``/``text`` sections where
+the head's text is stored whole and every other revision's text is a
+``diff -n`` edit script.  AIDE's repository directory is a tree of
+these files; this module reads and writes the same shape so archives
+survive process restarts (and can be eyeballed with ``cat``).
+
+``@``-quoting follows RCS exactly: string payloads are wrapped in
+``@...@`` with literal ``@`` doubled.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..diffcore.textdiff import EditCommand, EditScript, script_size
+from .archive import RcsArchive, RevisionInfo, _StoredRevision
+
+__all__ = ["serialize_rcsfile", "parse_rcsfile", "RcsParseError"]
+
+
+class RcsParseError(ValueError):
+    """The ,v text is not a valid archive serialization."""
+
+
+def _quote(text: str) -> str:
+    return "@" + text.replace("@", "@@") + "@"
+
+
+def _format_script(script: EditScript) -> str:
+    return "\n".join(cmd.serialize() for cmd in script)
+
+
+def serialize_rcsfile(archive: RcsArchive) -> str:
+    """Render an archive in the ,v shape."""
+    revisions = archive.revisions()
+    head = archive.head_revision or ""
+    lines = [
+        f"head\t{head};",
+        "access;",
+        "symbols;",
+        "locks; strict;",
+        f"comment\t{_quote('# ')};",
+        "",
+    ]
+    # Metadata paragraphs, newest first (RCS order).
+    for info in reversed(revisions):
+        lines.append(f"{info.number}")
+        lines.append(f"date\t{info.date};\tauthor {info.author or 'aide'};\tstate Exp;")
+        lines.append("branches;")
+        lines.append("next\t;")
+        lines.append("")
+    lines.append("")
+    lines.append("desc")
+    lines.append(_quote(archive.name))
+    lines.append("")
+    # Text sections, newest first: head whole, others as reverse deltas.
+    for index in range(len(revisions) - 1, -1, -1):
+        info = revisions[index]
+        stored = archive._stored(info.number)
+        lines.append("")
+        lines.append(f"{info.number}")
+        lines.append("log")
+        lines.append(_quote(info.log))
+        lines.append("text")
+        if stored.reverse_delta is None:
+            lines.append(_quote(archive.checkout(info.number)))
+        else:
+            lines.append(_quote(_format_script(stored.reverse_delta)))
+    return "\n".join(lines) + "\n"
+
+
+class _Reader:
+    """Tokenizing cursor over ,v text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek_at_string(self) -> bool:
+        self.skip_ws()
+        return self.pos < len(self.text) and self.text[self.pos] == "@"
+
+    def read_string(self) -> str:
+        """Read an @...@ string, un-doubling @@."""
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != "@":
+            raise RcsParseError(f"expected @string at offset {self.pos}")
+        self.pos += 1
+        out: List[str] = []
+        while True:
+            next_at = self.text.find("@", self.pos)
+            if next_at == -1:
+                raise RcsParseError("unterminated @string")
+            out.append(self.text[self.pos:next_at])
+            if self.text[next_at + 1:next_at + 2] == "@":
+                out.append("@")
+                self.pos = next_at + 2
+                continue
+            self.pos = next_at + 1
+            return "".join(out)
+
+    def read_word(self) -> str:
+        self.skip_ws()
+        match = re.compile(r"[^\s;@]+").match(self.text, self.pos)
+        if not match:
+            raise RcsParseError(f"expected word at offset {self.pos}")
+        self.pos = match.end()
+        return match.group(0)
+
+    def skip_to_line_matching(self, pattern: re.Pattern) -> Optional[str]:
+        """Advance past lines until one matches; return the match."""
+        while self.pos < len(self.text):
+            eol = self.text.find("\n", self.pos)
+            if eol == -1:
+                eol = len(self.text)
+            line = self.text[self.pos:eol].strip()
+            self.pos = eol + 1
+            if pattern.fullmatch(line):
+                return line
+        return None
+
+
+_REV_LINE = re.compile(r"\d+\.\d+")
+
+
+def _parse_script(text: str) -> EditScript:
+    """Parse a serialized diff -n script back into commands."""
+    script: EditScript = []
+    lines = text.split("\n")
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        index += 1
+        if not line.strip():
+            continue
+        match = re.fullmatch(r"([ad])(\d+) (\d+)", line.strip())
+        if not match:
+            raise RcsParseError(f"bad edit command: {line!r}")
+        kind, anchor, count = match.group(1), int(match.group(2)), int(match.group(3))
+        if kind == "d":
+            script.append(EditCommand("d", anchor, count))
+        else:
+            payload = tuple(lines[index:index + count])
+            if len(payload) != count:
+                raise RcsParseError("append command truncated")
+            index += count
+            script.append(EditCommand("a", anchor, count, payload))
+    return script
+
+
+def parse_rcsfile(text: str) -> RcsArchive:
+    """Reconstruct an archive from ,v text.
+
+    The parser is purpose-built for what :func:`serialize_rcsfile`
+    emits (plus whitespace tolerance); it is not a general RCS reader.
+    """
+    reader = _Reader(text)
+
+    # Admin header: head N.N;
+    head_line = reader.skip_to_line_matching(re.compile(r"head\s+[\d.]+;|head\s*;"))
+    if head_line is None:
+        raise RcsParseError("missing head line")
+
+    # Revision metadata paragraphs.
+    dates: Dict[str, int] = {}
+    authors: Dict[str, str] = {}
+    meta_re = re.compile(
+        r"date\s+(\d+);\s*author ([^;]*);\s*state [^;]*;"
+    )
+    # Walk lines collecting "N.N" then its date line, until "desc".
+    lines = text.split("\n")
+    index = 0
+    order_newest_first: List[str] = []
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == "desc":
+            break
+        if _REV_LINE.fullmatch(stripped):
+            number = stripped
+            if index + 1 < len(lines):
+                match = meta_re.match(lines[index + 1].strip())
+                if match:
+                    dates[number] = int(match.group(1))
+                    authors[number] = match.group(2).strip()
+                    order_newest_first.append(number)
+                    index += 2
+                    continue
+        index += 1
+    if not order_newest_first and "desc" not in text:
+        raise RcsParseError("no revisions and no desc section")
+
+    # desc string gives the archive name.
+    desc_pos = text.find("\ndesc")
+    reader.pos = desc_pos + len("\ndesc") if desc_pos != -1 else 0
+    name = reader.read_string() if desc_pos != -1 else ""
+
+    archive = RcsArchive(name=name)
+    if not order_newest_first:
+        return archive
+
+    # Text sections: for each revision number, a log string and a text
+    # string, newest first.
+    logs: Dict[str, str] = {}
+    texts: Dict[str, str] = {}
+    while True:
+        line = reader.skip_to_line_matching(_REV_LINE)
+        if line is None:
+            break
+        number = line
+        marker = reader.skip_to_line_matching(re.compile(r"log"))
+        if marker is None:
+            raise RcsParseError(f"revision {number}: missing log")
+        logs[number] = reader.read_string()
+        marker = reader.skip_to_line_matching(re.compile(r"text"))
+        if marker is None:
+            raise RcsParseError(f"revision {number}: missing text")
+        texts[number] = reader.read_string()
+
+    head_number = order_newest_first[0]
+    if head_number not in texts:
+        raise RcsParseError("head revision has no text section")
+
+    # Rebuild internal state directly (oldest first).
+    oldest_first = list(reversed(order_newest_first))
+    archive._head_lines = texts[head_number].split("\n")
+    for number in oldest_first:
+        info = RevisionInfo(
+            number=number,
+            date=dates.get(number, 0),
+            author=authors.get(number, "aide"),
+            log=logs.get(number, ""),
+        )
+        if number == head_number:
+            info.stored_bytes = sum(len(l) + 1 for l in archive._head_lines)
+            archive._revisions.append(
+                _StoredRevision(info=info, reverse_delta=None)
+            )
+        else:
+            delta = _parse_script(texts[number])
+            info.stored_bytes = script_size(delta)
+            archive._revisions.append(
+                _StoredRevision(info=info, reverse_delta=delta)
+            )
+    return archive

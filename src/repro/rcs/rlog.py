@@ -1,0 +1,75 @@
+"""rlog: render an archive's revision history.
+
+Section 8.1: "A CGI script (/cgi-bin/rlog) converts the output of rlog
+into HTML, showing the user a history of the document with links to
+view any specific version or to see the differences between two
+versions."  Both the plain-text form (real rlog's shape) and the HTML
+form are produced here; the CGI wrapper lives in
+:mod:`repro.aide.serverside`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..html.entities import encode_entities
+from .archive import RcsArchive
+
+__all__ = ["rlog_text", "rlog_html"]
+
+
+def rlog_text(archive: RcsArchive) -> str:
+    """Plain-text revision log, newest first (like ``rlog file,v``)."""
+    lines = [
+        f"RCS file: {archive.name},v",
+        f"head: {archive.head_revision or '(empty)'}",
+        f"total revisions: {archive.revision_count}",
+        "description:",
+        "----------------------------",
+    ]
+    for info in reversed(archive.revisions()):
+        lines.append(f"revision {info.number}")
+        lines.append(f"date: {info.date_string};  author: {info.author};")
+        lines.append(info.log or "*** empty log message ***")
+        lines.append("----------------------------")
+    lines.append("=" * 26)
+    return "\n".join(lines) + "\n"
+
+
+def rlog_html(
+    archive: RcsArchive,
+    co_url: str = "/cgi-bin/co",
+    rcsdiff_url: str = "/cgi-bin/rcsdiff",
+    file_param: Optional[str] = None,
+) -> str:
+    """Revision history as HTML with view/diff links.
+
+    Each revision row links to ``co`` (view that version); consecutive
+    pairs link to ``rcsdiff`` (view the differences).
+    """
+    name = file_param if file_param is not None else archive.name
+    safe_name = encode_entities(name, quote=True)
+    rows = []
+    infos = list(reversed(archive.revisions()))
+    for idx, info in enumerate(infos):
+        view = f'{co_url}?file={safe_name}&amp;rev={info.number}'
+        row = (
+            f'<LI><A HREF="{view}">{info.number}</A> '
+            f"&#183; {info.date_string} &#183; {encode_entities(info.author)} "
+            f"&#183; {encode_entities(info.log) or '(no log)'}"
+        )
+        if idx + 1 < len(infos):
+            older = infos[idx + 1]
+            diff = (
+                f"{rcsdiff_url}?file={safe_name}"
+                f"&amp;r1={older.number}&amp;r2={info.number}"
+            )
+            row += f' [<A HREF="{diff}">diff to {older.number}</A>]'
+        rows.append(row)
+    body = "".join(rows) or "<LI>(no revisions)"
+    return (
+        "<HTML><HEAD><TITLE>Revision history of "
+        f"{encode_entities(name)}</TITLE></HEAD><BODY>"
+        f"<H1>Revision history of {encode_entities(name)}</H1>"
+        f"<UL>{body}</UL></BODY></HTML>"
+    )

@@ -1,0 +1,53 @@
+"""The simulated World-Wide Web.
+
+Virtual hosts, HTTP/1.0 transport with fault injection, a
+proxy-caching server, CGI, the robot exclusion protocol, and the
+synthetic sites the paper's experiments revolve around.  AIDE's tools
+speak to this substrate exactly as they would to the 1995 internet —
+through GET/HEAD/POST and headers — so every systems issue the paper
+discusses (timeouts, moved URLs, robot bans, noisy pages) is
+exercisable deterministically.
+"""
+
+from .client import FetchResult, TooManyRedirects, UserAgent
+from .http import (
+    ConnectionRefused,
+    DnsError,
+    Headers,
+    NetworkError,
+    NetworkUnreachable,
+    Request,
+    Response,
+    TimeoutError_,
+    make_response,
+)
+from .network import Network, RequestRecord
+from .proxy import ProxyCache
+from .robots import RobotsFile, parse_robots_txt
+from .server import HttpServer, Page
+from .url import Url, join_url, parse_url
+
+__all__ = [
+    "FetchResult",
+    "TooManyRedirects",
+    "UserAgent",
+    "ConnectionRefused",
+    "DnsError",
+    "Headers",
+    "NetworkError",
+    "NetworkUnreachable",
+    "Request",
+    "Response",
+    "TimeoutError_",
+    "make_response",
+    "Network",
+    "RequestRecord",
+    "ProxyCache",
+    "RobotsFile",
+    "parse_robots_txt",
+    "HttpServer",
+    "Page",
+    "Url",
+    "join_url",
+    "parse_url",
+]

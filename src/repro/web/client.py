@@ -1,0 +1,124 @@
+"""The user agent: how AIDE's tools speak HTTP.
+
+w3newer, snapshot, and the centralized tracker all fetch through a
+:class:`UserAgent`: optional proxy routing, redirect following with a
+hop limit, and convenience GET/HEAD/POST wrappers.  Robot-exclusion
+policy deliberately does NOT live here — whether to obey robots.txt is
+the *tool's* decision (Section 3.1 debates it), so the client only
+offers :meth:`fetch_robots`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..simclock import SimClock
+from .http import Headers, NetworkError, Request, Response
+from .network import Network
+from .proxy import ProxyCache
+from .robots import RobotsFile, parse_robots_txt
+from .url import Url, join_url, parse_url
+
+__all__ = ["UserAgent", "FetchResult", "TooManyRedirects"]
+
+_MAX_REDIRECTS = 5
+
+
+class TooManyRedirects(NetworkError):
+    """Redirect chain exceeded the hop limit (loop or misconfiguration)."""
+
+
+@dataclass
+class FetchResult:
+    """A response plus the redirect trail that produced it."""
+
+    response: Response
+    url: Url
+    redirects: List[str] = field(default_factory=list)
+
+    @property
+    def moved(self) -> bool:
+        return bool(self.redirects)
+
+
+class UserAgent:
+    """HTTP client with optional proxy and redirect following."""
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        proxy: Optional[ProxyCache] = None,
+        agent_name: str = "w3newer/1.0",
+        default_timeout: int = 60,
+    ) -> None:
+        self.network = network
+        self.clock = clock
+        self.proxy = proxy
+        self.agent_name = agent_name
+        self.default_timeout = default_timeout
+
+    # ------------------------------------------------------------------
+    def _transport(self, request: Request) -> Response:
+        request.headers.set("User-Agent", self.agent_name)
+        if self.proxy is not None:
+            return self.proxy.request(request)
+        return self.network.request(request)
+
+    def _fetch(
+        self,
+        method: str,
+        url: Union[str, Url],
+        body: str = "",
+        timeout: Optional[int] = None,
+        headers: Optional[Headers] = None,
+    ) -> FetchResult:
+        if isinstance(url, str):
+            url = parse_url(url)
+        url = url.normalized()
+        timeout = timeout if timeout is not None else self.default_timeout
+        redirects: List[str] = []
+        current = url
+        for _ in range(_MAX_REDIRECTS + 1):
+            request = Request(
+                method=method,
+                url=current,
+                headers=headers.copy() if headers else Headers(),
+                body=body,
+                timeout=timeout,
+            )
+            response = self._transport(request)
+            if response.status in (301, 302):
+                location = response.headers.get("Location")
+                if not location:
+                    return FetchResult(response, current, redirects)
+                redirects.append(str(current))
+                current = join_url(current, location).normalized()
+                continue
+            return FetchResult(response, current, redirects)
+        raise TooManyRedirects(f"more than {_MAX_REDIRECTS} redirects from {url}")
+
+    # ------------------------------------------------------------------
+    def get(self, url: Union[str, Url], timeout: Optional[int] = None,
+            headers: Optional[Headers] = None) -> FetchResult:
+        return self._fetch("GET", url, timeout=timeout, headers=headers)
+
+    def head(self, url: Union[str, Url], timeout: Optional[int] = None) -> FetchResult:
+        return self._fetch("HEAD", url, timeout=timeout)
+
+    def post(self, url: Union[str, Url], body: str,
+             timeout: Optional[int] = None) -> FetchResult:
+        return self._fetch("POST", url, body=body, timeout=timeout)
+
+    def fetch_robots(self, host: str, timeout: Optional[int] = None) -> RobotsFile:
+        """Fetch and parse ``http://host/robots.txt``.
+
+        A missing file (404) means "no restrictions", per the protocol.
+        Transport errors propagate — the caller decides whether an
+        unreachable host blocks the real fetch anyway.
+        """
+        result = self.get(f"http://{host}/robots.txt", timeout=timeout)
+        if result.response.ok:
+            return parse_robots_txt(result.response.body)
+        return RobotsFile()

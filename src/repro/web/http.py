@@ -1,0 +1,199 @@
+"""HTTP/1.0 message model for the simulated web.
+
+Only what 1995-96 tooling used: ``GET``, ``HEAD``, ``POST``; the
+``Last-Modified``, ``If-Modified-Since``, ``Content-Type``,
+``Content-Length`` and ``Location`` headers; and the status codes AIDE's
+error handling distinguishes.  Bodies are ``str`` — the corpus is HTML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..simclock import format_timestamp
+from .url import Url, parse_url
+
+__all__ = [
+    "Headers",
+    "Request",
+    "Response",
+    "STATUS_REASONS",
+    "NetworkError",
+    "DnsError",
+    "ConnectionRefused",
+    "TimeoutError_",
+    "NetworkUnreachable",
+]
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Moved Temporarily",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class NetworkError(Exception):
+    """Base of all transport-level failures (not HTTP responses).
+
+    The paper distinguishes these from per-URL HTTP errors: "Local
+    problems such as network connectivity or the status of a
+    proxy-caching server can cause all HTTP requests to fail."
+    """
+
+
+class DnsError(NetworkError):
+    """Host name does not resolve (server renamed or deactivated)."""
+
+
+class ConnectionRefused(NetworkError):
+    """Host resolves but nothing is listening."""
+
+
+class TimeoutError_(NetworkError):
+    """The server (or an overloaded proxy) did not answer in time."""
+
+
+class NetworkUnreachable(NetworkError):
+    """Systemic connectivity failure — every request will fail."""
+
+
+class Headers:
+    """Case-insensitive header multimap with last-wins get semantics."""
+
+    def __init__(self, items: Optional[Dict[str, str]] = None) -> None:
+        self._items: Dict[str, Tuple[str, str]] = {}
+        if items:
+            for key, value in items.items():
+                self.set(key, value)
+
+    def set(self, key: str, value: str) -> None:
+        self._items[key.lower()] = (key, str(value))
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        entry = self._items.get(key.lower())
+        return entry[1] if entry else default
+
+    def remove(self, key: str) -> None:
+        self._items.pop(key.lower(), None)
+
+    def __contains__(self, key: str) -> bool:
+        return key.lower() in self._items
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = dict(self._items)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}: {v}" for k, v in self)
+        return f"Headers({inner})"
+
+
+@dataclass
+class Request:
+    """One HTTP request.  ``timeout`` is in simulated seconds."""
+
+    method: str
+    url: Url
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    timeout: int = 60
+
+    def __post_init__(self) -> None:
+        if isinstance(self.url, str):
+            self.url = parse_url(self.url)
+        self.method = self.method.upper()
+        if self.method not in ("GET", "HEAD", "POST"):
+            raise ValueError(f"unsupported method: {self.method}")
+
+    @property
+    def is_conditional(self) -> bool:
+        return "If-Modified-Since" in self.headers
+
+
+@dataclass
+class Response:
+    """One HTTP response."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def last_modified(self) -> Optional[int]:
+        """The Last-Modified header parsed back to a sim timestamp.
+
+        Servers in this simulation stamp the raw integer alongside the
+        formatted date (header ``X-Sim-Last-Modified``); when only the
+        human-readable RFC-1123 date is present (a hand-built response),
+        it is parsed instead.  Absence returns None — exactly the case
+        the paper's checksum fallback handles.
+        """
+        raw = self.headers.get("X-Sim-Last-Modified")
+        if raw is not None:
+            try:
+                return int(raw)
+            except ValueError:
+                return None
+        from ..simclock import parse_timestamp
+
+        date_text = self.headers.get("Last-Modified")
+        if date_text is None:
+            return None
+        return parse_timestamp(date_text)
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "text/html")
+
+
+def make_response(
+    status: int,
+    body: str = "",
+    *,
+    last_modified: Optional[int] = None,
+    content_type: str = "text/html",
+    location: Optional[str] = None,
+) -> Response:
+    """Convenience constructor used throughout the server code."""
+    headers = Headers()
+    headers.set("Content-Type", content_type)
+    headers.set("Content-Length", str(len(body)))
+    if last_modified is not None:
+        headers.set("Last-Modified", format_timestamp(last_modified))
+        headers.set("X-Sim-Last-Modified", str(last_modified))
+    if location is not None:
+        headers.set("Location", location)
+    return Response(status=status, headers=headers, body=body)
+
+
+__all__.append("make_response")

@@ -1,0 +1,145 @@
+"""The simulated internet: routing plus fault injection.
+
+A :class:`Network` owns the map from host names to
+:class:`~repro.web.server.HttpServer` instances and decides, per
+request, whether transport succeeds.  Every failure mode Section 3.1
+enumerates is injectable:
+
+* systemic: the whole network unreachable (local connectivity loss);
+* per-host: DNS failure (server renamed/deactivated), connection
+  refused (host down), slow responses that overrun client timeouts.
+
+The network also keeps a request log so benchmarks can count exactly
+how many HTTP requests each tracking strategy issues — the paper's
+scalability argument is about precisely this number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..simclock import SimClock
+from .http import (
+    ConnectionRefused,
+    DnsError,
+    NetworkUnreachable,
+    Request,
+    Response,
+    TimeoutError_,
+)
+from .server import HttpServer
+
+__all__ = ["Network", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One entry in the network's request log."""
+
+    time: int
+    method: str
+    host: str
+    path: str
+    status: Optional[int]  # None when transport failed
+    error: Optional[str] = None
+
+
+class Network:
+    """Routes requests to virtual hosts, injecting configured faults."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._hosts: Dict[str, HttpServer] = {}
+        self._dns_dead: set = set()
+        self._refusing: set = set()
+        self.unreachable = False
+        self.log: List[RequestRecord] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_server(self, server: HttpServer) -> HttpServer:
+        self._hosts[server.host.lower()] = server
+        return server
+
+    def create_server(self, host: str, response_delay: int = 0) -> HttpServer:
+        server = HttpServer(host, self.clock, response_delay=response_delay)
+        return self.add_server(server)
+
+    def server_for(self, host: str) -> Optional[HttpServer]:
+        return self._hosts.get(host.lower())
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def kill_dns(self, host: str) -> None:
+        """Host name stops resolving."""
+        self._dns_dead.add(host.lower())
+
+    def restore_dns(self, host: str) -> None:
+        self._dns_dead.discard(host.lower())
+
+    def refuse_connections(self, host: str) -> None:
+        """Host resolves but the server process is down."""
+        self._refusing.add(host.lower())
+
+    def accept_connections(self, host: str) -> None:
+        self._refusing.discard(host.lower())
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, request: Request) -> Response:
+        """Deliver a request, or raise a :class:`NetworkError`."""
+        host = request.url.host.lower()
+        path = request.url.request_path
+
+        def _log(status: Optional[int], error: Optional[str] = None) -> None:
+            self.log.append(
+                RequestRecord(
+                    time=self.clock.now,
+                    method=request.method,
+                    host=host,
+                    path=path,
+                    status=status,
+                    error=error,
+                )
+            )
+
+        if self.unreachable:
+            _log(None, "network unreachable")
+            raise NetworkUnreachable("network is unreachable")
+        if host in self._dns_dead or host not in self._hosts:
+            _log(None, "dns")
+            raise DnsError(f"cannot resolve {host}")
+        if host in self._refusing:
+            _log(None, "refused")
+            raise ConnectionRefused(f"{host} refused the connection")
+        server = self._hosts[host]
+        if server.response_delay > request.timeout:
+            # The client hangs up before the server answers.  The
+            # server still did the work (and its counters show it).
+            server.request_count += 1
+            _log(None, "timeout")
+            raise TimeoutError_(
+                f"{host} did not respond within {request.timeout}s"
+            )
+        response = server.handle(request)
+        _log(response.status)
+        return response
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def requests_since(self, when: int) -> List[RequestRecord]:
+        return [record for record in self.log if record.time >= when]
+
+    def request_counts_by_host(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.log:
+            counts[record.host] = counts.get(record.host, 0) + 1
+        return counts
+
+    def reset_log(self) -> None:
+        self.log.clear()

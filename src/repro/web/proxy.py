@@ -1,0 +1,200 @@
+"""A proxy-caching server (the AT&T-wide proxy of the paper).
+
+w3newer consults "a modification date stored in a proxy-caching
+server's cache" before ever touching the origin, and the paper warns
+that "proxy-caching servers are sometimes overloaded to the point of
+timing out large numbers of requests".  Both behaviours live here:
+
+* TTL-based freshness with If-Modified-Since revalidation on expiry,
+* an inspection API (:meth:`cached_last_modified`) used by the checker,
+* an ``overloaded`` switch making the proxy time out every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..simclock import SimClock
+from .http import Headers, Request, Response, TimeoutError_
+from .network import Network
+from .url import Url
+
+__all__ = ["ProxyCache", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached entity."""
+
+    response: Response
+    fetched_at: int
+    last_modified: Optional[int]
+
+
+def _cache_key(url: Url) -> str:
+    normal = url.normalized()
+    return f"{normal.host}{normal.request_path}"
+
+
+class ProxyCache:
+    """TTL cache in front of the network, HTTP/1.0 style."""
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        ttl: int = 3600,
+        capacity_bytes: int = 0,
+    ) -> None:
+        self.network = network
+        self.clock = clock
+        self.ttl = ttl
+        #: 0 means unbounded; otherwise LRU eviction keeps the cached
+        #: body bytes under this limit (1995 proxies were disk-bound —
+        #: the "insufficient locality" the paper observed on the
+        #: AT&T-wide proxy is partly an artifact of such limits).
+        self.capacity_bytes = capacity_bytes
+        self.overloaded = False
+        #: 0 = unlimited.  Otherwise the proxy times out requests beyond
+        #: this many in a single simulated instant — the paper's
+        #: "proxy-caching servers are sometimes overloaded to the point
+        #: of timing out large numbers of requests, and a background
+        #: task that retrieves many URLs in a short time can aggravate
+        #: their condition".
+        self.requests_per_instant_limit = 0
+        self._instant: int = -1
+        self._instant_requests = 0
+        self._cache: Dict[str, CacheEntry] = {}
+        self._lru: List[str] = []  # least-recently-used first
+        self.hits = 0
+        self.misses = 0
+        self.revalidations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Inspection (w3newer's second modification-date source)
+    # ------------------------------------------------------------------
+    def cached_last_modified(self, url: Url) -> Optional[Tuple[int, int]]:
+        """(last_modified, cached_at) for a cached page, else None.
+
+        ``cached_at`` lets the caller judge staleness: the paper only
+        trusts proxy data "current with respect to the threshold".
+        """
+        entry = self._cache.get(_cache_key(url))
+        if entry is None or entry.last_modified is None:
+            return None
+        return entry.last_modified, entry.fetched_at
+
+    def contains(self, url: Url) -> bool:
+        return _cache_key(url) in self._cache
+
+    def evict(self, url: Url) -> None:
+        key = _cache_key(url)
+        self._cache.pop(key, None)
+        if key in self._lru:
+            self._lru.remove(key)
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(len(e.response.body) for e in self._cache.values())
+
+    # ------------------------------------------------------------------
+    # Proxying
+    # ------------------------------------------------------------------
+    def request(self, request: Request) -> Response:
+        """Serve from cache when fresh; otherwise go to the origin.
+
+        Only GET responses with status 200 are cached.  POST and HEAD
+        pass straight through (HTTP/1.0 proxies did not cache HEAD).
+        """
+        if self.overloaded:
+            raise TimeoutError_("proxy overloaded")
+        if self.requests_per_instant_limit > 0:
+            if self.clock.now != self._instant:
+                self._instant = self.clock.now
+                self._instant_requests = 0
+            self._instant_requests += 1
+            if self._instant_requests > self.requests_per_instant_limit:
+                raise TimeoutError_(
+                    "proxy overloaded by burst traffic "
+                    f"({self._instant_requests} requests this instant)"
+                )
+        if request.method != "GET":
+            return self.network.request(request)
+
+        key = _cache_key(request.url)
+        entry = self._cache.get(key)
+        now = self.clock.now
+
+        if entry is not None and now - entry.fetched_at < self.ttl:
+            self.hits += 1
+            self._touch(key)
+            return self._copy(entry.response)
+
+        if entry is not None and entry.last_modified is not None:
+            # Stale: revalidate with a conditional GET.
+            self.revalidations += 1
+            conditional = Request(
+                method="GET",
+                url=request.url,
+                headers=self._conditional_headers(entry),
+                timeout=request.timeout,
+            )
+            response = self.network.request(conditional)
+            if response.status == 304:
+                entry.fetched_at = now
+                return self._copy(entry.response)
+            if response.status == 200:
+                self._store(key, response, now)
+            return self._copy(response)
+
+        self.misses += 1
+        response = self.network.request(request)
+        if response.status == 200:
+            self._store(key, response, now)
+        return self._copy(response)
+
+    def _conditional_headers(self, entry: CacheEntry) -> Headers:
+        headers = Headers()
+        if entry.last_modified is not None:
+            headers.set("X-Sim-If-Modified-Since", str(entry.last_modified))
+            headers.set("If-Modified-Since", str(entry.last_modified))
+        return headers
+
+    def _store(self, key: str, response: Response, now: int) -> None:
+        self._cache[key] = CacheEntry(
+            response=self._copy(response),
+            fetched_at=now,
+            last_modified=response.last_modified,
+        )
+        self._touch(key)
+        self._enforce_capacity(key)
+
+    def _touch(self, key: str) -> None:
+        if key in self._lru:
+            self._lru.remove(key)
+        self._lru.append(key)
+
+    def _enforce_capacity(self, protected: str) -> None:
+        """Evict least-recently-used entries past the byte budget.
+
+        The just-stored entry is never evicted, even when it alone
+        exceeds the budget — a proxy that cannot cache a page simply
+        holds it for the in-flight response.
+        """
+        if self.capacity_bytes <= 0:
+            return
+        while self.cached_bytes > self.capacity_bytes and len(self._cache) > 1:
+            victim = next(k for k in self._lru if k != protected)
+            self._lru.remove(victim)
+            self._cache.pop(victim, None)
+            self.evictions += 1
+
+    @staticmethod
+    def _copy(response: Response) -> Response:
+        return Response(
+            status=response.status,
+            headers=response.headers.copy(),
+            body=response.body,
+        )

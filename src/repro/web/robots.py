@@ -1,0 +1,98 @@
+"""The robot exclusion protocol (1994 convention).
+
+Paper Section 3.1: a site "may disallow retrieval of this URL by
+'robots'... programs only voluntarily follow the 'robot exclusion
+protocol', the convention that defines the use of robots.txt.  Although
+w3newer currently obeys this protocol, it is not clear that it should".
+w3newer therefore parses robots.txt, caches the verdict, and exposes an
+``ignore_robots`` flag.
+
+The format implemented is the original norobots convention: records of
+``User-agent:`` lines followed by ``Disallow:`` lines, blank-line
+separated, ``#`` comments, prefix-match semantics, empty Disallow
+meaning "allow everything".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["RobotsFile", "parse_robots_txt"]
+
+
+@dataclass
+class _Record:
+    agents: List[str] = field(default_factory=list)
+    disallows: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RobotsFile:
+    """Parsed robots.txt with the original prefix-match semantics."""
+
+    records: Tuple[Tuple[Tuple[str, ...], Tuple[str, ...]], ...] = ()
+
+    def allows(self, agent: str, path: str) -> bool:
+        """May ``agent`` fetch ``path``?
+
+        The most specific applicable record wins: a record naming the
+        agent explicitly beats the ``*`` record; within a record, any
+        matching Disallow prefix forbids access.
+        """
+        agent_lower = agent.lower()
+        chosen = None
+        for agents, disallows in self.records:
+            if any(name != "*" and name.lower() in agent_lower for name in agents):
+                chosen = disallows
+                break
+            if "*" in agents and chosen is None:
+                chosen = disallows
+        if chosen is None:
+            return True
+        return not any(path.startswith(prefix) for prefix in chosen if prefix)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+
+def parse_robots_txt(text: str) -> RobotsFile:
+    """Parse robots.txt text; garbage lines are ignored, per the
+    convention's "be liberal" guidance."""
+    records: List[_Record] = []
+    current: _Record = _Record()
+    saw_agent = False
+
+    def _flush() -> None:
+        nonlocal current, saw_agent
+        if current.agents:
+            records.append(current)
+        current = _Record()
+        saw_agent = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            _flush()
+            continue
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "user-agent":
+            if saw_agent and current.disallows:
+                # New record begins without a blank separator.
+                _flush()
+            current.agents.append(value)
+            saw_agent = True
+        elif key == "disallow" and saw_agent:
+            if value:
+                current.disallows.append(value)
+    _flush()
+    return RobotsFile(
+        records=tuple(
+            (tuple(record.agents), tuple(record.disallows)) for record in records
+        )
+    )

@@ -1,0 +1,185 @@
+"""Virtual HTTP servers.
+
+Each :class:`HttpServer` is one origin host on the simulated internet:
+a tree of static pages (with Last-Modified stamps maintained by the
+shared :class:`~repro.simclock.SimClock`), CGI dispatch, a robots.txt,
+conditional-GET handling, redirects, and per-server response delay (so
+overload/timeout experiments work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..simclock import SimClock
+from .cgi import CgiScript
+from .http import Request, Response, make_response
+from .robots import RobotsFile, parse_robots_txt
+
+__all__ = ["Page", "HttpServer"]
+
+
+@dataclass
+class Page:
+    """One static resource: body, modification stamp, optional quirks."""
+
+    body: str
+    last_modified: int
+    content_type: str = "text/html"
+    #: Some 1995 servers omitted Last-Modified even for static files;
+    #: the checksum fallback path needs such pages.
+    send_last_modified: bool = True
+    #: Revision counter, handy for tests and workload bookkeeping.
+    version: int = 1
+
+
+@dataclass
+class _Redirect:
+    location: str
+    permanent: bool = True
+
+
+class HttpServer:
+    """A single virtual host.
+
+    Pages are keyed by path (query strings route to CGI only).  All
+    mutation goes through :meth:`set_page` so Last-Modified stamps stay
+    truthful — exactly the invariant w3newer's date logic relies on.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        clock: SimClock,
+        response_delay: int = 0,
+    ) -> None:
+        self.host = host
+        self.clock = clock
+        #: Seconds this server takes to answer; requests whose timeout
+        #: is smaller observe a timeout (set high to simulate overload).
+        self.response_delay = response_delay
+        self._pages: Dict[str, Page] = {}
+        self._cgi: Dict[str, CgiScript] = {}
+        self._redirects: Dict[str, _Redirect] = {}
+        self._gone: Dict[str, int] = {}  # path -> status (404 or 410)
+        self._robots: Optional[RobotsFile] = None
+        self.request_count = 0
+        self.head_count = 0
+        self.get_count = 0
+        self.post_count = 0
+
+    # ------------------------------------------------------------------
+    # Content management
+    # ------------------------------------------------------------------
+    def set_page(
+        self,
+        path: str,
+        body: str,
+        *,
+        content_type: str = "text/html",
+        send_last_modified: bool = True,
+        touch: bool = True,
+    ) -> Page:
+        """Create or replace a static page.
+
+        ``touch=True`` stamps Last-Modified with the current simulation
+        time; ``touch=False`` preserves the previous stamp (content
+        changed but the server lies — another real-world failure mode).
+        Setting identical content with ``touch=True`` still restamps,
+        reproducing servers that touch files without changing them.
+        """
+        existing = self._pages.get(path)
+        stamp = self.clock.now if touch or existing is None else existing.last_modified
+        version = existing.version + 1 if existing else 1
+        page = Page(
+            body=body,
+            last_modified=stamp,
+            content_type=content_type,
+            send_last_modified=send_last_modified,
+            version=version,
+        )
+        self._pages[path] = page
+        self._gone.pop(path, None)
+        self._redirects.pop(path, None)
+        return page
+
+    def get_page(self, path: str) -> Optional[Page]:
+        return self._pages.get(path)
+
+    def remove_page(self, path: str, status: int = 404) -> None:
+        """Delete a page; subsequent requests get 404 (or 410 Gone)."""
+        if status not in (404, 410):
+            raise ValueError("removal status must be 404 or 410")
+        self._pages.pop(path, None)
+        self._gone[path] = status
+
+    def add_redirect(self, path: str, location: str, permanent: bool = True) -> None:
+        """The URL moved, leaving a forwarding pointer (Section 3.1)."""
+        self._pages.pop(path, None)
+        self._redirects[path] = _Redirect(location=location, permanent=permanent)
+
+    def register_cgi(self, path: str, script: CgiScript) -> None:
+        self._cgi[path] = script
+
+    def set_robots_txt(self, text: str) -> None:
+        self._robots = parse_robots_txt(text)
+        self.set_page("/robots.txt", text, content_type="text/plain")
+
+    @property
+    def robots(self) -> RobotsFile:
+        return self._robots if self._robots is not None else RobotsFile()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Serve one request.  Transport errors (timeouts, refusals) are
+        the network's concern; everything here is an HTTP response."""
+        self.request_count += 1
+        if request.method == "HEAD":
+            self.head_count += 1
+        elif request.method == "GET":
+            self.get_count += 1
+        else:
+            self.post_count += 1
+
+        path = request.url.path or "/"
+
+        redirect = self._redirects.get(path)
+        if redirect is not None:
+            status = 301 if redirect.permanent else 302
+            return make_response(status, location=redirect.location)
+
+        script = self._cgi.get(path)
+        if script is not None:
+            response = script(request, self.clock.now)
+            if request.method == "HEAD":
+                response.body = ""
+            return response
+
+        if request.method == "POST":
+            return make_response(405, "<P>POST to a non-CGI resource.</P>")
+
+        gone = self._gone.get(path)
+        if gone is not None:
+            return make_response(gone, f"<P>{gone}: {path}</P>")
+
+        page = self._pages.get(path)
+        if page is None:
+            return make_response(404, f"<P>404: {path} not found.</P>")
+
+        stamp = page.last_modified if page.send_last_modified else None
+        since = request.headers.get("X-Sim-If-Modified-Since")
+        if since is not None and page.send_last_modified:
+            if page.last_modified <= int(since):
+                return make_response(304, last_modified=stamp)
+
+        body = "" if request.method == "HEAD" else page.body
+        response = make_response(
+            200, body, last_modified=stamp, content_type=page.content_type
+        )
+        if request.method == "HEAD":
+            # Content-Length still advertises the entity size.
+            response.headers.set("Content-Length", str(len(page.body)))
+        return response

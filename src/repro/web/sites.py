@@ -1,0 +1,245 @@
+"""Synthetic web sites: the cast of the paper's examples.
+
+Table 1 and the Experiences section name a specific menagerie —
+Yahoo category pages, anything under ``att.com``, the NCSA Mosaic
+"What's New" page, a mobile-computing page on a nonstandard port, and
+the Dilbert comic that "will always be different".  The benchmarks need
+those archetypes, so this module builds deterministic stand-ins:
+
+* :func:`build_yahoo` — a directory hierarchy whose category pages gain
+  links over time;
+* :func:`build_att_intranet` — a handful of fast-changing local pages;
+* :func:`build_virtual_library` — one page with many outbound links
+  (Section 8.3's "Virtual Library pages" case);
+* :func:`build_whats_new` — a page whose entire contents are replaced
+  on every update (Section 8.2's automatic-archival worst case);
+* :class:`DilbertSite` — new content every day, never worth checking;
+* :func:`usenix_home_v1` / ``..._v2`` — two versions of a USENIX-like
+  home page, the raw material for reproducing Figure 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..simclock import DAY, SimClock, format_timestamp
+from .network import Network
+from .server import HttpServer
+
+__all__ = [
+    "build_yahoo",
+    "build_att_intranet",
+    "build_virtual_library",
+    "build_whats_new",
+    "DilbertSite",
+    "usenix_home_v1",
+    "usenix_home_v2",
+]
+
+_WORDS = (
+    "systems research internet software engineering networks mobile "
+    "computing distributed file caching protocol analysis conference "
+    "workshop proceedings tutorial technical session communication"
+).split()
+
+
+def _paragraph(rng: random.Random, sentences: int = 3) -> str:
+    out = []
+    for _ in range(sentences):
+        length = rng.randint(5, 12)
+        words = [rng.choice(_WORDS) for _ in range(length)]
+        words[0] = words[0].capitalize()
+        out.append(" ".join(words) + ".")
+    return " ".join(out)
+
+
+def build_yahoo(network: Network, categories: int = 10, seed: int = 42) -> HttpServer:
+    """``www.yahoo.com`` with a root directory and category pages.
+
+    Category pages are link lists — the shape that grows "a number of
+    links added at a time" (Section 2.1's Virtual Library complaint).
+    """
+    rng = random.Random(seed)
+    server = network.server_for("www.yahoo.com") or network.create_server("www.yahoo.com")
+    names = [f"category{i}" for i in range(categories)]
+    index_items = "".join(
+        f'<LI><A HREF="/{name}/">{name.capitalize()}</A>' for name in names
+    )
+    server.set_page(
+        "/",
+        "<HTML><HEAD><TITLE>Yahoo</TITLE></HEAD><BODY>"
+        f"<H1>Yahoo Directory</H1><UL>{index_items}</UL></BODY></HTML>",
+    )
+    for name in names:
+        links = "".join(
+            f'<LI><A HREF="http://site{rng.randint(0, 999)}.com/">'
+            f"{_paragraph(rng, 1)}</A>"
+            for _ in range(rng.randint(4, 9))
+        )
+        server.set_page(
+            f"/{name}/",
+            f"<HTML><HEAD><TITLE>Yahoo: {name}</TITLE></HEAD><BODY>"
+            f"<H1>{name.capitalize()}</H1><UL>{links}</UL></BODY></HTML>",
+        )
+    return server
+
+
+def build_att_intranet(network: Network, pages: int = 5, seed: int = 7) -> HttpServer:
+    """``www.research.att.com`` — local pages, checked on every run
+    (Table 1 gives the att.com pattern threshold 0)."""
+    rng = random.Random(seed)
+    server = network.server_for("www.research.att.com") or network.create_server(
+        "www.research.att.com"
+    )
+    server.set_page(
+        "/",
+        "<HTML><HEAD><TITLE>AT&amp;T Research</TITLE></HEAD><BODY>"
+        "<H1>AT&amp;T Bell Laboratories Research</H1>"
+        f"<P>{_paragraph(rng)}</P></BODY></HTML>",
+    )
+    for i in range(pages):
+        server.set_page(
+            f"/projects/project{i}.html",
+            f"<HTML><HEAD><TITLE>Project {i}</TITLE></HEAD><BODY>"
+            f"<H1>Project {i}</H1><P>{_paragraph(rng)}</P></BODY></HTML>",
+        )
+    return server
+
+
+def build_virtual_library(
+    server: HttpServer, path: str, subject: str, link_count: int, seed: int = 3
+) -> List[str]:
+    """A W3 Virtual Library page: many links within one subject area.
+
+    Returns the link URLs so experiments can follow them (the
+    centralized tracker of Section 8.3 does exactly that).
+    """
+    rng = random.Random(seed)
+    urls = [
+        f"http://vlib-member{rng.randint(0, 9999)}.org/{subject}/{i}.html"
+        for i in range(link_count)
+    ]
+    items = "".join(
+        f'<LI><A HREF="{url}">{subject} resource {i}</A>'
+        for i, url in enumerate(urls)
+    )
+    server.set_page(
+        path,
+        f"<HTML><HEAD><TITLE>Virtual Library: {subject}</TITLE></HEAD><BODY>"
+        f"<H1>The {subject.capitalize()} Virtual Library</H1>"
+        f"<UL>{items}</UL></BODY></HTML>",
+    )
+    return urls
+
+
+def build_whats_new(server: HttpServer, path: str, clock: SimClock,
+                    entries: int = 8, seed: int = 11) -> None:
+    """The Mosaic-style "What's New" page: wholesale replacement.
+
+    Call again (same arguments advance the seed via the clock) to
+    replace the entire contents, the case where "there is no use for
+    HtmlDiff" and archives balloon (Section 8.2).
+    """
+    rng = random.Random(seed + clock.now)
+    items = "".join(
+        f"<LI>{format_timestamp(clock.now)} &#183; {_paragraph(rng, 1)}"
+        for _ in range(entries)
+    )
+    server.set_page(
+        path,
+        "<HTML><HEAD><TITLE>What's New</TITLE></HEAD><BODY>"
+        f"<H1>What's New with NCSA Mosaic</H1><UL>{items}</UL></BODY></HTML>",
+    )
+
+
+class DilbertSite:
+    """``www.unitedmedia.com/comics/dilbert/`` — different every day.
+
+    Table 1 assigns it ``never``: "it will always be different", so any
+    polling is pure junk-notification fuel.
+    """
+
+    PATH = "/comics/dilbert/"
+
+    def __init__(self, network: Network, clock: SimClock) -> None:
+        self.clock = clock
+        self.server = network.server_for("www.unitedmedia.com") or network.create_server(
+            "www.unitedmedia.com"
+        )
+        self.publish_today()
+
+    def publish_today(self) -> None:
+        day = self.clock.now // DAY
+        self.server.set_page(
+            self.PATH,
+            "<HTML><HEAD><TITLE>Dilbert</TITLE></HEAD><BODY>"
+            f'<H1>Dilbert</H1><P><IMG SRC="/strips/dilbert{day}.gif" '
+            f'ALT="strip for day {day}"></P></BODY></HTML>',
+        )
+
+
+def usenix_home_v1() -> str:
+    """A USENIX-Association-style home page, "as of 9/29/95".
+
+    The content is modelled on what Figure 2 shows of the real page:
+    conference announcements, a symposium list, registration notes.
+    """
+    return (
+        "<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD>\n"
+        "<BODY>\n"
+        '<H1><IMG SRC="/images/usenix-logo.gif" ALT="USENIX"> '
+        "USENIX Association</H1>\n"
+        "<P>USENIX is the UNIX and Advanced Computing Systems professional\n"
+        "and technical association. Since 1975 the USENIX Association has\n"
+        "brought together the community of engineers and system "
+        "administrators.</P>\n"
+        "<HR>\n"
+        "<H2>Upcoming Events</H2>\n"
+        "<UL>\n"
+        '<LI><A HREF="/events/coots96/">COOTS: Conference on Object-Oriented\n'
+        "Technologies, June 1996, Toronto</A>\n"
+        '<LI><A HREF="/events/sec96/">Sixth USENIX Security Symposium,\n'
+        "July 1996, San Jose</A>\n"
+        '<LI><A HREF="/events/lisa95/">LISA IX, September 1995, Monterey</A>\n'
+        "</UL>\n"
+        "<H2>Registration</H2>\n"
+        "<P>Registration materials for the 1996 Technical Conference will be\n"
+        "available in October. Contact the conference office for details.</P>\n"
+        "<P>Members receive the newsletter <I>;login:</I> six times a year.</P>\n"
+        "<HR>\n"
+        "<ADDRESS>USENIX Association, Berkeley, CA</ADDRESS>\n"
+        "</BODY></HTML>\n"
+    )
+
+
+def usenix_home_v2() -> str:
+    """The same page "as of 11/3/95": events dropped and added, the
+    registration paragraph rewritten, one sentence edited in place."""
+    return (
+        "<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD>\n"
+        "<BODY>\n"
+        '<H1><IMG SRC="/images/usenix-logo.gif" ALT="USENIX"> '
+        "USENIX Association</H1>\n"
+        "<P>USENIX is the UNIX and Advanced Computing Systems professional\n"
+        "and technical association. Since 1975 the USENIX Association has\n"
+        "brought together the community of engineers, system administrators,\n"
+        "and technicians working on the cutting edge.</P>\n"
+        "<HR>\n"
+        "<H2>Upcoming Events</H2>\n"
+        "<UL>\n"
+        '<LI><A HREF="/events/usenix96/">1996 USENIX Technical Conference,\n'
+        "January 1996, San Diego</A>\n"
+        '<LI><A HREF="/events/coots96/">COOTS: Conference on Object-Oriented\n'
+        "Technologies, June 1996, Toronto</A>\n"
+        '<LI><A HREF="/events/sec96/">Sixth USENIX Security Symposium,\n'
+        "July 1996, San Jose</A>\n"
+        "</UL>\n"
+        "<H2>Registration</H2>\n"
+        "<P>Registration materials for the 1996 Technical Conference are now\n"
+        "available online, together with the advance program.</P>\n"
+        "<P>Members receive the newsletter <I>;login:</I> six times a year.</P>\n"
+        "<HR>\n"
+        "<ADDRESS>USENIX Association, Berkeley, CA</ADDRESS>\n"
+        "</BODY></HTML>\n"
+    )

@@ -1,0 +1,44 @@
+"""Synthetic workloads: page generation, mutation, change schedules.
+
+The stand-in for the live 1995 web the paper measured against — every
+change class the text mentions (daily churn, link accretion, subtle
+in-place edits, wholesale replacement, formatting-only reflows) is an
+operator here, driven deterministically on the simulated clock.
+"""
+
+from .metrics import MetricLog, Observation
+from .mutate import (
+    MUTATORS,
+    MutationMix,
+    add_link,
+    append_paragraph,
+    cosmetic_whitespace,
+    delete_paragraph,
+    edit_sentence,
+    restructure,
+    rewrite,
+)
+from .pagegen import PageGenerator
+from .schedule import PageEvolution, WebEvolver
+from .scenario import CHANGE_CLASSES, SyntheticWeb, build_hotlist, build_web
+
+__all__ = [
+    "MetricLog",
+    "Observation",
+    "MUTATORS",
+    "MutationMix",
+    "add_link",
+    "append_paragraph",
+    "cosmetic_whitespace",
+    "delete_paragraph",
+    "edit_sentence",
+    "restructure",
+    "rewrite",
+    "PageGenerator",
+    "PageEvolution",
+    "WebEvolver",
+    "CHANGE_CLASSES",
+    "SyntheticWeb",
+    "build_hotlist",
+    "build_web",
+]

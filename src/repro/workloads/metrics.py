@@ -1,0 +1,139 @@
+"""Experiment metrics: uniform collection and export.
+
+Benchmarks and downstream studies record observations (requests issued,
+changes detected, bytes stored, latencies) against simulation time;
+this module provides a small, dependency-free event log with the
+aggregations the experiment write-ups need and a CSV export for
+external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Observation", "MetricLog"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured value at one simulated instant."""
+
+    time: int
+    metric: str
+    value: float
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def tag(self, key: str) -> Optional[str]:
+        for name, value in self.tags:
+            if name == key:
+                return value
+        return None
+
+
+class MetricLog:
+    """An append-only observation log with filtered aggregation."""
+
+    def __init__(self) -> None:
+        self._observations: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    def record(self, time: int, metric: str, value: float,
+               **tags: str) -> Observation:
+        observation = Observation(
+            time=time, metric=metric, value=float(value),
+            tags=tuple(sorted(tags.items())),
+        )
+        self._observations.append(observation)
+        return observation
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    # ------------------------------------------------------------------
+    def select(self, metric: Optional[str] = None,
+               since: Optional[int] = None,
+               until: Optional[int] = None,
+               **tags: str) -> List[Observation]:
+        """Observations matching the metric name, window, and tags."""
+        out = []
+        for obs in self._observations:
+            if metric is not None and obs.metric != metric:
+                continue
+            if since is not None and obs.time < since:
+                continue
+            if until is not None and obs.time > until:
+                continue
+            if any(obs.tag(k) != v for k, v in tags.items()):
+                continue
+            out.append(obs)
+        return out
+
+    def values(self, metric: str, **tags: str) -> List[float]:
+        return [obs.value for obs in self.select(metric, **tags)]
+
+    def total(self, metric: str, **tags: str) -> float:
+        return sum(self.values(metric, **tags))
+
+    def mean(self, metric: str, **tags: str) -> float:
+        values = self.values(metric, **tags)
+        if not values:
+            raise ValueError(f"no observations for {metric!r} with {tags}")
+        return sum(values) / len(values)
+
+    def maximum(self, metric: str, **tags: str) -> float:
+        values = self.values(metric, **tags)
+        if not values:
+            raise ValueError(f"no observations for {metric!r} with {tags}")
+        return max(values)
+
+    def series(self, metric: str, bucket: int, **tags: str) -> List[Tuple[int, float]]:
+        """Sum per time bucket: [(bucket_start, total), ...], gaps kept
+        at zero so plots show quiet periods honestly."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        selected = self.select(metric, **tags)
+        if not selected:
+            return []
+        buckets: Dict[int, float] = {}
+        for obs in selected:
+            start = (obs.time // bucket) * bucket
+            buckets[start] = buckets.get(start, 0.0) + obs.value
+        first = min(buckets)
+        last = max(buckets)
+        return [
+            (start, buckets.get(start, 0.0))
+            for start in range(first, last + bucket, bucket)
+        ]
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """``time,metric,value,tag=value;tag=value`` rows."""
+        lines = ["time,metric,value,tags"]
+        for obs in self._observations:
+            tags = ";".join(f"{k}={v}" for k, v in obs.tags)
+            # repr keeps full float precision (":g" would round away
+            # sub-integer parts of large values).
+            lines.append(f"{obs.time},{obs.metric},{obs.value!r},{tags}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(cls, text: str) -> "MetricLog":
+        log = cls()
+        for line in text.splitlines()[1:]:
+            if not line.strip():
+                continue
+            parts = line.split(",", 3)
+            if len(parts) != 4:
+                continue
+            time_text, metric, value_text, tags_text = parts
+            tags = {}
+            for chunk in tags_text.split(";"):
+                if "=" in chunk:
+                    key, _, value = chunk.partition("=")
+                    tags[key] = value
+            try:
+                log.record(int(time_text), metric, float(value_text), **tags)
+            except ValueError:
+                continue
+        return log

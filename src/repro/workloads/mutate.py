@@ -1,0 +1,197 @@
+"""Edit operators: how synthetic pages change over time.
+
+The operator vocabulary mirrors the change classes the paper discusses:
+
+* ``append_paragraph`` — WikiWikiWeb-style growth ("typically content
+  is added to the end of a page");
+* ``edit_sentence`` — subtle in-place modification ("content can be
+  modified anywhere on the page, and those changes may be too subtle
+  to notice");
+* ``delete_paragraph`` — "the really major change might be the item
+  that was deleted";
+* ``add_link`` — Virtual-Library-style link accretion ("10 new links
+  have been added");
+* ``restructure`` — a paragraph becomes a list: formatting-only change,
+  the HtmlDiff-vs-line-diff discriminator;
+* ``rewrite`` — wholesale replacement (the What's-New-in-Mosaic case);
+* ``cosmetic_whitespace`` — reflow with no content change at all (line
+  diffs flag it, HtmlDiff must not).
+
+Operators are pure: ``(html, rng) -> html``.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable, Dict, List
+
+from .pagegen import PageGenerator
+
+__all__ = [
+    "Mutator",
+    "append_paragraph",
+    "edit_sentence",
+    "delete_paragraph",
+    "add_link",
+    "restructure",
+    "rewrite",
+    "cosmetic_whitespace",
+    "MUTATORS",
+    "MutationMix",
+]
+
+Mutator = Callable[[str, random.Random], str]
+
+_PARAGRAPH_RE = re.compile(r"^<P>.*</P>$")
+_LI_RE = re.compile(r"^<LI>")
+_WORD_RE = re.compile(r"[a-zA-Z][a-zA-Z\-]+")
+
+
+def _lines(html: str) -> List[str]:
+    return html.split("\n")
+
+
+def _paragraph_indexes(lines: List[str]) -> List[int]:
+    return [i for i, line in enumerate(lines) if _PARAGRAPH_RE.match(line)]
+
+
+def _generator(rng: random.Random) -> PageGenerator:
+    return PageGenerator(seed=rng.randrange(1 << 30))
+
+
+def append_paragraph(html: str, rng: random.Random) -> str:
+    """Add a fresh paragraph just before the closing <HR>/footer."""
+    lines = _lines(html)
+    gen = _generator(rng)
+    insert_at = next(
+        (i for i, line in enumerate(lines) if line == "<HR>"), len(lines)
+    )
+    lines.insert(insert_at, gen.paragraph())
+    return "\n".join(lines)
+
+
+def edit_sentence(html: str, rng: random.Random) -> str:
+    """Replace one word somewhere in one paragraph — the subtle edit."""
+    lines = _lines(html)
+    candidates = _paragraph_indexes(lines)
+    if not candidates:
+        return append_paragraph(html, rng)
+    index = rng.choice(candidates)
+    words = _WORD_RE.findall(lines[index])
+    content_words = [w for w in words if w.upper() not in ("P", "A", "HREF")]
+    if not content_words:
+        return append_paragraph(html, rng)
+    target = rng.choice(content_words)
+    replacement = f"{target[:3]}{rng.randint(100, 999)}"
+    lines[index] = lines[index].replace(target, replacement, 1)
+    return "\n".join(lines)
+
+
+def delete_paragraph(html: str, rng: random.Random) -> str:
+    """Remove one paragraph (never the last one)."""
+    lines = _lines(html)
+    candidates = _paragraph_indexes(lines)
+    if len(candidates) <= 1:
+        return html
+    del lines[rng.choice(candidates)]
+    return "\n".join(lines)
+
+
+def add_link(html: str, rng: random.Random) -> str:
+    """Add an item to the page's link list (create one if missing)."""
+    lines = _lines(html)
+    gen = _generator(rng)
+    for i, line in enumerate(lines):
+        if line == "</UL>":
+            lines.insert(i, gen.link_item(rng.randint(1000, 9999)))
+            return "\n".join(lines)
+    insert_at = next(
+        (i for i, line in enumerate(lines) if line == "<HR>"), len(lines)
+    )
+    lines[insert_at:insert_at] = ["<UL>", gen.link_item(0), "</UL>"]
+    return "\n".join(lines)
+
+
+def restructure(html: str, rng: random.Random) -> str:
+    """Turn one paragraph into a <UL> of its sentences.
+
+    The paper's formatting-only example: content identical, structure
+    different.  HtmlDiff should report a formatting change only; a line
+    diff reports the whole region as rewritten.
+    """
+    lines = _lines(html)
+    candidates = _paragraph_indexes(lines)
+    if not candidates:
+        return html
+    index = rng.choice(candidates)
+    body = lines[index][len("<P>"):-len("</P>")]
+    sentences = re.split(r"(?<=\.) ", body)
+    replacement = ["<UL>"] + [f"<LI>{s}" for s in sentences if s] + ["</UL>"]
+    lines[index:index + 1] = replacement
+    return "\n".join(lines)
+
+
+def rewrite(html: str, rng: random.Random) -> str:
+    """Replace the entire page (What's-New-in-Mosaic style churn)."""
+    gen = _generator(rng)
+    return gen.page(paragraphs=rng.randint(4, 8), links=rng.randint(3, 8))
+
+
+def cosmetic_whitespace(html: str, rng: random.Random) -> str:
+    """Reflow whitespace without touching content.
+
+    Joins two random adjacent lines — the byte stream changes (and any
+    checksum with it) while the rendered content does not.
+    """
+    lines = _lines(html)
+    if len(lines) < 2:
+        return html
+    index = rng.randrange(len(lines) - 1)
+    lines[index:index + 2] = [lines[index] + "  " + lines[index + 1]]
+    return "\n".join(lines)
+
+
+MUTATORS: Dict[str, Mutator] = {
+    "append_paragraph": append_paragraph,
+    "edit_sentence": edit_sentence,
+    "delete_paragraph": delete_paragraph,
+    "add_link": add_link,
+    "restructure": restructure,
+    "rewrite": rewrite,
+    "cosmetic_whitespace": cosmetic_whitespace,
+}
+
+
+class MutationMix:
+    """A weighted mix of operators, applied with a seeded RNG."""
+
+    def __init__(self, weights: Dict[str, float], seed: int = 0) -> None:
+        unknown = set(weights) - set(MUTATORS)
+        if unknown:
+            raise ValueError(f"unknown mutators: {sorted(unknown)}")
+        if not weights:
+            raise ValueError("empty mutation mix")
+        self._names = sorted(weights)
+        self._weights = [weights[name] for name in self._names]
+        self.rng = random.Random(seed)
+
+    def apply(self, html: str) -> str:
+        name = self.rng.choices(self._names, weights=self._weights, k=1)[0]
+        return MUTATORS[name](html, self.rng)
+
+    @classmethod
+    def typical(cls, seed: int = 0) -> "MutationMix":
+        """A realistic maintenance mix: mostly growth and small edits,
+        occasional deletions and reorganizations."""
+        return cls(
+            {
+                "append_paragraph": 0.30,
+                "edit_sentence": 0.30,
+                "add_link": 0.20,
+                "delete_paragraph": 0.10,
+                "restructure": 0.05,
+                "rewrite": 0.05,
+            },
+            seed=seed,
+        )

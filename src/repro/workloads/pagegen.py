@@ -1,0 +1,94 @@
+"""Deterministic HTML page synthesis.
+
+All experiment pages come from here: seeded, multi-line (RCS deltas are
+line-based, as were real fetched pages), with the structural vocabulary
+of 1995 HTML (headings, paragraphs, link lists, the occasional PRE).
+The regular one-element-per-line structure is what
+:mod:`repro.workloads.mutate` edits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = ["PageGenerator"]
+
+_NOUNS = (
+    "system network protocol server cache archive document page browser "
+    "repository version daemon script index gateway mirror proxy robot "
+    "bookmark hotlist newsletter conference workshop laboratory"
+).split()
+_VERBS = (
+    "tracks stores retrieves compares notifies archives polls renders "
+    "merges serves updates replicates caches distributes annotates"
+).split()
+_ADJECTIVES = (
+    "distributed scalable incremental automatic periodic robust portable "
+    "experimental collaborative personalized marked-up versioned"
+).split()
+
+
+class PageGenerator:
+    """Seeded generator of period-correct HTML pages."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def sentence(self, words: Optional[int] = None) -> str:
+        count = words if words is not None else self.rng.randint(6, 14)
+        out = []
+        for index in range(count):
+            pool = (_ADJECTIVES, _NOUNS, _VERBS)[index % 3]
+            out.append(self.rng.choice(pool))
+        out[0] = out[0].capitalize()
+        return " ".join(out) + "."
+
+    def paragraph(self, sentences: Optional[int] = None) -> str:
+        count = sentences if sentences is not None else self.rng.randint(2, 4)
+        return "<P>" + " ".join(self.sentence() for _ in range(count)) + "</P>"
+
+    def link_item(self, index: int) -> str:
+        host = f"site{self.rng.randint(0, 9999)}.org"
+        return (
+            f'<LI><A HREF="http://{host}/doc{index}.html">'
+            f"{self.sentence(self.rng.randint(3, 6))[:-1]}</A>"
+        )
+
+    def link_list(self, items: int) -> List[str]:
+        lines = ["<UL>"]
+        lines.extend(self.link_item(i) for i in range(items))
+        lines.append("</UL>")
+        return lines
+
+    # ------------------------------------------------------------------
+    def page(
+        self,
+        title: str = "",
+        paragraphs: int = 6,
+        links: int = 5,
+        with_pre: bool = False,
+    ) -> str:
+        """A complete page, one structural element per line."""
+        title = title or self.sentence(4)[:-1]
+        lines = [
+            "<HTML><HEAD><TITLE>" + title + "</TITLE></HEAD>",
+            "<BODY>",
+            f"<H1>{title}</H1>",
+        ]
+        for index in range(paragraphs):
+            lines.append(self.paragraph())
+            if index == paragraphs // 2 and links:
+                lines.append(f"<H2>Related {self.rng.choice(_NOUNS)}s</H2>")
+                lines.extend(self.link_list(links))
+        if with_pre:
+            lines.append("<PRE>")
+            for i in range(4):
+                lines.append(f"  step {i}: {self.rng.choice(_VERBS)} the "
+                             f"{self.rng.choice(_NOUNS)}")
+            lines.append("</PRE>")
+        lines.append("<HR>")
+        lines.append(f"<ADDRESS>{self.sentence(4)}</ADDRESS>")
+        lines.append("</BODY></HTML>")
+        return "\n".join(lines)

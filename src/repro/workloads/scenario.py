@@ -1,0 +1,128 @@
+"""Packaged scenarios: the worlds the experiments run in.
+
+Every benchmark and example builds its universe through one of these,
+so workloads stay comparable across experiments and reruns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.w3newer.hotlist import Hotlist
+from ..simclock import DAY, WEEK, CronScheduler, SimClock
+from ..web.network import Network
+from .pagegen import PageGenerator
+from .schedule import WebEvolver
+
+__all__ = ["SyntheticWeb", "build_web", "build_hotlist", "CHANGE_CLASSES"]
+
+#: Named change-rate classes with realistic 1995 periods:
+#: (period seconds, fraction of the page population).
+CHANGE_CLASSES: Dict[str, Tuple[int, float]] = {
+    "daily-churn": (DAY, 0.05),          # news-like, changes every day
+    "busy": (2 * DAY, 0.15),             # active project pages
+    "weekly": (WEEK, 0.30),              # typical maintained pages
+    "monthly": (4 * WEEK, 0.30),         # slow-moving pages
+    "static": (0, 0.20),                 # never change
+}
+
+
+@dataclass
+class SyntheticWeb:
+    """A built universe: network, sites, evolutions, and page index."""
+
+    clock: SimClock
+    network: Network
+    cron: CronScheduler
+    evolver: WebEvolver
+    #: Every synthetic page as an absolute URL.
+    urls: List[str] = field(default_factory=list)
+    #: URL → change-class name.
+    change_class: Dict[str, str] = field(default_factory=dict)
+
+    def urls_in_class(self, name: str) -> List[str]:
+        return [url for url in self.urls if self.change_class[url] == name]
+
+
+def build_web(
+    sites: int = 10,
+    pages_per_site: int = 10,
+    seed: int = 42,
+    clock: Optional[SimClock] = None,
+    network: Optional[Network] = None,
+    classes: Optional[Dict[str, Tuple[int, float]]] = None,
+) -> SyntheticWeb:
+    """A synthetic internet with scheduled change behaviour.
+
+    Pages are assigned to change classes by the configured fractions;
+    changing pages get a typical mutation mix with jitter so updates
+    spread over the period.
+    """
+    clock = clock or SimClock()
+    network = network or Network(clock)
+    cron = CronScheduler(clock)
+    evolver = WebEvolver(cron, seed=seed)
+    rng = random.Random(seed)
+    generator = PageGenerator(seed=seed)
+    classes = classes or CHANGE_CLASSES
+
+    class_names = sorted(classes)
+    weights = [classes[name][1] for name in class_names]
+
+    web = SyntheticWeb(clock=clock, network=network, cron=cron, evolver=evolver)
+    for site_index in range(sites):
+        host = f"www.site{site_index}.com"
+        server = network.create_server(host)
+        for page_index in range(pages_per_site):
+            path = "/" if page_index == 0 else f"/page{page_index}.html"
+            server.set_page(
+                path,
+                generator.page(
+                    title=f"Site {site_index} page {page_index}",
+                    paragraphs=rng.randint(4, 10),
+                    links=rng.randint(2, 8),
+                ),
+            )
+            url = f"http://{host}{path}"
+            cls = rng.choices(class_names, weights=weights, k=1)[0]
+            web.urls.append(url)
+            web.change_class[url] = cls
+            period = classes[cls][0]
+            if period > 0:
+                evolver.evolve(server, path, period, jitter=period)
+    return web
+
+
+def build_hotlist(
+    web: SyntheticWeb,
+    size: int,
+    seed: int = 7,
+    bias_to_changing: float = 0.5,
+) -> Hotlist:
+    """A user hotlist sampled from the synthetic web.
+
+    ``bias_to_changing`` is the probability of drawing from pages that
+    actually change (users bookmark interesting — changing — pages more
+    than static ones).
+    """
+    rng = random.Random(seed)
+    changing = [
+        url for url in web.urls if web.change_class[url] != "static"
+    ]
+    static = web.urls_in_class("static")
+    hotlist = Hotlist()
+    chosen = set()
+    attempts = 0
+    while len(hotlist) < min(size, len(web.urls)) and attempts < size * 50:
+        attempts += 1
+        pool = changing if (rng.random() < bias_to_changing and changing) else (
+            static or changing
+        )
+        url = rng.choice(pool)
+        if url in chosen:
+            continue
+        chosen.add(url)
+        hotlist.add(url, title=f"Bookmark: {url}")
+    return hotlist

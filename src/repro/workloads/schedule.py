@@ -1,0 +1,79 @@
+"""Change schedules: driving page evolution on the simulated clock.
+
+Each :class:`PageEvolution` ties one server page to a mutation mix and
+a period (with optional jitter); :class:`WebEvolver` registers them all
+on the cron so a call to ``cron.run_until(week)`` ages the whole web.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..simclock import CronScheduler
+from ..web.server import HttpServer
+from .mutate import MutationMix
+
+__all__ = ["PageEvolution", "WebEvolver"]
+
+
+@dataclass
+class PageEvolution:
+    """One page's life: mutate every ``period`` seconds (± jitter)."""
+
+    server: HttpServer
+    path: str
+    period: int
+    mix: MutationMix
+    jitter: int = 0
+    changes: int = 0
+
+    def step(self, now: int) -> None:
+        page = self.server.get_page(self.path)
+        if page is None:
+            return
+        self.server.set_page(self.path, self.mix.apply(page.body))
+        self.changes += 1
+
+
+class WebEvolver:
+    """All scheduled evolutions of a simulated web."""
+
+    def __init__(self, cron: CronScheduler, seed: int = 0) -> None:
+        self.cron = cron
+        self.rng = random.Random(seed)
+        self.evolutions: List[PageEvolution] = []
+
+    def evolve(
+        self,
+        server: HttpServer,
+        path: str,
+        period: int,
+        mix: Optional[MutationMix] = None,
+        jitter: int = 0,
+    ) -> PageEvolution:
+        """Schedule a page to change every ``period`` seconds.
+
+        Jitter staggers first firings so a thousand pages do not all
+        change at the same instant.
+        """
+        evolution = PageEvolution(
+            server=server,
+            path=path,
+            period=period,
+            mix=mix or MutationMix.typical(seed=self.rng.randrange(1 << 30)),
+            jitter=jitter,
+        )
+        first = self.cron.clock.now + period
+        if jitter:
+            first += self.rng.randint(0, jitter)
+        self.cron.schedule(period, evolution.step,
+                           name=f"evolve:{server.host}{path}",
+                           first_fire=first)
+        self.evolutions.append(evolution)
+        return evolution
+
+    @property
+    def total_changes(self) -> int:
+        return sum(e.changes for e in self.evolutions)

@@ -1,0 +1,103 @@
+"""Tests for the integrated browser (§6 history fix, §8.4 form bookmarks)."""
+
+import pytest
+
+from repro.aide.browser import IntegratedBrowser
+from repro.aide.engine import Aide
+from repro.aide.postforms import PostFormRegistry
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY
+from repro.web.cgi import FormEchoScript
+
+
+@pytest.fixture
+def deployment():
+    aide = Aide()
+    server = aide.network.create_server("www.example.com")
+    server.set_page("/news.html", "<P>bulletin one.</P>")
+    user = aide.add_user(
+        "fred@att.com", Hotlist.from_lines("http://www.example.com/news.html")
+    )
+    browser = IntegratedBrowser(user.browser, aide.clock, history=user.history)
+    return aide, server, user, browser
+
+
+def diff_url(url, user):
+    return (
+        "http://aide.research.att.com/cgi-bin/snapshot"
+        f"?action=diff&url={url}&user={user}"
+    )
+
+
+class TestHistoryIntegration:
+    def prime_changed_page(self, aide, server, user):
+        user.visit("http://www.example.com/news.html", aide.clock)
+        aide.remember("fred@att.com", "http://www.example.com/news.html")
+        aide.clock.advance(3 * DAY)
+        server.set_page("/news.html", "<P>bulletin two.</P>")
+        aide.clock.advance(3 * DAY)
+
+    def test_viewing_diff_clears_changed_flag(self, deployment):
+        aide, server, user, browser = deployment
+        self.prime_changed_page(aide, server, user)
+        assert len(aide.run_w3newer("fred@att.com").changed) == 1
+        browser.browse(diff_url("http://www.example.com/news.html", "fred@att.com"))
+        # With the extension, the page itself is now recorded as seen.
+        assert len(aide.run_w3newer("fred@att.com").changed) == 0
+
+    def test_stock_browser_keeps_the_wart(self, deployment):
+        aide, server, user, browser = deployment
+        browser.history_integration = False
+        self.prime_changed_page(aide, server, user)
+        assert len(aide.run_w3newer("fred@att.com").changed) == 1
+        browser.browse(diff_url("http://www.example.com/news.html", "fred@att.com"))
+        # 1995 behaviour: still reported as changed.
+        assert len(aide.run_w3newer("fred@att.com").changed) == 1
+
+    def test_ordinary_pages_recorded_normally(self, deployment):
+        aide, server, user, browser = deployment
+        browser.browse("http://www.example.com/news.html")
+        assert user.history.last_seen("http://www.example.com/news.html") is not None
+
+    def test_remember_action_does_not_mark_seen(self, deployment):
+        # Remember saves a copy; it is not the user *viewing* the page.
+        aide, server, user, browser = deployment
+        browser.browse(
+            "http://aide.research.att.com/cgi-bin/snapshot"
+            "?action=remember&url=http://www.example.com/news.html&user=fred@att.com"
+        )
+        assert user.history.last_seen("http://www.example.com/news.html") is None
+
+
+class TestFormBookmarks:
+    def test_jump_directly_to_form_output(self, deployment):
+        aide, server, user, browser = deployment
+        server.register_cgi("/cgi-bin/search", FormEchoScript())
+        browser.bookmark_form(
+            "my-search", "http://www.example.com/cgi-bin/search",
+            {"q": "mobile computing"},
+        )
+        response = browser.open_form_bookmark("my-search")
+        assert response.status == 200
+        assert "mobile computing" in response.body
+
+    def test_hand_form_to_aide(self, deployment):
+        aide, server, user, browser = deployment
+        echo = FormEchoScript()
+        server.register_cgi("/cgi-bin/search", echo)
+        registry = PostFormRegistry(aide.store)
+        browser.bookmark_form(
+            "my-search", "http://www.example.com/cgi-bin/search", {"q": "x"}
+        )
+        result = browser.hand_form_to_aide("my-search", registry, "fred@att.com")
+        assert result.revision == "1.1"
+        # Output changes -> AIDE can diff the POST result.
+        echo.generation += 1
+        aide.clock.advance(DAY)
+        diff = registry.diff("fred@att.com", "my-search")
+        assert not diff.identical
+
+    def test_unknown_bookmark(self, deployment):
+        aide, server, user, browser = deployment
+        with pytest.raises(KeyError):
+            browser.open_form_bookmark("nope")

@@ -1,0 +1,89 @@
+"""Integration tests for the Aide facade (Section 6)."""
+
+import pytest
+
+from repro.aide.engine import Aide
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY
+
+
+@pytest.fixture
+def deployment():
+    aide = Aide()
+    server = aide.network.create_server("www.example.com")
+    server.set_page(
+        "/news.html",
+        "<HTML><BODY>\n<P>First bulletin of the season.</P>\n</BODY></HTML>",
+    )
+    hotlist = Hotlist.from_lines("http://www.example.com/news.html The news page")
+    user = aide.add_user("fred@att.com", hotlist)
+    return aide, server, user
+
+
+class TestFullLoop:
+    def test_report_links_into_snapshot_service(self, deployment):
+        aide, server, user = deployment
+        aide.clock.advance(3 * DAY)
+        result = aide.run_w3newer("fred@att.com")
+        assert "aide.research.att.com/cgi-bin/snapshot" in result.report_html
+        assert "action=remember" in result.report_html
+
+    def test_remember_then_diff_roundtrip(self, deployment):
+        aide, server, user = deployment
+        resp = aide.remember("fred@att.com", "http://www.example.com/news.html")
+        assert resp.status == 200
+        aide.clock.advance(DAY)
+        server.set_page(
+            "/news.html",
+            "<HTML><BODY>\n<P>Second bulletin replaces everything.</P>\n</BODY></HTML>",
+        )
+        aide.remember("fred@att.com", "http://www.example.com/news.html")
+        diff = aide.diff("fred@att.com", "http://www.example.com/news.html")
+        assert diff.status == 200
+        assert "Internet Difference Engine" in diff.body
+
+    def test_history_page(self, deployment):
+        aide, server, user = deployment
+        aide.remember("fred@att.com", "http://www.example.com/news.html")
+        resp = aide.history_page("fred@att.com", "http://www.example.com/news.html")
+        assert "1.1" in resp.body
+
+    def test_diff_does_not_clear_changed_flag(self, deployment):
+        # Section 6: "the user must view a page directly as well as via
+        # HtmlDiff in order to both remove it from the list of modified
+        # pages and see the actual differences."
+        aide, server, user = deployment
+        user.visit("http://www.example.com/news.html", aide.clock)
+        aide.remember("fred@att.com", "http://www.example.com/news.html")
+        aide.clock.advance(3 * DAY)
+        server.set_page("/news.html", "<P>updated.</P>")
+        aide.clock.advance(3 * DAY)
+        first = aide.run_w3newer("fred@att.com")
+        assert len(first.changed) == 1
+        aide.diff("fred@att.com", "http://www.example.com/news.html")
+        second = aide.run_w3newer("fred@att.com")
+        assert len(second.changed) == 1  # still reported!
+        user.visit("http://www.example.com/news.html", aide.clock)
+        third = aide.run_w3newer("fred@att.com")
+        assert len(third.changed) == 0
+
+    def test_proxy_shared_between_users(self, deployment):
+        aide, server, user = deployment
+        other = aide.add_user(
+            "tom@att.com",
+            Hotlist.from_lines("http://www.example.com/news.html"),
+        )
+        user.visit("http://www.example.com/news.html", aide.clock)
+        origin_hits = server.get_count
+        other.visit("http://www.example.com/news.html", aide.clock)
+        assert server.get_count == origin_hits  # served from shared proxy
+
+    def test_two_users_one_archive(self, deployment):
+        aide, server, user = deployment
+        aide.add_user("tom@att.com",
+                      Hotlist.from_lines("http://www.example.com/news.html"))
+        aide.remember("fred@att.com", "http://www.example.com/news.html")
+        aide.remember("tom@att.com", "http://www.example.com/news.html")
+        assert aide.store.url_count() == 1
+        archive = aide.store.archive_for("http://www.example.com/news.html")
+        assert archive.revision_count == 1

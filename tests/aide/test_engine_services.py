@@ -1,0 +1,68 @@
+"""Tests for optional services mounted through the Aide facade."""
+
+import pytest
+
+from repro.aide.engine import Aide
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY
+
+
+@pytest.fixture
+def aide():
+    deployment = Aide()
+    origin = deployment.network.create_server("www.example.com")
+    origin.set_page("/doc.html", "<P>served document.</P>")
+    deployment.add_user("fred@att.com",
+                        Hotlist.from_lines("http://www.example.com/doc.html"))
+    return deployment
+
+
+class TestEnableHostedTracking:
+    def test_mounted_and_reachable(self, aide):
+        service = aide.enable_hosted_tracking()
+        user = aide.users["fred@att.com"]
+        resp = user.browser.post(
+            f"http://{aide.SERVICE_HOST}/cgi-bin/w3newer",
+            body="action=upload&user=fred&hotlist=http://www.example.com/doc.html",
+        ).response
+        assert resp.status == 200
+        assert service.tracked_urls() == {"http://www.example.com/doc.html"}
+
+    def test_report_roundtrip(self, aide):
+        service = aide.enable_hosted_tracking()
+        service.upload_hotlist("fred", "http://www.example.com/doc.html\n")
+        service.check_cycle()
+        user = aide.users["fred@att.com"]
+        resp = user.browser.get(
+            f"http://{aide.SERVICE_HOST}/cgi-bin/w3newer?action=report&user=fred"
+        ).response
+        assert resp.status == 200
+        assert "doc.html" in resp.body
+
+
+class TestEnableWiki:
+    def test_wiki_reachable_on_aide_host(self, aide):
+        weaver = aide.enable_wiki()
+        weaver.edit("FrontPage", "<P>hello wiki.</P>", author="fred")
+        user = aide.users["fred@att.com"]
+        resp = user.browser.get(
+            f"http://{aide.SERVICE_HOST}/wiki/view?page=FrontPage"
+        ).response
+        assert resp.status == 200
+        assert "hello wiki." in resp.body
+
+
+class TestEnableServerSide:
+    def test_origin_gets_rcs_cgis(self, aide):
+        versioning = aide.enable_server_side_versioning("www.example.com")
+        versioning.publish("/doc.html", "<P>published v1.</P>")
+        user = aide.users["fred@att.com"]
+        resp = user.browser.get(
+            "http://www.example.com/cgi-bin/rlog?file=/doc.html"
+        ).response
+        assert resp.status == 200
+        assert "1.1" in resp.body
+
+    def test_unknown_host_rejected(self, aide):
+        with pytest.raises(ValueError):
+            aide.enable_server_side_versioning("nowhere.example")

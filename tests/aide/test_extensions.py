@@ -1,0 +1,322 @@
+"""Tests for the Section 8 extensions: fixed pages, central tracking,
+server-side versioning, POST forms, prioritization."""
+
+import pytest
+
+from repro.aide.fixedpages import FixedPageCollection
+from repro.aide.postforms import PostFormRegistry
+from repro.aide.prioritize import parse_priority_config
+from repro.aide.serverside import ServerSideVersioning
+from repro.aide.tracker import CentralTracker, extract_links
+from repro.core.snapshot.store import SnapshotError, SnapshotStore
+from repro.simclock import DAY, HOUR, CronScheduler, SimClock
+from repro.web.cgi import FormEchoScript
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/a.html", "<P>page a v1.</P>")
+    server.set_page("/b.html", "<P>page b v1.</P>")
+    agent = UserAgent(network, clock)
+    store = SnapshotStore(clock, agent)
+    return clock, network, server, store
+
+
+class TestFixedPages:
+    def test_poll_archives_changes_automatically(self, world):
+        clock, network, server, store = world
+        collection = FixedPageCollection(store, clock)
+        collection.add_url("http://site.com/a.html")
+        collection.add_url("http://site.com/b.html")
+        first = collection.poll()
+        assert first.checked == 2
+        assert len(first.changed) == 2  # first sighting archives both
+        clock.advance(DAY)
+        server.set_page("/a.html", "<P>page a v2.</P>")
+        second = collection.poll()
+        assert second.changed == ["http://site.com/a.html"]
+        archive = store.archive_for("http://site.com/a.html")
+        assert archive.revision_count == 2
+
+    def test_whats_new_page_lists_recent_changes(self, world):
+        clock, network, server, store = world
+        collection = FixedPageCollection(store, clock, title="ATT What's New")
+        collection.add_url("http://site.com/a.html")
+        collection.poll()
+        clock.advance(DAY)
+        server.set_page("/a.html", "<P>fresh.</P>")
+        collection.poll()
+        page = collection.whats_new_page()
+        assert "http://site.com/a.html" in page
+        assert "[Diff]" in page and "[History]" in page
+
+    def test_since_filter(self, world):
+        clock, network, server, store = world
+        collection = FixedPageCollection(store, clock)
+        collection.add_url("http://site.com/a.html")
+        collection.poll()
+        clock.advance(DAY)
+        server.set_page("/a.html", "<P>v2.</P>")
+        collection.poll()
+        recent_only = collection.whats_new_page(since=clock.now + HOUR)
+        assert "nothing has changed" in recent_only
+
+    def test_errors_recorded_not_fatal(self, world):
+        clock, network, server, store = world
+        collection = FixedPageCollection(store, clock)
+        collection.add_url("http://site.com/a.html")
+        collection.add_url("http://dead.example/x")
+        result = collection.poll()
+        assert "http://dead.example/x" in result.errors
+        assert "http://site.com/a.html" in result.changed
+
+    def test_cron_scheduling(self, world):
+        clock, network, server, store = world
+        cron = CronScheduler(clock)
+        collection = FixedPageCollection(store, clock)
+        collection.add_url("http://site.com/a.html")
+        collection.schedule(cron, period=DAY)
+        cron.run_until(3 * DAY)
+        assert len(collection.polls) == 3
+
+
+class TestExtractLinks:
+    def test_absolute_and_relative(self):
+        html = (
+            '<A HREF="http://other.org/x">a</A> '
+            '<A HREF="/local.html">b</A> <A HREF="sub/page.html">c</A>'
+        )
+        links = extract_links(html, "http://host.com/dir/index.html")
+        assert links == [
+            "http://other.org/x",
+            "http://host.com/local.html",
+            "http://host.com/dir/sub/page.html",
+        ]
+
+    def test_non_http_skipped_and_deduped(self):
+        html = (
+            '<A HREF="mailto:x@y">m</A><A HREF="/a">1</A><A HREF="/a">2</A>'
+        )
+        links = extract_links(html, "http://h.com/")
+        assert links == ["http://h.com/a"]
+
+
+class TestCentralTracker:
+    def test_polls_once_regardless_of_subscribers(self, world):
+        clock, network, server, store = world
+        tracker = CentralTracker(store, clock)
+        for i in range(10):
+            tracker.subscribe(f"user{i}", "http://site.com/a.html")
+        network.reset_log()
+        tracker.poll()
+        hits = [r for r in network.log if r.path == "/a.html"]
+        assert len(hits) == 1
+
+    def test_report_changed_since_seen(self, world):
+        clock, network, server, store = world
+        tracker = CentralTracker(store, clock)
+        tracker.subscribe("fred", "http://site.com/a.html")
+        tracker.poll()
+        tracker.mark_seen("fred", "http://site.com/a.html")
+        rows = tracker.report_for("fred")
+        assert not rows[0].changed_since_seen
+        clock.advance(DAY)
+        server.set_page("/a.html", "<P>changed.</P>")
+        tracker.poll()
+        rows = tracker.report_for("fred")
+        assert rows[0].changed_since_seen
+
+    def test_crawler_tracks_linked_pages(self, world):
+        clock, network, server, store = world
+        server.set_page(
+            "/library.html",
+            '<UL><LI><A HREF="/a.html">A</A><LI><A HREF="/b.html">B</A></UL>',
+        )
+        tracker = CentralTracker(store, clock)
+        tracker.add_crawl_root("fred", "http://site.com/library.html", depth=1)
+        tracker.poll()
+        tracked = tracker.tracked_urls()
+        assert "http://site.com/a.html" in tracked
+        assert "http://site.com/b.html" in tracked
+        # A change in a linked page surfaces in fred's report.
+        clock.advance(DAY)
+        server.set_page("/b.html", "<P>b changed.</P>")
+        tracker.poll()
+        rows = {row.url: row for row in tracker.report_for("fred")}
+        assert rows["http://site.com/b.html"].changed_since_seen
+        assert "crawled from" in rows["http://site.com/b.html"].via
+
+    def test_crawler_same_host_restriction(self, world):
+        clock, network, server, store = world
+        other = network.create_server("elsewhere.org")
+        other.set_page("/x.html", "<P>external.</P>")
+        server.set_page(
+            "/links.html",
+            '<A HREF="/a.html">in</A><A HREF="http://elsewhere.org/x.html">out</A>',
+        )
+        tracker = CentralTracker(store, clock)
+        tracker.add_crawl_root("fred", "http://site.com/links.html",
+                               depth=1, same_host_only=True)
+        tracker.poll()
+        assert "http://elsewhere.org/x.html" not in tracker.tracked_urls()
+
+
+class TestServerSideVersioning:
+    def test_publish_serves_page_with_history_footer(self, world):
+        clock, network, server, store = world
+        versioning = ServerSideVersioning(server)
+        versioning.publish("/doc.html", "<P>first.</P>")
+        agent = UserAgent(network, clock)
+        body = agent.get("http://site.com/doc.html").response.body
+        assert "first." in body
+        assert "/cgi-bin/rlog?file=/doc.html" in body
+
+    def test_rlog_cgi(self, world):
+        clock, network, server, store = world
+        versioning = ServerSideVersioning(server)
+        versioning.publish("/doc.html", "<P>v1.</P>")
+        clock.advance(DAY)
+        versioning.publish("/doc.html", "<P>v2.</P>")
+        agent = UserAgent(network, clock)
+        resp = agent.get("http://site.com/cgi-bin/rlog?file=/doc.html").response
+        assert resp.status == 200
+        assert "1.1" in resp.body and "1.2" in resp.body
+
+    def test_co_cgi_returns_old_version(self, world):
+        clock, network, server, store = world
+        versioning = ServerSideVersioning(server)
+        versioning.publish("/doc.html", "<P>v1.</P>")
+        versioning.publish("/doc.html", "<P>v2.</P>")
+        agent = UserAgent(network, clock)
+        resp = agent.get(
+            "http://site.com/cgi-bin/co?file=/doc.html&rev=1.1"
+        ).response
+        assert "v1." in resp.body
+
+    def test_rcsdiff_uses_htmldiff_for_html(self, world):
+        clock, network, server, store = world
+        versioning = ServerSideVersioning(server)
+        versioning.publish("/doc.html", "<P>the original sentence here.</P>")
+        versioning.publish("/doc.html", "<P>the modified sentence here.</P>")
+        agent = UserAgent(network, clock)
+        resp = agent.get(
+            "http://site.com/cgi-bin/rcsdiff?file=/doc.html&r1=1.1&r2=1.2"
+        ).response
+        assert "Internet Difference Engine" in resp.body
+
+    def test_rcsdiff_plain_for_text(self, world):
+        clock, network, server, store = world
+        versioning = ServerSideVersioning(server)
+        versioning.publish("/notes.txt", "alpha\nbeta")
+        versioning.publish("/notes.txt", "alpha\ngamma")
+        agent = UserAgent(network, clock)
+        resp = agent.get(
+            "http://site.com/cgi-bin/rcsdiff?file=/notes.txt&r1=1.1&r2=1.2"
+        ).response
+        assert "<PRE>" in resp.body
+        assert "-beta" in resp.body
+
+    def test_missing_file_404(self, world):
+        clock, network, server, store = world
+        ServerSideVersioning(server)
+        agent = UserAgent(network, clock)
+        resp = agent.get("http://site.com/cgi-bin/rlog?file=/nope").response
+        assert resp.status == 404
+
+
+class TestPostForms:
+    def test_remember_and_diff_post_service(self, world):
+        clock, network, server, store = world
+        echo = FormEchoScript()
+        server.register_cgi("/cgi-bin/search", echo)
+        registry = PostFormRegistry(store)
+        registry.save_form("my-search", "http://site.com/cgi-bin/search",
+                           {"q": "mobile computing"})
+        first = registry.remember("fred", "my-search")
+        assert first.revision == "1.1"
+        # Service output changes (its backing data advanced).
+        echo.generation += 1
+        clock.advance(DAY)
+        diff = registry.diff("fred", "my-search")
+        assert not diff.identical
+
+    def test_same_output_not_resaved(self, world):
+        clock, network, server, store = world
+        server.register_cgi("/cgi-bin/search", FormEchoScript())
+        registry = PostFormRegistry(store)
+        registry.save_form("f", "http://site.com/cgi-bin/search", {"q": "x"})
+        registry.remember("fred", "f")
+        clock.advance(DAY)
+        second = registry.remember("fred", "f")
+        assert not second.changed
+
+    def test_distinct_inputs_distinct_archives(self, world):
+        clock, network, server, store = world
+        server.register_cgi("/cgi-bin/search", FormEchoScript())
+        registry = PostFormRegistry(store)
+        registry.save_form("f1", "http://site.com/cgi-bin/search", {"q": "a"})
+        registry.save_form("f2", "http://site.com/cgi-bin/search", {"q": "b"})
+        registry.remember("fred", "f1")
+        registry.remember("fred", "f2")
+        assert store.url_count() == 2
+
+    def test_diff_without_remember_errors(self, world):
+        clock, network, server, store = world
+        server.register_cgi("/cgi-bin/search", FormEchoScript())
+        registry = PostFormRegistry(store)
+        registry.save_form("f", "http://site.com/cgi-bin/search", {"q": "x"})
+        with pytest.raises(SnapshotError):
+            registry.diff("fred", "f")
+
+    def test_unknown_form_errors(self, world):
+        clock, network, server, store = world
+        registry = PostFormRegistry(store)
+        with pytest.raises(SnapshotError):
+            registry.remember("fred", "nope")
+
+
+class TestPrioritize:
+    def test_pattern_priorities(self):
+        config = parse_priority_config(
+            "Default 0\n"
+            "http://.*\\.att\\.com/.* 10\n"
+            "http://www\\.yahoo\\.com/.* -5\n"
+        )
+        fn = config.as_function()
+        assert fn("http://www.research.att.com/x") == 10
+        assert fn("http://www.yahoo.com/cat") == -5
+        assert fn("http://elsewhere.org/") == 0
+
+    def test_first_match_wins(self):
+        config = parse_priority_config("http://a/.* 5\nhttp://a/x.* 9\n")
+        assert config.priority_for("http://a/x/page") == 5
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            parse_priority_config("pattern-without-priority\n")
+        with pytest.raises(ValueError):
+            parse_priority_config("http://x/ not-a-number\n")
+
+    def test_priority_reorders_report(self):
+        from repro.core.w3newer.errors import CheckOutcome, UrlState
+        from repro.core.w3newer.hotlist import Hotlist
+        from repro.core.w3newer.report import ReportOptions, render_report
+
+        outcomes = [
+            CheckOutcome(url="http://low.org/", state=UrlState.CHANGED,
+                         modification_date=500),
+            CheckOutcome(url="http://www.att.com/x", state=UrlState.CHANGED,
+                         modification_date=100),
+        ]
+        hotlist = Hotlist.from_lines("http://low.org/ Low\nhttp://www.att.com/x Work")
+        config = parse_priority_config("http://.*att\\.com/.* 10\n")
+        html = render_report(
+            outcomes, list(hotlist),
+            ReportOptions(priority=config.as_function()),
+        )
+        assert html.find("Work") < html.find("Low")

@@ -1,0 +1,157 @@
+"""Tests for the Harvest-style lazy notification service (§3.1)."""
+
+import pytest
+
+from repro.aide.harvest import ChangeNotice, DistributedRepository, RegionalCache
+from repro.simclock import DAY, HOUR, CronScheduler, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("origin.com")
+    server.set_page("/page.html", "<P>v1</P>")
+    agent = UserAgent(network, clock)
+    repo = DistributedRepository(clock, agent)
+    cache = RegionalCache("nj-cache", repo, clock)
+    return clock, network, server, repo, cache
+
+
+class TestDiscoveryModes:
+    def test_poll_mode_detects_change(self, world):
+        clock, network, server, repo, cache = world
+        cache.register_interest("fred", "http://origin.com/page.html")
+        repo.poll_round()  # baseline already taken at subscribe
+        clock.advance(DAY)
+        server.set_page("/page.html", "<P>v2</P>")
+        assert repo.poll_round() == 1
+        notices = cache.collect("fred")
+        assert len(notices) == 1
+        assert notices[0].url == "http://origin.com/page.html"
+
+    def test_provider_notify_mode(self, world):
+        clock, network, server, repo, cache = world
+        repo.track("http://origin.com/page.html", mode="provider-notify")
+        cache.register_interest("fred", "http://origin.com/page.html")
+        clock.advance(HOUR)
+        server.set_page("/page.html", "<P>v2</P>")
+        repo.provider_changed("http://origin.com/page.html")
+        notices = cache.collect("fred")
+        assert len(notices) == 1
+        assert notices[0].latency == 0  # push is immediate
+
+    def test_provider_notify_requires_mode(self, world):
+        clock, network, server, repo, cache = world
+        repo.track("http://origin.com/page.html", mode="poll")
+        with pytest.raises(ValueError):
+            repo.provider_changed("http://origin.com/page.html")
+
+    def test_unknown_mode_rejected(self, world):
+        clock, network, server, repo, cache = world
+        with pytest.raises(ValueError):
+            repo.track("http://origin.com/page.html", mode="telepathy")
+
+    def test_poll_mode_excluded_from_push(self, world):
+        clock, network, server, repo, cache = world
+        repo.track("http://origin.com/page.html", mode="provider-notify")
+        # Poll rounds skip provider-notify pages entirely.
+        requests_before = repo.poll_requests
+        repo.poll_round()
+        assert repo.poll_requests == requests_before
+
+
+class TestFanInFanOut:
+    def test_many_users_one_upstream_subscription(self, world):
+        clock, network, server, repo, cache = world
+        for i in range(30):
+            cache.register_interest(f"user{i}", "http://origin.com/page.html")
+        clock.advance(DAY)
+        server.set_page("/page.html", "<P>v2</P>")
+        repo.poll_round()
+        # One upstream notice fans out to all thirty local users.
+        assert cache.notices_received == 1
+        assert all(
+            len(cache.collect(f"user{i}")) == 1 for i in range(30)
+        )
+
+    def test_origin_polled_once_per_round(self, world):
+        clock, network, server, repo, cache = world
+        other = RegionalCache("ca-cache", repo, clock)
+        cache.register_interest("fred", "http://origin.com/page.html")
+        other.register_interest("carol", "http://origin.com/page.html")
+        origin_hits = server.get_count
+        repo.poll_round()
+        assert server.get_count == origin_hits + 1  # not per cache/user
+
+    def test_replica_serves_without_origin(self, world):
+        clock, network, server, repo, cache = world
+        cache.register_interest("fred", "http://origin.com/page.html")
+        hits = server.get_count
+        body = cache.page("http://origin.com/page.html")
+        assert body == "<P>v1</P>"
+        assert server.get_count == hits  # served from the replica
+
+    def test_collect_is_destructive(self, world):
+        clock, network, server, repo, cache = world
+        cache.register_interest("fred", "http://origin.com/page.html")
+        clock.advance(DAY)
+        server.set_page("/page.html", "<P>v2</P>")
+        repo.poll_round()
+        assert cache.collect("fred")
+        assert cache.collect("fred") == []
+
+
+class TestBestEffort:
+    def test_drops_are_deterministic_and_bounded(self, world):
+        clock, network, server, repo, cache = world
+        lossy = DistributedRepository(
+            clock, UserAgent(network, clock), drop_rate=0.5, seed=1,
+        )
+        lossy_cache = RegionalCache("lossy", lossy, clock)
+        for i in range(10):
+            server.set_page(f"/p{i}.html", "v1")
+            lossy_cache.register_interest("fred", f"http://origin.com/p{i}.html")
+        clock.advance(DAY)
+        for i in range(10):
+            server.set_page(f"/p{i}.html", "v2")
+        lossy.poll_round()
+        assert lossy.notifications_sent == 10
+        assert 0 < lossy.notifications_dropped < 10
+        delivered = len(lossy_cache.collect("fred"))
+        assert delivered == 10 - lossy.notifications_dropped
+
+    def test_dropped_notice_recovered_next_round(self, world):
+        clock, network, server, repo, cache = world
+        lossy = DistributedRepository(
+            clock, UserAgent(network, clock), drop_rate=0.9, seed=3,
+        )
+        lossy_cache = RegionalCache("lossy", lossy, clock)
+        lossy_cache.register_interest("fred", "http://origin.com/page.html")
+        total = 0
+        for round_index in range(12):
+            clock.advance(DAY)
+            server.set_page("/page.html", f"<P>v{round_index + 2}</P>")
+            lossy.poll_round()
+            total += len(lossy_cache.collect("fred"))
+        # Over many rounds at least some notices get through.
+        assert total >= 1
+
+    def test_invalid_drop_rate(self, world):
+        clock, network, server, repo, cache = world
+        with pytest.raises(ValueError):
+            DistributedRepository(clock, UserAgent(network, clock), drop_rate=1.0)
+
+
+class TestCronIntegration:
+    def test_scheduled_polling(self, world):
+        clock, network, server, repo, cache = world
+        cache.register_interest("fred", "http://origin.com/page.html")
+        cron = CronScheduler(clock)
+        repo.schedule(cron, period=DAY)
+        server.set_page("/page.html", "<P>v2</P>")
+        cron.run_until(3 * DAY)
+        notices = cache.collect("fred")
+        assert len(notices) == 1

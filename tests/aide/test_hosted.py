@@ -1,0 +1,160 @@
+"""Tests for the hosted w3newer service (§7's adoption fix)."""
+
+import pytest
+
+from repro.aide.hosted import HostedTrackerService
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, CronScheduler, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+CONFIG = parse_threshold_config("Default 0\nhttp://comic\\.com/.* never\n")
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    for i in range(4):
+        server.set_page(f"/p{i}.html", f"<P>page {i} v1.</P>")
+    comic = network.create_server("comic.com")
+    comic.set_page("/daily", "<P>today's strip</P>")
+    service = HostedTrackerService(clock, UserAgent(network, clock),
+                                   config=CONFIG)
+    aide_host = network.create_server("aide.att.com")
+    aide_host.register_cgi("/cgi-bin/w3newer", service)
+    client = UserAgent(network, clock, agent_name="Mozilla/1.1N")
+    return clock, network, server, service, client
+
+
+class TestHotlistUpload:
+    def test_upload_lines(self, world):
+        clock, network, server, service, client = world
+        count = service.upload_hotlist(
+            "fred", "http://site.com/p0.html Page zero\nhttp://site.com/p1.html\n"
+        )
+        assert count == 2
+
+    def test_upload_netscape_format(self, world):
+        clock, network, server, service, client = world
+        count = service.upload_hotlist(
+            "fred",
+            '<DL><DT><A HREF="http://site.com/p0.html">Zero</A></DL>',
+            fmt="netscape",
+        )
+        assert count == 1
+
+    def test_bad_format_rejected(self, world):
+        clock, network, server, service, client = world
+        with pytest.raises(ValueError):
+            service.upload_hotlist("fred", "", fmt="carrier-pigeon")
+
+    def test_upload_via_cgi_post(self, world):
+        clock, network, server, service, client = world
+        body = "action=upload&user=fred&hotlist=http://site.com/p0.html"
+        resp = client.post("http://aide.att.com/cgi-bin/w3newer", body=body).response
+        assert resp.status == 200
+        assert "1 entries" in resp.body
+
+
+class TestSharedChecking:
+    def test_each_url_checked_once_per_cycle(self, world):
+        clock, network, server, service, client = world
+        for user in ("a", "b", "c"):
+            service.upload_hotlist(user, "http://site.com/p0.html\n")
+        network.reset_log()
+        fetched = service.check_cycle()
+        assert fetched == 1
+        hits = [r for r in network.log if r.path == "/p0.html"]
+        assert len(hits) == 1
+
+    def test_never_threshold_respected(self, world):
+        clock, network, server, service, client = world
+        service.upload_hotlist("fred", "http://comic.com/daily\n")
+        service.check_cycle()
+        assert not any(r.host == "comic.com" for r in network.log)
+
+    def test_cron_cycles(self, world):
+        clock, network, server, service, client = world
+        service.upload_hotlist("fred", "http://site.com/p0.html\n")
+        cron = CronScheduler(clock)
+        service.schedule(cron, period=DAY)
+        cron.run_until(3 * DAY)
+        assert service.check_cycles == 3
+
+
+class TestReports:
+    def prime(self, world):
+        clock, network, server, service, client = world
+        service.upload_hotlist(
+            "fred",
+            "http://site.com/p0.html Page zero\n"
+            "http://site.com/p1.html Page one\n",
+        )
+        service.check_cycle()  # baseline
+        service.acknowledge("fred", "http://site.com/p0.html")
+        service.acknowledge("fred", "http://site.com/p1.html")
+        clock.advance(DAY)
+        server.set_page("/p0.html", "<P>page 0 v2.</P>")
+        service.check_cycle()
+        return service
+
+    def test_changed_page_flagged(self, world):
+        clock, network, server, service, client = world
+        service = self.prime(world)
+        rows = service.report_rows("fred")
+        by_url = {row.url: row for row in rows}
+        assert by_url["http://site.com/p0.html"].changed_since_ack
+        assert not by_url["http://site.com/p1.html"].changed_since_ack
+
+    def test_ack_clears_flag(self, world):
+        clock, network, server, service, client = world
+        service = self.prime(world)
+        service.acknowledge("fred", "http://site.com/p0.html")
+        rows = {row.url: row for row in service.report_rows("fred")}
+        assert not rows["http://site.com/p0.html"].changed_since_ack
+
+    def test_report_html_shape(self, world):
+        clock, network, server, service, client = world
+        service = self.prime(world)
+        html = service.report_html("fred")
+        assert "1 changed" in html
+        assert "[Mark seen]" in html
+        assert html.find("Page zero") < html.find("Page one")  # changed first
+
+    def test_report_via_cgi(self, world):
+        clock, network, server, service, client = world
+        self.prime(world)
+        resp = client.get(
+            "http://aide.att.com/cgi-bin/w3newer?action=report&user=fred"
+        ).response
+        assert resp.status == 200
+        assert "What's new for fred" in resp.body
+
+    def test_ack_via_cgi(self, world):
+        clock, network, server, service, client = world
+        self.prime(world)
+        resp = client.get(
+            "http://aide.att.com/cgi-bin/w3newer?action=ack&user=fred"
+            "&url=http://site.com/p0.html"
+        ).response
+        assert resp.status == 200
+        rows = {row.url: row for row in service.report_rows("fred")}
+        assert not rows["http://site.com/p0.html"].changed_since_ack
+
+    def test_unknown_user_empty_report(self, world):
+        clock, network, server, service, client = world
+        assert service.report_rows("stranger") == []
+
+    def test_missing_user_400(self, world):
+        clock, network, server, service, client = world
+        resp = client.get("http://aide.att.com/cgi-bin/w3newer?action=report").response
+        assert resp.status == 400
+
+    def test_error_rows_surface(self, world):
+        clock, network, server, service, client = world
+        service.upload_hotlist("fred", "http://site.com/missing.html\n")
+        service.check_cycle()
+        rows = service.report_rows("fred")
+        assert rows[0].error.startswith("HTTP 404")

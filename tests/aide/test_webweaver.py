@@ -1,0 +1,127 @@
+"""Tests for the WebWeaver wiki (Section 1's collaborative case)."""
+
+import pytest
+
+from repro.aide.webweaver import WebWeaver, WikiError
+from repro.simclock import DAY, HOUR, SimClock
+
+
+@pytest.fixture
+def wiki():
+    clock = SimClock()
+    weaver = WebWeaver(clock)
+    weaver.edit("FrontPage", "<P>Welcome to WebWeaver. See ProjectIdeas.</P>",
+                author="fred")
+    clock.advance(HOUR)
+    weaver.edit("ProjectIdeas", "<P>First idea: track the web.</P>",
+                author="tom")
+    return clock, weaver
+
+
+class TestEditing:
+    def test_edit_creates_revisions(self, wiki):
+        clock, weaver = wiki
+        assert weaver.exists("FrontPage")
+        rev = weaver.edit("FrontPage", "<P>Welcome, edited.</P>", author="tom")
+        assert rev == "1.2"
+
+    def test_bad_wikiname_rejected(self, wiki):
+        clock, weaver = wiki
+        with pytest.raises(WikiError):
+            weaver.edit("not a wikiname", "<P>x</P>")
+        with pytest.raises(WikiError):
+            weaver.edit("lowercase", "<P>x</P>")
+
+    def test_raw_old_revision(self, wiki):
+        clock, weaver = wiki
+        weaver.edit("FrontPage", "<P>Second version.</P>")
+        assert "Welcome" in weaver.raw("FrontPage", "1.1")
+        assert "Second" in weaver.raw("FrontPage")
+
+    def test_missing_page_raises(self, wiki):
+        clock, weaver = wiki
+        with pytest.raises(WikiError):
+            weaver.raw("NoSuchPage")
+
+
+class TestRendering:
+    def test_wikinames_become_links(self, wiki):
+        clock, weaver = wiki
+        html = weaver.render("FrontPage")
+        assert '<A HREF="/wiki/ProjectIdeas">ProjectIdeas</A>' in html
+
+    def test_missing_wikiname_gets_create_link(self, wiki):
+        clock, weaver = wiki
+        weaver.edit("FrontPage", "<P>See BrandNewPage for more.</P>")
+        html = weaver.render("FrontPage")
+        assert "BrandNewPage<A HREF=" in html
+
+    def test_footer_shows_revision(self, wiki):
+        clock, weaver = wiki
+        html = weaver.render("ProjectIdeas")
+        assert "Revision 1.1" in html
+
+
+class TestRecentChanges:
+    def test_sorted_by_modification_date(self, wiki):
+        clock, weaver = wiki
+        changes = weaver.recent_changes()
+        assert [info.name for info in changes] == ["ProjectIdeas", "FrontPage"]
+        clock.advance(DAY)
+        weaver.edit("FrontPage", "<P>bumped.</P>")
+        changes = weaver.recent_changes()
+        assert changes[0].name == "FrontPage"
+
+    def test_since_filter(self, wiki):
+        clock, weaver = wiki
+        recent = weaver.recent_changes(since=HOUR)
+        assert [info.name for info in recent] == ["ProjectIdeas"]
+
+    def test_page_renders_with_diff_links(self, wiki):
+        clock, weaver = wiki
+        html = weaver.recent_changes_page()
+        assert "RecentChanges" in html
+        assert "[Diff]" in html
+
+
+class TestWikiDiff:
+    def test_default_diff_previous_to_head(self, wiki):
+        clock, weaver = wiki
+        weaver.edit("FrontPage",
+                    "<P>Welcome to WebWeaver. See ProjectIdeas and more.</P>")
+        result = weaver.diff("FrontPage")
+        assert not result.identical
+        assert "<STRONG><I>" in result.html
+
+    def test_subtle_midpage_edit_visible(self, wiki):
+        # The WikiWikiWeb motivation: "content can be modified anywhere
+        # on the page, and those changes may be too subtle to notice."
+        clock, weaver = wiki
+        weaver.edit(
+            "ProjectIdeas",
+            "<P>Intro paragraph.</P><P>Middle thought here.</P><P>End.</P>",
+        )
+        weaver.edit(
+            "ProjectIdeas",
+            "<P>Intro paragraph.</P><P>Middle insight here.</P><P>End.</P>",
+        )
+        result = weaver.diff("ProjectIdeas")
+        assert "<STRIKE>thought</STRIKE>" in result.html
+        assert "<STRONG><I>insight</I></STRONG>" in result.html
+
+    def test_per_reader_diff(self, wiki):
+        clock, weaver = wiki
+        weaver.render("FrontPage", reader="alice")  # alice reads 1.1
+        weaver.edit("FrontPage", "<P>Edit after alice read, brand new words.</P>")
+        weaver.edit("FrontPage", "<P>Another edit, totally different again.</P>")
+        result = weaver.diff_for_reader("alice", "FrontPage")
+        assert not result.identical  # everything since 1.1
+
+    def test_unseen_changes_report(self, wiki):
+        clock, weaver = wiki
+        weaver.render("FrontPage", reader="alice")
+        weaver.render("ProjectIdeas", reader="alice")
+        assert weaver.unseen_changes("alice") == []
+        weaver.edit("ProjectIdeas", "<P>Changed behind alice's back.</P>")
+        unseen = weaver.unseen_changes("alice")
+        assert [info.name for info in unseen] == ["ProjectIdeas"]

@@ -1,0 +1,106 @@
+"""Tests for WebWeaver served over HTTP."""
+
+import pytest
+
+from repro.aide.webweaver import WebWeaver
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("wiki.att.com")
+    weaver = WebWeaver(clock)
+    weaver.mount(server)
+    weaver.edit("FrontPage", "<P>Welcome. See DesignNotes.</P>", author="fred")
+    weaver.edit("DesignNotes", "<P>Original design notes here.</P>",
+                author="fred")
+    agent = UserAgent(network, clock)
+    return clock, weaver, agent
+
+
+BASE = "http://wiki.att.com"
+
+
+class TestHttpWiki:
+    def test_view_page(self, world):
+        clock, weaver, agent = world
+        resp = agent.get(f"{BASE}/wiki/view?page=FrontPage").response
+        assert resp.status == 200
+        assert "Welcome." in resp.body
+        assert 'HREF="/wiki/DesignNotes"' in resp.body
+
+    def test_view_missing_404(self, world):
+        clock, weaver, agent = world
+        resp = agent.get(f"{BASE}/wiki/view?page=NoSuchPage").response
+        assert resp.status == 404
+
+    def test_view_with_reader_marks_read(self, world):
+        clock, weaver, agent = world
+        agent.get(f"{BASE}/wiki/view?page=FrontPage&reader=alice")
+        assert weaver.unseen_changes("alice") != []  # DesignNotes unread
+        agent.get(f"{BASE}/wiki/view?page=DesignNotes&reader=alice")
+        assert weaver.unseen_changes("alice") == []
+
+    def test_recent_changes_page(self, world):
+        clock, weaver, agent = world
+        resp = agent.get(f"{BASE}/wiki/RecentChanges").response
+        assert resp.status == 200
+        assert "FrontPage" in resp.body and "DesignNotes" in resp.body
+
+    def test_edit_via_post(self, world):
+        clock, weaver, agent = world
+        resp = agent.post(
+            f"{BASE}/wiki/edit",
+            body="page=DesignNotes&content=<P>Revised notes.</P>&author=tom",
+        ).response
+        assert resp.status == 200
+        assert "revision 1.2" in resp.body
+        assert "Revised notes." in weaver.raw("DesignNotes")
+
+    def test_edit_requires_post(self, world):
+        clock, weaver, agent = world
+        resp = agent.get(f"{BASE}/wiki/edit?page=X&content=y").response
+        assert resp.status == 405
+
+    def test_edit_bad_wikiname_400(self, world):
+        clock, weaver, agent = world
+        resp = agent.post(
+            f"{BASE}/wiki/edit", body="page=lowercase&content=x"
+        ).response
+        assert resp.status == 400
+
+    def test_diff_over_http(self, world):
+        clock, weaver, agent = world
+        clock.advance(DAY)
+        agent.post(
+            f"{BASE}/wiki/edit",
+            body="page=DesignNotes&content=<P>Original design notes here, "
+                 "plus brand new thinking.</P>&author=tom",
+        )
+        resp = agent.get(f"{BASE}/wiki/diff?page=DesignNotes").response
+        assert resp.status == 200
+        assert "<STRONG><I>" in resp.body
+
+    def test_reader_diff_over_http(self, world):
+        clock, weaver, agent = world
+        agent.get(f"{BASE}/wiki/view?page=DesignNotes&reader=alice")
+        clock.advance(DAY)
+        agent.post(
+            f"{BASE}/wiki/edit",
+            body="page=DesignNotes&content=<P>Totally rewritten content "
+                 "nothing alike.</P>&author=tom",
+        )
+        resp = agent.get(
+            f"{BASE}/wiki/diff?page=DesignNotes&reader=alice"
+        ).response
+        assert resp.status == 200
+        assert "Internet Difference Engine" in resp.body
+
+    def test_diff_missing_page_404(self, world):
+        clock, weaver, agent = world
+        resp = agent.get(f"{BASE}/wiki/diff?page=Nothing").response
+        assert resp.status == 404

@@ -1,0 +1,199 @@
+"""Tests for the comparison systems (Section 2)."""
+
+import pytest
+
+from repro.baselines.linediff import line_diff_html, render_as_page
+from repro.baselines.smartmarks import SmartMarks, extract_bulletin
+from repro.baselines.urlminder import UrlMinder
+from repro.baselines.w3new import W3New
+from repro.core.w3newer.errors import UrlState
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.htmldiff.api import html_diff
+from repro.simclock import DAY, WEEK, CronScheduler, SimClock
+from repro.web.cgi import CounterScript
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    for i in range(5):
+        server.set_page(f"/p{i}.html", f"<P>page {i} body.</P>")
+    agent = UserAgent(network, clock)
+    return clock, network, server, agent
+
+
+class TestW3New:
+    def test_polls_every_url_every_run(self, world):
+        clock, network, server, agent = world
+        hotlist = Hotlist.from_lines(
+            "\n".join(f"http://site.com/p{i}.html" for i in range(5))
+        )
+        baseline = W3New(clock, agent, hotlist)
+        baseline.run()
+        baseline.run()
+        baseline.run()
+        # 5 URLs x 3 runs — no caching, no thresholds.
+        assert server.request_count == 15
+
+    def test_detects_change_via_head(self, world):
+        clock, network, server, agent = world
+        history = BrowserHistory()
+        history.visit("http://site.com/p0.html", 0)
+        hotlist = Hotlist.from_lines("http://site.com/p0.html")
+        baseline = W3New(clock, agent, hotlist, history=history)
+        clock.advance(DAY)
+        server.set_page("/p0.html", "<P>new body.</P>")
+        outcomes = baseline.run()
+        assert outcomes[0].state is UrlState.CHANGED
+
+    def test_checksum_fallback_for_cgi(self, world):
+        clock, network, server, agent = world
+        server.register_cgi("/cgi-bin/counter", CounterScript())
+        hotlist = Hotlist.from_lines("http://site.com/cgi-bin/counter")
+        baseline = W3New(clock, agent, hotlist)
+        baseline.run()
+        history = baseline.history
+        history.visit("http://site.com/cgi-bin/counter", clock.now)
+        clock.advance(DAY)
+        outcomes = baseline.run()
+        assert outcomes[0].state is UrlState.CHANGED  # counter noise
+
+    def test_errors_reported(self, world):
+        clock, network, server, agent = world
+        baseline = W3New(clock, agent, Hotlist.from_lines("http://gone.example/"))
+        outcomes = baseline.run()
+        assert outcomes[0].state is UrlState.ERROR
+
+
+class TestUrlMinder:
+    def test_polls_once_per_url(self, world):
+        clock, network, server, agent = world
+        minder = UrlMinder(clock, agent)
+        for i in range(20):
+            minder.register(f"user{i}@example.com", "http://site.com/p0.html")
+        network.reset_log()
+        minder.poll()
+        assert len([r for r in network.log if r.path == "/p0.html"]) == 1
+
+    def test_emails_all_subscribers_on_change(self, world):
+        clock, network, server, agent = world
+        minder = UrlMinder(clock, agent)
+        minder.register("a@x.com", "http://site.com/p0.html")
+        minder.register("b@x.com", "http://site.com/p0.html")
+        minder.poll()  # baseline
+        assert minder.outbox == []
+        clock.advance(WEEK)
+        server.set_page("/p0.html", "<P>changed.</P>")
+        sent = minder.poll()
+        assert sent == 2
+        recipients = sorted(email.to for email in minder.outbox)
+        assert recipients == ["a@x.com", "b@x.com"]
+
+    def test_email_says_nothing_about_what_changed(self, world):
+        # The deficiency motivating HtmlDiff, kept faithful.
+        clock, network, server, agent = world
+        minder = UrlMinder(clock, agent)
+        minder.register("a@x.com", "http://site.com/p0.html")
+        minder.poll()
+        server.set_page("/p0.html", "<P>utterly different.</P>")
+        clock.advance(WEEK)
+        minder.poll()
+        body = minder.outbox[0].body
+        assert "detected a change" in body
+        assert "utterly different" not in body
+
+    def test_weekly_schedule(self, world):
+        clock, network, server, agent = world
+        minder = UrlMinder(clock, agent)
+        minder.register("a@x.com", "http://site.com/p0.html")
+        cron = CronScheduler(clock)
+        minder.schedule(cron)
+        cron.run_until(3 * WEEK)
+        assert minder.polls == 3
+
+
+class TestSmartMarks:
+    def test_bulletin_extracted(self):
+        html = '<HEAD><META NAME="bulletin" CONTENT="10 new links added"></HEAD>'
+        assert extract_bulletin(html) == "10 new links added"
+
+    def test_no_bulletin(self):
+        assert extract_bulletin("<P>plain page</P>") is None
+
+    def test_poll_flags_changes_with_bulletin(self, world):
+        clock, network, server, agent = world
+        history = BrowserHistory()
+        history.visit("http://site.com/p0.html", 0)
+        hotlist = Hotlist.from_lines("http://site.com/p0.html Page zero")
+        marks = SmartMarks(clock, agent, hotlist, history=history)
+        clock.advance(DAY)
+        server.set_page(
+            "/p0.html",
+            '<HEAD><META NAME="bulletin" CONTENT="Section 3 rewritten">'
+            "</HEAD><BODY><P>v2</P></BODY>",
+        )
+        rows = marks.poll()
+        assert rows[0].changed
+        assert rows[0].bulletin == "Section 3 rewritten"
+        html = marks.render(rows)
+        assert "[changed]" in html
+        assert "Section 3 rewritten" in html
+
+    def test_bulletin_does_not_say_where(self, world):
+        # The opacity problem: the bulletin is free text, not a pointer.
+        clock, network, server, agent = world
+        history = BrowserHistory()
+        history.visit("http://site.com/p0.html", 0)
+        marks = SmartMarks(clock, agent,
+                           Hotlist.from_lines("http://site.com/p0.html"),
+                           history=history)
+        clock.advance(DAY)
+        server.set_page(
+            "/p0.html",
+            '<HEAD><META NAME="bulletin" CONTENT="10 new links added"></HEAD>'
+            "<BODY><UL><LI>which ones though?</UL></BODY>",
+        )
+        rows = marks.poll()
+        html = marks.render(rows)
+        assert "10 new links added" in html
+        assert "which ones though" not in html  # no pointer to the spot
+
+
+class TestLineDiffBaseline:
+    def test_no_change(self):
+        report = line_diff_html("<P>same</P>", "<P>same</P>")
+        assert not report.flags_change
+
+    def test_real_change_detected(self):
+        report = line_diff_html("<P>old</P>", "<P>new</P>")
+        assert report.flags_change
+
+    def test_false_positive_on_reflow(self):
+        # Reflowed whitespace: content identical — line diff flags it,
+        # HtmlDiff does not.  The S3 discriminator.
+        old = "<P>alpha beta\ngamma delta.</P>"
+        new = "<P>alpha beta gamma\ndelta.</P>"
+        line_report = line_diff_html(old, new)
+        html_report = html_diff(old, new)
+        assert line_report.flags_change
+        assert html_report.identical
+
+    def test_restructure_misreported(self):
+        # Paragraph -> list: line diff sees a rewrite of the region;
+        # HtmlDiff sees identical sentences with formatting changes.
+        old = "<P>One two three. Four five six.</P>"
+        new = "<UL>\n<LI>One two three.\n<LI>Four five six.\n</UL>"
+        line_report = line_diff_html(old, new)
+        assert line_report.changed_fraction == 1.0
+        html_report = html_diff(old, new)
+        assert "<STRIKE>" not in html_report.html  # no content deleted
+
+    def test_rendered_page_escapes_markup(self):
+        report = line_diff_html("<P>a</P>", "<P>b</P>")
+        page = render_as_page(report)
+        assert "&lt;P&gt;" in page

@@ -1,0 +1,65 @@
+"""Tests for the Hunt–McIlroy candidate-chain diff."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffcore.huntmcilroy import hunt_mcilroy_length, hunt_mcilroy_pairs
+
+
+def brute_lcs_length(a, b):
+    table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    return table[-1][-1]
+
+
+class TestHuntMcilroy:
+    def test_classic(self):
+        assert hunt_mcilroy_length("ABCBDAB", "BDCABA") == 4
+
+    def test_empty(self):
+        assert hunt_mcilroy_pairs([], ["x"]) == []
+        assert hunt_mcilroy_pairs(["x"], []) == []
+
+    def test_identical_lines(self):
+        lines = ["a", "b", "c"]
+        assert hunt_mcilroy_pairs(lines, lines) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_pure_insertion(self):
+        old = ["a", "c"]
+        new = ["a", "b", "c"]
+        assert hunt_mcilroy_pairs(old, new) == [(0, 0), (1, 2)]
+
+    def test_pure_deletion(self):
+        old = ["a", "b", "c"]
+        new = ["a", "c"]
+        assert hunt_mcilroy_pairs(old, new) == [(0, 0), (2, 1)]
+
+    def test_pairs_strictly_increasing(self):
+        pairs = hunt_mcilroy_pairs(list("AXBYCZ"), list("ABXCYZ"))
+        for (i1, j1), (i2, j2) in zip(pairs, pairs[1:]):
+            assert i2 > i1 and j2 > j1
+
+    def test_repeated_lines(self):
+        # Blank-line-heavy inputs exercise the multi-occurrence path.
+        old = ["", "x", "", "y", ""]
+        new = ["", "y", "", "x", ""]
+        pairs = hunt_mcilroy_pairs(old, new)
+        assert len(pairs) == brute_lcs_length(old, new)
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c", ""]), max_size=30),
+        st.lists(st.sampled_from(["a", "b", "c", ""]), max_size=30),
+    )
+    @settings(max_examples=150)
+    def test_optimal_length(self, a, b):
+        pairs = hunt_mcilroy_pairs(a, b)
+        assert len(pairs) == brute_lcs_length(a, b)
+        for (i1, j1), (i2, j2) in zip(pairs, pairs[1:]):
+            assert i2 > i1 and j2 > j1
+        for i, j in pairs:
+            assert a[i] == b[j]

@@ -1,0 +1,183 @@
+"""Tests for the weighted/unweighted Hirschberg LCS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffcore.lcs import (
+    lcs_length,
+    lcs_pairs,
+    similarity_ratio,
+    trim_common_affixes,
+    weighted_lcs_pairs,
+    weighted_lcs_score,
+)
+
+
+def brute_lcs_length(a, b):
+    """Reference quadratic DP used as an oracle."""
+    table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    return table[-1][-1]
+
+
+class TestTrimCommonAffixes:
+    def test_disjoint(self):
+        assert trim_common_affixes("abc", "xyz", lambda x, y: x == y) == (0, 0)
+
+    def test_identical(self):
+        assert trim_common_affixes("abc", "abc", lambda x, y: x == y) == (3, 0)
+
+    def test_prefix_and_suffix(self):
+        prefix, suffix = trim_common_affixes("aXc", "aYc", lambda x, y: x == y)
+        assert (prefix, suffix) == (1, 1)
+
+    def test_suffix_never_overlaps_prefix(self):
+        # "aa" vs "aaa": naive trimming would double-count the middle 'a'.
+        prefix, suffix = trim_common_affixes("aa", "aaa", lambda x, y: x == y)
+        assert prefix + suffix <= 2
+
+
+class TestLcsLength:
+    def test_classic_example(self):
+        assert lcs_length("ABCBDAB", "BDCABA") == 4
+
+    def test_empty(self):
+        assert lcs_length("", "") == 0
+        assert lcs_length("abc", "") == 0
+
+    def test_identical(self):
+        assert lcs_length("hello", "hello") == 5
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=25),
+        st.lists(st.integers(0, 5), max_size=25),
+    )
+    @settings(max_examples=150)
+    def test_matches_reference_dp(self, a, b):
+        assert lcs_length(a, b) == brute_lcs_length(a, b)
+
+
+class TestSimilarityRatio:
+    def test_identical(self):
+        assert similarity_ratio("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert similarity_ratio("abc", "xyz") == 0.0
+
+    def test_both_empty_defined_identical(self):
+        assert similarity_ratio("", "") == 1.0
+
+    def test_half_overlap(self):
+        # LCS("ab", "ax") = 1, L = 4 -> 2*1/4 = 0.5
+        assert similarity_ratio("ab", "ax") == 0.5
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=100)
+    def test_bounded(self, a, b):
+        assert 0.0 <= similarity_ratio(a, b) <= 1.0
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=100)
+    def test_symmetric(self, a, b):
+        assert similarity_ratio(a, b) == similarity_ratio(b, a)
+
+
+def assert_valid_matching(pairs, a, b, weight):
+    """Matches must be strictly increasing in both indices and positive."""
+    last_i, last_j = -1, -1
+    for i, j, w in pairs:
+        assert i > last_i and j > last_j
+        assert 0 <= i < len(a) and 0 <= j < len(b)
+        assert w == weight(a[i], b[j]) > 0
+        last_i, last_j = i, j
+
+
+class TestLcsPairs:
+    def test_classic_example(self):
+        pairs = lcs_pairs("ABCBDAB", "BDCABA")
+        assert len(pairs) == 4
+        assert_valid_matching(pairs, "ABCBDAB", "BDCABA",
+                              lambda x, y: 1.0 if x == y else 0.0)
+
+    def test_empty_inputs(self):
+        assert lcs_pairs("", "abc") == []
+        assert lcs_pairs("abc", "") == []
+
+    def test_identical_full_match(self):
+        pairs = lcs_pairs("abcd", "abcd")
+        assert [(i, j) for i, j, _ in pairs] == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    @given(
+        st.lists(st.integers(0, 4), max_size=20),
+        st.lists(st.integers(0, 4), max_size=20),
+    )
+    @settings(max_examples=150)
+    def test_optimal_and_valid(self, a, b):
+        pairs = lcs_pairs(a, b)
+        assert_valid_matching(pairs, a, b, lambda x, y: 1.0 if x == y else 0.0)
+        assert len(pairs) == brute_lcs_length(a, b)
+
+
+class TestWeightedLcs:
+    @staticmethod
+    def parity_weight(x, y):
+        """Tokens match when congruent mod 3; heavier for exact equality."""
+        if x == y:
+            return 2.0
+        if x % 3 == y % 3:
+            return 1.0
+        return 0.0
+
+    def test_prefers_heavier_matches(self):
+        # 4 matches 4 exactly (weight 2) rather than 1 (parity weight 1).
+        pairs = weighted_lcs_pairs([4], [1, 4], self.parity_weight)
+        assert pairs == [(0, 1, 2.0)]
+
+    def test_score_agrees_with_pairs(self):
+        a = [1, 2, 3, 4, 5, 6]
+        b = [4, 2, 6, 1, 5]
+        score = weighted_lcs_score(a, b, self.parity_weight)
+        pairs = weighted_lcs_pairs(a, b, self.parity_weight)
+        assert score == pytest.approx(sum(w for _, _, w in pairs))
+
+    def brute_weighted_score(self, a, b, weight):
+        table = [[0.0] * (len(b) + 1) for _ in range(len(a) + 1)]
+        for i in range(1, len(a) + 1):
+            for j in range(1, len(b) + 1):
+                best = max(table[i - 1][j], table[i][j - 1])
+                w = weight(a[i - 1], b[j - 1])
+                if w > 0:
+                    best = max(best, table[i - 1][j - 1] + w)
+                table[i][j] = best
+        return table[-1][-1]
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=15),
+        st.lists(st.integers(0, 8), max_size=15),
+    )
+    @settings(max_examples=120)
+    def test_hirschberg_is_optimal(self, a, b):
+        expected = self.brute_weighted_score(a, b, self.parity_weight)
+        pairs = weighted_lcs_pairs(a, b, self.parity_weight)
+        assert_valid_matching(pairs, a, b, self.parity_weight)
+        assert sum(w for _, _, w in pairs) == pytest.approx(expected)
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=15),
+        st.lists(st.integers(0, 8), max_size=15),
+    )
+    @settings(max_examples=80)
+    def test_score_matches_reference(self, a, b):
+        assert weighted_lcs_score(a, b, self.parity_weight) == pytest.approx(
+            self.brute_weighted_score(a, b, self.parity_weight)
+        )
+
+    def test_zero_weight_means_no_match(self):
+        pairs = weighted_lcs_pairs([1, 2], [3, 5], lambda x, y: 0.0)
+        assert pairs == []

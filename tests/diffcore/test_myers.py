@@ -1,0 +1,65 @@
+"""Tests for the Myers edit-distance / pair-recovery implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffcore.myers import myers_edit_distance, myers_pairs
+
+
+def brute_lcs_length(a, b):
+    table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    return table[-1][-1]
+
+
+class TestMyersDistance:
+    def test_identical(self):
+        assert myers_edit_distance("abc", "abc") == 0
+
+    def test_empty(self):
+        assert myers_edit_distance("", "") == 0
+        assert myers_edit_distance("abc", "") == 3
+        assert myers_edit_distance("", "xy") == 2
+
+    def test_classic(self):
+        # ABCABBA -> CBABAC is the worked example in Myers's paper: D=5.
+        assert myers_edit_distance("ABCABBA", "CBABAC") == 5
+
+    @given(st.text(alphabet="abc", max_size=20), st.text(alphabet="abc", max_size=20))
+    @settings(max_examples=150)
+    def test_distance_equals_lengths_minus_twice_lcs(self, a, b):
+        lcs = brute_lcs_length(a, b)
+        assert myers_edit_distance(a, b) == len(a) + len(b) - 2 * lcs
+
+
+class TestMyersPairs:
+    def test_identical(self):
+        assert myers_pairs("ab", "ab") == [(0, 0), (1, 1)]
+
+    def test_empty(self):
+        assert myers_pairs("", "abc") == []
+
+    @given(
+        st.lists(st.integers(0, 3), max_size=25),
+        st.lists(st.integers(0, 3), max_size=25),
+    )
+    @settings(max_examples=150)
+    def test_pairs_form_optimal_lcs(self, a, b):
+        pairs = myers_pairs(a, b)
+        assert len(pairs) == brute_lcs_length(a, b)
+        for (i1, j1), (i2, j2) in zip(pairs, pairs[1:]):
+            assert i2 > i1 and j2 > j1
+        for i, j in pairs:
+            assert a[i] == b[j]
+
+    def test_large_core_takes_split_path(self):
+        # Force the Hirschberg-split branch (core > 4096 cells).
+        a = [i % 7 for i in range(120)]
+        b = [(i * 3) % 7 for i in range(120)]
+        pairs = myers_pairs(a, b)
+        assert len(pairs) == brute_lcs_length(a, b)

@@ -1,0 +1,152 @@
+"""Tests for edit scripts (RCS delta machinery) and unified diffs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffcore.textdiff import (
+    EditCommand,
+    apply_edit_script,
+    make_edit_script,
+    script_size,
+    unified_diff,
+)
+
+lines_strategy = st.lists(st.sampled_from(["alpha", "beta", "gamma", "", "x"]),
+                          max_size=25)
+
+
+class TestEditCommand:
+    def test_append_serialization(self):
+        cmd = EditCommand("a", 3, 2, ("one", "two"))
+        assert cmd.serialize() == "a3 2\none\ntwo"
+
+    def test_delete_serialization(self):
+        assert EditCommand("d", 5, 3).serialize() == "d5 3"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EditCommand("x", 1, 1)
+
+    def test_append_count_must_match_payload(self):
+        with pytest.raises(ValueError):
+            EditCommand("a", 1, 2, ("only-one",))
+
+    def test_delete_must_not_carry_payload(self):
+        with pytest.raises(ValueError):
+            EditCommand("d", 1, 1, ("payload",))
+
+
+class TestEditScriptRoundtrip:
+    def test_no_change_is_empty_script(self):
+        lines = ["a", "b", "c"]
+        assert make_edit_script(lines, lines) == []
+
+    def test_pure_append(self):
+        script = make_edit_script(["a"], ["a", "b"])
+        assert len(script) == 1
+        assert script[0].kind == "a"
+        assert apply_edit_script(["a"], script) == ["a", "b"]
+
+    def test_pure_delete(self):
+        script = make_edit_script(["a", "b"], ["a"])
+        assert len(script) == 1
+        assert script[0].kind == "d"
+        assert apply_edit_script(["a", "b"], script) == ["a"]
+
+    def test_replace_line(self):
+        old = ["keep", "old", "keep2"]
+        new = ["keep", "new", "keep2"]
+        script = make_edit_script(old, new)
+        assert apply_edit_script(old, script) == new
+
+    def test_insert_at_head(self):
+        old = ["b"]
+        new = ["a", "b"]
+        assert apply_edit_script(old, make_edit_script(old, new)) == new
+
+    def test_total_rewrite(self):
+        old = ["1", "2", "3"]
+        new = ["x", "y"]
+        assert apply_edit_script(old, make_edit_script(old, new)) == new
+
+    def test_empty_to_content(self):
+        assert apply_edit_script([], make_edit_script([], ["a", "b"])) == ["a", "b"]
+
+    def test_content_to_empty(self):
+        assert apply_edit_script(["a", "b"], make_edit_script(["a", "b"], [])) == []
+
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, old, new):
+        script = make_edit_script(old, new)
+        assert apply_edit_script(old, script) == new
+
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=100)
+    def test_reverse_script_roundtrip(self, old, new):
+        # The RCS reverse-delta property: a script can run either way
+        # if computed in the opposite direction.
+        forward = make_edit_script(old, new)
+        backward = make_edit_script(new, old)
+        assert apply_edit_script(apply_edit_script(old, forward), backward) == old
+
+    def test_identity_script_is_free(self):
+        assert script_size(make_edit_script(["a"] * 10, ["a"] * 10)) == 0
+
+
+class TestApplyValidation:
+    def test_delete_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_edit_script(["a"], [EditCommand("d", 5, 1)])
+
+    def test_append_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_edit_script(["a"], [EditCommand("a", 9, 1, ("x",))])
+
+    def test_overlapping_commands_rejected(self):
+        script = [EditCommand("d", 1, 1), EditCommand("d", 1, 1)]
+        with pytest.raises(ValueError):
+            apply_edit_script(["a", "b"], script)
+
+
+class TestUnifiedDiff:
+    def test_no_difference_is_empty(self):
+        assert unified_diff(["same"], ["same"]) == ""
+
+    def test_headers_and_markers(self):
+        out = unified_diff(["a", "b"], ["a", "c"], "v1", "v2")
+        assert out.startswith("--- v1\n+++ v2\n")
+        assert "@@" in out
+        assert "-b" in out
+        assert "+c" in out
+
+    def test_context_lines_present(self):
+        old = [f"line{i}" for i in range(10)]
+        new = list(old)
+        new[5] = "CHANGED"
+        out = unified_diff(old, new)
+        assert " line4" in out
+        assert " line8" in out
+        assert "-line5" in out
+        assert "+CHANGED" in out
+        # Far-away lines stay out of the hunk.
+        assert "line0" not in out
+
+    def test_nearby_changes_merge_into_one_hunk(self):
+        old = [f"l{i}" for i in range(10)]
+        new = list(old)
+        new[3] = "X"
+        new[6] = "Y"
+        out = unified_diff(old, new)
+        hunks = [ln for ln in out.splitlines() if ln.startswith("@@")]
+        assert len(hunks) == 1
+
+    def test_distant_changes_get_separate_hunks(self):
+        old = [f"l{i}" for i in range(40)]
+        new = list(old)
+        new[2] = "X"
+        new[35] = "Y"
+        out = unified_diff(old, new)
+        hunks = [ln for ln in out.splitlines() if ln.startswith("@@")]
+        assert len(hunks) == 2

@@ -1,0 +1,78 @@
+"""Tests for the tag-classification model."""
+
+from repro.html.lexer import tokenize_html
+from repro.html.model import (
+    AUTO_CLOSE,
+    CONTENT_DEFINING_TAGS,
+    EMPTY_TAGS,
+    SENTENCE_BREAKING_TAGS,
+    is_content_defining,
+    is_empty_tag,
+    is_sentence_breaking,
+)
+
+
+def tag(source):
+    return tokenize_html(source)[0]
+
+
+class TestSentenceBreaking:
+    def test_paper_examples(self):
+        # "sentence-breaking markups (such as <P>, <HR>, <LI>, or <H1>)"
+        for source in ("<P>", "<HR>", "<LI>", "<H1>"):
+            assert is_sentence_breaking(tag(source))
+
+    def test_inline_markup_not_breaking(self):
+        # "non-sentence-breaking markups (such as <B> or <A>)"
+        for source in ("<B>", '<A HREF="x">', "<I>", "<EM>", "<TT>"):
+            assert not is_sentence_breaking(tag(source))
+
+    def test_closing_tags_break_too(self):
+        assert is_sentence_breaking(tag("</P>"))
+        assert is_sentence_breaking(tag("</UL>"))
+
+
+class TestContentDefining:
+    def test_paper_examples(self):
+        # "'content-defining' markups such as <IMG> or <A>"
+        assert is_content_defining(tag('<IMG SRC="x.gif">'))
+        assert is_content_defining(tag('<A HREF="y">'))
+
+    def test_presentational_not_content(self):
+        # "Markups such as <B> or <I> are not counted."
+        assert not is_content_defining(tag("<B>"))
+        assert not is_content_defining(tag("<I>"))
+
+    def test_closing_tags_not_counted(self):
+        assert not is_content_defining(tag("</A>"))
+
+
+class TestEmptyTags:
+    def test_known_empty(self):
+        for name in ("BR", "HR", "IMG", "META", "BASE"):
+            assert is_empty_tag(name)
+            assert is_empty_tag(name.lower())
+
+    def test_container_tags_not_empty(self):
+        for name in ("P", "A", "UL", "B"):
+            assert not is_empty_tag(name)
+
+
+class TestSetConsistency:
+    def test_empty_tags_never_auto_close(self):
+        # An empty tag has no open element to close implicitly.
+        for name in AUTO_CLOSE:
+            assert name not in EMPTY_TAGS
+
+    def test_auto_close_targets_are_breaking(self):
+        # Only structural elements participate in implicit closing.
+        for name, closes in AUTO_CLOSE.items():
+            assert name in SENTENCE_BREAKING_TAGS
+            for target in closes:
+                assert target in SENTENCE_BREAKING_TAGS
+
+    def test_content_defining_are_inline(self):
+        # Content-defining markups live INSIDE sentences, except AREA
+        # (image-map regions are block-structured in practice).
+        for name in CONTENT_DEFINING_TAGS - {"AREA"}:
+            assert name not in SENTENCE_BREAKING_TAGS

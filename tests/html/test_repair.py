@@ -1,0 +1,108 @@
+"""Tests for markup rectification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.lexer import Tag, tokenize_html
+from repro.html.model import is_empty_tag
+from repro.html.repair import RepairStats, repair_nodes
+from repro.html.serializer import serialize_nodes
+
+
+def assert_balanced(nodes):
+    """Every non-empty start tag has a matching, properly nested end tag."""
+    stack = []
+    for node in nodes:
+        if not isinstance(node, Tag):
+            continue
+        if not node.closing:
+            if not is_empty_tag(node.name):
+                stack.append(node.name)
+        else:
+            assert stack, f"unmatched end tag {node.name}"
+            assert stack[-1] == node.name, f"mis-nested {node.name} over {stack[-1]}"
+            stack.pop()
+    assert stack == [], f"unclosed at EOF: {stack}"
+
+
+class TestRepair:
+    def test_already_balanced_untouched(self):
+        nodes = tokenize_html("<b>bold</b> plain")
+        repaired = repair_nodes(nodes)
+        assert serialize_nodes(repaired) == "<b>bold</b> plain"
+
+    def test_unclosed_at_eof(self):
+        stats = RepairStats()
+        repaired = repair_nodes(tokenize_html("<b>dangling"), stats)
+        assert_balanced(repaired)
+        assert stats.unclosed_at_eof == 1
+        assert serialize_nodes(repaired).endswith("</B>")
+
+    def test_li_auto_close(self):
+        # The dominant 1995 idiom: <LI> items never closed.
+        stats = RepairStats()
+        repaired = repair_nodes(
+            tokenize_html("<ul><li>one<li>two<li>three</ul>"), stats
+        )
+        assert_balanced(repaired)
+        assert stats.implicit_closes == 2  # two LIs closed by following LIs
+        assert stats.out_of_order_closes == 1  # last LI closed by </ul>
+
+    def test_p_auto_close(self):
+        repaired = repair_nodes(tokenize_html("<p>one<p>two"))
+        assert_balanced(repaired)
+
+    def test_stray_end_tag_dropped(self):
+        stats = RepairStats()
+        repaired = repair_nodes(tokenize_html("text</b>more"), stats)
+        assert stats.stray_end_tags_dropped == 1
+        assert serialize_nodes(repaired) == "textmore"
+
+    def test_end_tag_for_empty_element_dropped(self):
+        stats = RepairStats()
+        repaired = repair_nodes(tokenize_html("<br></br>"), stats)
+        assert stats.stray_end_tags_dropped == 1
+        assert_balanced(repaired)
+
+    def test_out_of_order_closes(self):
+        stats = RepairStats()
+        repaired = repair_nodes(tokenize_html("<b><i>both</b></i>"), stats)
+        assert_balanced(repaired)
+        # </b> forces an </I>; the trailing </i> is then stray.
+        assert stats.out_of_order_closes == 1
+        assert stats.stray_end_tags_dropped == 1
+
+    def test_dt_dd_alternation(self):
+        repaired = repair_nodes(
+            tokenize_html("<dl><dt>term<dd>def<dt>term2<dd>def2</dl>")
+        )
+        assert_balanced(repaired)
+
+    def test_empty_tags_need_no_close(self):
+        stats = RepairStats()
+        repaired = repair_nodes(tokenize_html("a<br>b<hr>c<img src=x>d"), stats)
+        assert stats.total == 0
+        assert_balanced(repaired)
+
+    def test_text_and_comments_pass_through(self):
+        src = "plain <!-- c --> text"
+        assert serialize_nodes(repair_nodes(tokenize_html(src))) == src
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["<p>", "</p>", "<ul>", "</ul>", "<li>", "</li>", "<b>",
+                 "</b>", "<i>", "</i>", "<br>", "text ", "<h1>", "</h1>"]
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=200)
+    def test_always_balanced(self, pieces):
+        repaired = repair_nodes(tokenize_html("".join(pieces)))
+        assert_balanced(repaired)
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=150)
+    def test_arbitrary_input_balanced(self, source):
+        assert_balanced(repair_nodes(tokenize_html(source)))

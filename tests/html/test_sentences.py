@@ -1,0 +1,60 @@
+"""Tests for sentence segmentation."""
+
+from repro.html.sentences import split_preformatted, split_sentences, split_words
+
+
+class TestSplitWords:
+    def test_simple(self):
+        assert split_words("one two three") == ["one", "two", "three"]
+
+    def test_collapses_whitespace(self):
+        assert split_words("  a \n\t b  ") == ["a", "b"]
+
+    def test_entities_decoded(self):
+        assert split_words("AT&amp;T Bell") == ["AT&T", "Bell"]
+
+    def test_empty(self):
+        assert split_words("   ") == []
+
+
+class TestSplitSentences:
+    def test_single_sentence(self):
+        assert split_sentences("Hello world") == [["Hello", "world"]]
+
+    def test_period_splits(self):
+        assert split_sentences("One two. Three four.") == [
+            ["One", "two."],
+            ["Three", "four."],
+        ]
+
+    def test_question_and_exclamation(self):
+        out = split_sentences("Really? Yes! Good.")
+        assert len(out) == 3
+
+    def test_quote_after_period(self):
+        out = split_sentences('He said "stop." Then left.')
+        assert len(out) == 2
+
+    def test_no_split_without_trailing_space(self):
+        # "3.14" or "www.att.com" must not be torn apart.
+        assert split_sentences("pi is 3.14 exactly") == [["pi", "is", "3.14", "exactly"]]
+        assert split_sentences("visit www.att.com today") == [
+            ["visit", "www.att.com", "today"]
+        ]
+
+    def test_blank_input(self):
+        assert split_sentences("  \n ") == []
+
+
+class TestSplitPreformatted:
+    def test_lines_become_sentences(self):
+        out = split_preformatted("def f():\n    return 1\n")
+        assert out == [["def f():"], ["    return 1"]]
+
+    def test_indentation_preserved(self):
+        a = split_preformatted("  x")
+        b = split_preformatted("    x")
+        assert a != b
+
+    def test_blank_lines_skipped(self):
+        assert split_preformatted("a\n\n\nb") == [["a"], ["b"]]

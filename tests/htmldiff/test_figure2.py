@@ -1,0 +1,80 @@
+"""Reproduction of Figure 2: HtmlDiff over two USENIX home-page versions.
+
+"Output of HtmlDiff showing the differences between a subset of two
+versions of the USENIX Association home page (as of 9/29/95 and
+11/3/95).  Small arrows point to changes, with bold italics indicating
+additions and with deleted text struck out.  The banner at the top of
+the page was inserted by HtmlDiff."
+"""
+
+import re
+
+from repro.core.htmldiff.api import html_diff
+from repro.web.sites import usenix_home_v1, usenix_home_v2
+
+
+class TestFigure2:
+    def result(self):
+        return html_diff(usenix_home_v1(), usenix_home_v2())
+
+    def test_differences_found(self):
+        result = self.result()
+        assert not result.identical
+        assert result.difference_count >= 2
+
+    def test_banner_inserted_at_top(self):
+        result = self.result()
+        body_pos = result.html.lower().find("<body>")
+        banner_pos = result.html.find("AT&amp;T Internet Difference Engine")
+        assert banner_pos > body_pos >= 0
+        # The banner precedes all page content.
+        assert banner_pos < result.html.find("Upcoming Events")
+
+    def test_new_event_emphasized(self):
+        # The 1996 Technical Conference entry was added in v2.
+        result = self.result()
+        assert "1996 USENIX Technical Conference" in result.html
+        match = re.search(
+            r"<STRONG><I>[^<]*1996 USENIX Technical Conference", result.html
+        )
+        assert match, "added event not emphasized"
+
+    def test_dropped_event_struck(self):
+        # The LISA IX entry (September 1995) was dropped in v2.
+        result = self.result()
+        assert re.search(r"<STRIKE>[^<]*LISA IX", result.html)
+
+    def test_dropped_event_link_eliminated(self):
+        # Old markups are eliminated: the dead /events/lisa95/ HREF must
+        # not survive, even though its text appears struck out.
+        result = self.result()
+        assert "/events/lisa95/" not in result.html
+
+    def test_rewritten_registration_paragraph(self):
+        # "available in October" -> "available online": word-level edits.
+        result = self.result()
+        assert "<STRIKE>" in result.html
+        assert "<STRONG><I>" in result.html
+
+    def test_unchanged_material_plain(self):
+        result = self.result()
+        # The membership sentence is identical in both versions.
+        assert ";login:" in result.html
+        assert "<STRIKE>Members" not in result.html
+        assert "<STRONG><I>Members" not in result.html
+
+    def test_arrow_chain_navigable(self):
+        result = self.result()
+        names = set(re.findall(r'<A NAME="(aidediff\d+)">', result.html))
+        links = re.findall(r'<A HREF="#(aidediff\d+)">', result.html)
+        assert links, "no chain links at all"
+        for target in links:
+            assert target in names, f"dangling chain link to {target}"
+
+    def test_arrows_use_both_images(self):
+        result = self.result()
+        assert "old-arrow.gif" in result.html or "new-arrow.gif" in result.html
+
+    def test_merged_not_density_suppressed(self):
+        # Figure 2's edit is realistic, well under the density ceiling.
+        assert not self.result().density_suppressed

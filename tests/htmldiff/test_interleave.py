@@ -1,0 +1,48 @@
+"""Tests for the §5.3 interspersion limit (max_interleave)."""
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.options import HtmlDiffOptions
+
+# Many scattered single-word edits in one long sentence: word-level
+# refinement would alternate struck/emphasized runs many times.
+OLD = ("<P>alpha one beta two gamma three delta four epsilon five "
+       "zeta six eta seven theta eight</P>")
+NEW = ("<P>alpha ONE beta TWO gamma THREE delta FOUR epsilon FIVE "
+       "zeta six eta seven theta eight</P>")
+
+# A single contiguous edit: refinement stays readable.
+SIMPLE_OLD = "<P>the quick brown fox jumps over the lazy dog today</P>"
+SIMPLE_NEW = "<P>the quick red fox jumps over the lazy dog today</P>"
+
+
+class TestInterleaveLimit:
+    def test_muddled_sentence_falls_back_to_block_rendering(self):
+        result = html_diff(OLD, NEW, HtmlDiffOptions(max_interleave=6))
+        # Whole-sentence fallback: exactly one struck run and one
+        # emphasized run, not five of each.
+        assert result.html.count("<STRIKE>") == 1
+        assert result.html.count("<STRONG><I>") == 1
+        # Both complete sentences are present.
+        assert "alpha one beta two" in result.html
+        assert "alpha ONE beta TWO" in result.html
+
+    def test_limit_zero_disables_fallback(self):
+        result = html_diff(OLD, NEW, HtmlDiffOptions(max_interleave=0))
+        assert result.html.count("<STRIKE>") == 5
+        assert result.html.count("<STRONG><I>") == 5
+
+    def test_simple_edit_still_refined(self):
+        result = html_diff(SIMPLE_OLD, SIMPLE_NEW,
+                           HtmlDiffOptions(max_interleave=6))
+        assert "<STRIKE>brown</STRIKE>" in result.html
+        assert "<STRONG><I>red</I></STRONG>" in result.html
+        # Context words stay plain.
+        assert "<STRIKE>the" not in result.html
+
+    def test_generous_limit_keeps_interleaving(self):
+        result = html_diff(OLD, NEW, HtmlDiffOptions(max_interleave=100))
+        assert result.html.count("<STRIKE>") == 5
+
+    def test_default_limit_guards_muddle(self):
+        result = html_diff(OLD, NEW)  # default max_interleave=6
+        assert result.html.count("<STRIKE>") == 1

@@ -1,0 +1,152 @@
+"""Tests for token matching: break equality and two-step sentence match."""
+
+import pytest
+
+from repro.core.htmldiff.matcher import TokenMatcher, match_tokens
+from repro.core.htmldiff.options import HtmlDiffOptions
+from repro.core.htmldiff.tokenizer import tokenize_document
+from repro.core.htmldiff.tokens import BreakToken, SentenceToken
+
+
+def sentence(text):
+    tokens = tokenize_document(text)
+    out = [t for t in tokens if isinstance(t, SentenceToken)]
+    assert len(out) == 1, f"expected one sentence from {text!r}"
+    return out[0]
+
+
+def break_token(html):
+    tokens = tokenize_document(html)
+    return next(t for t in tokens if isinstance(t, BreakToken))
+
+
+class TestBreakMatching:
+    def test_identical_breaks_match_weight_one(self):
+        matcher = TokenMatcher()
+        assert matcher.weight(break_token("<P>"), break_token("<P>")) == 1.0
+
+    def test_case_whitespace_attr_order_insensitive(self):
+        matcher = TokenMatcher()
+        a = break_token('<h1 align="center" class=x>')
+        b = break_token("<H1  CLASS=X  ALIGN='CENTER'>")
+        assert matcher.weight(a, b) == 1.0
+
+    def test_different_breaks_do_not_match(self):
+        # The paragraph-to-list case: <P> never matches <UL>.
+        matcher = TokenMatcher()
+        assert matcher.weight(break_token("<P>"), break_token("<UL>")) == 0.0
+
+    def test_different_attrs_do_not_match(self):
+        matcher = TokenMatcher()
+        a = break_token('<H1 ALIGN="left">')
+        b = break_token('<H1 ALIGN="center">')
+        assert matcher.weight(a, b) == 0.0
+
+    def test_break_never_matches_sentence(self):
+        matcher = TokenMatcher()
+        assert matcher.weight(break_token("<P>"), sentence("words here")) == 0.0
+        assert matcher.weight(sentence("words here"), break_token("<P>")) == 0.0
+
+
+class TestSentenceMatching:
+    def test_identical_sentences_full_weight(self):
+        matcher = TokenMatcher()
+        a = sentence("one two three four")
+        assert matcher.weight(a, sentence("one two three four")) == 4.0
+
+    def test_one_word_changed_still_matches(self):
+        matcher = TokenMatcher()
+        w = matcher.weight(
+            sentence("one two three four five"),
+            sentence("one two CHANGED four five"),
+        )
+        assert w == 4.0  # the 4 surviving words
+
+    def test_disjoint_sentences_do_not_match(self):
+        matcher = TokenMatcher()
+        assert matcher.weight(
+            sentence("alpha beta gamma"), sentence("delta epsilon zeta")
+        ) == 0.0
+
+    def test_length_prefilter_rejects_gross_mismatch(self):
+        matcher = TokenMatcher()
+        short = sentence("word")
+        long = sentence("word " + "other " * 20)
+        assert matcher.weight(short, long) == 0.0
+        assert matcher.prefilter_rejections >= 1
+        assert matcher.inner_lcs_runs == 0
+
+    def test_prefilter_disabled_runs_inner_lcs(self):
+        options = HtmlDiffOptions(use_length_prefilter=False)
+        matcher = TokenMatcher(options)
+        short = sentence("word")
+        long = sentence("word " + "other " * 20)
+        matcher.weight(short, long)
+        assert matcher.inner_lcs_runs == 1
+
+    def test_threshold_boundary(self):
+        # 2W/L exactly at the default 0.5 threshold passes (>= compare).
+        matcher = TokenMatcher()
+        a = sentence("a b c d")
+        b = sentence("a b x y")
+        # W=2, L=8 -> 2*2/8 = 0.5
+        assert matcher.weight(a, b) == 2.0
+
+    def test_below_threshold_rejected(self):
+        matcher = TokenMatcher()
+        a = sentence("a b c d e")
+        b = sentence("a x y z w")
+        # W=1, L=10 -> 0.2 < 0.5
+        assert matcher.weight(a, b) == 0.0
+
+    def test_markup_only_changes_keep_match(self):
+        # Changing <B> to <I> around the same words: W unchanged.
+        matcher = TokenMatcher()
+        a = sentence("alpha <B>beta</B> gamma")
+        b = sentence("alpha <I>beta</I> gamma")
+        assert matcher.weight(a, b) == 3.0
+
+    def test_changed_href_weight_drops_but_matches(self):
+        # The paper's anchor example: URL changed, text identical.
+        matcher = TokenMatcher()
+        a = sentence('visit <A HREF="http://old/">our page</A> today')
+        b = sentence('visit <A HREF="http://new/">our page</A> today')
+        w = matcher.weight(a, b)
+        assert w == 4.0  # the 4 words; the anchors no longer match
+
+    def test_weight_memoized(self):
+        matcher = TokenMatcher()
+        a = sentence("one two three")
+        b = sentence("one two four")
+        matcher.weight(a, b)
+        runs = matcher.inner_lcs_runs
+        matcher.weight(a, b)
+        matcher.weight(b, a)  # symmetric cache entry
+        assert matcher.inner_lcs_runs == runs
+
+    def test_empty_content_sentences(self):
+        matcher = TokenMatcher()
+        a = sentence("<B></B>")
+        assert matcher.weight(a, sentence("<B></B>")) == 0.5
+        assert matcher.weight(a, sentence("<I></I>")) == 0.0
+
+
+class TestMatchTokens:
+    def test_stream_matching(self):
+        old = tokenize_document("<P>Keep this sentence.</P><P>Drop this one.</P>")
+        new = tokenize_document("<P>Keep this sentence.</P><P>Added instead here.</P>")
+        matches = match_tokens(old, new)
+        matched_old = {i for i, _, _ in matches}
+        # The kept sentence and the <P>/</P> breaks match.
+        assert 1 in matched_old  # the kept sentence (index 1 after <P>)
+
+    def test_identical_streams_match_fully(self):
+        doc = "<P>Alpha beta.</P><UL><LI>item</UL>"
+        old = tokenize_document(doc)
+        new = tokenize_document(doc)
+        matches = match_tokens(old, new)
+        assert len(matches) == len(old) == len(new)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            TokenMatcher(HtmlDiffOptions(match_threshold=1.5))

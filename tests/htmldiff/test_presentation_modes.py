@@ -1,0 +1,92 @@
+"""Deeper tests of the non-default presentation modes (§5.2)."""
+
+import re
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.options import HtmlDiffOptions, PresentationMode
+from repro.web.sites import usenix_home_v1, usenix_home_v2
+
+
+def mode_result(mode, old=None, new=None, **kwargs):
+    options = HtmlDiffOptions(mode=mode, **kwargs)
+    return html_diff(old or usenix_home_v1(), new or usenix_home_v2(), options)
+
+
+class TestOnlyDifferences:
+    def test_regions_separated_by_rules(self):
+        result = mode_result(PresentationMode.ONLY_DIFFERENCES)
+        # One <HR> opens each changed region.
+        assert result.html.count("<HR>") >= result.difference_count
+
+    def test_banner_present(self):
+        result = mode_result(PresentationMode.ONLY_DIFFERENCES)
+        assert "Internet Difference Engine" in result.html
+        assert "[First difference]" in result.html
+
+    def test_chain_links_resolve(self):
+        result = mode_result(PresentationMode.ONLY_DIFFERENCES)
+        names = set(re.findall(r'<A NAME="(aidediff\d+)">', result.html))
+        for target in re.findall(r'<A HREF="#(aidediff\d+)">', result.html):
+            assert target in names
+
+    def test_common_boilerplate_absent(self):
+        # "eliminate the common part": the unchanged membership sentence
+        # must not appear.
+        result = mode_result(PresentationMode.ONLY_DIFFERENCES)
+        assert "six times a year" not in result.html
+
+    def test_identical_documents_have_empty_body(self):
+        doc = usenix_home_v1()
+        result = mode_result(PresentationMode.ONLY_DIFFERENCES, doc, doc)
+        assert result.identical
+        assert "identical" in result.html
+
+
+class TestNewOnly:
+    def test_no_strike_anywhere(self):
+        result = mode_result(PresentationMode.NEW_ONLY)
+        assert "<STRIKE>" not in result.html
+
+    def test_arrows_point_at_new_material(self):
+        result = mode_result(PresentationMode.NEW_ONLY)
+        assert "new-arrow.gif" in result.html
+        assert "old-arrow.gif" not in result.html
+
+    def test_new_document_structure_preserved(self):
+        result = mode_result(PresentationMode.NEW_ONLY)
+        # Every structural element of v2 survives.
+        for marker in ("<H1>", "<H2>", "<UL>", "<ADDRESS>"):
+            assert result.html.count(marker) == usenix_home_v2().count(marker)
+
+    def test_banner_counts_additions(self):
+        result = mode_result(PresentationMode.NEW_ONLY)
+        assert re.search(r"HtmlDiff found \d+ addition", result.html)
+
+
+class TestMergedReversed:
+    def test_new_markups_eliminated_old_intact(self):
+        # v2 added /events/usenix96/; reversed, that markup must vanish
+        # while v1's /events/lisa95/ (dropped in v2) stays live.
+        result = mode_result(PresentationMode.MERGED_REVERSED)
+        assert "/events/usenix96/" not in result.html
+        assert '/events/lisa95/' in result.html
+
+    def test_roles_fully_swapped(self):
+        result = mode_result(PresentationMode.MERGED_REVERSED)
+        # The v2-only event text is struck; the v1-only event emphasized.
+        assert re.search(r"<STRIKE>[^<]*1996 USENIX Technical", result.html)
+        assert re.search(r"<STRONG><I>[^<]*LISA IX", result.html)
+
+
+class TestChainIntegrityOnMarkupOnlyRegions:
+    def test_markup_only_old_region_keeps_anchor(self):
+        # A deleted region consisting purely of old markups renders no
+        # text — its chain anchor must still exist in every mode.
+        old = "<P>keep this text.</P><HR><P>keep this too.</P>"
+        new = "<P>keep this text.</P><P>keep this too.</P>"
+        for mode in (PresentationMode.MERGED, PresentationMode.ONLY_DIFFERENCES):
+            result = mode_result(mode, old, new)
+            names = set(re.findall(r'<A NAME="(aidediff\d+)">', result.html))
+            links = re.findall(r'<A HREF="#(aidediff\d+)">', result.html)
+            for target in links:
+                assert target in names, (mode, result.html)

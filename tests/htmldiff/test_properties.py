@@ -1,0 +1,136 @@
+"""Property-based tests over the whole HtmlDiff pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.classify import EntryClass, classify_documents
+from repro.core.htmldiff.options import HtmlDiffOptions
+from repro.core.htmldiff.tokenizer import tokenize_document
+from repro.html.lexer import Tag, tokenize_html
+from repro.html.model import is_empty_tag
+
+# Small HTML fragments that compose into plausible documents.
+fragment = st.sampled_from([
+    "<P>", "</P>", "<UL>", "<LI>", "</UL>", "<HR>", "<B>", "</B>",
+    "<H1>", "</H1>", '<A HREF="http://x/">', "</A>", '<IMG SRC="i.gif">',
+    "alpha ", "beta ", "gamma. ", "delta epsilon. ", "zeta ",
+])
+document = st.lists(fragment, max_size=25).map("".join)
+
+
+def html_is_balanced(html):
+    stack = []
+    for node in tokenize_html(html):
+        if not isinstance(node, Tag):
+            continue
+        if not node.closing:
+            if not is_empty_tag(node.name):
+                stack.append(node.name)
+        else:
+            if not stack or stack[-1] != node.name:
+                return False
+            stack.pop()
+    return not stack
+
+
+class TestPipelineProperties:
+    @given(document)
+    @settings(max_examples=100, deadline=None)
+    def test_self_diff_is_identical(self, doc):
+        result = html_diff(doc, doc)
+        assert result.identical
+        assert result.difference_count == 0
+
+    @given(document, document)
+    @settings(max_examples=100, deadline=None)
+    def test_never_raises_and_output_balanced(self, old, new):
+        result = html_diff(old, new)
+        assert html_is_balanced(result.html), result.html
+
+    @given(document, document)
+    @settings(max_examples=100, deadline=None)
+    def test_classification_covers_all_tokens(self, old, new):
+        old_tokens = tokenize_document(old)
+        new_tokens = tokenize_document(new)
+        diff = classify_documents(old_tokens, new_tokens)
+        old_seen = sum(
+            1 for e in diff.entries
+            if e.cls in (EntryClass.OLD, EntryClass.COMMON)
+        )
+        new_seen = sum(
+            1 for e in diff.entries
+            if e.cls in (EntryClass.NEW, EntryClass.COMMON)
+        )
+        assert old_seen == len(old_tokens)
+        assert new_seen == len(new_tokens)
+
+    @given(document, document)
+    @settings(max_examples=60, deadline=None)
+    def test_density_bounded(self, old, new):
+        result = html_diff(old, new, HtmlDiffOptions(density_fallback="merge"))
+        assert 0.0 <= result.change_density <= 1.0
+
+    @given(document)
+    @settings(max_examples=60, deadline=None)
+    def test_diff_against_empty_marks_everything_new(self, doc):
+        result = html_diff("", doc, HtmlDiffOptions(density_fallback="merge"))
+        assert "<STRIKE>" not in result.html
+
+    @given(document, document)
+    @settings(max_examples=80, deadline=None)
+    def test_no_content_loss(self, old, new):
+        # The merged page must carry every word of BOTH versions: new
+        # words live (possibly emphasized), old words struck out.  Words
+        # are compared through the tokenizer so entity encoding and
+        # highlight markup wash out.
+        options = HtmlDiffOptions(density_fallback="merge")
+        result = html_diff(old, new, options)
+
+        def words_of(source):
+            out = set()
+            for token in tokenize_document(source):
+                if hasattr(token, "words"):
+                    out.update(token.words)
+            return out
+
+        merged_words = words_of(result.html)
+        assert words_of(new) <= merged_words
+        assert words_of(old) <= merged_words
+
+    @given(document, document)
+    @settings(max_examples=60, deadline=None)
+    def test_new_only_mode_preserves_new_document(self, old, new):
+        from repro.core.htmldiff.options import PresentationMode
+
+        options = HtmlDiffOptions(mode=PresentationMode.NEW_ONLY)
+        result = html_diff(old, new, options)
+
+        def words_of(source):
+            out = set()
+            for token in tokenize_document(source):
+                if hasattr(token, "words"):
+                    out.update(token.words)
+            return out
+
+        assert words_of(new) <= words_of(result.html)
+
+    @given(document, document)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_of_match_weight(self, old, new):
+        # Matched *pair counts* may legitimately differ between
+        # directions (two weight-1 break matches tie with one weight-2
+        # sentence match), but total matched weight is direction-free.
+        forward = classify_documents(
+            tokenize_document(old), tokenize_document(new)
+        )
+        backward = classify_documents(
+            tokenize_document(new), tokenize_document(old)
+        )
+        forward_weight = sum(
+            e.weight for e in forward.entries if e.cls is EntryClass.COMMON
+        )
+        backward_weight = sum(
+            e.weight for e in backward.entries if e.cls is EntryClass.COMMON
+        )
+        assert forward_weight == backward_weight

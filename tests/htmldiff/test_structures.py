@@ -1,0 +1,122 @@
+"""HtmlDiff over structured documents: tables, nested lists, PRE blocks."""
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.htmldiff.options import HtmlDiffOptions
+
+
+class TestTables:
+    OLD = (
+        "<TABLE>\n"
+        "<TR><TH>Conference</TH><TH>Date</TH></TR>\n"
+        "<TR><TD>LISA IX</TD><TD>September 1995</TD></TR>\n"
+        "<TR><TD>USENIX Technical</TD><TD>January 1996</TD></TR>\n"
+        "</TABLE>"
+    )
+
+    def test_cell_edit_detected(self):
+        new = self.OLD.replace("January 1996", "January 22-26, 1996")
+        result = html_diff(self.OLD, new)
+        assert not result.identical
+        assert "<STRONG><I>" in result.html
+
+    def test_row_added(self):
+        new = self.OLD.replace(
+            "</TABLE>",
+            "<TR><TD>COOTS</TD><TD>June 1996</TD></TR>\n</TABLE>",
+        )
+        result = html_diff(self.OLD, new)
+        assert not result.identical
+        assert "COOTS" in result.html
+        # Existing rows stay unhighlighted.
+        assert "<STRIKE>LISA" not in result.html
+
+    def test_row_deleted_content_struck(self):
+        new = self.OLD.replace(
+            "<TR><TD>LISA IX</TD><TD>September 1995</TD></TR>\n", ""
+        )
+        result = html_diff(self.OLD, new)
+        assert "<STRIKE>LISA IX</STRIKE>" in result.html
+        # The deleted row's cell markup is eliminated, not emitted.
+        assert result.html.count("<TR>") == new.count("<TR>")
+
+
+class TestNestedLists:
+    OLD = (
+        "<UL>\n"
+        "<LI>Systems\n"
+        "<UL><LI>File systems<LI>Networks</UL>\n"
+        "<LI>Theory\n"
+        "</UL>"
+    )
+
+    def test_inner_item_added(self):
+        new = self.OLD.replace("<LI>Networks", "<LI>Networks<LI>Caching")
+        result = html_diff(self.OLD, new)
+        assert "Caching" in result.html
+        assert not result.identical
+
+    def test_inner_item_renamed(self):
+        new = self.OLD.replace("File systems", "Distributed file systems")
+        result = html_diff(self.OLD, new)
+        assert "<STRONG><I>Distributed" in result.html
+
+    def test_unchanged_nesting_identical(self):
+        assert html_diff(self.OLD, self.OLD).identical
+
+
+class TestPreformatted:
+    OLD = (
+        "<P>The algorithm:</P>\n"
+        "<PRE>\n"
+        "for page in hotlist:\n"
+        "    check(page)\n"
+        "    report(page)\n"
+        "</PRE>"
+    )
+
+    def test_line_edit_detected(self):
+        new = self.OLD.replace("    check(page)", "    check(page, force=True)")
+        result = html_diff(self.OLD, new)
+        assert not result.identical
+
+    def test_indentation_change_detected(self):
+        # Whitespace IS content inside <PRE>.
+        new = self.OLD.replace("    report(page)", "        report(page)")
+        result = html_diff(self.OLD, new)
+        assert not result.identical
+
+    def test_whitespace_outside_pre_still_ignored(self):
+        new = self.OLD.replace("<P>The algorithm:</P>",
+                               "<P>The   algorithm:</P>")
+        assert html_diff(self.OLD, new).identical
+
+    def test_line_added_shown(self):
+        new = self.OLD.replace("</PRE>", "    archive(page)\n</PRE>")
+        result = html_diff(self.OLD, new)
+        assert "archive(page)" in result.html
+        assert not result.identical
+
+
+class TestMixedStructure:
+    def test_paragraph_moved_between_sections(self):
+        # Moving a sentence across structure: LCS keeps only one copy
+        # matched; the other side shows as change.
+        old = (
+            "<H2>Alpha</H2><P>Shared sentence lives here.</P>"
+            "<H2>Beta</H2><P>Beta content stays.</P>"
+        )
+        new = (
+            "<H2>Alpha</H2><P>Alpha content arrives.</P>"
+            "<H2>Beta</H2><P>Shared sentence lives here.</P>"
+        )
+        result = html_diff(old, new, HtmlDiffOptions(density_fallback="merge"))
+        assert not result.identical
+        assert "Shared sentence lives here." in result.html
+
+    def test_heading_level_change_is_structural(self):
+        old = "<H2>Status report</H2><P>All is well.</P>"
+        new = "<H3>Status report</H3><P>All is well.</P>"
+        result = html_diff(old, new)
+        # The words all match; the break markups differ.
+        assert "<STRIKE>" not in result.html
+        assert not result.identical

@@ -1,0 +1,159 @@
+"""Tests for the HtmlDiff tokenizer."""
+
+from repro.core.htmldiff.tokenizer import tokenize_document
+from repro.core.htmldiff.tokens import BreakToken, InlineMarkup, SentenceToken, Word
+
+
+def kinds(tokens):
+    return ["B" if isinstance(t, BreakToken) else "S" for t in tokens]
+
+
+class TestTokenization:
+    def test_simple_paragraph(self):
+        tokens = tokenize_document("<P>Hello world.</P>")
+        assert kinds(tokens) == ["B", "S", "B"]
+        assert tokens[1].words == ("Hello", "world.")
+
+    def test_sentences_split_within_text(self):
+        tokens = tokenize_document("One two. Three four.")
+        sentences = [t for t in tokens if isinstance(t, SentenceToken)]
+        assert len(sentences) == 2
+        assert sentences[0].words == ("One", "two.")
+        assert sentences[1].words == ("Three", "four.")
+
+    def test_inline_markup_stays_in_sentence(self):
+        tokens = tokenize_document("some <B>bold</B> words")
+        sentences = [t for t in tokens if isinstance(t, SentenceToken)]
+        assert len(sentences) == 1
+        items = sentences[0].items
+        assert isinstance(items[0], Word)
+        assert isinstance(items[1], InlineMarkup)
+        assert items[1].normalized == "<B>"
+
+    def test_break_tags_flush_sentence(self):
+        tokens = tokenize_document("before<HR>after")
+        assert kinds(tokens) == ["S", "B", "S"]
+
+    def test_anchor_is_inline_and_content_defining(self):
+        tokens = tokenize_document('see <A HREF="x">the link</A> now')
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        anchors = [
+            i for i in sentence.items
+            if isinstance(i, InlineMarkup) and i.normalized.startswith("<A ")
+        ]
+        assert anchors and anchors[0].content_defining
+
+    def test_entities_decoded_in_words(self):
+        tokens = tokenize_document("<P>AT&amp;T rocks</P>")
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        assert sentence.words[0] == "AT&T"
+
+    def test_comments_invisible(self):
+        with_comment = tokenize_document("<P>text<!-- hidden --></P>")
+        without = tokenize_document("<P>text</P>")
+        assert [t.key for t in with_comment] == [t.key for t in without]
+
+    def test_repair_applied(self):
+        # Unclosed <B> gets a synthetic close, which lands in the
+        # sentence as an inline markup.
+        tokens = tokenize_document("<B>dangling")
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        normals = [
+            i.normalized for i in sentence.items if isinstance(i, InlineMarkup)
+        ]
+        assert "</B>" in normals
+
+    def test_empty_document(self):
+        assert tokenize_document("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize_document("   \n\t  ") == []
+
+
+class TestSentenceLength:
+    def test_words_count(self):
+        tokens = tokenize_document("one two three")
+        assert tokens[0].length == 3
+
+    def test_presentational_markup_not_counted(self):
+        # Paper: "Markups such as <B> or <I> are not counted."
+        tokens = tokenize_document("one <B>two</B> three")
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        assert sentence.length == 3
+
+    def test_content_defining_markup_counted(self):
+        tokens = tokenize_document('word <IMG SRC="x.gif"> word2')
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        assert sentence.length == 3  # 2 words + IMG
+
+    def test_anchor_counted(self):
+        tokens = tokenize_document('<A HREF="x">click</A>')
+        sentence = next(t for t in tokens if isinstance(t, SentenceToken))
+        # <A ...>, the word, </A>: opening anchor is content-defining,
+        # the closing anchor is too (both carry the A name).
+        assert sentence.length >= 2
+
+
+class TestPreformatted:
+    def test_each_line_is_a_sentence(self):
+        tokens = tokenize_document("<PRE>line one\nline two</PRE>")
+        sentences = [t for t in tokens if isinstance(t, SentenceToken)]
+        assert len(sentences) == 2
+        assert sentences[0].preformatted
+        assert sentences[0].items[0].text == "line one"
+
+    def test_indentation_is_content(self):
+        a = tokenize_document("<PRE>  x</PRE>")
+        b = tokenize_document("<PRE>    x</PRE>")
+        sa = next(t for t in a if isinstance(t, SentenceToken))
+        sb = next(t for t in b if isinstance(t, SentenceToken))
+        assert sa.key != sb.key
+
+    def test_normal_flow_resumes_after_pre(self):
+        tokens = tokenize_document("<PRE>code</PRE>normal   words here")
+        last = tokens[-1]
+        assert isinstance(last, SentenceToken)
+        assert not last.preformatted
+        assert last.words == ("normal", "words", "here")
+
+    def test_blank_pre_lines_ignored(self):
+        tokens = tokenize_document("<PRE>a\n\n\nb</PRE>")
+        sentences = [t for t in tokens if isinstance(t, SentenceToken)]
+        assert len(sentences) == 2
+
+
+class TestParagraphToListExample:
+    """The paper's worked example: a paragraph of four sentences turned
+    into a <UL> of four items shows no *content* change — the sentences
+    all still match — only formatting (break tokens) changes."""
+
+    PARA = (
+        "<P>First sentence here. Second sentence here. "
+        "Third sentence here. Fourth sentence here.</P>"
+    )
+    LIST = (
+        "<UL><LI>First sentence here. <LI>Second sentence here. "
+        "<LI>Third sentence here. <LI>Fourth sentence here.</UL>"
+    )
+
+    def test_same_sentences_either_way(self):
+        para_sentences = [
+            t.key for t in tokenize_document(self.PARA)
+            if isinstance(t, SentenceToken)
+        ]
+        list_sentences = [
+            t.key for t in tokenize_document(self.LIST)
+            if isinstance(t, SentenceToken)
+        ]
+        assert para_sentences == list_sentences
+
+    def test_breaks_differ(self):
+        para_breaks = [
+            t.normalized for t in tokenize_document(self.PARA)
+            if isinstance(t, BreakToken)
+        ]
+        list_breaks = [
+            t.normalized for t in tokenize_document(self.LIST)
+            if isinstance(t, BreakToken)
+        ]
+        assert para_breaks != list_breaks

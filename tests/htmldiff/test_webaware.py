@@ -1,0 +1,153 @@
+"""Tests for web-aware / version-aware comparison (Section 5.3)."""
+
+import pytest
+
+from repro.core.htmldiff.webaware import (
+    EntityChecksumStore,
+    WebAwareDiffer,
+)
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("pics.com")
+    server.set_page("/logo.gif", "GIF-BYTES-V1", content_type="image/gif")
+    server.set_page("/photo.gif", "PHOTO-V1", content_type="image/gif")
+    agent = UserAgent(network, clock)
+    return clock, network, server, agent
+
+
+PAGE_V1 = (
+    '<HTML><BODY><P>Our logo: <IMG SRC="http://pics.com/logo.gif"> '
+    "unchanged text here.</P></BODY></HTML>"
+)
+PAGE_V2 = (
+    '<HTML><BODY><P>Our logo: <IMG SRC="http://pics.com/logo.gif"> '
+    "unchanged text here, nearly.</P></BODY></HTML>"
+)
+
+
+class TestEntityChecksumStore:
+    def test_first_sighting_not_a_change(self):
+        store = EntityChecksumStore()
+        assert not store.update("http://x/img.gif", "bytes1")
+
+    def test_changed_bytes_detected(self):
+        store = EntityChecksumStore()
+        store.update("http://x/img.gif", "bytes1")
+        assert store.update("http://x/img.gif", "bytes2")
+        assert not store.update("http://x/img.gif", "bytes2")
+
+    def test_url_normalization(self):
+        store = EntityChecksumStore()
+        store.update("HTTP://X.COM:80/img.gif", "bytes1")
+        assert store.known("http://x.com/img.gif")
+
+
+class TestImageChangeDetection:
+    def test_plain_htmldiff_misses_image_change(self, world):
+        # The paper's complaint, reproduced: bytes change, URL doesn't,
+        # plain HtmlDiff sees nothing.
+        from repro.core.htmldiff.api import html_diff
+
+        result = html_diff(PAGE_V1, PAGE_V1)
+        assert result.identical
+
+    def test_webaware_catches_image_change(self, world):
+        clock, network, server, agent = world
+        differ = WebAwareDiffer(agent)
+        differ.prime_entities(PAGE_V1, "http://site.com/page.html")
+        server.set_page("/logo.gif", "GIF-BYTES-V2", content_type="image/gif")
+        result = differ.diff(PAGE_V1, PAGE_V1, "http://site.com/page.html")
+        assert len(result.entity_changes) == 1
+        assert result.entity_changes[0].url == "http://pics.com/logo.gif"
+        assert "Changes beyond this page" in result.html
+
+    def test_unchanged_image_not_flagged(self, world):
+        clock, network, server, agent = world
+        differ = WebAwareDiffer(agent)
+        differ.prime_entities(PAGE_V1, "http://site.com/page.html")
+        result = differ.diff(PAGE_V1, PAGE_V2, "http://site.com/page.html")
+        assert result.entity_changes == []
+        # The text edit still shows as an ordinary page difference.
+        assert result.page.difference_count == 1
+
+    def test_image_with_changed_markup_left_to_htmldiff(self, world):
+        clock, network, server, agent = world
+        differ = WebAwareDiffer(agent)
+        v2 = PAGE_V1.replace("logo.gif", "photo.gif")
+        differ.prime_entities(PAGE_V1, "http://site.com/page.html")
+        result = differ.diff(PAGE_V1, v2, "http://site.com/page.html")
+        # URL changed -> plain HtmlDiff territory; no entity rows.
+        assert result.entity_changes == []
+        assert result.page.difference_count >= 1
+
+    def test_unreachable_entity_tolerated(self, world):
+        clock, network, server, agent = world
+        differ = WebAwareDiffer(agent)
+        page = '<P><IMG SRC="http://gone.example/x.gif"> text.</P>'
+        differ.prime_entities(page, "http://site.com/")
+        result = differ.diff(page, page, "http://site.com/")
+        assert result.entity_changes == []
+
+
+class TestRecursiveDiff:
+    def make_store(self, world):
+        clock, network, server, agent = world
+        site = network.create_server("site.com")
+        site.set_page("/sub.html", "<P>sub page first version here.</P>")
+        store = SnapshotStore(clock, agent)
+        store.remember("u", "http://site.com/sub.html")
+        clock.advance(DAY)
+        site.set_page("/sub.html", "<P>sub page rewritten completely anew.</P>")
+        store.remember("u", "http://site.com/sub.html")
+        return store
+
+    PARENT = (
+        '<HTML><BODY><P>See <A HREF="http://site.com/sub.html">the '
+        "subpage</A> for details.</P></BODY></HTML>"
+    )
+
+    def test_nested_diff_of_referenced_page(self, world):
+        clock, network, server, agent = world
+        store = self.make_store(world)
+        differ = WebAwareDiffer(agent, snapshot_store=store)
+        result = differ.diff(self.PARENT, self.PARENT, "http://hub.org/")
+        assert "http://site.com/sub.html" in result.nested
+        assert not result.nested["http://site.com/sub.html"].identical
+        assert "referenced page changed" in result.html
+        assert result.total_changes == 1
+
+    def test_depth_limit(self, world):
+        clock, network, server, agent = world
+        store = self.make_store(world)
+        differ = WebAwareDiffer(agent, snapshot_store=store, max_depth=0)
+        result = differ.diff(self.PARENT, self.PARENT, "http://hub.org/")
+        assert result.nested == {}
+
+    def test_single_revision_pages_skipped(self, world):
+        clock, network, server, agent = world
+        site = network.create_server("site.com")
+        site.set_page("/once.html", "<P>only ever one version.</P>")
+        store = SnapshotStore(clock, agent)
+        store.remember("u", "http://site.com/once.html")
+        parent = '<P><A HREF="http://site.com/once.html">link</A> text.</P>'
+        differ = WebAwareDiffer(agent, snapshot_store=store)
+        result = differ.diff(parent, parent, "http://hub.org/")
+        assert result.nested == {}
+
+    def test_new_links_not_recursed(self, world):
+        # A link present only in the new version is already flagged by
+        # plain HtmlDiff as new content; recursion targets shared links.
+        clock, network, server, agent = world
+        store = self.make_store(world)
+        differ = WebAwareDiffer(agent, snapshot_store=store)
+        old = "<P>No links at all here.</P>"
+        result = differ.diff(old, self.PARENT, "http://hub.org/")
+        assert result.nested == {}

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; if one breaks, the README's
+promises break with it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert ": OK" in result.stdout, f"{name} did not print its OK marker"
+
+
+def test_every_example_is_listed_in_readme():
+    readme_path = os.path.join(EXAMPLES_DIR, "..", "README.md")
+    with open(readme_path) as handle:
+        readme = handle.read()
+    for name in EXAMPLES:
+        assert name in readme, f"{name} missing from the README examples table"

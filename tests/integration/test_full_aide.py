@@ -1,0 +1,152 @@
+"""End-to-end integration: the whole AIDE deployment over a synthetic web.
+
+These tests drive the complete stack the way the paper's users did:
+cron-driven page edits, daily w3newer runs, report links clicked
+through the snapshot CGI, HtmlDiff viewed in the browser — across weeks
+of simulated time and dozens of pages.
+"""
+
+import re
+
+import pytest
+
+from repro.aide.browser import IntegratedBrowser
+from repro.aide.engine import Aide
+from repro.aide.fixedpages import FixedPageCollection
+from repro.aide.tracker import CentralTracker
+from repro.core.w3newer.errors import UrlState
+from repro.simclock import DAY, WEEK
+from repro.web.cgi import parse_query_string
+from repro.web.url import parse_url
+from repro.workloads.scenario import build_hotlist, build_web
+
+
+@pytest.fixture
+def deployment():
+    web = build_web(sites=10, pages_per_site=8, seed=77)
+    aide = Aide(clock=web.clock, network=web.network)
+    hotlist = build_hotlist(web, size=30, seed=3)
+    user = aide.add_user("fred@research.att.com", hotlist)
+    return web, aide, user
+
+
+def report_links(html, action):
+    """Extract the URLs carried by a given action's report links."""
+    out = []
+    for match in re.finditer(r'HREF="([^"]*action=' + action + '[^"]*)"', html):
+        query = parse_url(match.group(1).replace("&amp;", "&")).query
+        out.append(parse_query_string(query).get("url"))
+    return out
+
+
+class TestMonthOfUse:
+    def test_daily_loop_stays_consistent(self, deployment):
+        web, aide, user = deployment
+        total_changed = 0
+        for day in range(1, 29):
+            web.cron.run_until(day * DAY)
+            run = aide.run_w3newer("fred@research.att.com")
+            # Report always covers the whole hotlist (unless aborted).
+            assert len(run.outcomes) == len(user.hotlist)
+            assert not run.aborted
+            total_changed += len(run.changed)
+            # User reads and remembers a few changed pages via the CGI.
+            for outcome in run.changed[:5]:
+                user.visit(outcome.url, aide.clock)
+                response = aide.remember("fred@research.att.com", outcome.url)
+                assert response.status == 200
+        assert total_changed > 0
+        # Everything remembered is retrievable with history.
+        for url in aide.store.archives:
+            history = aide.store.history("fred@research.att.com", url)
+            assert history
+
+    def test_remember_then_later_diff_shows_changes(self, deployment):
+        web, aide, user = deployment
+        changing = [
+            url for url in user.hotlist.urls()
+            if web.change_class[url] in ("daily-churn", "busy")
+        ]
+        if not changing:
+            pytest.skip("seed produced no fast-changing bookmarks")
+        target = changing[0]
+        aide.remember("fred@research.att.com", target)
+        web.cron.run_until(3 * WEEK)
+        response = aide.diff("fred@research.att.com", target)
+        assert response.status == 200
+        assert "Internet Difference Engine" in response.body
+        # After weeks of typical edits the diff is non-trivial.
+        assert ("<STRIKE>" in response.body or "<STRONG><I>" in response.body
+                or "too pervasive" in response.body)
+
+    def test_static_pages_never_reported_after_first_view(self, deployment):
+        web, aide, user = deployment
+        static = [
+            url for url in user.hotlist.urls()
+            if web.change_class[url] == "static"
+        ]
+        if not static:
+            pytest.skip("seed produced no static bookmarks")
+        for url in static:
+            user.visit(url, aide.clock)
+        web.cron.run_until(2 * WEEK)
+        run = aide.run_w3newer("fred@research.att.com")
+        flagged = {o.url for o in run.changed}
+        for url in static:
+            assert url not in flagged
+
+    def test_report_links_route_to_working_cgi(self, deployment):
+        web, aide, user = deployment
+        web.cron.run_until(3 * DAY)
+        run = aide.run_w3newer("fred@research.att.com")
+        remember_urls = report_links(run.report_html, "remember")
+        assert len(remember_urls) == len(run.outcomes)
+        target = remember_urls[0]
+        response = aide.remember("fred@research.att.com", target)
+        assert response.status == 200
+
+
+class TestIntegratedBrowserLoop:
+    def test_history_integration_closes_the_loop(self, deployment):
+        web, aide, user = deployment
+        browser = IntegratedBrowser(user.browser, aide.clock,
+                                    history=user.history)
+        changing = [
+            url for url in user.hotlist.urls()
+            if web.change_class[url] == "daily-churn"
+        ] or [url for url in user.hotlist.urls()
+              if web.change_class[url] != "static"]
+        target = changing[0]
+        user.visit(target, aide.clock)
+        aide.remember("fred@research.att.com", target)
+        web.cron.run_until(2 * WEEK)
+        first = aide.run_w3newer("fred@research.att.com")
+        assert target in {o.url for o in first.changed}
+        # Click the Diff link through the integrated browser…
+        browser.browse(
+            "http://aide.research.att.com/cgi-bin/snapshot"
+            f"?action=diff&url={target}&user=fred@research.att.com"
+        )
+        # …and the page is no longer reported.
+        second = aide.run_w3newer("fred@research.att.com")
+        assert target not in {o.url for o in second.changed}
+
+
+class TestCommunityServicesTogether:
+    def test_fixed_pages_and_tracker_share_the_store(self, deployment):
+        web, aide, user = deployment
+        shared = user.hotlist.urls()[:6]
+        collection = FixedPageCollection(aide.store, aide.clock)
+        tracker = CentralTracker(aide.store, aide.clock)
+        for url in shared:
+            collection.add_url(url)
+            tracker.subscribe("fred@research.att.com", url)
+        collection.schedule(web.cron, period=DAY)
+        tracker.schedule(web.cron, period=DAY)
+        web.cron.run_until(2 * WEEK)
+        # One shared archive set; both services contributed revisions.
+        assert aide.store.url_count() >= len(shared)
+        page = collection.whats_new_page()
+        assert "[Diff]" in page
+        rows = tracker.report_for("fred@research.att.com")
+        assert len(rows) == len(shared)

@@ -1,0 +1,112 @@
+"""Model-based stateful testing of the whole AIDE deployment.
+
+Hypothesis drives random interleavings of the operations a real
+deployment sees — time passing, pages changing, users browsing, tracker
+runs, snapshot check-ins, diffs — and checks the system-wide invariants
+after every step:
+
+* every stored revision of every archive reconstructs;
+* a tracker run covers the whole hotlist (or aborted explicitly);
+* the user-control file only references revisions that exist;
+* remember() is idempotent on unchanged pages.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.aide.engine import Aide
+from repro.core.snapshot.store import SnapshotError
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import HOUR
+from repro.workloads.mutate import MUTATORS
+from repro.workloads.pagegen import PageGenerator
+
+import random
+
+PAGES = [f"/p{i}.html" for i in range(4)]
+URLS = [f"http://world.com{path}" for path in PAGES]
+USERS = ["alice@x", "bob@x"]
+
+
+class AideMachine(RuleBasedStateMachine):
+    """One deployment, poked at random."""
+
+    def __init__(self):
+        super().__init__()
+        self.aide = Aide()
+        self.server = self.aide.network.create_server("world.com")
+        generator = PageGenerator(seed=1)
+        for path in PAGES:
+            self.server.set_page(path, generator.page())
+        hotlist = Hotlist.from_lines("\n".join(URLS))
+        for user in USERS:
+            self.aide.add_user(user, hotlist)
+        self.rng = random.Random(7)
+
+    # ------------------------------------------------------------------
+    @rule(hours=st.integers(1, 72))
+    def advance_time(self, hours):
+        self.aide.clock.advance(hours * HOUR)
+
+    @rule(page=st.sampled_from(PAGES),
+          mutator=st.sampled_from(sorted(MUTATORS)))
+    def edit_page(self, page, mutator):
+        current = self.server.get_page(page)
+        self.server.set_page(page, MUTATORS[mutator](current.body, self.rng))
+
+    @rule(user=st.sampled_from(USERS), url=st.sampled_from(URLS))
+    def user_visits(self, user, url):
+        self.aide.users[user].visit(url, self.aide.clock)
+
+    @rule(user=st.sampled_from(USERS))
+    def run_tracker(self, user):
+        result = self.aide.run_w3newer(user)
+        assert result.aborted or len(result.outcomes) == len(URLS)
+
+    @rule(user=st.sampled_from(USERS), url=st.sampled_from(URLS))
+    def remember(self, user, url):
+        first = self.aide.store.remember(user, url)
+        again = self.aide.store.remember(user, url)
+        # Idempotence at one instant: same revision, no new storage.
+        assert again.revision == first.revision
+        assert not again.changed or first.changed
+
+    @rule(user=st.sampled_from(USERS), url=st.sampled_from(URLS))
+    def diff(self, user, url):
+        try:
+            result = self.aide.store.diff(user, url)
+        except SnapshotError:
+            return  # nothing remembered yet: a documented refusal
+        assert 0.0 <= result.change_density <= 1.0
+
+    @rule(user=st.sampled_from(USERS), url=st.sampled_from(URLS))
+    def history(self, user, url):
+        try:
+            rows = self.aide.store.history(user, url)
+        except SnapshotError:
+            return
+        assert rows
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def archives_reconstruct(self):
+        for archive in self.aide.store.archives.values():
+            for info in archive.revisions():
+                assert archive.checkout(info.number) is not None
+
+    @invariant()
+    def control_file_references_real_revisions(self):
+        for user in USERS:
+            for url in self.aide.store.users.urls_for(user):
+                archive = self.aide.store.archives.get(url)
+                assert archive is not None
+                known = {info.number for info in archive.revisions()}
+                for seen in self.aide.store.users.versions_seen(user, url):
+                    assert seen.revision in known
+
+
+AideMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)
+TestAideModel = AideMachine.TestCase

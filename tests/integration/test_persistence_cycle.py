@@ -1,0 +1,56 @@
+"""Integration: a deployment survives a server restart via the disk
+repository (archives as ,v files + the user control file)."""
+
+import pytest
+
+from repro.aide.engine import Aide
+from repro.core.snapshot.persistence import load_store, save_store
+from repro.core.w3newer.hotlist import Hotlist
+from repro.simclock import DAY, WEEK
+from repro.workloads.scenario import build_hotlist, build_web
+
+
+class TestRestartCycle:
+    def test_full_cycle(self, tmp_path):
+        # --- phase 1: a week of use --------------------------------
+        web = build_web(sites=5, pages_per_site=6, seed=21)
+        aide = Aide(clock=web.clock, network=web.network)
+        hotlist = build_hotlist(web, size=10, seed=4)
+        user = aide.add_user("fred@att.com", hotlist)
+        for day in range(1, 8):
+            web.cron.run_until(day * DAY)
+            run = aide.run_w3newer("fred@att.com")
+            for outcome in run.changed[:3]:
+                aide.remember("fred@att.com", outcome.url)
+        archived_before = aide.store.url_count()
+        assert archived_before > 0
+        save_store(aide.store, str(tmp_path))
+
+        # --- phase 2: the service process restarts ------------------
+        # Same simulated world, brand-new store loaded from disk.
+        restarted = Aide(clock=web.clock, network=web.network,
+                         use_proxy=False)
+        loaded = load_store(restarted.store, str(tmp_path))
+        assert loaded == archived_before
+
+        # Histories and seen-versions survive: diffing against the
+        # user's last-saved version still works after more changes.
+        web.cron.run_until(2 * WEEK)
+        url = restarted.store.users.urls_for("fred@att.com")[0]
+        result = restarted.store.diff("fred@att.com", url)
+        assert result is not None
+
+        # New check-ins continue the revision sequence.
+        before = restarted.store.archive_for(url).revision_count
+        restarted.store.remember("fred@att.com", url)
+        after = restarted.store.archive_for(url).revision_count
+        assert after >= before
+
+    def test_double_save_is_idempotent(self, tmp_path):
+        web = build_web(sites=2, pages_per_site=3, seed=22)
+        aide = Aide(clock=web.clock, network=web.network)
+        aide.store.remember("u", web.urls[0])
+        save_store(aide.store, str(tmp_path))
+        first = (tmp_path / "MANIFEST").read_text()
+        save_store(aide.store, str(tmp_path))
+        assert (tmp_path / "MANIFEST").read_text() == first

@@ -1,0 +1,139 @@
+"""Tests for the RCS archive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcs.archive import RcsArchive, UnknownRevision
+
+
+class TestCheckin:
+    def test_first_checkin_is_1_1(self):
+        archive = RcsArchive("page.html")
+        number, changed = archive.checkin("hello\nworld", date=100)
+        assert number == "1.1"
+        assert changed
+
+    def test_sequential_numbers(self):
+        archive = RcsArchive()
+        archive.checkin("v1", date=1)
+        number, _ = archive.checkin("v2", date=2)
+        assert number == "1.2"
+        assert archive.head_revision == "1.2"
+
+    def test_identical_checkin_stores_nothing(self):
+        # "the RCS ci command ensures that it is not saved if it is
+        # unchanged from the previous time it was stored away."
+        archive = RcsArchive()
+        archive.checkin("same", date=1)
+        number, changed = archive.checkin("same", date=2)
+        assert number == "1.1"
+        assert not changed
+        assert archive.revision_count == 1
+
+    def test_metadata_recorded(self):
+        archive = RcsArchive()
+        archive.checkin("text", date=42, author="douglis", log="initial")
+        info = archive.revisions()[0]
+        assert info.author == "douglis"
+        assert info.log == "initial"
+        assert info.date == 42
+
+
+class TestCheckout:
+    def test_head_by_default(self):
+        archive = RcsArchive()
+        archive.checkin("v1", date=1)
+        archive.checkin("v2", date=2)
+        assert archive.checkout() == "v2"
+
+    def test_old_revision_reconstructed(self):
+        archive = RcsArchive()
+        archive.checkin("line1\nline2\nline3", date=1)
+        archive.checkin("line1\nCHANGED\nline3", date=2)
+        archive.checkin("line1\nCHANGED\nline3\nline4", date=3)
+        assert archive.checkout("1.1") == "line1\nline2\nline3"
+        assert archive.checkout("1.2") == "line1\nCHANGED\nline3"
+        assert archive.checkout("1.3") == "line1\nCHANGED\nline3\nline4"
+
+    def test_unknown_revision(self):
+        archive = RcsArchive()
+        archive.checkin("x", date=1)
+        with pytest.raises(UnknownRevision):
+            archive.checkout("1.9")
+
+    def test_empty_archive(self):
+        with pytest.raises(UnknownRevision):
+            RcsArchive().checkout()
+
+    @given(st.lists(st.text(alphabet="ab\n x", max_size=30), min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_every_version_reconstructs(self, versions):
+        archive = RcsArchive()
+        stored = []  # (number, text) for versions that created revisions
+        for date, text in enumerate(versions):
+            number, changed = archive.checkin(text, date=date)
+            if changed:
+                stored.append((number, text))
+        for number, text in stored:
+            assert archive.checkout(number) == text
+
+
+class TestDatestamps:
+    def test_revision_at(self):
+        archive = RcsArchive()
+        archive.checkin("v1", date=100)
+        archive.checkin("v2", date=200)
+        archive.checkin("v3", date=300)
+        assert archive.revision_at(50) is None
+        assert archive.revision_at(100).number == "1.1"
+        assert archive.revision_at(250).number == "1.2"
+        assert archive.revision_at(9999).number == "1.3"
+
+    def test_checkout_at(self):
+        archive = RcsArchive()
+        archive.checkin("old", date=100)
+        archive.checkin("new", date=200)
+        assert archive.checkout_at(150) == "old"
+        assert archive.checkout_at(200) == "new"
+        assert archive.checkout_at(50) is None
+
+    def test_non_monotonic_dates_tolerated(self):
+        # Section 4.1: "timestamps provided for a page do not increase
+        # monotonically" — revision_at picks the newest revision with
+        # date <= the query, by scan order (revision order).
+        archive = RcsArchive()
+        archive.checkin("a", date=300)
+        archive.checkin("b", date=100)  # clock went backwards
+        assert archive.revision_at(100).number == "1.2"
+
+
+class TestStorage:
+    def test_delta_storage_is_small(self):
+        # 100 lines, one line changed per revision: archive must grow by
+        # roughly one line per checkin, not one full copy.
+        base = [f"line {i} of the document body" for i in range(100)]
+        archive = RcsArchive()
+        full_copies = 0
+        for rev in range(10):
+            lines = list(base)
+            lines[rev] = f"revision {rev} touched this line"
+            text = "\n".join(lines)
+            full_copies += len(text)
+            archive.checkin(text, date=rev)
+        assert archive.size_bytes() < full_copies / 3
+
+    def test_head_stored_whole(self):
+        archive = RcsArchive()
+        archive.checkin("abc", date=1)
+        head_info = archive.revisions()[-1]
+        assert head_info.stored_bytes == len("abc") + 1
+
+    def test_size_grows_with_change_magnitude(self):
+        small, large = RcsArchive(), RcsArchive()
+        base = "\n".join(f"line{i}" for i in range(50))
+        small.checkin(base, date=1)
+        large.checkin(base, date=1)
+        small.checkin(base.replace("line3", "LINE3"), date=2)
+        large.checkin("\n".join(f"rewritten{i}" for i in range(50)), date=2)
+        assert small.size_bytes() < large.size_bytes()

@@ -1,0 +1,114 @@
+"""Tests for the ,v file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcs.archive import RcsArchive
+from repro.rcs.rcsfile import RcsParseError, parse_rcsfile, serialize_rcsfile
+
+
+def make_archive():
+    archive = RcsArchive("docs/status.html")
+    archive.checkin("line one\nline two\nline three", date=100,
+                    author="douglis", log="initial import")
+    archive.checkin("line one\nline TWO\nline three\nline four", date=200,
+                    author="ball", log="edits & additions")
+    archive.checkin("line one\nline TWO\nline four", date=300,
+                    author="douglis", log="dropped a line")
+    return archive
+
+
+class TestSerialize:
+    def test_header_shape(self):
+        text = serialize_rcsfile(make_archive())
+        assert text.startswith("head\t1.3;")
+        assert "access;" in text
+        assert "desc" in text
+
+    def test_revisions_newest_first(self):
+        text = serialize_rcsfile(make_archive())
+        assert text.index("1.3") < text.index("1.2") < text.index("1.1")
+
+    def test_at_sign_quoting(self):
+        archive = RcsArchive("mail.html")
+        archive.checkin("contact douglis@research.att.com today", date=1)
+        text = serialize_rcsfile(archive)
+        assert "douglis@@research.att.com" in text
+
+    def test_empty_archive(self):
+        text = serialize_rcsfile(RcsArchive("empty.html"))
+        assert "head\t;" in text
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        original = make_archive()
+        restored = parse_rcsfile(serialize_rcsfile(original))
+        assert restored.name == original.name
+        assert restored.head_revision == original.head_revision
+        assert restored.revision_count == original.revision_count
+        for info in original.revisions():
+            assert restored.checkout(info.number) == original.checkout(info.number)
+            restored_info = restored.info(info.number)
+            assert restored_info.date == info.date
+            assert restored_info.author == info.author
+            assert restored_info.log == info.log
+
+    def test_roundtrip_single_revision(self):
+        archive = RcsArchive("one.html")
+        archive.checkin("only version", date=5, author="x", log="solo")
+        restored = parse_rcsfile(serialize_rcsfile(archive))
+        assert restored.checkout("1.1") == "only version"
+
+    def test_roundtrip_empty_archive(self):
+        restored = parse_rcsfile(serialize_rcsfile(RcsArchive("nothing")))
+        assert restored.revision_count == 0
+
+    def test_roundtrip_continues_to_work(self):
+        # A restored archive accepts further check-ins seamlessly.
+        restored = parse_rcsfile(serialize_rcsfile(make_archive()))
+        number, changed = restored.checkin("brand new head", date=400)
+        assert number == "1.4"
+        assert changed
+        assert restored.checkout("1.1") == "line one\nline two\nline three"
+
+    def test_roundtrip_content_with_tricky_lines(self):
+        # Content lines that *look* like RCS structure must survive
+        # (they are @-quoted, so the parser never line-scans them).
+        archive = RcsArchive("tricky.html")
+        archive.checkin("desc\n1.9\nlog\ntext\n@@", date=1)
+        archive.checkin("desc\n1.9\nlog\nhead 1.5;\n@@ @", date=2)
+        restored = parse_rcsfile(serialize_rcsfile(archive))
+        assert restored.checkout("1.1") == "desc\n1.9\nlog\ntext\n@@"
+        assert restored.checkout("1.2") == "desc\n1.9\nlog\nhead 1.5;\n@@ @"
+
+    @given(
+        st.lists(
+            st.text(alphabet="ab@\n x.;", min_size=0, max_size=40),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, versions):
+        archive = RcsArchive("prop.html")
+        stored = []
+        for date, content in enumerate(versions):
+            number, changed = archive.checkin(content, date=date)
+            if changed:
+                stored.append((number, content))
+        restored = parse_rcsfile(serialize_rcsfile(archive))
+        for number, content in stored:
+            assert restored.checkout(number) == content
+
+
+class TestParseErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(RcsParseError):
+            parse_rcsfile("this is not an rcs file")
+
+    def test_unterminated_string(self):
+        text = serialize_rcsfile(make_archive())
+        with pytest.raises(RcsParseError):
+            parse_rcsfile(text[: text.rindex("@")])

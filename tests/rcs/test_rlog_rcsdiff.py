@@ -1,0 +1,64 @@
+"""Tests for rlog and rcsdiff rendering."""
+
+from repro.rcs.archive import RcsArchive
+from repro.rcs.rcsdiff import rcsdiff_text
+from repro.rcs.rlog import rlog_html, rlog_text
+
+
+def make_archive():
+    archive = RcsArchive("docs/page.html")
+    archive.checkin("one\ntwo", date=100, author="ball", log="first draft")
+    archive.checkin("one\nTWO\nthree", date=200, author="douglis", log="edits")
+    return archive
+
+
+class TestRlogText:
+    def test_contains_header_and_revisions(self):
+        out = rlog_text(make_archive())
+        assert "RCS file: docs/page.html,v" in out
+        assert "head: 1.2" in out
+        assert "revision 1.2" in out
+        assert "revision 1.1" in out
+        assert "first draft" in out
+
+    def test_newest_first(self):
+        out = rlog_text(make_archive())
+        assert out.index("revision 1.2") < out.index("revision 1.1")
+
+    def test_empty_archive(self):
+        out = rlog_text(RcsArchive("x"))
+        assert "head: (empty)" in out
+
+    def test_empty_log_message_placeholder(self):
+        archive = RcsArchive("x")
+        archive.checkin("text", date=1)
+        assert "*** empty log message ***" in rlog_text(archive)
+
+
+class TestRlogHtml:
+    def test_links_to_co_and_rcsdiff(self):
+        out = rlog_html(make_archive())
+        assert '/cgi-bin/co?file=docs/page.html&amp;rev=1.2' in out
+        assert "/cgi-bin/rcsdiff?file=docs/page.html&amp;r1=1.1&amp;r2=1.2" in out
+
+    def test_oldest_revision_has_no_diff_link(self):
+        out = rlog_html(make_archive())
+        assert "r2=1.1" not in out
+
+    def test_empty_archive(self):
+        assert "(no revisions)" in rlog_html(RcsArchive("x"))
+
+
+class TestRcsdiff:
+    def test_diff_between_revisions(self):
+        out = rcsdiff_text(make_archive(), "1.1", "1.2")
+        assert "-two" in out
+        assert "+TWO" in out
+        assert "+three" in out
+
+    def test_defaults_to_head(self):
+        out = rcsdiff_text(make_archive(), "1.1")
+        assert "1.2" in out.splitlines()[1]
+
+    def test_identical_revisions_empty(self):
+        assert rcsdiff_text(make_archive(), "1.2", "1.2") == ""

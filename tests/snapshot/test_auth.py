@@ -1,0 +1,138 @@
+"""Tests for authenticated snapshot accounts (§4.2)."""
+
+import pytest
+
+from repro.core.snapshot.auth import (
+    AccountRegistry,
+    AuthenticatedSnapshotService,
+    AuthError,
+)
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/page.html", "<P>first version of the page.</P>")
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    registry = AccountRegistry(clock)
+    service = AuthenticatedSnapshotService(store, registry)
+    return clock, server, store, registry, service
+
+
+class TestAccounts:
+    def test_create_and_login(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("hunter2")
+        assert account.startswith("acct-")
+        token = registry.login(account, "hunter2")
+        assert registry.resolve(token) == account
+
+    def test_ids_are_impersonal(self, world):
+        clock, server, store, registry, service = world
+        a = registry.create_account("pw1")
+        b = registry.create_account("pw2")
+        assert a != b
+        assert "@" not in a  # not an email address
+
+    def test_wrong_password(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("right")
+        with pytest.raises(AuthError):
+            registry.login(account, "wrong")
+
+    def test_unknown_account(self, world):
+        clock, server, store, registry, service = world
+        with pytest.raises(AuthError):
+            registry.login("acct-9999", "pw")
+
+    def test_empty_password_rejected(self, world):
+        clock, server, store, registry, service = world
+        with pytest.raises(AuthError):
+            registry.create_account("")
+
+    def test_bad_token_rejected(self, world):
+        clock, server, store, registry, service = world
+        with pytest.raises(AuthError):
+            registry.resolve("not-a-token")
+
+    def test_logout_invalidates(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("pw")
+        token = registry.login(account, "pw")
+        registry.logout(token)
+        with pytest.raises(AuthError):
+            registry.resolve(token)
+
+    def test_password_change_revokes_sessions(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("old")
+        token = registry.login(account, "old")
+        registry.change_password(account, "old", "new")
+        with pytest.raises(AuthError):
+            registry.resolve(token)
+        assert registry.login(account, "new")
+        with pytest.raises(AuthError):
+            registry.login(account, "old")
+
+    def test_admin_audit_shows_accounts_not_people(self, world):
+        clock, server, store, registry, service = world
+        registry.create_account("pw")
+        clock.advance(DAY)
+        registry.create_account("pw")
+        audit = registry.admin_audit()
+        assert len(audit) == 2
+        assert audit[1][1] == DAY  # creation times visible
+        assert all(acct.startswith("acct-") for acct, _ in audit)
+
+
+class TestAuthenticatedService:
+    def test_remember_under_account_id(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("pw")
+        token = registry.login(account, "pw")
+        result = service.remember(token, "http://site.com/page.html")
+        assert result.revision == "1.1"
+        # The store sees only the opaque id.
+        assert store.users.users_tracking("http://site.com/page.html") == [account]
+
+    def test_operations_require_token(self, world):
+        clock, server, store, registry, service = world
+        with pytest.raises(AuthError):
+            service.remember("bogus", "http://site.com/page.html")
+        with pytest.raises(AuthError):
+            service.diff("bogus", "http://site.com/page.html")
+
+    def test_diff_and_history_roundtrip(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("pw")
+        token = registry.login(account, "pw")
+        service.remember(token, "http://site.com/page.html")
+        clock.advance(DAY)
+        server.set_page("/page.html", "<P>second version, rather different.</P>")
+        result = service.diff(token, "http://site.com/page.html")
+        assert not result.identical
+        history = service.history(token, "http://site.com/page.html")
+        assert history[0][1]  # account saw revision 1.1
+
+    def test_my_urls(self, world):
+        clock, server, store, registry, service = world
+        account = registry.create_account("pw")
+        token = registry.login(account, "pw")
+        service.remember(token, "http://site.com/page.html")
+        assert service.my_urls(token) == ["http://site.com/page.html"]
+
+    def test_who_tracks_reveals_only_opaque_ids(self, world):
+        clock, server, store, registry, service = world
+        viewer = registry.login(registry.create_account("pw1"), "pw1")
+        tracker = registry.create_account("pw2")
+        tracker_token = registry.login(tracker, "pw2")
+        service.remember(tracker_token, "http://site.com/page.html")
+        watchers = service.who_tracks(viewer, "http://site.com/page.html")
+        assert watchers == [tracker]
+        assert all("@" not in w for w in watchers)

@@ -1,0 +1,114 @@
+"""Tests for on-disk snapshot repository persistence."""
+
+import os
+
+import pytest
+
+from repro.core.snapshot.persistence import (
+    load_store,
+    mangle_url,
+    save_store,
+    unmangle_name,
+)
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def populated_store():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/a.html", "<P>page a, version one.</P>\n<P>More.</P>")
+    server.set_page("/b.html", "<P>page b.</P>")
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    store.remember("fred@att.com", "http://site.com/a.html")
+    store.remember("tom@att.com", "http://site.com/a.html")
+    store.remember("fred@att.com", "http://site.com/b.html")
+    clock.advance(DAY)
+    server.set_page("/a.html", "<P>page a, version two.</P>\n<P>More.</P>")
+    store.remember("fred@att.com", "http://site.com/a.html")
+    return clock, network, store
+
+
+class TestMangling:
+    def test_roundtrip(self):
+        for url in (
+            "http://site.com/a.html",
+            "http://h.com:600/x?q=1&r=2",
+            "http://h.com/päge/©",
+        ):
+            assert unmangle_name(mangle_url(url)) == url
+
+    def test_safe_filename(self):
+        name = mangle_url("http://h.com/x?q=1/../etc")
+        assert "/" not in name
+        assert "?" not in name
+
+
+class TestSaveLoad:
+    def test_directory_layout(self, populated_store, tmp_path):
+        clock, network, store = populated_store
+        written = save_store(store, str(tmp_path))
+        assert written == 2 + 2  # two archives + users.ctl + MANIFEST
+        names = os.listdir(tmp_path / "archives")
+        assert len(names) == 2
+        assert all(name.endswith(",v") for name in names)
+        assert (tmp_path / "users.ctl").exists()
+        assert (tmp_path / "MANIFEST").exists()
+
+    def test_files_are_browsable_text(self, populated_store, tmp_path):
+        # The §4.2 security observation: anyone with directory access
+        # can read who tracks what.
+        clock, network, store = populated_store
+        save_store(store, str(tmp_path))
+        control = (tmp_path / "users.ctl").read_text()
+        assert "fred@att.com" in control
+        assert "tom@att.com" in control
+
+    def test_roundtrip_restores_everything(self, populated_store, tmp_path):
+        clock, network, store = populated_store
+        save_store(store, str(tmp_path))
+        fresh = SnapshotStore(clock, store.agent)
+        loaded = load_store(fresh, str(tmp_path))
+        assert loaded == 2
+        archive = fresh.archives["http://site.com/a.html"]
+        assert archive.revision_count == 2
+        assert "version one" in archive.checkout("1.1")
+        assert "version two" in archive.checkout("1.2")
+        seen = fresh.users.last_seen_version("fred@att.com",
+                                             "http://site.com/a.html")
+        assert seen.revision == "1.2"
+        assert fresh.users.users_tracking("http://site.com/a.html") == [
+            "fred@att.com", "tom@att.com",
+        ]
+
+    def test_restored_store_keeps_working(self, populated_store, tmp_path):
+        clock, network, store = populated_store
+        save_store(store, str(tmp_path))
+        fresh = SnapshotStore(clock, store.agent)
+        load_store(fresh, str(tmp_path))
+        result = fresh.diff("fred@att.com", "http://site.com/a.html",
+                            rev_old="1.1", rev_new="1.2")
+        assert not result.identical
+        clock.advance(DAY)
+        network.server_for("site.com").set_page("/a.html", "<P>v3.</P>")
+        remembered = fresh.remember("fred@att.com", "http://site.com/a.html")
+        assert remembered.revision == "1.3"
+
+    def test_load_without_manifest_uses_unmangling(self, populated_store, tmp_path):
+        clock, network, store = populated_store
+        save_store(store, str(tmp_path))
+        os.remove(tmp_path / "MANIFEST")
+        fresh = SnapshotStore(clock, store.agent)
+        loaded = load_store(fresh, str(tmp_path))
+        assert loaded == 2
+        assert "http://site.com/a.html" in fresh.archives
+
+    def test_load_empty_directory(self, tmp_path):
+        clock = SimClock()
+        network = Network(clock)
+        store = SnapshotStore(clock, UserAgent(network, clock))
+        assert load_store(store, str(tmp_path)) == 0

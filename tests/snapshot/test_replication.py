@@ -1,0 +1,110 @@
+"""Tests for admission control and service replication (§4.2)."""
+
+import pytest
+
+from repro.core.snapshot.replication import (
+    AdmissionControl,
+    ReplicatedSnapshotService,
+)
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    origin = network.create_server("site.com")
+    for i in range(12):
+        origin.set_page(f"/p{i}.html", f"<P>page {i} content.</P>")
+    agent = UserAgent(network, clock)
+    return clock, network, origin, agent
+
+
+def make_service(clock, agent):
+    return SnapshotService(SnapshotStore(clock, agent))
+
+
+def call(client, query):
+    return client.get(f"http://aide.att.com/cgi-bin/snapshot?{query}").response
+
+
+class TestAdmissionControl:
+    def test_over_limit_gets_503(self, world):
+        clock, network, origin, agent = world
+        limited = AdmissionControl(make_service(clock, agent), clock, limit=3)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", limited)
+        client = UserAgent(network, clock)
+        statuses = [
+            call(client, f"action=remember&url=http://site.com/p{i}.html&user=u{i}").status
+            for i in range(5)
+        ]
+        assert statuses[:3] == [200, 200, 200]
+        assert statuses[3:] == [503, 503]
+        assert limited.admitted == 3 and limited.rejected == 2
+
+    def test_limit_resets_next_instant(self, world):
+        clock, network, origin, agent = world
+        limited = AdmissionControl(make_service(clock, agent), clock, limit=1)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", limited)
+        client = UserAgent(network, clock)
+        assert call(client, "action=remember&url=http://site.com/p0.html&user=a").status == 200
+        assert call(client, "action=remember&url=http://site.com/p1.html&user=a").status == 503
+        clock.advance(1)
+        assert call(client, "action=remember&url=http://site.com/p1.html&user=a").status == 200
+
+    def test_bad_limit(self, world):
+        clock, network, origin, agent = world
+        with pytest.raises(ValueError):
+            AdmissionControl(make_service(clock, agent), clock, limit=0)
+
+
+class TestReplication:
+    def test_routing_is_stable_and_partitioned(self, world):
+        clock, network, origin, agent = world
+        replicas = [make_service(clock, agent) for _ in range(3)]
+        front = ReplicatedSnapshotService(replicas)
+        for url in (f"http://site.com/p{i}.html" for i in range(12)):
+            assert front.replica_for(url) == front.replica_for(url)
+        indices = {front.replica_for(f"http://site.com/p{i}.html")
+                   for i in range(12)}
+        assert len(indices) > 1  # load actually spreads
+
+    def test_each_archive_lives_on_one_replica(self, world):
+        clock, network, origin, agent = world
+        replicas = [make_service(clock, agent) for _ in range(3)]
+        front = ReplicatedSnapshotService(replicas)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", front)
+        client = UserAgent(network, clock)
+        for i in range(12):
+            resp = call(client,
+                        f"action=remember&url=http://site.com/p{i}.html&user=u")
+            assert resp.status == 200
+        assert front.url_count == 12  # no page stored twice
+        per_replica = [r.store.url_count() for r in replicas]
+        assert sum(per_replica) == 12
+        assert max(per_replica) < 12  # and not all on one machine
+
+    def test_diff_reaches_the_right_replica(self, world):
+        clock, network, origin, agent = world
+        replicas = [make_service(clock, agent) for _ in range(3)]
+        front = ReplicatedSnapshotService(replicas)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", front)
+        client = UserAgent(network, clock)
+        call(client, "action=remember&url=http://site.com/p0.html&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/p0.html", "<P>page 0 rewritten entirely anew.</P>")
+        resp = call(client, "action=diff&url=http://site.com/p0.html&user=fred")
+        assert resp.status == 200
+        assert "Internet Difference Engine" in resp.body
+
+    def test_no_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedSnapshotService([])

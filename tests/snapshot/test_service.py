@@ -1,0 +1,293 @@
+"""Tests for the snapshot CGI service, keep-alive, locking, control files."""
+
+import pytest
+
+from repro.core.snapshot.keepalive import CgiTimeout, KeepAlive
+from repro.core.snapshot.locking import LockManager, RequestCoalescer
+from repro.core.snapshot.service import OperationCosts, SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.snapshot.usercontrol import UserControl
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.http import Request
+from repro.web.network import Network
+from repro.web.url import parse_url
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    origin = network.create_server("site.com")
+    origin.set_page("/page", "<HTML><BODY><P>original text.</P></BODY></HTML>")
+    agent = UserAgent(network, clock)
+    store = SnapshotStore(clock, agent)
+    service = SnapshotService(store)
+    aide = network.create_server("aide.att.com")
+    aide.register_cgi("/cgi-bin/snapshot", service)
+    client = UserAgent(network, clock, agent_name="Mozilla/1.1N")
+    return clock, network, origin, store, service, client
+
+
+def call(client, query):
+    return client.get(f"http://aide.att.com/cgi-bin/snapshot?{query}").response
+
+
+class TestServiceActions:
+    def test_form_without_action(self, world):
+        clock, network, origin, store, service, client = world
+        resp = call(client, "")
+        assert resp.status == 200
+        assert "<FORM" in resp.body
+
+    def test_remember_roundtrip(self, world):
+        clock, network, origin, store, service, client = world
+        resp = call(client, "action=remember&url=http://site.com/page&user=fred")
+        assert resp.status == 200
+        assert "revision 1.1" in resp.body
+        assert store.url_count() == 1
+
+    def test_remember_requires_user(self, world):
+        clock, network, origin, store, service, client = world
+        resp = call(client, "action=remember&url=http://site.com/page")
+        assert resp.status == 400
+
+    def test_diff_after_change(self, world):
+        clock, network, origin, store, service, client = world
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/page", "<HTML><BODY><P>rewritten text.</P></BODY></HTML>")
+        call(client, "action=remember&url=http://site.com/page&user=tom")
+        resp = call(client, "action=diff&url=http://site.com/page&user=fred")
+        assert resp.status == 200
+        assert "AT&amp;T Internet Difference Engine" in resp.body
+
+    def test_diff_unknown_page_404(self, world):
+        clock, network, origin, store, service, client = world
+        resp = call(client, "action=diff&url=http://site.com/none&user=fred")
+        assert resp.status == 404
+
+    def test_history_lists_versions_with_seen_markers(self, world):
+        clock, network, origin, store, service, client = world
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/page", "<P>v2</P>")
+        call(client, "action=remember&url=http://site.com/page&user=tom")
+        resp = call(client, "action=history&url=http://site.com/page&user=fred")
+        assert "1.1" in resp.body and "1.2" in resp.body
+        assert "seen by you" in resp.body
+        assert "diff" in resp.body  # pairwise compare links
+
+    def test_view_old_version(self, world):
+        clock, network, origin, store, service, client = world
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/page", "<P>v2</P>")
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        resp = call(client, "action=view&url=http://site.com/page&rev=1.1")
+        assert "original text" in resp.body
+        assert "<BASE HREF=" in resp.body
+
+    def test_unknown_action_400(self, world):
+        clock, network, origin, store, service, client = world
+        resp = call(client, "action=explode&url=http://site.com/page")
+        assert resp.status == 400
+
+    def test_post_form_works_too(self, world):
+        clock, network, origin, store, service, client = world
+        resp = client.post(
+            "http://aide.att.com/cgi-bin/snapshot",
+            body="action=remember&url=http://site.com/page&user=fred",
+        ).response
+        assert resp.status == 200
+
+    def test_keepalive_padding_prepended(self, world):
+        clock, network, origin, store, service, client = world
+        service.keepalive = KeepAlive(httpd_timeout=60, emit_interval=10)
+        service.costs = OperationCosts(fetch=35, htmldiff=30, cheap=1)
+        resp = call(client, "action=remember&url=http://site.com/page&user=fred")
+        assert resp.body.startswith(" " * 3)  # 35s / 10s interval
+
+    def test_disabled_keepalive_times_out(self, world):
+        clock, network, origin, store, service, client = world
+        service.keepalive = KeepAlive(httpd_timeout=60, enabled=False)
+        service.costs = OperationCosts(fetch=120, htmldiff=30)
+        resp = call(client, "action=remember&url=http://site.com/page&user=fred")
+        assert resp.status == 504
+
+
+class TestKeepAlive:
+    def test_fast_operation_needs_no_padding(self):
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        assert guard.run(5).padding_spaces == 0
+
+    def test_padding_count(self):
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        assert guard.run(100).padding_spaces == 6
+
+    def test_disabled_guard_raises_on_slow_work(self):
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        with pytest.raises(CgiTimeout):
+            guard.run(60)
+
+    def test_disabled_guard_allows_fast_work(self):
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        assert guard.run(59).survived
+
+    def test_interval_too_slow_is_fatal(self):
+        guard = KeepAlive(httpd_timeout=10, emit_interval=30)
+        with pytest.raises(CgiTimeout):
+            guard.run(50)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            KeepAlive().run(-1)
+
+
+class TestLockManager:
+    def test_acquire_release(self):
+        locks = LockManager()
+        with locks.acquire("url:x"):
+            assert locks.held("url:x")
+        assert not locks.held("url:x")
+
+    def test_contention_counted(self):
+        locks = LockManager()
+        with locks.acquire("k"):
+            with locks.acquire("k"):
+                pass
+        assert locks.contentions == 1
+        assert locks.acquisitions == 2
+
+    def test_nested_release_order(self):
+        locks = LockManager()
+        lease1 = locks.acquire("k")
+        lease2 = locks.acquire("k")
+        lease2.release()
+        assert locks.held("k")
+        lease1.release()
+        assert not locks.held("k")
+
+    def test_double_release_harmless(self):
+        locks = LockManager()
+        lease = locks.acquire("k")
+        lease.release()
+        lease.release()
+        assert not locks.held("k")
+
+
+class TestCoalescer:
+    def test_same_instant_runs_once(self):
+        clock = SimClock()
+        coalescer = RequestCoalescer(clock)
+        calls = []
+        coalescer.do("k", lambda: calls.append(1) or "r1")
+        result = coalescer.do("k", lambda: calls.append(2) or "r2")
+        assert result == "r1"
+        assert calls == [1]
+        assert coalescer.coalesced == 1
+
+    def test_ttl_caching(self):
+        clock = SimClock()
+        coalescer = RequestCoalescer(clock, ttl=100)
+        coalescer.do("k", lambda: "r1")
+        clock.advance(50)
+        assert coalescer.do("k", lambda: "r2") == "r1"
+        clock.advance(100)
+        assert coalescer.do("k", lambda: "r3") == "r3"
+
+    def test_no_ttl_expires_next_instant(self):
+        clock = SimClock()
+        coalescer = RequestCoalescer(clock, ttl=0)
+        coalescer.do("k", lambda: "r1")
+        clock.advance(1)
+        assert coalescer.do("k", lambda: "r2") == "r2"
+
+    def test_invalidate_by_prefix(self):
+        clock = SimClock()
+        coalescer = RequestCoalescer(clock, ttl=1000)
+        coalescer.do("diff:a:1:2", lambda: "x")
+        coalescer.do("diff:b:1:2", lambda: "y")
+        coalescer.invalidate("diff:a")
+        assert coalescer.do("diff:a:1:2", lambda: "x2") == "x2"
+        assert coalescer.do("diff:b:1:2", lambda: "y2") == "y"
+
+
+class TestUserControl:
+    def test_record_and_lookup(self):
+        control = UserControl()
+        control.record("fred", "http://x/", "1.1", 100)
+        control.record("fred", "http://x/", "1.2", 200)
+        assert [v.revision for v in control.versions_seen("fred", "http://x/")] == [
+            "1.1", "1.2",
+        ]
+        assert control.last_seen_version("fred", "http://x/").revision == "1.2"
+
+    def test_re_record_updates_time_not_duplicate(self):
+        control = UserControl()
+        control.record("fred", "http://x/", "1.1", 100)
+        control.record("fred", "http://x/", "1.1", 500)
+        versions = control.versions_seen("fred", "http://x/")
+        assert len(versions) == 1
+        assert versions[0].when == 500
+
+    def test_users_tracking(self):
+        control = UserControl()
+        control.record("b", "http://x/", "1.1", 1)
+        control.record("a", "http://x/", "1.1", 1)
+        control.record("c", "http://y/", "1.1", 1)
+        assert control.users_tracking("http://x/") == ["a", "b"]
+
+    def test_serialization_roundtrip(self):
+        control = UserControl()
+        control.record("fred@att.com", "http://x/page", "1.1", 100)
+        control.record("fred@att.com", "http://x/page", "1.3", 300)
+        control.record("tom@att.com", "http://y/", "1.2", 200)
+        again = UserControl.deserialize(control.serialize())
+        assert again.last_seen_version("fred@att.com", "http://x/page").revision == "1.3"
+        assert again.users_tracking("http://y/") == ["tom@att.com"]
+
+
+class TestTimeTravel:
+    def prime(self, world):
+        clock, network, origin, store, service, client = world
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/page", "<P>day one version.</P>")
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        clock.advance(DAY)
+        origin.set_page("/page", "<P>day two version.</P>")
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+
+    def test_view_at_date(self, world):
+        clock, network, origin, store, service, client = world
+        self.prime(world)
+        # The page "as it existed" at the end of day one.
+        resp = call(
+            client,
+            f"action=view&url=http://site.com/page&date={DAY + 100}",
+        )
+        assert resp.status == 200
+        assert "day one version" in resp.body
+
+    def test_view_at_date_before_any_archive(self, world):
+        clock, network, origin, store, service, client = world
+        clock.advance(DAY)
+        call(client, "action=remember&url=http://site.com/page&user=fred")
+        resp = call(client, "action=view&url=http://site.com/page&date=5")
+        assert resp.status == 404
+
+    def test_bad_date_400(self, world):
+        clock, network, origin, store, service, client = world
+        self.prime(world)
+        resp = call(client, "action=view&url=http://site.com/page&date=noon")
+        assert resp.status == 400
+
+    def test_rev_takes_precedence(self, world):
+        clock, network, origin, store, service, client = world
+        self.prime(world)
+        resp = call(
+            client,
+            f"action=view&url=http://site.com/page&rev=1.1&date={2 * DAY}",
+        )
+        assert "original text" in resp.body

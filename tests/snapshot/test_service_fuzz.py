@@ -1,0 +1,66 @@
+"""Robustness: the snapshot CGI never crashes on arbitrary input.
+
+The paper's service was reachable by "anyone on the W3"; random and
+hostile query strings must produce HTTP error pages, never exceptions
+(an exception in a CGI is a 500 and a log page for the admin)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.http import Request
+from repro.web.network import Network
+from repro.web.url import parse_url
+
+
+@pytest.fixture(scope="module")
+def service():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/page", "<P>content.</P>")
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    return SnapshotService(store)
+
+
+query_strings = st.one_of(
+    st.text(alphabet="abc=&%+?/:@.#", max_size=60),
+    st.builds(
+        lambda action, url, user, r1: (
+            f"action={action}&url={url}&user={user}&r1={r1}"
+        ),
+        st.sampled_from(["remember", "diff", "history", "view", "explode", ""]),
+        st.sampled_from([
+            "http://site.com/page", "http://nowhere.example/x",
+            "not-a-url", "", "http://site.com/missing",
+        ]),
+        st.sampled_from(["fred", "", "a@b", "%%%"]),
+        st.sampled_from(["1.1", "0", "", "../../etc/passwd"]),
+    ),
+)
+
+
+class TestServiceFuzz:
+    @given(query_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_never_raises_always_http(self, service, query):
+        request = Request(
+            "GET", parse_url(f"http://aide.att.com/cgi-bin/snapshot?{query}")
+        )
+        response = service(request, 0)
+        assert 200 <= response.status <= 599
+        assert isinstance(response.body, str)
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_post_bodies_never_crash(self, service, body):
+        request = Request(
+            "POST", parse_url("http://aide.att.com/cgi-bin/snapshot"),
+            body=body,
+        )
+        response = service(request, 0)
+        assert 200 <= response.status <= 599

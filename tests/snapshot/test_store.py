@@ -1,0 +1,216 @@
+"""Tests for the snapshot store."""
+
+import pytest
+
+from repro.core.snapshot.store import (
+    SnapshotError,
+    SnapshotStore,
+    add_base_directive,
+)
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/page", "<HTML><BODY><P>version one.</P></BODY></HTML>")
+    agent = UserAgent(network, clock)
+    store = SnapshotStore(clock, agent)
+    return clock, network, server, store
+
+
+class TestRemember:
+    def test_first_remember_creates_revision(self, world):
+        clock, network, server, store = world
+        result = store.remember("fred@att.com", "http://site.com/page")
+        assert result.revision == "1.1"
+        assert result.changed
+
+    def test_unchanged_page_not_resaved(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        result = store.remember("fred@att.com", "http://site.com/page")
+        assert result.revision == "1.1"
+        assert not result.changed
+        assert store.archive_for("http://site.com/page").revision_count == 1
+
+    def test_changed_page_makes_new_revision(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        server.set_page("/page", "<HTML><BODY><P>version two.</P></BODY></HTML>")
+        result = store.remember("fred@att.com", "http://site.com/page")
+        assert result.revision == "1.2"
+        assert result.changed
+
+    def test_two_users_share_one_archive(self, world):
+        # "saving pages at most once each time they are modified
+        # (regardless of the number of users who track it)"
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        store2 = store.remember("tom@att.com", "http://site.com/page")
+        assert store2.revision == "1.1"
+        assert store.archive_for("http://site.com/page").revision_count == 1
+        assert store.users.users_tracking("http://site.com/page") == [
+            "fred@att.com", "tom@att.com",
+        ]
+
+    def test_user_seen_marker_updates_even_when_unchanged(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        store.remember("fred@att.com", "http://site.com/page")
+        seen = store.users.last_seen_version("fred@att.com", "http://site.com/page")
+        assert seen.revision == "1.1"
+        assert seen.when == DAY  # refreshed at the second remember
+
+    def test_fetch_error_raises_snapshot_error(self, world):
+        clock, network, server, store = world
+        with pytest.raises(SnapshotError):
+            store.remember("fred@att.com", "http://unknown.host/x")
+        with pytest.raises(SnapshotError):
+            store.remember("fred@att.com", "http://site.com/missing")
+
+    def test_simultaneous_remembers_fetch_once(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        store.remember("tom@att.com", "http://site.com/page")  # same instant
+        assert server.get_count == 1
+
+
+class TestDiff:
+    def prime(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        server.set_page(
+            "/page", "<HTML><BODY><P>version two entirely different.</P></BODY></HTML>"
+        )
+        store.remember("tom@att.com", "http://site.com/page")
+        return store
+
+    def test_diff_since_user_last_saved(self, world):
+        clock, network, server, store = world
+        store = self.prime(world)
+        result = store.diff("fred@att.com", "http://site.com/page")
+        assert "<STRIKE>" in result.html or "<STRONG><I>" in result.html
+
+    def test_diff_explicit_revisions(self, world):
+        store = self.prime(world)
+        result = store.diff("anyone", "http://site.com/page",
+                            rev_old="1.1", rev_new="1.2")
+        assert not result.identical
+
+    def test_diff_same_revision_is_identical(self, world):
+        store = self.prime(world)
+        result = store.diff("anyone", "http://site.com/page",
+                            rev_old="1.1", rev_new="1.1")
+        assert result.identical
+
+    def test_diff_without_saved_version_errors(self, world):
+        store = self.prime(world)
+        with pytest.raises(SnapshotError):
+            store.diff("stranger@nowhere", "http://site.com/page")
+
+    def test_diff_unknown_url_errors(self, world):
+        clock, network, server, store = world
+        with pytest.raises(SnapshotError):
+            store.diff("fred@att.com", "http://site.com/never-stored")
+
+    def test_diff_output_cached(self, world):
+        store = self.prime(world)
+        store.diff("anyone", "http://site.com/page", rev_old="1.1", rev_new="1.2")
+        invocations = store.htmldiff_invocations
+        store.diff("other", "http://site.com/page", rev_old="1.1", rev_new="1.2")
+        assert store.htmldiff_invocations == invocations  # served from cache
+
+    def test_unknown_revision_errors(self, world):
+        store = self.prime(world)
+        with pytest.raises(SnapshotError):
+            store.diff("anyone", "http://site.com/page",
+                       rev_old="1.7", rev_new="1.8")
+
+
+class TestHistoryAndView:
+    def test_history_marks_seen_versions(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        server.set_page("/page", "<P>v2</P>")
+        store.remember("tom@att.com", "http://site.com/page")
+        history = store.history("fred@att.com", "http://site.com/page")
+        assert [(info.number, seen) for info, seen in history] == [
+            ("1.1", True), ("1.2", False),
+        ]
+
+    def test_view_head_and_old(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        clock.advance(DAY)
+        server.set_page("/page", "<HTML><HEAD></HEAD><BODY>v2</BODY></HTML>")
+        store.remember("fred@att.com", "http://site.com/page")
+        head = store.view("http://site.com/page")
+        old = store.view("http://site.com/page", revision="1.1")
+        assert "v2" in head
+        assert "version one" in old
+
+    def test_view_adds_base_directive(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        text = store.view("http://site.com/page")
+        assert '<BASE HREF="http://site.com/page">' in text
+
+    def test_view_without_rewrite(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        text = store.view("http://site.com/page", rewrite_base=False)
+        assert "<BASE" not in text
+
+
+class TestBaseDirective:
+    def test_inserted_after_head(self):
+        html = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>x</BODY></HTML>"
+        out = add_base_directive(html, "http://a/b")
+        assert out.index("<HEAD>") < out.index("<BASE") < out.index("<TITLE>")
+
+    def test_prepended_without_head(self):
+        out = add_base_directive("<P>x</P>", "http://a/b")
+        assert out.startswith('<BASE HREF="http://a/b">')
+
+    def test_existing_base_respected(self):
+        html = '<HEAD><BASE HREF="http://original/"></HEAD>'
+        out = add_base_directive(html, "http://other/")
+        assert out == html
+
+
+class TestAccounting:
+    def test_total_bytes_and_counts(self, world):
+        clock, network, server, store = world
+        store.remember("fred@att.com", "http://site.com/page")
+        assert store.url_count() == 1
+        assert store.total_bytes() > 0
+        assert store.full_copy_bytes() > 0
+
+    def test_delta_beats_full_copies_on_small_edits(self, world):
+        clock, network, server, store = world
+        # Newlines matter: RCS deltas are line-based, so a page served
+        # as one huge line would delta as a full replacement.
+        base = "<HTML><BODY>\n" + "\n".join(
+            f"<P>paragraph number {i} with stable text.</P>" for i in range(50)
+        ) + "\n</BODY></HTML>"
+        server.set_page("/big", base)
+        store.remember("u", "http://site.com/big")
+        for rev in range(8):
+            clock.advance(HOUR)
+            server.set_page(
+                "/big", base.replace("number 3 ", f"number 3 (edit {rev}) ")
+            )
+            store.remember("u", "http://site.com/big")
+        archive_bytes = store.total_bytes()
+        full_bytes = store.full_copy_bytes()
+        assert archive_bytes < full_bytes / 3

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.web.sites import usenix_home_v1, usenix_home_v2
+
+
+@pytest.fixture
+def files(tmp_path):
+    old = tmp_path / "old.html"
+    new = tmp_path / "new.html"
+    old.write_text(usenix_home_v1())
+    new.write_text(usenix_home_v2())
+    return tmp_path, old, new
+
+
+class TestHtmldiffCommand:
+    def test_diff_to_file(self, files, capsys):
+        tmp_path, old, new = files
+        out = tmp_path / "merged.html"
+        code = main(["htmldiff", str(old), str(new), "-o", str(out)])
+        assert code == 1  # differences found
+        merged = out.read_text()
+        assert "<STRIKE>" in merged
+        assert "AT&amp;T Internet Difference Engine" in merged
+        assert "differences" in capsys.readouterr().err
+
+    def test_identical_files_exit_zero(self, files, capsys):
+        tmp_path, old, new = files
+        code = main(["htmldiff", str(old), str(old), "-q"])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_stdout_default(self, files, capsys):
+        tmp_path, old, new = files
+        code = main(["htmldiff", "-q", str(old), str(new)])
+        assert code == 1
+        assert "<STRONG><I>" in capsys.readouterr().out
+
+    def test_mode_selection(self, files, capsys):
+        tmp_path, old, new = files
+        code = main(["htmldiff", "-q", "--mode", "only-differences",
+                     str(old), str(new)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "differences only" in out
+
+    def test_threshold_flags(self, files, capsys):
+        tmp_path, old, new = files
+        code = main([
+            "htmldiff", "-q", "--match-threshold", "0.9",
+            "--density-threshold", "1.0", str(old), str(new),
+        ])
+        assert code == 1
+
+    def test_missing_file(self, files, capsys):
+        tmp_path, old, new = files
+        code = main(["htmldiff", str(tmp_path / "nope.html"), str(new)])
+        assert code == 2
+        assert "aide:" in capsys.readouterr().err
+
+    def test_bad_mode_usage_error(self, files, capsys):
+        tmp_path, old, new = files
+        assert main(["htmldiff", "--mode", "sideways", str(old), str(new)]) == 2
+
+
+class TestTokenizeCommand:
+    def test_token_stream(self, tmp_path, capsys):
+        page = tmp_path / "p.html"
+        page.write_text("<P>One sentence here. Another one.</P>")
+        assert main(["tokenize", str(page)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("SENTENCE") == 2
+        assert out.count("BREAK") == 2  # <P> and </P>
+
+    def test_width_truncation(self, tmp_path, capsys):
+        page = tmp_path / "p.html"
+        page.write_text("<P>" + "word " * 50 + "</P>")
+        main(["tokenize", "--width", "20", str(page)])
+        for line in capsys.readouterr().out.splitlines():
+            assert len(line) <= len("SENTENCE ") + 20
+
+
+class TestThresholdsCommand:
+    def test_classify_urls(self, tmp_path, capsys):
+        config = tmp_path / "thresholds.conf"
+        config.write_text(
+            "Default 2d\nhttp://www\\.yahoo\\.com/.* 7d\n"
+            "http://comic\\.com/.* never\n"
+        )
+        code = main([
+            "thresholds", str(config),
+            "http://www.yahoo.com/x", "http://comic.com/daily",
+            "http://other.org/",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("7d")
+        assert lines[1].startswith("never")
+        assert lines[2].startswith("2d")
+        assert "(default)" in lines[2]
+
+    def test_bad_config(self, tmp_path, capsys):
+        config = tmp_path / "bad.conf"
+        config.write_text("just-one-field\n")
+        assert main(["thresholds", str(config), "http://x/"]) == 2
+
+
+class TestDemoCommand:
+    def test_demo_runs_and_shows_a_diff(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "w3newer reports" in out
+        assert "<STRIKE>" in out
+        assert "<STRONG><I>" in out

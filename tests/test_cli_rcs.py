@@ -1,0 +1,107 @@
+"""Tests for the file-based RCS CLI commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def page(tmp_path):
+    path = tmp_path / "page.html"
+    path.write_text("<P>version one.</P>\n<P>stable paragraph.</P>\n")
+    return path
+
+
+class TestCi:
+    def test_first_checkin_creates_archive(self, page, capsys):
+        assert main(["ci", str(page), "-m", "initial"]) == 0
+        err = capsys.readouterr().err
+        assert "revision 1.1" in err
+        assert page.with_name("page.html,v").exists()
+
+    def test_unchanged_checkin_exits_one(self, page, capsys):
+        main(["ci", str(page)])
+        assert main(["ci", str(page)]) == 1
+        assert "unchanged" in capsys.readouterr().err
+
+    def test_sequence_of_revisions(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>version two.</P>\n<P>stable paragraph.</P>\n")
+        assert main(["ci", str(page), "-m", "second"]) == 0
+        assert "revision 1.2" in capsys.readouterr().err
+
+
+class TestCo:
+    def test_head_by_default(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>version two.</P>\n")
+        main(["ci", str(page)])
+        assert main(["co", str(page)]) == 0
+        assert "version two." in capsys.readouterr().out
+
+    def test_specific_revision(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>version two.</P>\n")
+        main(["ci", str(page)])
+        assert main(["co", str(page), "-r", "1.1"]) == 0
+        assert "version one." in capsys.readouterr().out
+
+    def test_output_file(self, page, tmp_path, capsys):
+        main(["ci", str(page)])
+        target = tmp_path / "restored.html"
+        assert main(["co", str(page), "-o", str(target)]) == 0
+        assert "version one." in target.read_text()
+
+    def test_missing_archive(self, page, capsys):
+        assert main(["co", str(page)]) == 2
+
+    def test_unknown_revision(self, page, capsys):
+        main(["ci", str(page)])
+        assert main(["co", str(page), "-r", "9.9"]) == 2
+
+
+class TestRlog:
+    def test_history_listing(self, page, capsys):
+        main(["ci", str(page), "-m", "first draft"])
+        page.write_text("<P>v2</P>\n")
+        main(["ci", str(page), "-m", "rewrite"])
+        assert main(["rlog", str(page)]) == 0
+        out = capsys.readouterr().out
+        assert "revision 1.2" in out
+        assert "first draft" in out
+        assert "rewrite" in out
+
+
+class TestRcsdiff:
+    def test_two_revisions(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>version two.</P>\n<P>stable paragraph.</P>\n")
+        main(["ci", str(page)])
+        code = main(["rcsdiff", str(page), "-r", "1.1", "-r", "1.2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "-<P>version one.</P>" in out
+        assert "+<P>version two.</P>" in out
+
+    def test_revision_vs_working_file(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>edited but not checked in.</P>\n")
+        assert main(["rcsdiff", str(page)]) == 1
+        assert "working file" in capsys.readouterr().out
+
+    def test_identical_exits_zero(self, page, capsys):
+        main(["ci", str(page)])
+        assert main(["rcsdiff", str(page)]) == 0
+
+    def test_html_mode(self, page, capsys):
+        main(["ci", str(page)])
+        page.write_text("<P>edited text now totally different.</P>\n")
+        main(["ci", str(page)])
+        code = main(["rcsdiff", str(page), "-r", "1.1", "-r", "1.2", "--html"])
+        assert code == 1
+        assert "Internet Difference Engine" in capsys.readouterr().out
+
+    def test_corrupt_archive_reported(self, page, capsys):
+        page.with_name("page.html,v").write_text("garbage")
+        assert main(["rlog", str(page)]) == 2
+        assert "aide:" in capsys.readouterr().err

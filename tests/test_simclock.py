@@ -1,0 +1,182 @@
+"""Tests for the simulated clock, durations, and cron scheduler."""
+
+import pytest
+
+from repro.simclock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    NEVER,
+    WEEK,
+    CronScheduler,
+    SimClock,
+    format_duration,
+    format_timestamp,
+    parse_duration,
+)
+
+
+class TestParseDuration:
+    def test_table1_spellings(self):
+        # The exact spellings appearing in the paper's Table 1.
+        assert parse_duration("2d") == 2 * DAY
+        assert parse_duration("0") == 0
+        assert parse_duration("7d") == 7 * DAY
+        assert parse_duration("12h") == 12 * HOUR
+        assert parse_duration("1d") == DAY
+        assert parse_duration("never") == NEVER
+
+    def test_combined_units(self):
+        assert parse_duration("1d12h") == DAY + 12 * HOUR
+        assert parse_duration("1w") == WEEK
+        assert parse_duration("2h30m") == 2 * HOUR + 30 * MINUTE
+        assert parse_duration("45s") == 45
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_duration(" 2D ") == 2 * DAY
+        assert parse_duration("NEVER") == NEVER
+
+    def test_bare_integer_is_seconds(self):
+        assert parse_duration("90") == 90
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_duration("soon")
+        with pytest.raises(ValueError):
+            parse_duration("")
+        with pytest.raises(ValueError):
+            parse_duration("d2")
+
+    def test_roundtrip(self):
+        for text in ("2d", "12h", "1d2h3m4s", "7d", "0", "never"):
+            assert format_duration(parse_duration(text)) == text
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-5)
+
+
+class TestTimestampFormatting:
+    def test_epoch(self):
+        assert format_timestamp(0) == "Fri, 01 Sep 1995 00:00:00 GMT"
+
+    def test_time_of_day(self):
+        ts = 3 * HOUR + 25 * MINUTE + 7
+        assert format_timestamp(ts) == "Fri, 01 Sep 1995 03:25:07 GMT"
+
+    def test_month_rollover(self):
+        # September has 30 days: day offset 30 lands on 1 Oct.
+        assert "01 Oct 1995" in format_timestamp(30 * DAY)
+
+    def test_year_rollover(self):
+        # Sep(30) + Oct(31) + Nov(30) + Dec(31) = 122 days to 1 Jan 1996.
+        assert "01 Jan 1996" in format_timestamp(122 * DAY)
+
+    def test_1996_leap_day(self):
+        # 1996 is a leap year: 122 days to Jan 1 + 31 + 28 = 181 -> 29 Feb.
+        assert "29 Feb 1996" in format_timestamp(181 * DAY)
+
+    def test_weekday_cycles(self):
+        assert format_timestamp(DAY).startswith("Sat")
+        assert format_timestamp(7 * DAY).startswith("Fri")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_timestamp(-1)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock(100)
+        clock.advance_to(50)  # no-op, never backwards
+        assert clock.now == 100
+        clock.advance_to(200)
+        assert clock.now == 200
+
+    def test_cannot_run_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_httpdate_tracks_now(self):
+        clock = SimClock()
+        clock.advance(DAY)
+        assert clock.httpdate().startswith("Sat, 02 Sep 1995")
+
+
+class TestCronScheduler:
+    def test_periodic_firing(self):
+        clock = SimClock()
+        cron = CronScheduler(clock)
+        fires = []
+        cron.schedule(HOUR, fires.append, name="hourly")
+        count = cron.run_until(4 * HOUR)
+        assert count == 4
+        assert fires == [HOUR, 2 * HOUR, 3 * HOUR, 4 * HOUR]
+
+    def test_clock_lands_on_deadline(self):
+        clock = SimClock()
+        cron = CronScheduler(clock)
+        cron.schedule(HOUR, lambda now: None)
+        cron.run_until(90 * MINUTE)
+        assert clock.now == 90 * MINUTE
+
+    def test_multiple_jobs_interleave(self):
+        clock = SimClock()
+        cron = CronScheduler(clock)
+        log = []
+        cron.schedule(2 * HOUR, lambda now: log.append(("a", now)))
+        cron.schedule(3 * HOUR, lambda now: log.append(("b", now)))
+        cron.run_until(6 * HOUR)
+        # At the 6-hour tie, "b" fires first: it was re-queued at 3h,
+        # before "a" was re-queued at 4h (FIFO among equal deadlines).
+        assert log == [
+            ("a", 2 * HOUR),
+            ("b", 3 * HOUR),
+            ("a", 4 * HOUR),
+            ("b", 6 * HOUR),
+            ("a", 6 * HOUR),
+        ]
+
+    def test_first_fire_override(self):
+        clock = SimClock()
+        cron = CronScheduler(clock)
+        fires = []
+        cron.schedule(DAY, fires.append, first_fire=0)
+        cron.run_until(DAY)
+        assert fires == [0, DAY]
+
+    def test_cancel(self):
+        clock = SimClock()
+        cron = CronScheduler(clock)
+        fires = []
+        job = cron.schedule(HOUR, fires.append)
+        cron.run_until(HOUR)
+        cron.cancel(job)
+        cron.run_until(5 * HOUR)
+        assert fires == [HOUR]
+
+    def test_zero_period_rejected(self):
+        cron = CronScheduler(SimClock())
+        with pytest.raises(ValueError):
+            cron.schedule(0, lambda now: None)
+
+    def test_pending_lists_enabled_jobs(self):
+        cron = CronScheduler(SimClock())
+        job_a = cron.schedule(HOUR, lambda now: None, name="a")
+        job_b = cron.schedule(HOUR, lambda now: None, name="b")
+        cron.cancel(job_a)
+        names = sorted(j.name for j in cron.pending())
+        assert names == ["b"]
+        assert job_b.enabled

@@ -1,0 +1,63 @@
+"""Tests for HTTP-date parsing (the format_timestamp inverse)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simclock import DAY, HOUR, MINUTE, format_timestamp, parse_timestamp
+from repro.web.http import Headers, Response
+
+
+class TestParseTimestamp:
+    def test_epoch(self):
+        assert parse_timestamp("Fri, 01 Sep 1995 00:00:00 GMT") == 0
+
+    def test_time_of_day(self):
+        ts = parse_timestamp("Fri, 01 Sep 1995 12:34:56 GMT")
+        assert ts == 12 * HOUR + 34 * MINUTE + 56
+
+    def test_across_year_boundary(self):
+        assert parse_timestamp("Mon, 01 Jan 1996 00:00:00 GMT") == 122 * DAY
+
+    def test_leap_day(self):
+        assert parse_timestamp("Thu, 29 Feb 1996 00:00:00 GMT") == 181 * DAY
+
+    def test_weekday_name_is_ignored(self):
+        # Some servers got the weekday wrong; the date fields govern.
+        assert parse_timestamp("Mon, 01 Sep 1995 00:00:00 GMT") == 0
+
+    def test_garbage_returns_none(self):
+        for text in ("", "yesterday", "01/09/1995", "Fri, 99 Xxx 1995 "
+                     "00:00:00 GMT", None):
+            assert parse_timestamp(text) is None
+
+    def test_pre_epoch_returns_none(self):
+        assert parse_timestamp("Thu, 31 Aug 1995 23:59:59 GMT") is None
+
+    def test_invalid_fields_rejected(self):
+        assert parse_timestamp("Fri, 01 Sep 1995 25:00:00 GMT") is None
+        assert parse_timestamp("Fri, 32 Sep 1995 10:00:00 GMT") is None
+
+    @given(st.integers(0, 5 * 365 * DAY))
+    @settings(max_examples=300)
+    def test_roundtrip(self, ts):
+        assert parse_timestamp(format_timestamp(ts)) == ts
+
+
+class TestResponseFallback:
+    def test_sim_header_preferred(self):
+        headers = Headers({
+            "X-Sim-Last-Modified": "123",
+            "Last-Modified": "Fri, 01 Sep 1995 00:01:00 GMT",
+        })
+        assert Response(200, headers=headers).last_modified == 123
+
+    def test_rfc1123_fallback(self):
+        headers = Headers({"Last-Modified": "Sat, 02 Sep 1995 00:00:00 GMT"})
+        assert Response(200, headers=headers).last_modified == DAY
+
+    def test_unparseable_date_is_none(self):
+        headers = Headers({"Last-Modified": "around lunchtime"})
+        assert Response(200, headers=headers).last_modified is None
+
+    def test_absent_is_none(self):
+        assert Response(200).last_modified is None

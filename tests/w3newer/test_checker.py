@@ -1,0 +1,376 @@
+"""Tests for the w3newer decision ladder."""
+
+import pytest
+
+from repro.core.w3newer.checker import CheckerFlags, UrlChecker, content_checksum
+from repro.core.w3newer.errors import (
+    CheckSource,
+    RunAborted,
+    SystemicFailureDetector,
+    UrlState,
+)
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.localfs import LocalFiles
+from repro.core.w3newer.statuscache import StatusCache
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, HOUR, WEEK, SimClock
+from repro.web.cgi import CounterScript, StaticCgiScript
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.web.proxy import ProxyCache
+
+CONFIG = parse_threshold_config(
+    "Default 2d\n"
+    "file:.* 0\n"
+    "http://fast\\.com/.* 0\n"
+    "http://never\\.com/.* never\n"
+)
+
+
+class World:
+    def __init__(self, with_proxy=False):
+        self.clock = SimClock()
+        self.network = Network(self.clock)
+        self.server = self.network.create_server("site.com")
+        self.server.set_page("/page", "<P>content v1</P>")
+        self.proxy = ProxyCache(self.network, self.clock, ttl=HOUR) if with_proxy else None
+        self.agent = UserAgent(self.network, self.clock, proxy=self.proxy)
+        self.history = BrowserHistory()
+        self.cache = StatusCache()
+        self.files = LocalFiles()
+
+    def checker(self, flags=None, detector=None):
+        return UrlChecker(
+            clock=self.clock,
+            agent=self.agent,
+            config=CONFIG,
+            history=self.history,
+            cache=self.cache,
+            proxy=self.proxy,
+            local_files=self.files,
+            flags=flags,
+            failure_detector=detector,
+        )
+
+
+class TestThresholdSkips:
+    def test_never_threshold(self):
+        world = World()
+        outcome = world.checker().check("http://never.com/daily-comic")
+        assert outcome.state is UrlState.NEVER_CHECK
+        assert outcome.http_requests == 0
+
+    def test_recently_visited_skipped(self):
+        world = World()
+        world.clock.advance(10 * DAY)
+        world.history.visit("http://site.com/page", world.clock.now - HOUR)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.NOT_CHECKED
+        assert outcome.http_requests == 0
+
+    def test_visit_older_than_threshold_checks(self):
+        world = World()
+        world.clock.advance(10 * DAY)
+        world.history.visit("http://site.com/page", world.clock.now - 3 * DAY)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is not UrlState.NOT_CHECKED
+        assert outcome.http_requests > 0
+
+    def test_zero_threshold_always_checks(self):
+        world = World()
+        world.network.create_server("fast.com").set_page("/x", "body")
+        world.history.visit("http://fast.com/x", world.clock.now)
+        outcome = world.checker().check("http://fast.com/x")
+        assert outcome.http_requests > 0
+
+    def test_recent_http_check_rate_limited(self):
+        world = World()
+        world.clock.advance(10 * DAY)
+        checker = world.checker()
+        first = checker.check("http://site.com/page")
+        assert first.http_requests > 0
+        # Within the same threshold window, and the cached verdict says
+        # the user has already seen the page... but the user has NOT
+        # seen it (no history), so the cached date keeps reporting it.
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.clock.advance(DAY + HOUR)  # visit now outside?? no: 2d threshold
+        second = world.checker().check("http://site.com/page")
+        assert second.state is UrlState.NOT_CHECKED
+
+
+class TestDateLadder:
+    def test_head_reports_changed_when_never_seen(self):
+        world = World()
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.NEVER_SEEN
+        assert outcome.source is CheckSource.HEAD
+        assert outcome.modification_date == 0
+
+    def test_head_changed_vs_seen(self):
+        world = World()
+        world.clock.advance(5 * DAY)
+        world.server.set_page("/page", "<P>v2</P>")  # modified at day 5
+        world.clock.advance(5 * DAY)
+        world.history.visit("http://site.com/page", 3 * DAY)  # saw v1
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.CHANGED
+        world.history.visit("http://site.com/page", world.clock.now - 3 * DAY)
+        # Seen after the modification: fresh cached info, no HTTP.
+        outcome2 = world.checker().check("http://site.com/page")
+        assert outcome2.state is UrlState.SEEN
+
+    def test_status_cache_avoids_http_when_known_modified(self):
+        world = World()
+        world.clock.advance(10 * DAY)
+        checker = world.checker()
+        first = checker.check("http://site.com/page")
+        assert first.http_requests > 0
+        # Next run: cache already knows mod date 0 > (no visit) — and
+        # the user still hasn't seen it, so no HTTP is needed.
+        second = world.checker().check("http://site.com/page")
+        assert second.source is CheckSource.STATUS_CACHE
+        assert second.http_requests == 0
+        assert second.state is UrlState.NEVER_SEEN
+
+    def test_cached_unmodified_info_expires_after_a_week(self):
+        world = World()
+        world.clock.advance(10 * DAY)
+        world.history.visit("http://site.com/page", world.clock.now - 3 * DAY)
+        checker = world.checker()
+        first = checker.check("http://site.com/page")
+        assert first.state is UrlState.SEEN
+        requests_before = world.server.request_count
+        # 6 days later the info is still fresh (under a week): no HTTP.
+        world.clock.advance(6 * DAY)
+        second = world.checker().check("http://site.com/page")
+        assert second.state is UrlState.SEEN
+        assert world.server.request_count == requests_before
+        # After the staleness horizon, HTTP is spent again.
+        world.clock.advance(2 * DAY)
+        world.checker().check("http://site.com/page")
+        assert world.server.request_count > requests_before
+
+    def test_proxy_cache_consulted(self):
+        world = World(with_proxy=True)
+        world.clock.advance(10 * DAY)
+        # Prime the proxy by fetching through it (as a browser would).
+        world.agent.get("http://site.com/page")
+        requests_before = world.server.request_count
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.source is CheckSource.PROXY_CACHE
+        assert world.server.request_count == requests_before  # no origin hit
+
+
+class TestChecksumFallback:
+    def test_cgi_page_uses_checksum(self):
+        world = World()
+        world.server.register_cgi("/cgi-bin/static", StaticCgiScript("<P>same</P>"))
+        world.clock.advance(3 * DAY)
+        checker = world.checker()
+        first = checker.check("http://site.com/cgi-bin/static")
+        assert first.source is CheckSource.CHECKSUM
+        # Unchanged content: next check (past threshold) is not a change.
+        world.clock.advance(3 * DAY)
+        second = world.checker().check("http://site.com/cgi-bin/static")
+        assert second.state in (UrlState.SEEN, UrlState.NEVER_SEEN)
+
+    def test_checksum_detects_change(self):
+        world = World()
+        script = StaticCgiScript("<P>first</P>")
+        world.server.register_cgi("/cgi-bin/page", script)
+        world.history.visit("http://site.com/cgi-bin/page", 0)
+        world.clock.advance(3 * DAY)
+        world.checker().check("http://site.com/cgi-bin/page")
+        script.body = "<P>second</P>"
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://site.com/cgi-bin/page")
+        assert outcome.state is UrlState.CHANGED
+        assert outcome.source is CheckSource.CHECKSUM
+
+    def test_noisy_counter_changes_every_time(self):
+        # The junk-notification problem, reproduced.
+        world = World()
+        world.server.register_cgi("/cgi-bin/counter", CounterScript())
+        world.history.visit("http://site.com/cgi-bin/counter", 0)
+        world.clock.advance(3 * DAY)
+        world.checker().check("http://site.com/cgi-bin/counter")
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://site.com/cgi-bin/counter")
+        assert outcome.state is UrlState.CHANGED  # junk!
+
+    def test_checksum_function_stable(self):
+        assert content_checksum("abc") == content_checksum("abc")
+        assert content_checksum("abc") != content_checksum("abd")
+
+
+class TestLocalFiles:
+    def test_stat_changed(self):
+        world = World()
+        world.files.write("/home/fred/notes.html", "v1", mtime=0)
+        world.history.visit("file:/home/fred/notes.html", HOUR)
+        world.clock.advance(DAY)
+        world.files.write("/home/fred/notes.html", "v2", mtime=world.clock.now)
+        outcome = world.checker().check("file:/home/fred/notes.html")
+        assert outcome.state is UrlState.CHANGED
+        assert outcome.source is CheckSource.LOCAL_STAT
+        assert outcome.http_requests == 0
+
+    def test_stat_unchanged(self):
+        world = World()
+        world.files.write("/home/fred/notes.html", "v1", mtime=0)
+        world.clock.advance(DAY)
+        world.history.visit("file:/home/fred/notes.html", world.clock.now)
+        outcome = world.checker().check("file:/home/fred/notes.html")
+        assert outcome.state is UrlState.SEEN
+
+    def test_missing_file_is_error(self):
+        world = World()
+        outcome = world.checker().check("file:/no/such/file")
+        assert outcome.state is UrlState.ERROR
+
+
+class TestRobots:
+    def make_world(self):
+        world = World()
+        world.server.set_robots_txt("User-agent: *\nDisallow: /private/\n")
+        world.server.set_page("/private/page", "secret")
+        world.clock.advance(3 * DAY)
+        return world
+
+    def test_forbidden_url_not_fetched(self):
+        world = self.make_world()
+        outcome = world.checker().check("http://site.com/private/page")
+        assert outcome.state is UrlState.ROBOT_FORBIDDEN
+        # Only robots.txt was fetched, not the page.
+        assert all(r.path != "/private/page" for r in world.network.log)
+
+    def test_verdict_cached_across_runs(self):
+        world = self.make_world()
+        world.checker().check("http://site.com/private/page")
+        requests = len(world.network.log)
+        outcome = world.checker().check("http://site.com/private/page")
+        assert outcome.state is UrlState.ROBOT_FORBIDDEN
+        assert len(world.network.log) == requests  # nothing fetched at all
+
+    def test_ignore_robots_flag(self):
+        world = self.make_world()
+        world.checker().check("http://site.com/private/page")  # caches verdict
+        flags = CheckerFlags(ignore_robots=True)
+        outcome = world.checker(flags=flags).check("http://site.com/private/page")
+        assert outcome.state is not UrlState.ROBOT_FORBIDDEN
+
+    def test_allowed_path_proceeds(self):
+        world = self.make_world()
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state in (UrlState.NEVER_SEEN, UrlState.CHANGED)
+
+    def test_robots_fetched_once_per_host_per_run(self):
+        world = self.make_world()
+        world.server.set_page("/a", "a")
+        world.server.set_page("/b", "b")
+        checker = world.checker()
+        checker.check("http://site.com/a")
+        checker.check("http://site.com/b")
+        robots_hits = sum(1 for r in world.network.log if r.path == "/robots.txt")
+        assert robots_hits == 1
+
+
+class TestErrors:
+    def test_404_is_error(self):
+        world = World()
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://site.com/missing")
+        assert outcome.state is UrlState.ERROR
+        assert "404" in outcome.error
+
+    def test_error_count_accumulates(self):
+        world = World()
+        world.clock.advance(3 * DAY)
+        world.checker().check("http://site.com/missing")
+        outcome = world.checker().check("http://site.com/missing")
+        assert outcome.error_count == 2
+
+    def test_moved_url_reported(self):
+        world = World()
+        world.server.add_redirect("/page", "http://site.com/newhome")
+        world.server.set_page("/newhome", "moved here")
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.moved_to == "http://site.com/newhome"
+
+    def test_dns_error(self):
+        world = World()
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://unresolvable.example/")
+        assert outcome.state is UrlState.ERROR
+
+    def test_errors_not_treated_as_check_by_default(self):
+        # Default: "errors are likely to be transient, and checking the
+        # next time w3newer is run is reasonable" — last_http_check is
+        # NOT updated, so the next run retries.
+        world = World()
+        world.clock.advance(3 * DAY)
+        world.checker().check("http://site.com/missing")
+        record = world.cache.peek("http://site.com/missing")
+        assert record.last_http_check is None
+
+    def test_treat_errors_as_success_flag(self):
+        world = World()
+        world.clock.advance(3 * DAY)
+        flags = CheckerFlags(treat_errors_as_success=True)
+        world.checker(flags=flags).check("http://site.com/missing")
+        record = world.cache.peek("http://site.com/missing")
+        assert record.last_http_check == world.clock.now
+
+    def test_systemic_failure_aborts(self):
+        world = World()
+        world.clock.advance(3 * DAY)
+        world.network.unreachable = True
+        detector = SystemicFailureDetector(abort_after=3)
+        checker = world.checker(detector=detector)
+        urls = [f"http://site.com/p{i}" for i in range(10)]
+        with pytest.raises(RunAborted):
+            for url in urls:
+                checker.check(url)
+        assert detector.total_failures == 3
+
+    def test_success_resets_consecutive_count(self):
+        world = World()
+        for i in range(5):
+            world.server.set_page(f"/p{i}", f"body {i}")
+        world.clock.advance(3 * DAY)
+        detector = SystemicFailureDetector(abort_after=3)
+        checker = world.checker(detector=detector)
+        world.network.refuse_connections("site.com")
+        checker.check("http://site.com/p0")
+        checker.check("http://site.com/p1")
+        world.network.accept_connections("site.com")
+        checker.check("http://site.com/p2")  # success resets
+        world.network.refuse_connections("site.com")
+        checker.check("http://site.com/p3")
+        checker.check("http://site.com/p4")  # still under 3
+        assert detector.consecutive_failures == 2
+
+
+class TestMovedState:
+    def test_unchanged_moved_page_reports_moved(self):
+        world = World()
+        world.server.set_page("/newhome", "<P>same content</P>")
+        world.server.add_redirect("/page", "http://site.com/newhome")
+        world.clock.advance(3 * DAY)
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.MOVED
+        assert outcome.moved_to == "http://site.com/newhome"
+
+    def test_changed_and_moved_reports_changed(self):
+        # A content change outranks the address change.
+        world = World()
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.clock.advance(3 * DAY)
+        world.server.set_page("/newhome", "<P>brand new content</P>")
+        world.server.add_redirect("/page", "http://site.com/newhome")
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.CHANGED
+        assert outcome.moved_to == "http://site.com/newhome"

@@ -1,0 +1,81 @@
+"""Tests for the §3.1 skip-failing-hosts improvement."""
+
+import pytest
+
+from repro.core.w3newer.checker import CheckerFlags, UrlChecker
+from repro.core.w3newer.errors import SystemicFailureDetector, UrlState
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.statuscache import StatusCache
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+CONFIG = parse_threshold_config("Default 0\n")
+
+
+def build(flags=None):
+    clock = SimClock()
+    clock.advance(DAY)
+    network = Network(clock)
+    dead = network.create_server("dead.com")
+    for i in range(5):
+        dead.set_page(f"/p{i}.html", "body")
+    alive = network.create_server("alive.com")
+    alive.set_page("/ok.html", "fine")
+    network.refuse_connections("dead.com")
+    checker = UrlChecker(
+        clock=clock,
+        agent=UserAgent(network, clock),
+        config=CONFIG,
+        history=BrowserHistory(),
+        cache=StatusCache(),
+        flags=flags,
+        failure_detector=SystemicFailureDetector(abort_after=100),
+    )
+    return network, checker
+
+
+class TestSkipFailingHosts:
+    def test_default_retries_every_url(self):
+        network, checker = build()
+        for i in range(5):
+            checker.check(f"http://dead.com/p{i}.html")
+        attempts = [r for r in network.log
+                    if r.host == "dead.com" and r.path != "/robots.txt"]
+        assert len(attempts) == 5  # one transport attempt per URL
+
+    def test_flag_skips_after_first_failure(self):
+        network, checker = build(CheckerFlags(skip_failing_hosts=True))
+        outcomes = [
+            checker.check(f"http://dead.com/p{i}.html") for i in range(5)
+        ]
+        attempts = [r for r in network.log
+                    if r.host == "dead.com" and r.path != "/robots.txt"]
+        assert len(attempts) == 1  # only the first URL touched the wire
+        assert all(o.state is UrlState.ERROR for o in outcomes)
+        assert "skipped" in outcomes[1].error
+
+    def test_other_hosts_unaffected(self):
+        network, checker = build(CheckerFlags(skip_failing_hosts=True))
+        checker.check("http://dead.com/p0.html")
+        outcome = checker.check("http://alive.com/ok.html")
+        assert outcome.state is not UrlState.ERROR
+
+    def test_skip_resets_per_run(self):
+        network, checker = build(CheckerFlags(skip_failing_hosts=True))
+        checker.check("http://dead.com/p0.html")
+        checker.check("http://dead.com/p1.html")  # skipped
+        # A new run (new checker, same caches) retries the host.
+        network.accept_connections("dead.com")
+        fresh = UrlChecker(
+            clock=checker.clock,
+            agent=checker.agent,
+            config=CONFIG,
+            history=checker.history,
+            cache=checker.cache,
+            flags=CheckerFlags(skip_failing_hosts=True),
+            failure_detector=SystemicFailureDetector(abort_after=100),
+        )
+        outcome = fresh.check("http://dead.com/p1.html")
+        assert outcome.state is not UrlState.ERROR

@@ -1,0 +1,124 @@
+"""Tests for hotlist parsing and browser history."""
+
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.hotlist import Hotlist
+
+NETSCAPE_SAMPLE = """<!DOCTYPE NETSCAPE-Bookmark-file-1>
+<TITLE>Bookmarks for Fred</TITLE>
+<H1>Bookmarks</H1>
+<DL><P>
+<DT><A HREF="http://www.usenix.org/" ADD_DATE="812345678">USENIX Association</A>
+<DT><H3>Research</H3>
+<DL><P>
+<DT><A HREF="http://www.research.att.com/">AT&amp;T Research</A>
+<DT><A HREF="http://snapple.cs.washington.edu:600/mobile/">Mobile computing</A>
+</DL><P>
+<DT><A HREF="http://www.unitedmedia.com/comics/dilbert/">Dilbert</A>
+</DL><P>
+"""
+
+MOSAIC_SAMPLE = """ncsa-xmosaic-hotlist-format-1
+Default
+http://www.yahoo.com/ Thu Sep 28 10:00:00 1995
+Yahoo Directory
+http://www.usenix.org/ Fri Sep 29 11:00:00 1995
+USENIX
+"""
+
+
+class TestNetscapeParsing:
+    def test_all_entries_found(self):
+        hotlist = Hotlist.from_netscape_html(NETSCAPE_SAMPLE)
+        assert len(hotlist) == 4
+        assert hotlist.urls()[0] == "http://www.usenix.org/"
+
+    def test_titles_with_entities(self):
+        hotlist = Hotlist.from_netscape_html(NETSCAPE_SAMPLE)
+        titles = [e.title for e in hotlist]
+        assert "AT&T Research" in titles
+
+    def test_add_date_parsed(self):
+        hotlist = Hotlist.from_netscape_html(NETSCAPE_SAMPLE)
+        assert hotlist.entries[0].added == 812345678
+
+    def test_folders_tracked(self):
+        hotlist = Hotlist.from_netscape_html(NETSCAPE_SAMPLE)
+        by_url = {e.url: e for e in hotlist}
+        assert by_url["http://www.research.att.com/"].folder == "Research"
+        assert by_url["http://www.usenix.org/"].folder == ""
+
+    def test_empty_file(self):
+        assert len(Hotlist.from_netscape_html("")) == 0
+
+    def test_malformed_never_raises(self):
+        source = "<DT><A>no href</A><DT><A HREF='http://x/'>ok"
+        hotlist = Hotlist.from_netscape_html(source)
+        assert hotlist.urls() == ["http://x/"]
+
+    def test_roundtrip_flat_list(self):
+        hotlist = Hotlist()
+        hotlist.add("http://a/", "Site A", added=123)
+        hotlist.add("http://b/", "Site B")
+        again = Hotlist.from_netscape_html(hotlist.to_netscape_html())
+        assert again.urls() == ["http://a/", "http://b/"]
+        assert again.entries[0].added == 123
+        assert again.entries[0].title == "Site A"
+
+
+class TestMosaicParsing:
+    def test_entries(self):
+        hotlist = Hotlist.from_mosaic(MOSAIC_SAMPLE)
+        assert hotlist.urls() == ["http://www.yahoo.com/", "http://www.usenix.org/"]
+        assert hotlist.entries[0].title == "Yahoo Directory"
+
+
+class TestLinesParsing:
+    def test_lines_with_titles(self):
+        hotlist = Hotlist.from_lines(
+            "# comment\nhttp://a/ Title of A\nhttp://b/\n\n"
+        )
+        assert len(hotlist) == 2
+        assert hotlist.entries[0].title == "Title of A"
+        assert hotlist.entries[1].title == ""
+
+
+class TestBrowserHistory:
+    def test_visit_and_lookup(self):
+        history = BrowserHistory()
+        history.visit("http://x.com/page", 100)
+        assert history.last_seen("http://x.com/page") == 100
+
+    def test_unknown_is_none(self):
+        assert BrowserHistory().last_seen("http://x.com/") is None
+
+    def test_normalization(self):
+        history = BrowserHistory()
+        history.visit("HTTP://X.COM:80/page", 100)
+        assert history.last_seen("http://x.com/page") == 100
+
+    def test_fragment_ignored(self):
+        history = BrowserHistory()
+        history.visit("http://x.com/page#section", 100)
+        assert history.last_seen("http://x.com/page") == 100
+
+    def test_later_visit_wins(self):
+        history = BrowserHistory()
+        history.visit("http://x.com/", 100)
+        history.visit("http://x.com/", 50)  # out-of-order replay
+        assert history.last_seen("http://x.com/") == 100
+        history.visit("http://x.com/", 200)
+        assert history.last_seen("http://x.com/") == 200
+
+    def test_forget(self):
+        history = BrowserHistory()
+        history.visit("http://x.com/", 100)
+        history.forget("http://x.com/")
+        assert history.last_seen("http://x.com/") is None
+
+    def test_serialization_roundtrip(self):
+        history = BrowserHistory()
+        history.visit("http://x.com/", 100)
+        history.visit("http://y.com/a b", 200)
+        again = BrowserHistory.deserialize(history.serialize())
+        assert again.last_seen("http://x.com/") == 100
+        assert len(again) == 2

@@ -1,0 +1,156 @@
+"""Tests for W3Newer runs and the Figure 1 report."""
+
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.report import ReportOptions, render_report_text
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, HOUR, CronScheduler, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+CONFIG = parse_threshold_config(
+    "Default 2d\nhttp://never\\.com/.* never\n"
+)
+
+
+def build_world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    for i in range(4):
+        server.set_page(f"/page{i}", f"<P>content {i}</P>")
+    hotlist = Hotlist.from_lines(
+        "http://site.com/page0 Page zero\n"
+        "http://site.com/page1 Page one\n"
+        "http://site.com/page2 Page two\n"
+        "http://site.com/missing Dead page\n"
+        "http://never.com/comic Daily comic\n"
+    )
+    agent = UserAgent(network, clock)
+    tracker = W3Newer(clock, agent, hotlist, config=CONFIG)
+    return clock, network, server, tracker
+
+
+class TestRun:
+    def test_run_covers_every_entry(self):
+        clock, network, server, tracker = build_world()
+        clock.advance(3 * DAY)
+        result = tracker.run()
+        assert len(result.outcomes) == 5
+
+    def test_figure1_report_shape(self):
+        clock, network, server, tracker = build_world()
+        # The user saw page0 before it changed, page1 after; never saw page2.
+        tracker.mark_page_viewed("http://site.com/page0")
+        clock.advance(3 * DAY)
+        server.set_page("/page0", "<P>changed!</P>")
+        tracker.mark_page_viewed("http://site.com/page1")
+        clock.advance(3 * DAY)
+        result = tracker.run()
+        html = result.report_html
+        # Changed page in bold with Remember/Diff/History links.
+        assert "[Remember]" in html
+        assert "[Diff]" in html
+        assert "[History]" in html
+        assert "Page zero" in html
+        assert "changed" in html
+        # The error row explains what broke.
+        assert "404" in html
+        # The never-checked comic appears, marked as such.
+        assert "never checked" in html
+
+    def test_changed_pages_sorted_first(self):
+        clock, network, server, tracker = build_world()
+        tracker.mark_page_viewed("http://site.com/page0")
+        clock.advance(3 * DAY)
+        server.set_page("/page0", "changed")
+        clock.advance(3 * DAY)
+        html = tracker.run().report_html
+        assert html.find("Page zero") < html.find("Daily comic")
+        assert html.find("Page zero") < html.find("Dead page")
+
+    def test_remember_link_carries_url_and_user(self):
+        clock, network, server, tracker = build_world()
+        tracker.report_options = ReportOptions(user="fred@research")
+        clock.advance(3 * DAY)
+        html = tracker.run().report_html
+        assert "action=remember" in html
+        assert "user=fred%40research" in html
+
+    def test_run_result_accounting(self):
+        clock, network, server, tracker = build_world()
+        clock.advance(3 * DAY)
+        result = tracker.run()
+        assert result.http_requests > 0
+        assert result.skipped == 1  # the never.com comic
+        assert len(result.errors) == 1
+
+    def test_second_run_uses_cache(self):
+        clock, network, server, tracker = build_world()
+        clock.advance(3 * DAY)
+        first = tracker.run()
+        second = tracker.run()  # same instant: cache still warm
+        assert second.http_requests < first.http_requests
+
+    def test_abort_on_network_outage(self):
+        clock, network, server, tracker = build_world()
+        tracker.abort_after_failures = 2
+        clock.advance(3 * DAY)
+        network.unreachable = True
+        result = tracker.run()
+        assert result.aborted
+        assert "aborted" in result.report_html.lower()
+        # Outcomes stop at the abort point.
+        assert len(result.outcomes) < 5
+
+    def test_cron_scheduling(self):
+        clock, network, server, tracker = build_world()
+        cron = CronScheduler(clock)
+        tracker.schedule(cron, period=DAY)
+        cron.run_until(3 * DAY)
+        assert len(tracker.runs) == 3
+
+    def test_htmldiff_view_does_not_update_history(self):
+        # The Section 6 integration wart: viewing via HtmlDiff leaves
+        # the browser history stale, so the page keeps reporting as
+        # changed until visited directly.
+        clock, network, server, tracker = build_world()
+        tracker.mark_page_viewed("http://site.com/page0")
+        clock.advance(3 * DAY)
+        server.set_page("/page0", "changed")
+        clock.advance(3 * DAY)
+        first = tracker.run()
+        assert any(o.url == "http://site.com/page0" for o in first.changed)
+        # The user views the diff (NOT the page): history unchanged...
+        second = tracker.run()
+        assert any(o.url == "http://site.com/page0" for o in second.changed)
+        # ...until a direct visit clears it.
+        tracker.mark_page_viewed("http://site.com/page0")
+        third = tracker.run()
+        assert not any(o.url == "http://site.com/page0" for o in third.changed)
+
+
+class TestTextReport:
+    def test_one_line_per_outcome(self):
+        clock, network, server, tracker = build_world()
+        clock.advance(3 * DAY)
+        result = tracker.run()
+        text = render_report_text(result.outcomes)
+        assert len(text.splitlines()) == len(result.outcomes)
+
+
+class TestAllDatesReport:
+    def test_sorted_newest_first(self):
+        from repro.core.w3newer.report import render_all_dates_report
+
+        clock, network, server, tracker = build_world()
+        tracker.mark_page_viewed("http://site.com/page0")
+        clock.advance(3 * DAY)
+        server.set_page("/page1", "newer content")
+        clock.advance(3 * DAY)
+        result = tracker.run()
+        html = render_all_dates_report(result.outcomes, list(tracker.hotlist))
+        # page1 (modified day 3) sorts before page0 (modified day 0).
+        assert html.find("Page one") < html.find("Page zero")
+        # Undated rows (errors, never-checked) trail with a marker.
+        assert "(no modification date)" in html

@@ -1,0 +1,95 @@
+"""Checker behaviour when servers misreport Last-Modified.
+
+1995 servers lied in both directions: files got touched without
+changing (re-uploads, permission fixes — spurious new stamps) and got
+edited without a new stamp (clock problems, caches).  Date-based
+checking inherits those errors faithfully; the checksum path does not.
+These tests pin down exactly which errors w3newer makes, and why the
+paper's checksum fallback matters.
+"""
+
+import pytest
+
+from repro.core.w3newer.checker import UrlChecker
+from repro.core.w3newer.errors import CheckSource, SystemicFailureDetector, UrlState
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.statuscache import StatusCache
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+CONFIG = parse_threshold_config("Default 0\n")
+
+
+class World:
+    def __init__(self):
+        self.clock = SimClock()
+        self.network = Network(self.clock)
+        self.server = self.network.create_server("site.com")
+        self.history = BrowserHistory()
+        self.cache = StatusCache()
+
+    def checker(self):
+        return UrlChecker(
+            clock=self.clock,
+            agent=UserAgent(self.network, self.clock),
+            config=CONFIG,
+            history=self.history,
+            cache=self.cache,
+            failure_detector=SystemicFailureDetector(abort_after=100),
+        )
+
+
+class TestTouchWithoutChange:
+    def test_date_checking_false_positive(self):
+        # The server re-stamps identical content; a date-based checker
+        # must (wrongly but faithfully) report a change.
+        world = World()
+        world.server.set_page("/page", "<P>same content.</P>")
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.clock.advance(DAY)
+        world.server.set_page("/page", "<P>same content.</P>")  # touch!
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.CHANGED  # the junk-mail case
+        assert outcome.source is CheckSource.HEAD
+
+    def test_checksum_page_immune(self):
+        # The same touch on a page WITHOUT Last-Modified goes through
+        # the checksum path, which sees identical bytes.
+        world = World()
+        world.server.set_page("/page", "<P>same content.</P>",
+                              send_last_modified=False)
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.checker().check("http://site.com/page")  # checksum baseline
+        world.clock.advance(DAY)
+        world.server.set_page("/page", "<P>same content.</P>",
+                              send_last_modified=False)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.SEEN
+        assert outcome.source is CheckSource.CHECKSUM
+
+
+class TestChangeWithoutTouch:
+    def test_date_checking_false_negative(self):
+        # Content changed, stamp frozen: HEAD-based checking misses it.
+        world = World()
+        world.server.set_page("/page", "<P>version one.</P>")
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.clock.advance(DAY)
+        world.server.set_page("/page", "<P>version two.</P>", touch=False)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.SEEN  # wrong, but faithful
+
+    def test_checksum_page_catches_it(self):
+        world = World()
+        world.server.set_page("/page", "<P>version one.</P>",
+                              send_last_modified=False)
+        world.history.visit("http://site.com/page", world.clock.now)
+        world.checker().check("http://site.com/page")
+        world.clock.advance(DAY)
+        world.server.set_page("/page", "<P>version two.</P>",
+                              send_last_modified=False, touch=False)
+        outcome = world.checker().check("http://site.com/page")
+        assert outcome.state is UrlState.CHANGED
+        assert outcome.source is CheckSource.CHECKSUM

@@ -1,0 +1,116 @@
+"""Tests for w3newer's persistent status cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.w3newer.statuscache import StatusCache
+
+
+class TestRecords:
+    def test_record_created_on_demand(self):
+        cache = StatusCache()
+        record = cache.record_for("http://x.com/page")
+        assert record.url == "http://x.com/page"
+        assert len(cache) == 1
+
+    def test_record_reused(self):
+        cache = StatusCache()
+        a = cache.record_for("http://x.com/page")
+        b = cache.record_for("http://x.com/page")
+        assert a is b
+
+    def test_normalization_merges_keys(self):
+        cache = StatusCache()
+        a = cache.record_for("HTTP://X.COM:80/page#frag")
+        b = cache.record_for("http://x.com/page")
+        assert a is b
+
+    def test_peek_never_creates(self):
+        cache = StatusCache()
+        assert cache.peek("http://x.com/") is None
+        assert len(cache) == 0
+
+    def test_error_counting(self):
+        cache = StatusCache()
+        record = cache.record_for("http://x.com/")
+        record.record_error("timeout")
+        record.record_error("timeout")
+        assert record.error_count == 2
+        assert record.last_error == "timeout"
+        record.record_success()
+        assert record.error_count == 0
+        assert record.last_error == ""
+
+    def test_clear_robot_verdicts(self):
+        cache = StatusCache()
+        record = cache.record_for("http://x.com/")
+        record.robot_forbidden = True
+        cache.clear_robot_verdicts()
+        assert not record.robot_forbidden
+
+
+class TestSerialization:
+    def test_roundtrip_full_record(self):
+        cache = StatusCache()
+        record = cache.record_for("http://x.com/page")
+        record.modification_date = 100
+        record.date_obtained_at = 200
+        record.last_http_check = 300
+        record.checksum = "abc123"
+        record.checksum_obtained_at = 400
+        record.robot_forbidden = True
+        record.error_count = 3
+        record.moved_to = "http://y.com/new"
+        again = StatusCache.deserialize(cache.serialize())
+        restored = again.peek("http://x.com/page")
+        assert restored.modification_date == 100
+        assert restored.date_obtained_at == 200
+        assert restored.last_http_check == 300
+        assert restored.checksum == "abc123"
+        assert restored.checksum_obtained_at == 400
+        assert restored.robot_forbidden
+        assert restored.error_count == 3
+        assert restored.moved_to == "http://y.com/new"
+
+    def test_empty_fields_roundtrip(self):
+        cache = StatusCache()
+        cache.record_for("http://x.com/")
+        again = StatusCache.deserialize(cache.serialize())
+        restored = again.peek("http://x.com/")
+        assert restored.modification_date is None
+        assert restored.checksum is None
+        assert not restored.robot_forbidden
+
+    def test_garbage_lines_skipped(self):
+        again = StatusCache.deserialize("not|enough|fields\n\njunk")
+        assert len(again) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["http://a.com/x", "http://b.org/", "http://c.net/p?q=1"]
+                ),
+                st.one_of(st.none(), st.integers(0, 10**6)),
+                st.booleans(),
+                st.integers(0, 50),
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, entries):
+        cache = StatusCache()
+        for url, mod, robot, errors in entries:
+            record = cache.record_for(url)
+            record.modification_date = mod
+            record.date_obtained_at = mod
+            record.robot_forbidden = robot
+            record.error_count = errors
+        again = StatusCache.deserialize(cache.serialize())
+        assert len(again) == len(cache)
+        for record in cache.records():
+            restored = again.peek(record.url)
+            assert restored.modification_date == record.modification_date
+            assert restored.robot_forbidden == record.robot_forbidden
+            assert restored.error_count == record.error_count

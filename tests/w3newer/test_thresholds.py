@@ -1,0 +1,122 @@
+"""Tests for the Table 1 threshold configuration."""
+
+import pytest
+
+from repro.simclock import DAY, HOUR, NEVER
+from repro.core.w3newer.thresholds import (
+    TABLE1_CONFIG,
+    ThresholdConfig,
+    parse_threshold_config,
+)
+
+
+class TestTable1:
+    """The configuration printed as Table 1, rule by rule."""
+
+    @pytest.fixture
+    def config(self):
+        return parse_threshold_config(TABLE1_CONFIG)
+
+    def test_default_is_two_days(self, config):
+        assert config.threshold_for("http://random.site.org/page.html") == 2 * DAY
+
+    def test_local_files_every_run(self, config):
+        assert config.threshold_for("file:/home/user/notes.html") == 0
+
+    def test_yahoo_weekly(self, config):
+        # "Things on Yahoo are checked only every seven days in order to
+        # reduce unnecessary load on that server."
+        assert config.threshold_for("http://www.yahoo.com/Science/") == 7 * DAY
+
+    def test_att_every_run(self, config):
+        # "anything in the att.com domain is checked upon every execution"
+        assert config.threshold_for("http://www.research.att.com/people/") == 0
+        assert config.threshold_for("http://info.att.com/") == 0
+
+    def test_mosaic_whats_new_12h(self, config):
+        url = "http://www.ncsa.uiuc.edu/SDG/Software/Mosaic/Docs/whats-new.html"
+        assert config.threshold_for(url) == 12 * HOUR
+
+    def test_mobile_page_daily(self, config):
+        assert config.threshold_for(
+            "http://snapple.cs.washington.edu:600/mobile/"
+        ) == DAY
+
+    def test_dilbert_never(self, config):
+        # "Dilbert is never checked because it will always be different."
+        assert config.threshold_for(
+            "http://www.unitedmedia.com/comics/dilbert/"
+        ) == NEVER
+
+    def test_default_config_classmethod(self):
+        config = ThresholdConfig.default_config()
+        assert config.threshold_for("http://anything.example/") == 2 * DAY
+
+
+class TestParsing:
+    def test_first_match_wins(self):
+        config = parse_threshold_config(
+            "http://a\\.com/special.* 0\nhttp://a\\.com/.* 7d\n"
+        )
+        assert config.threshold_for("http://a.com/special/page") == 0
+        assert config.threshold_for("http://a.com/other") == 7 * DAY
+
+    def test_order_sensitivity(self):
+        # Swapping the rules shadows the specific one — the documented
+        # footgun of first-match-wins.
+        config = parse_threshold_config(
+            "http://a\\.com/.* 7d\nhttp://a\\.com/special.* 0\n"
+        )
+        assert config.threshold_for("http://a.com/special/page") == 7 * DAY
+
+    def test_comments_and_blanks_ignored(self):
+        config = parse_threshold_config("# comment\n\nhttp://x\\.com/.* 1d\n")
+        assert len(config.rules) == 1
+
+    def test_default_keyword(self):
+        config = parse_threshold_config("Default 12h\n")
+        assert config.threshold_for("http://anything/") == 12 * HOUR
+
+    def test_escaped_dots_match_literally(self):
+        config = parse_threshold_config(r"http://www\.yahoo\.com/.* 7d")
+        # The unescaped-dot URL "wwwXyahoo" must not match... but the
+        # rule has escaped dots so it matches only the literal.
+        assert config.threshold_for("http://wwwxyahoo.com/") == 2 * DAY
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(ValueError):
+            parse_threshold_config("http://[oops 1d\n")
+
+    def test_bad_line_shape_rejected(self):
+        with pytest.raises(ValueError):
+            parse_threshold_config("just-one-field\n")
+
+    def test_rule_for_returns_matching_rule(self):
+        config = parse_threshold_config("http://a\\.com/.* 1d\n")
+        rule = config.rule_for("http://a.com/x")
+        assert rule is not None
+        assert rule.threshold == DAY
+        assert config.rule_for("http://b.com/") is None
+
+    def test_match_is_anchored_at_start(self):
+        config = parse_threshold_config("http://a\\.com/.* 0\n")
+        # A URL merely *containing* the pattern elsewhere must not match.
+        assert config.threshold_for("http://evil.com/?u=http://a.com/") == 2 * DAY
+
+
+class TestDefaultEquivalence:
+    def test_default_equals_trailing_catchall(self):
+        # The Table 1 comment: "Default is equivalent to ending the
+        # file with '.*'".
+        with_default = parse_threshold_config(
+            "Default 3d\nhttp://a\\.com/.* 0\n"
+        )
+        with_catchall = parse_threshold_config(
+            "http://a\\.com/.* 0\n.* 3d\n"
+        )
+        for url in (
+            "http://a.com/x", "http://b.org/", "file:/etc/motd",
+            "http://a.com.evil/", "gopher://old.school/",
+        ):
+            assert (with_default.threshold_for(url)
+                    == with_catchall.threshold_for(url)), url

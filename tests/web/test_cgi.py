@@ -1,0 +1,97 @@
+"""Tests for CGI query-string handling and the stock scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simclock import SimClock
+from repro.web.cgi import (
+    ClockScript,
+    CounterScript,
+    FormEchoScript,
+    StaticCgiScript,
+    encode_query_string,
+    parse_query_string,
+)
+from repro.web.http import Request
+
+
+class TestParseQueryString:
+    def test_simple(self):
+        assert parse_query_string("a=1&b=two") == {"a": "1", "b": "two"}
+
+    def test_plus_is_space(self):
+        assert parse_query_string("q=mobile+computing") == {
+            "q": "mobile computing"
+        }
+
+    def test_percent_escapes(self):
+        assert parse_query_string("email=x%40y.com") == {"email": "x@y.com"}
+
+    def test_valueless_key(self):
+        assert parse_query_string("flag&a=1") == {"flag": "", "a": "1"}
+
+    def test_none_and_empty(self):
+        assert parse_query_string(None) == {}
+        assert parse_query_string("") == {}
+
+    def test_duplicate_keys_last_wins(self):
+        assert parse_query_string("a=1&a=2") == {"a": "2"}
+
+    def test_malformed_percent_left_alone(self):
+        assert parse_query_string("a=100%") == {"a": "100%"}
+        assert parse_query_string("a=%zz") == {"a": "%zz"}
+
+    def test_url_values_pass_through(self):
+        params = parse_query_string(
+            "action=diff&url=http%3A//site.com/page%3Fq%3D1"
+        )
+        assert params["url"] == "http://site.com/page?q=1"
+
+
+class TestEncodeQueryString:
+    def test_roundtrip_simple(self):
+        params = {"a": "1", "q": "two words", "email": "x@y.com"}
+        assert parse_query_string(encode_query_string(params)) == params
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcXYZ09", min_size=1, max_size=8),
+            st.text(max_size=20),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, params):
+        assert parse_query_string(encode_query_string(params)) == params
+
+
+class TestStockScripts:
+    def request(self, url="http://h/cgi-bin/x", method="GET", body=""):
+        return Request(method, url, body=body)
+
+    def test_counter_monotone(self):
+        script = CounterScript()
+        bodies = [script(self.request(), 0).body for _ in range(3)]
+        assert len(set(bodies)) == 3
+
+    def test_clock_tracks_time(self):
+        script = ClockScript()
+        assert script(self.request(), 0).body != script(self.request(), 60).body
+        assert script(self.request(), 60).body == script(self.request(), 60).body
+
+    def test_static_is_stable(self):
+        script = StaticCgiScript("<P>fixed</P>")
+        assert script(self.request(), 0).body == script(self.request(), 999).body
+
+    def test_form_echo_get_and_post_agree(self):
+        script = FormEchoScript()
+        via_get = script(self.request("http://h/cgi?a=1&b=2"), 0).body
+        via_post = script(self.request(method="POST", body="a=1&b=2"), 0).body
+        assert via_get == via_post
+
+    def test_form_echo_generation_changes_output(self):
+        script = FormEchoScript()
+        before = script(self.request("http://h/cgi?a=1"), 0).body
+        script.generation += 1
+        after = script(self.request("http://h/cgi?a=1"), 0).body
+        assert before != after

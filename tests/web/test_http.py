@@ -1,0 +1,106 @@
+"""Tests for HTTP message primitives."""
+
+import pytest
+
+from repro.web.http import Headers, Request, Response, make_response
+from repro.web.url import parse_url
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"Content-Type": "text/html"})
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_last_set_wins(self):
+        headers = Headers()
+        headers.set("X-Thing", "one")
+        headers.set("x-thing", "two")
+        assert headers.get("X-Thing") == "two"
+        assert len(headers) == 1
+
+    def test_default(self):
+        assert Headers().get("Missing", "fallback") == "fallback"
+        assert Headers().get("Missing") is None
+
+    def test_contains_and_remove(self):
+        headers = Headers({"A": "1"})
+        assert "a" in headers
+        headers.remove("A")
+        assert "a" not in headers
+        headers.remove("A")  # idempotent
+
+    def test_copy_is_independent(self):
+        original = Headers({"A": "1"})
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original.get("A") == "1"
+
+    def test_iteration_preserves_original_names(self):
+        headers = Headers()
+        headers.set("Content-Type", "text/html")
+        names = [name for name, _ in headers]
+        assert names == ["Content-Type"]
+
+    def test_values_coerced_to_str(self):
+        headers = Headers()
+        headers.set("Content-Length", 42)
+        assert headers.get("Content-Length") == "42"
+
+
+class TestRequest:
+    def test_url_string_coerced(self):
+        request = Request("GET", "http://h.com/x")
+        assert request.url.host == "h.com"
+
+    def test_method_uppercased(self):
+        assert Request("get", parse_url("http://h/")).method == "GET"
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(ValueError):
+            Request("DELETE", parse_url("http://h/"))
+
+    def test_conditional_detection(self):
+        request = Request("GET", "http://h/",
+                          headers=Headers({"If-Modified-Since": "x"}))
+        assert request.is_conditional
+        assert not Request("GET", "http://h/").is_conditional
+
+
+class TestResponse:
+    def test_ok_range(self):
+        assert Response(200).ok
+        assert Response(204).ok
+        assert not Response(304).ok
+        assert not Response(404).ok
+
+    def test_reason_strings(self):
+        assert Response(404).reason == "Not Found"
+        assert Response(599).reason == "Unknown"
+
+    def test_content_type_default(self):
+        assert Response(200).content_type == "text/html"
+
+
+class TestMakeResponse:
+    def test_basic_shape(self):
+        response = make_response(200, "body", last_modified=3600)
+        assert response.status == 200
+        assert response.body == "body"
+        assert response.headers.get("Content-Length") == "4"
+        assert response.headers.get("X-Sim-Last-Modified") == "3600"
+        assert "GMT" in response.headers.get("Last-Modified")
+        assert response.last_modified == 3600
+
+    def test_no_last_modified(self):
+        response = make_response(200, "x")
+        assert response.last_modified is None
+        assert "Last-Modified" not in response.headers
+
+    def test_location_header(self):
+        response = make_response(301, location="http://new/")
+        assert response.headers.get("Location") == "http://new/"
+
+    def test_content_type_override(self):
+        response = make_response(200, "{}", content_type="application/json")
+        assert response.content_type == "application/json"

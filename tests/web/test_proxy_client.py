@@ -1,0 +1,148 @@
+"""Tests for the proxy cache and user agent."""
+
+import pytest
+
+from repro.simclock import HOUR, SimClock
+from repro.web.client import TooManyRedirects, UserAgent
+from repro.web.http import TimeoutError_
+from repro.web.network import Network
+from repro.web.proxy import ProxyCache
+from repro.web.url import parse_url
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("origin.com")
+    server.set_page("/page", "version-1")
+    proxy = ProxyCache(network, clock, ttl=HOUR)
+    agent = UserAgent(network, clock, proxy=proxy)
+    return clock, network, server, proxy, agent
+
+
+class TestProxyCaching:
+    def test_first_fetch_is_miss(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        assert proxy.misses == 1
+        assert server.get_count == 1
+
+    def test_fresh_hit_avoids_origin(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        clock.advance(HOUR // 2)
+        result = agent.get("http://origin.com/page")
+        assert result.response.body == "version-1"
+        assert proxy.hits == 1
+        assert server.get_count == 1  # origin untouched
+
+    def test_stale_revalidation_304(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        clock.advance(2 * HOUR)
+        result = agent.get("http://origin.com/page")
+        assert result.response.body == "version-1"
+        assert proxy.revalidations == 1
+        # Origin answered 304, not a full 200 re-send.
+        assert network.log[-1].status == 304
+
+    def test_stale_revalidation_fetches_changed_page(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        clock.advance(2 * HOUR)
+        server.set_page("/page", "version-2")
+        result = agent.get("http://origin.com/page")
+        assert result.response.body == "version-2"
+
+    def test_cached_last_modified_inspection(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        info = proxy.cached_last_modified(parse_url("http://origin.com/page"))
+        assert info == (0, 0)  # modified at epoch, cached at epoch
+        assert proxy.cached_last_modified(parse_url("http://origin.com/other")) is None
+
+    def test_serves_fresh_copy_after_origin_update(self, world):
+        # Classic HTTP/1.0 inconsistency: within TTL the proxy serves
+        # the stale copy even though the origin changed.
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/page")
+        server.set_page("/page", "version-2")
+        result = agent.get("http://origin.com/page")
+        assert result.response.body == "version-1"
+
+    def test_overloaded_proxy_times_out(self, world):
+        clock, network, server, proxy, agent = world
+        proxy.overloaded = True
+        with pytest.raises(TimeoutError_):
+            agent.get("http://origin.com/page")
+
+    def test_post_bypasses_cache(self, world):
+        clock, network, server, proxy, agent = world
+        from repro.web.cgi import FormEchoScript
+
+        server.register_cgi("/cgi-bin/echo", FormEchoScript())
+        agent.post("http://origin.com/cgi-bin/echo", body="a=1")
+        agent.post("http://origin.com/cgi-bin/echo", body="a=1")
+        assert server.post_count == 2
+
+    def test_non_200_not_cached(self, world):
+        clock, network, server, proxy, agent = world
+        agent.get("http://origin.com/missing")
+        agent.get("http://origin.com/missing")
+        assert proxy.misses == 2
+
+
+class TestUserAgent:
+    def test_direct_without_proxy(self, world):
+        clock, network, server, proxy, agent = world
+        direct = UserAgent(network, clock)
+        assert direct.get("http://origin.com/page").response.body == "version-1"
+
+    def test_follows_redirect(self, world):
+        clock, network, server, proxy, agent = world
+        server.add_redirect("/old", "http://origin.com/page")
+        result = agent.get("http://origin.com/old")
+        assert result.response.body == "version-1"
+        assert result.moved
+        assert result.redirects == ["http://origin.com/old"]
+        assert str(result.url) == "http://origin.com/page"
+
+    def test_relative_redirect(self, world):
+        clock, network, server, proxy, agent = world
+        server.add_redirect("/old", "/page")
+        result = agent.get("http://origin.com/old")
+        assert result.response.body == "version-1"
+
+    def test_redirect_loop_detected(self, world):
+        clock, network, server, proxy, agent = world
+        server.add_redirect("/a", "/b")
+        server.add_redirect("/b", "/a")
+        with pytest.raises(TooManyRedirects):
+            agent.get("http://origin.com/a")
+
+    def test_fetch_robots_missing_file_allows_all(self, world):
+        clock, network, server, proxy, agent = world
+        robots = agent.fetch_robots("origin.com")
+        assert robots.allows("w3newer", "/anything")
+
+    def test_fetch_robots_parses_rules(self, world):
+        clock, network, server, proxy, agent = world
+        server.set_robots_txt("User-agent: *\nDisallow: /private/\n")
+        robots = agent.fetch_robots("origin.com")
+        assert not robots.allows("w3newer", "/private/page.html")
+        assert robots.allows("w3newer", "/public/page.html")
+
+    def test_user_agent_header_sent(self, world):
+        clock, network, server, proxy, agent = world
+        captured = {}
+
+        def spy(request, now):
+            captured["ua"] = request.headers.get("User-Agent")
+            from repro.web.http import make_response
+
+            return make_response(200, "ok")
+
+        server.register_cgi("/cgi-bin/spy", spy)
+        agent.get("http://origin.com/cgi-bin/spy")
+        assert captured["ua"] == "w3newer/1.0"

@@ -1,0 +1,97 @@
+"""Tests for burst-overload of the proxy (§3.1/§4.2's aggravation)."""
+
+import pytest
+
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.http import TimeoutError_
+from repro.web.network import Network
+from repro.web.proxy import ProxyCache
+
+
+def build_world(limit):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    for i in range(20):
+        server.set_page(f"/p{i}.html", f"<P>page {i}</P>")
+    proxy = ProxyCache(network, clock, ttl=HOUR)
+    proxy.requests_per_instant_limit = limit
+    agent = UserAgent(network, clock, proxy=proxy)
+    return clock, network, server, proxy, agent
+
+
+class TestBurstOverload:
+    def test_burst_beyond_limit_times_out(self):
+        clock, network, server, proxy, agent = build_world(limit=5)
+        for i in range(5):
+            agent.get(f"http://site.com/p{i}.html")
+        with pytest.raises(TimeoutError_):
+            agent.get("http://site.com/p5.html")
+
+    def test_limit_resets_next_instant(self):
+        clock, network, server, proxy, agent = build_world(limit=5)
+        for i in range(5):
+            agent.get(f"http://site.com/p{i}.html")
+        clock.advance(1)
+        assert agent.get("http://site.com/p5.html").response.ok
+
+    def test_unlimited_by_default(self):
+        clock, network, server, proxy, agent = build_world(limit=0)
+        for i in range(20):
+            assert agent.get(f"http://site.com/p{i}.html").response.ok
+
+    def test_w3newer_burst_aggravates_weak_proxy_and_aborts(self):
+        # The paper's exact scenario: the background tracker fires a
+        # burst of requests through an overloadable proxy; the proxy
+        # starts timing out; w3newer detects the systemic failure and
+        # aborts rather than hammering on.
+        clock, network, server, proxy, agent = build_world(limit=4)
+        hotlist = Hotlist.from_lines(
+            "\n".join(f"http://site.com/p{i}.html" for i in range(20))
+        )
+        tracker = W3Newer(
+            clock, agent, hotlist,
+            config=parse_threshold_config("Default 0\n"),
+            proxy=proxy,
+            abort_after_failures=3,
+        )
+        clock.advance(DAY)
+        result = tracker.run()
+        assert result.aborted
+        assert len(result.outcomes) < 20
+
+    def test_patient_tracker_survives(self):
+        # Spreading the same checks over time stays under the burst
+        # limit — the remedy the failure mode implies.
+        clock, network, server, proxy, agent = build_world(limit=4)
+        hotlist = Hotlist.from_lines(
+            "\n".join(f"http://site.com/p{i}.html" for i in range(20))
+        )
+        tracker = W3Newer(
+            clock, agent, hotlist,
+            config=parse_threshold_config("Default 0\n"),
+            proxy=proxy,
+            abort_after_failures=3,
+        )
+        clock.advance(DAY)
+        # Check manually, two URLs per simulated second.
+        from repro.core.w3newer.checker import UrlChecker
+        from repro.core.w3newer.errors import SystemicFailureDetector
+
+        checker = UrlChecker(
+            clock=clock, agent=agent, config=tracker.config,
+            history=tracker.history, cache=tracker.cache, proxy=proxy,
+            failure_detector=SystemicFailureDetector(abort_after=3),
+        )
+        errors = 0
+        for index, entry in enumerate(hotlist):
+            if index and index % 2 == 0:
+                clock.advance(1)
+            outcome = checker.check(entry.url)
+            if outcome.error:
+                errors += 1
+        assert errors == 0

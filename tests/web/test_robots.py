@@ -1,0 +1,72 @@
+"""Tests for robots.txt parsing and the exclusion rules."""
+
+from repro.web.robots import parse_robots_txt
+
+
+class TestParsing:
+    def test_simple(self):
+        robots = parse_robots_txt("User-agent: *\nDisallow: /tmp/\n")
+        assert not robots.allows("anybot", "/tmp/x")
+        assert robots.allows("anybot", "/index.html")
+
+    def test_empty_file_allows_everything(self):
+        robots = parse_robots_txt("")
+        assert robots.is_empty
+        assert robots.allows("w3newer", "/")
+
+    def test_comments_stripped(self):
+        robots = parse_robots_txt(
+            "# keep robots out of cgi\nUser-agent: *\nDisallow: /cgi-bin/ # all\n"
+        )
+        assert not robots.allows("bot", "/cgi-bin/counter")
+
+    def test_empty_disallow_means_allow_all(self):
+        robots = parse_robots_txt("User-agent: *\nDisallow:\n")
+        assert robots.allows("bot", "/anything")
+
+    def test_specific_agent_beats_wildcard(self):
+        text = (
+            "User-agent: *\nDisallow: /\n\n"
+            "User-agent: w3newer\nDisallow: /private/\n"
+        )
+        robots = parse_robots_txt(text)
+        assert robots.allows("w3newer/1.0", "/public/")
+        assert not robots.allows("w3newer/1.0", "/private/x")
+        assert not robots.allows("webcrawler", "/public/")
+
+    def test_multiple_agents_share_record(self):
+        text = "User-agent: a\nUser-agent: b\nDisallow: /x/\n"
+        robots = parse_robots_txt(text)
+        assert not robots.allows("a", "/x/1")
+        assert not robots.allows("b", "/x/1")
+        assert robots.allows("c", "/x/1")
+
+    def test_disallow_everything(self):
+        robots = parse_robots_txt("User-agent: *\nDisallow: /\n")
+        assert not robots.allows("bot", "/")
+        assert not robots.allows("bot", "/any/path")
+
+    def test_prefix_matching(self):
+        robots = parse_robots_txt("User-agent: *\nDisallow: /help\n")
+        assert not robots.allows("bot", "/help.html")
+        assert not robots.allows("bot", "/help/index.html")
+        assert not robots.allows("bot", "/helpers")  # prefix, not path-segment
+        assert robots.allows("bot", "/about/help")  # only leading prefixes count
+
+    def test_garbage_lines_ignored(self):
+        robots = parse_robots_txt("this is not a directive\nUser-agent: *\nDisallow: /a/\n")
+        assert not robots.allows("bot", "/a/x")
+
+    def test_disallow_before_any_agent_ignored(self):
+        robots = parse_robots_txt("Disallow: /x/\n")
+        assert robots.allows("bot", "/x/1")
+
+    def test_blank_line_separates_records(self):
+        text = (
+            "User-agent: alpha\nDisallow: /a/\n\n"
+            "User-agent: *\nDisallow: /b/\n"
+        )
+        robots = parse_robots_txt(text)
+        assert not robots.allows("alpha", "/a/x")
+        assert robots.allows("alpha", "/b/x")  # alpha's own record wins
+        assert not robots.allows("other", "/b/x")

@@ -1,0 +1,212 @@
+"""Tests for virtual servers, the network, and fault injection."""
+
+import pytest
+
+from repro.simclock import DAY, HOUR, SimClock
+from repro.web.cgi import ClockScript, CounterScript
+from repro.web.http import (
+    ConnectionRefused,
+    DnsError,
+    Headers,
+    NetworkUnreachable,
+    Request,
+    TimeoutError_,
+)
+from repro.web.network import Network
+from repro.web.url import parse_url
+
+
+@pytest.fixture
+def net():
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("www.example.com")
+    server.set_page("/", "<P>home</P>")
+    return clock, network, server
+
+
+def _req(method, url, **kw):
+    return Request(method=method, url=parse_url(url), **kw)
+
+
+class TestStaticServing:
+    def test_get(self, net):
+        clock, network, server = net
+        resp = network.request(_req("GET", "http://www.example.com/"))
+        assert resp.status == 200
+        assert resp.body == "<P>home</P>"
+
+    def test_head_has_no_body_but_length(self, net):
+        clock, network, server = net
+        resp = network.request(_req("HEAD", "http://www.example.com/"))
+        assert resp.status == 200
+        assert resp.body == ""
+        assert resp.headers.get("Content-Length") == str(len("<P>home</P>"))
+
+    def test_404(self, net):
+        clock, network, server = net
+        resp = network.request(_req("GET", "http://www.example.com/missing"))
+        assert resp.status == 404
+
+    def test_last_modified_tracks_clock(self, net):
+        clock, network, server = net
+        clock.advance(DAY)
+        server.set_page("/x", "body")
+        resp = network.request(_req("GET", "http://www.example.com/x"))
+        assert resp.last_modified == DAY
+
+    def test_update_without_touch_keeps_stamp(self, net):
+        clock, network, server = net
+        server.set_page("/x", "v1")
+        clock.advance(DAY)
+        server.set_page("/x", "v2", touch=False)
+        resp = network.request(_req("GET", "http://www.example.com/x"))
+        assert resp.last_modified == 0
+        assert resp.body == "v2"
+
+    def test_page_without_last_modified(self, net):
+        clock, network, server = net
+        server.set_page("/nolm", "body", send_last_modified=False)
+        resp = network.request(_req("GET", "http://www.example.com/nolm"))
+        assert resp.last_modified is None
+
+    def test_version_counter(self, net):
+        clock, network, server = net
+        server.set_page("/v", "one")
+        server.set_page("/v", "two")
+        assert server.get_page("/v").version == 2
+
+
+class TestConditionalGet:
+    def test_304_when_unmodified(self, net):
+        clock, network, server = net
+        clock.advance(HOUR)
+        server.set_page("/x", "body")
+        headers = Headers({"X-Sim-If-Modified-Since": str(2 * HOUR)})
+        resp = network.request(
+            _req("GET", "http://www.example.com/x", headers=headers)
+        )
+        assert resp.status == 304
+
+    def test_200_when_modified(self, net):
+        clock, network, server = net
+        clock.advance(3 * HOUR)
+        server.set_page("/x", "newer")
+        headers = Headers({"X-Sim-If-Modified-Since": str(HOUR)})
+        resp = network.request(
+            _req("GET", "http://www.example.com/x", headers=headers)
+        )
+        assert resp.status == 200
+        assert resp.body == "newer"
+
+
+class TestRemovalAndRedirect:
+    def test_gone(self, net):
+        clock, network, server = net
+        server.set_page("/old", "x")
+        server.remove_page("/old", status=410)
+        assert network.request(_req("GET", "http://www.example.com/old")).status == 410
+
+    def test_redirect_emits_location(self, net):
+        clock, network, server = net
+        server.add_redirect("/moved", "http://www.example.com/new", permanent=True)
+        resp = network.request(_req("GET", "http://www.example.com/moved"))
+        assert resp.status == 301
+        assert resp.headers.get("Location") == "http://www.example.com/new"
+
+    def test_bad_removal_status_rejected(self, net):
+        clock, network, server = net
+        with pytest.raises(ValueError):
+            server.remove_page("/x", status=500)
+
+
+class TestCgi:
+    def test_counter_increments(self, net):
+        clock, network, server = net
+        server.register_cgi("/cgi-bin/counter", CounterScript())
+        first = network.request(_req("GET", "http://www.example.com/cgi-bin/counter"))
+        second = network.request(_req("GET", "http://www.example.com/cgi-bin/counter"))
+        assert "number <B>1</B>" in first.body
+        assert "number <B>2</B>" in second.body
+
+    def test_cgi_has_no_last_modified(self, net):
+        clock, network, server = net
+        server.register_cgi("/cgi-bin/counter", CounterScript())
+        resp = network.request(_req("GET", "http://www.example.com/cgi-bin/counter"))
+        assert resp.last_modified is None
+
+    def test_clock_page_embeds_time(self, net):
+        clock, network, server = net
+        server.register_cgi("/cgi-bin/time", ClockScript())
+        a = network.request(_req("GET", "http://www.example.com/cgi-bin/time")).body
+        clock.advance(HOUR)
+        b = network.request(_req("GET", "http://www.example.com/cgi-bin/time")).body
+        assert a != b
+
+    def test_post_to_static_is_405(self, net):
+        clock, network, server = net
+        resp = network.request(_req("POST", "http://www.example.com/", body="x=1"))
+        assert resp.status == 405
+
+
+class TestFaults:
+    def test_unknown_host_is_dns_error(self, net):
+        clock, network, server = net
+        with pytest.raises(DnsError):
+            network.request(_req("GET", "http://nowhere.invalid/"))
+
+    def test_killed_dns(self, net):
+        clock, network, server = net
+        network.kill_dns("www.example.com")
+        with pytest.raises(DnsError):
+            network.request(_req("GET", "http://www.example.com/"))
+        network.restore_dns("www.example.com")
+        assert network.request(_req("GET", "http://www.example.com/")).status == 200
+
+    def test_refused(self, net):
+        clock, network, server = net
+        network.refuse_connections("www.example.com")
+        with pytest.raises(ConnectionRefused):
+            network.request(_req("GET", "http://www.example.com/"))
+
+    def test_unreachable_network(self, net):
+        clock, network, server = net
+        network.unreachable = True
+        with pytest.raises(NetworkUnreachable):
+            network.request(_req("GET", "http://www.example.com/"))
+
+    def test_slow_server_times_out(self, net):
+        clock, network, server = net
+        server.response_delay = 120
+        with pytest.raises(TimeoutError_):
+            network.request(_req("GET", "http://www.example.com/", timeout=60))
+
+    def test_fast_enough_server_answers(self, net):
+        clock, network, server = net
+        server.response_delay = 30
+        resp = network.request(_req("GET", "http://www.example.com/", timeout=60))
+        assert resp.status == 200
+
+
+class TestAccounting:
+    def test_request_log_and_counters(self, net):
+        clock, network, server = net
+        network.request(_req("GET", "http://www.example.com/"))
+        network.request(_req("HEAD", "http://www.example.com/"))
+        try:
+            network.request(_req("GET", "http://dead.host/"))
+        except DnsError:
+            pass
+        assert len(network.log) == 3
+        assert network.log[-1].error == "dns"
+        assert server.request_count == 2
+        assert server.head_count == 1
+        counts = network.request_counts_by_host()
+        assert counts["www.example.com"] == 2
+
+    def test_timeout_still_counts_against_server(self, net):
+        clock, network, server = net
+        server.response_delay = 999
+        with pytest.raises(TimeoutError_):
+            network.request(_req("GET", "http://www.example.com/", timeout=1))
+        assert server.request_count == 1

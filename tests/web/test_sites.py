@@ -1,0 +1,103 @@
+"""Tests for the synthetic site builders."""
+
+from repro.core.htmldiff.api import html_diff
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+from repro.web.sites import (
+    DilbertSite,
+    build_att_intranet,
+    build_virtual_library,
+    build_whats_new,
+    build_yahoo,
+    usenix_home_v1,
+    usenix_home_v2,
+)
+
+
+def make_world():
+    clock = SimClock()
+    network = Network(clock)
+    return clock, network, UserAgent(network, clock)
+
+
+class TestYahoo:
+    def test_categories_served(self):
+        clock, network, agent = make_world()
+        build_yahoo(network, categories=5)
+        root = agent.get("http://www.yahoo.com/").response
+        assert root.ok
+        assert root.body.count("<LI>") == 5
+        category = agent.get("http://www.yahoo.com/category3/").response
+        assert category.ok
+        assert "<UL>" in category.body
+
+    def test_deterministic(self):
+        clock1, network1, _ = make_world()
+        clock2, network2, _ = make_world()
+        a = build_yahoo(network1, seed=9).get_page("/category0/").body
+        b = build_yahoo(network2, seed=9).get_page("/category0/").body
+        assert a == b
+
+
+class TestAttIntranet:
+    def test_pages_served(self):
+        clock, network, agent = make_world()
+        build_att_intranet(network, pages=3)
+        assert agent.get("http://www.research.att.com/").response.ok
+        assert agent.get(
+            "http://www.research.att.com/projects/project2.html"
+        ).response.ok
+
+
+class TestVirtualLibrary:
+    def test_links_returned_and_embedded(self):
+        clock, network, agent = make_world()
+        server = network.create_server("vlib.org")
+        urls = build_virtual_library(server, "/mobile.html", "mobile", 12)
+        assert len(urls) == 12
+        body = agent.get("http://vlib.org/mobile.html").response.body
+        for url in urls:
+            assert url in body
+
+
+class TestWhatsNew:
+    def test_wholesale_replacement(self):
+        clock, network, agent = make_world()
+        server = network.create_server("ncsa.edu")
+        build_whats_new(server, "/whats-new.html", clock)
+        first = agent.get("http://ncsa.edu/whats-new.html").response.body
+        clock.advance(DAY)
+        build_whats_new(server, "/whats-new.html", clock)
+        second = agent.get("http://ncsa.edu/whats-new.html").response.body
+        assert first != second
+        # Every entry is replaced (the list structure survives, so the
+        # density reflects sentences only — still a heavy rewrite).
+        result = html_diff(first, second)
+        assert result.change_density > 0.3
+        assert result.html.count("<STRIKE>") >= 8  # all old entries out
+
+
+class TestDilbert:
+    def test_changes_every_day(self):
+        clock, network, agent = make_world()
+        site = DilbertSite(network, clock)
+        url = "http://www.unitedmedia.com/comics/dilbert/"
+        first = agent.get(url).response.body
+        clock.advance(DAY)
+        site.publish_today()
+        second = agent.get(url).response.body
+        assert first != second
+        assert "dilbert0.gif" in first
+        assert "dilbert1.gif" in second
+
+
+class TestUsenixVersions:
+    def test_versions_differ_plausibly(self):
+        v1, v2 = usenix_home_v1(), usenix_home_v2()
+        assert v1 != v2
+        assert "LISA IX" in v1 and "LISA IX" not in v2
+        assert "usenix96" not in v1 and "usenix96" in v2
+        # Shared boilerplate survives in both.
+        for common in ("USENIX Association", ";login:", "Berkeley"):
+            assert common in v1 and common in v2

@@ -1,0 +1,90 @@
+"""Tests for the experiment metrics log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.metrics import MetricLog
+
+
+class TestRecordSelect:
+    def test_record_and_select(self):
+        log = MetricLog()
+        log.record(0, "requests", 3, tracker="w3newer")
+        log.record(10, "requests", 5, tracker="w3new")
+        log.record(20, "changes", 1, tracker="w3newer")
+        assert len(log) == 3
+        assert len(log.select("requests")) == 2
+        assert len(log.select("requests", tracker="w3newer")) == 1
+
+    def test_time_window(self):
+        log = MetricLog()
+        for t in (0, 10, 20, 30):
+            log.record(t, "m", 1)
+        assert len(log.select("m", since=10, until=20)) == 2
+
+    def test_tag_lookup(self):
+        log = MetricLog()
+        obs = log.record(0, "m", 1, host="a.com", user="fred")
+        assert obs.tag("host") == "a.com"
+        assert obs.tag("missing") is None
+
+
+class TestAggregation:
+    def test_total_and_mean(self):
+        log = MetricLog()
+        for value in (2, 4, 6):
+            log.record(0, "m", value)
+        assert log.total("m") == 12
+        assert log.mean("m") == 4
+        assert log.maximum("m") == 6
+
+    def test_mean_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            MetricLog().mean("nothing")
+
+    def test_series_buckets_with_gaps(self):
+        log = MetricLog()
+        log.record(0, "m", 1)
+        log.record(5, "m", 2)
+        log.record(25, "m", 4)
+        series = log.series("m", bucket=10)
+        assert series == [(0, 3.0), (10, 0.0), (20, 4.0)]
+
+    def test_series_empty(self):
+        assert MetricLog().series("m", bucket=10) == []
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            MetricLog().series("m", bucket=0)
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        log = MetricLog()
+        log.record(0, "requests", 3, tracker="w3newer", host="a.com")
+        log.record(60, "bytes", 1234.5)
+        again = MetricLog.from_csv(log.to_csv())
+        assert len(again) == 2
+        assert again.total("requests", tracker="w3newer") == 3
+        assert again.values("bytes") == [1234.5]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10**6),
+                st.sampled_from(["requests", "changes", "bytes"]),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, rows):
+        log = MetricLog()
+        for time, metric, value in rows:
+            log.record(time, metric, value)
+        again = MetricLog.from_csv(log.to_csv())
+        assert len(again) == len(log)
+        for metric in ("requests", "changes", "bytes"):
+            assert again.total(metric) == pytest.approx(log.total(metric))

@@ -1,0 +1,173 @@
+"""Tests for page generation, mutation operators, and scenarios."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.htmldiff.api import html_diff
+from repro.html.lexer import tokenize_html
+from repro.simclock import DAY, WEEK, SimClock
+from repro.workloads.mutate import (
+    MUTATORS,
+    MutationMix,
+    add_link,
+    append_paragraph,
+    cosmetic_whitespace,
+    delete_paragraph,
+    edit_sentence,
+    restructure,
+    rewrite,
+)
+from repro.workloads.pagegen import PageGenerator
+from repro.workloads.scenario import build_hotlist, build_web
+
+
+class TestPageGenerator:
+    def test_deterministic(self):
+        assert PageGenerator(7).page() == PageGenerator(7).page()
+        assert PageGenerator(7).page() != PageGenerator(8).page()
+
+    def test_multiline_structure(self):
+        page = PageGenerator(1).page()
+        assert page.count("\n") > 5
+        assert page.startswith("<HTML>")
+        assert page.endswith("</BODY></HTML>")
+
+    def test_requested_structure(self):
+        page = PageGenerator(2).page(paragraphs=3, links=4, with_pre=True)
+        assert page.count("<P>") == 3
+        assert page.count("<LI>") == 4
+        assert "<PRE>" in page
+
+    def test_lexes_cleanly(self):
+        page = PageGenerator(3).page()
+        nodes = tokenize_html(page)
+        assert nodes  # and nothing raised
+
+
+class TestMutators:
+    PAGE = PageGenerator(11).page(paragraphs=5, links=3)
+
+    def rng(self):
+        return random.Random(99)
+
+    def test_append_paragraph_adds_content(self):
+        out = append_paragraph(self.PAGE, self.rng())
+        assert out.count("<P>") == self.PAGE.count("<P>") + 1
+
+    def test_edit_sentence_changes_one_word(self):
+        out = edit_sentence(self.PAGE, self.rng())
+        assert out != self.PAGE
+        # Same number of lines, exactly one line differs.
+        old_lines, new_lines = self.PAGE.split("\n"), out.split("\n")
+        assert len(old_lines) == len(new_lines)
+        assert sum(1 for a, b in zip(old_lines, new_lines) if a != b) == 1
+
+    def test_delete_paragraph(self):
+        out = delete_paragraph(self.PAGE, self.rng())
+        assert out.count("<P>") == self.PAGE.count("<P>") - 1
+
+    def test_add_link(self):
+        out = add_link(self.PAGE, self.rng())
+        assert out.count("<LI>") == self.PAGE.count("<LI>") + 1
+
+    def test_add_link_creates_list_if_missing(self):
+        bare = PageGenerator(12).page(paragraphs=2, links=0)
+        assert "<UL>" not in bare
+        out = add_link(bare, self.rng())
+        assert "<UL>" in out
+
+    def test_restructure_preserves_sentences(self):
+        out = restructure(self.PAGE, self.rng())
+        result = html_diff(self.PAGE, out)
+        # Content survived; only formatting (break markups) changed.
+        assert "<STRIKE>" not in result.html
+
+    def test_rewrite_replaces_everything(self):
+        out = rewrite(self.PAGE, self.rng())
+        result = html_diff(
+            self.PAGE, out,
+        )
+        assert result.change_density > 0.5 or result.density_suppressed
+
+    def test_cosmetic_whitespace_is_invisible_to_htmldiff(self):
+        out = cosmetic_whitespace(self.PAGE, self.rng())
+        assert out != self.PAGE
+        assert html_diff(self.PAGE, out).identical
+
+    @given(st.sampled_from(sorted(MUTATORS)), st.integers(0, 1000))
+    @settings(max_examples=120, deadline=None)
+    def test_all_mutators_produce_lexable_html(self, name, seed):
+        out = MUTATORS[name](self.PAGE, random.Random(seed))
+        tokenize_html(out)  # must not raise
+
+    def test_mutation_mix_deterministic(self):
+        a = MutationMix.typical(seed=5)
+        b = MutationMix.typical(seed=5)
+        assert a.apply(self.PAGE) == b.apply(self.PAGE)
+
+    def test_unknown_mutator_rejected(self):
+        with pytest.raises(ValueError):
+            MutationMix({"explode": 1.0})
+
+
+class TestScenario:
+    def test_build_web_shape(self):
+        web = build_web(sites=3, pages_per_site=4, seed=1)
+        assert len(web.urls) == 12
+        assert set(web.change_class.values()) <= {
+            "daily-churn", "busy", "weekly", "monthly", "static",
+        }
+
+    def test_pages_actually_served(self):
+        from repro.web.client import UserAgent
+
+        web = build_web(sites=2, pages_per_site=2, seed=2)
+        agent = UserAgent(web.network, web.clock)
+        for url in web.urls:
+            assert agent.get(url).response.ok
+
+    def test_evolution_changes_pages(self):
+        from repro.web.client import UserAgent
+
+        web = build_web(sites=3, pages_per_site=5, seed=3)
+        agent = UserAgent(web.network, web.clock)
+        daily = web.urls_in_class("daily-churn")
+        if not daily:  # seed-dependent; widen to any changing class
+            daily = [u for u in web.urls if web.change_class[u] != "static"]
+        before = {url: agent.get(url).response.body for url in daily}
+        # Slowest class: monthly (4w period) + up-to-one-period jitter
+        # means a first change may land as late as week 8.
+        web.cron.run_until(10 * WEEK)
+        changed = sum(
+            1 for url in daily if agent.get(url).response.body != before[url]
+        )
+        assert changed == len(daily)
+
+    def test_static_pages_never_change(self):
+        from repro.web.client import UserAgent
+
+        web = build_web(sites=3, pages_per_site=5, seed=4)
+        agent = UserAgent(web.network, web.clock)
+        static = web.urls_in_class("static")
+        before = {url: agent.get(url).response.body for url in static}
+        web.cron.run_until(6 * WEEK)
+        for url in static:
+            assert agent.get(url).response.body == before[url]
+
+    def test_hotlist_sampling(self):
+        web = build_web(sites=4, pages_per_site=5, seed=5)
+        hotlist = build_hotlist(web, size=10, seed=6)
+        assert len(hotlist) == 10
+        assert len(set(hotlist.urls())) == 10
+        for url in hotlist.urls():
+            assert url in web.urls
+
+    def test_hotlist_deterministic(self):
+        web = build_web(sites=4, pages_per_site=5, seed=5)
+        a = build_hotlist(web, size=8, seed=9).urls()
+        web2 = build_web(sites=4, pages_per_site=5, seed=5)
+        b = build_hotlist(web2, size=8, seed=9).urls()
+        assert a == b
