@@ -10,8 +10,8 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from .classify import ClassifiedDiff, classify_documents
 from .markup import MergedPageRenderer
@@ -35,6 +35,10 @@ class HtmlDiffResult:
     #: 5.3: "changes... so pervasive as to make the resulting merged
     #: HTML unreadable").
     density_suppressed: bool = False
+    #: Matcher instrumentation at the time this result was produced:
+    #: memo cache size/limit/evictions, prefilter and upper-bound
+    #: rejections, inner LCS runs, exact-lane hits.
+    matcher_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def identical(self) -> bool:
@@ -99,7 +103,8 @@ def html_diff(
 
         repaired_new = serialize_nodes(repair_nodes(_lex(new_html)))
         body = renderer._insert_banner(repaired_new, renderer._banner(diff, note))
-        return HtmlDiffResult(html=body, diff=diff, density_suppressed=True)
+        return HtmlDiffResult(html=body, diff=diff, density_suppressed=True,
+                              matcher_stats=matcher.stats())
 
     if options.mode in (PresentationMode.MERGED, PresentationMode.MERGED_REVERSED):
         html = renderer.render_merged(diff, note)
@@ -109,4 +114,6 @@ def html_diff(
         html = renderer.render_new_only(diff, note)
     else:  # pragma: no cover - exhaustive over the enum
         raise ValueError(f"unknown presentation mode: {options.mode}")
-    return HtmlDiffResult(html=html, diff=diff, density_suppressed=density_suppressed)
+    return HtmlDiffResult(html=html, diff=diff,
+                          density_suppressed=density_suppressed,
+                          matcher_stats=matcher.stats())

@@ -8,7 +8,7 @@ ablation benchmarks can sweep them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass, replace
 from enum import Enum
 
 __all__ = ["PresentationMode", "HtmlDiffOptions"]
@@ -51,6 +51,22 @@ class HtmlDiffOptions:
     #: optimization and must not change who matches... except at the
     #: margin, which the bench quantifies).
     use_length_prefilter: bool = True
+
+    # ---- fast path (the "several speed optimizations") ---------------
+    #: Anchor decomposition: commit to sentence tokens unique in both
+    #: streams and run the quadratic core only between anchors.
+    use_anchors: bool = True
+    #: Bag-of-items upper bound: reject a sentence pair when even the
+    #: multiset intersection of its content items cannot clear
+    #: ``match_threshold``, skipping the inner word-level LCS.
+    use_upper_bound_prefilter: bool = True
+    #: Intern tokens to small ids before the LCS so the per-DP-cell
+    #: weight callback is an integer compare plus an int-pair memo
+    #: (break tokens never pay the sentence-matching machinery).
+    use_exact_fast_lane: bool = True
+    #: Bound on the matcher's per-pair weight memo (entries; oldest
+    #: evicted first).  0 means unbounded.
+    matcher_cache_size: int = 65536
 
     # ---- presentation (Section 5.2) ----------------------------------
     mode: PresentationMode = PresentationMode.MERGED
@@ -100,3 +116,24 @@ class HtmlDiffOptions:
             raise ValueError("density_threshold must be within [0, 1]")
         if self.density_fallback not in ("banner-only", "merge"):
             raise ValueError("density_fallback must be banner-only or merge")
+        if self.matcher_cache_size < 0:
+            raise ValueError("matcher_cache_size must be >= 0")
+
+    def reference(self) -> "HtmlDiffOptions":
+        """A copy with every fast-path layer disabled — the unoptimized
+        comparison the differential tests and benchmarks measure
+        against."""
+        return replace(
+            self,
+            use_anchors=False,
+            use_upper_bound_prefilter=False,
+            use_exact_fast_lane=False,
+        )
+
+    def cache_key(self) -> tuple:
+        """Hashable identity for output caching: two option sets with
+        equal keys produce byte-identical HtmlDiff output for the same
+        inputs (fast-path toggles are included deliberately — they are
+        *supposed* to be output-neutral, but a cache must not bake that
+        assumption in)."""
+        return astuple(self)

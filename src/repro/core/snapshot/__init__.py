@@ -7,6 +7,7 @@ trick against httpd timeouts.
 """
 
 from .auth import AccountRegistry, AuthenticatedSnapshotService, AuthError
+from .diffcache import DiffCache
 from .keepalive import CgiTimeout, KeepAlive, KeepAliveResult
 from .locking import LockManager, RequestCoalescer
 from .replication import AdmissionControl, ReplicatedSnapshotService
@@ -24,6 +25,7 @@ __all__ = [
     "AuthenticatedSnapshotService",
     "AuthError",
     "CgiTimeout",
+    "DiffCache",
     "KeepAlive",
     "KeepAliveResult",
     "LockManager",

@@ -1,0 +1,106 @@
+"""A shared LRU cache for HtmlDiff output.
+
+Section 8.3's economy-of-scale argument: "many users who have seen
+versions N and N+1 of a page could retrieve HtmlDiff(pageN, pageN+1)
+with a single invocation".  The :class:`RequestCoalescer` already
+merges *simultaneous* requests; this cache extends the sharing across
+time — the diff of a stored version pair is immutable (RCS revisions
+never change once checked in), so once computed it can be replayed for
+every later requester until evicted.
+
+Keys include the diff options: two users asking for different
+presentation modes (or one benchmark comparing the fast path against
+the reference path) must not share entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..htmldiff.api import HtmlDiffResult
+from ..htmldiff.options import HtmlDiffOptions
+
+__all__ = ["DiffCache"]
+
+
+class DiffCache:
+    """LRU cache of ``(url, rev_old, rev_new, options) -> HtmlDiffResult``.
+
+    ``capacity`` bounds the entry count; 0 disables caching entirely
+    (every ``get`` misses, ``put`` is a no-op), which keeps the store's
+    call sites branch-free.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, HtmlDiffResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def make_key(
+        url: str,
+        rev_old: str,
+        rev_new: str,
+        options: Optional[HtmlDiffOptions],
+    ) -> Hashable:
+        """The identity of one diff request.
+
+        Revisions are stringified (the store resolves them from several
+        sources) and the options dataclass is flattened to a tuple so
+        equal configurations hit regardless of object identity.
+        """
+        options_key: Tuple = options.cache_key() if options is not None else ()
+        return (url, str(rev_old), str(rev_new), options_key)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[HtmlDiffResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, result: HtmlDiffResult) -> None:
+        if self.capacity == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = result
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_url(self, url: str) -> int:
+        """Drop every entry for ``url``; returns how many were dropped.
+
+        Stored revision pairs are immutable, so ordinary operation
+        never needs this — it exists for administrative deletion of a
+        URL's archive.
+        """
+        doomed = [key for key in self._entries if key[0] == url]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

@@ -27,6 +27,7 @@ from ...web.http import NetworkError
 from ...web.url import parse_url
 from ..htmldiff.api import HtmlDiffResult, html_diff
 from ..htmldiff.options import HtmlDiffOptions
+from .diffcache import DiffCache
 from .locking import LockManager, RequestCoalescer
 from .usercontrol import UserControl
 
@@ -81,6 +82,7 @@ class SnapshotStore:
         agent: UserAgent,
         diff_options: Optional[HtmlDiffOptions] = None,
         diff_cache_ttl: int = 3600,
+        diff_cache_size: int = 256,
     ) -> None:
         self.clock = clock
         self.agent = agent
@@ -89,6 +91,11 @@ class SnapshotStore:
         self.users = UserControl()
         self.locks = LockManager()
         self.coalescer = RequestCoalescer(clock, ttl=diff_cache_ttl)
+        #: Diffs of stored revision pairs are immutable, so they are
+        #: shared across users and across time, not just across the
+        #: coalescer's same-instant window.  ``diff_cache_size=0``
+        #: disables the cache.
+        self.diff_cache = DiffCache(capacity=diff_cache_size)
         #: Local cached copy of the most recent fetch per URL (the
         #: paper's "locally cached copy of the HTML document").
         self.page_cache: Dict[str, str] = {}
@@ -207,11 +214,18 @@ class SnapshotStore:
             except SnapshotError:
                 pass
             rev_new = archive.head_revision
+        shared_key = DiffCache.make_key(key, rev_old, rev_new,
+                                        self.diff_options)
+        cached = self.diff_cache.get(shared_key)
+        if cached is not None:
+            return cached
         cache_key = f"diff:{key}:{rev_old}:{rev_new}"
         with self.locks.acquire(f"url:{key}"):
-            return self.coalescer.do(
+            result = self.coalescer.do(
                 cache_key, lambda: self._run_htmldiff(archive, rev_old, rev_new)
             )
+            self.diff_cache.put(shared_key, result)
+            return result
 
     def _run_htmldiff(
         self, archive: RcsArchive, rev_old: str, rev_new: str

@@ -275,10 +275,10 @@ class UrlChecker:
             )
 
         record.record_success()
-        record.last_http_check = now
 
         mod_date = response.last_modified
         if mod_date is not None:
+            record.last_http_check = now
             record.modification_date = mod_date
             record.date_obtained_at = now
             state = self._state_from_date(mod_date, last_seen)
@@ -311,6 +311,11 @@ class UrlChecker:
         response = result.response
         if not response.ok:
             record.record_error(f"HTTP {response.status} {response.reason}")
+            if self.flags.treat_errors_as_success:
+                # Same contract as the HEAD path: with -e the error
+                # still counts as "checked now", so the URL is not
+                # re-polled before its interval elapses.
+                record.last_http_check = now
             return CheckOutcome(
                 url=url, state=UrlState.ERROR, source=CheckSource.CHECKSUM,
                 error=f"HTTP {response.status} {response.reason}",

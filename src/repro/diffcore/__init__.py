@@ -1,10 +1,12 @@
 """Comparison algorithms underlying AIDE.
 
-HtmlDiff runs a weighted Hirschberg LCS over HTML tokens; RCS deltas and
-the rcsdiff CGI use Hunt–McIlroy line diffs; Myers is included as the
-modern ablation comparator.
+HtmlDiff runs a weighted Hirschberg LCS over HTML tokens, accelerated
+by patience-style anchor decomposition; RCS deltas and the rcsdiff CGI
+use Hunt–McIlroy line diffs; Myers is included as the modern ablation
+comparator.
 """
 
+from .anchor import anchor_chain, anchored_lcs_pairs, unique_anchors
 from .huntmcilroy import hunt_mcilroy_length, hunt_mcilroy_pairs
 from .lcs import (
     Match,
@@ -27,6 +29,9 @@ from .textdiff import (
 
 __all__ = [
     "Match",
+    "anchor_chain",
+    "anchored_lcs_pairs",
+    "unique_anchors",
     "lcs_length",
     "lcs_pairs",
     "similarity_ratio",

@@ -1,0 +1,227 @@
+"""Anchor decomposition: patience-style speedup for the weighted LCS.
+
+Successive revisions of a real page share long runs of sentences that
+occur exactly once in both versions.  Such *unique* tokens are almost
+certainly aligned with each other in the optimal correspondence, so we
+can commit to them up front ("anchors"), then run the quadratic
+weighted-LCS core only on the short stretches between consecutive
+anchors.  On page revisions produced by localized edits this turns the
+O(n·m) Hirschberg core into near-linear work, the same decomposition
+patience diff and sentence-alignment pipelines use.
+
+The decomposition:
+
+1. Collect every key that occurs exactly once in A *and* exactly once
+   in B; each such occurrence pair is an anchor candidate with the
+   weight of its exact match.
+2. Candidates must be used monotonically; pick the chain with the
+   greatest total weight (a heaviest-increasing-subsequence over the
+   B positions, Fenwick-tree prefix maxima, O(k log k)).
+3. Solve each inter-anchor gap independently with
+   :func:`~repro.diffcore.lcs.weighted_lcs_pairs`.
+
+Anchoring is a heuristic: an adversarial transposition *around* an
+anchor can cost weight relative to the unconstrained optimum.  The
+htmldiff differential tests verify that on realistic revision
+workloads the anchored result carries the same total weight — and
+renders byte-identically — as the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from .lcs import Match, trim_common_affixes, weighted_lcs_pairs
+
+__all__ = ["unique_anchors", "anchor_chain", "anchored_lcs_pairs"]
+
+T = TypeVar("T")
+
+WeightFn = Callable[[T, T], float]
+KeyFn = Callable[[T], Hashable]
+
+
+def _identity(x: T) -> Hashable:
+    return x
+
+
+def unique_anchors(
+    a: Sequence[T], b: Sequence[T], key: Optional[KeyFn] = None
+) -> List[Tuple[int, int]]:
+    """(i, j) pairs whose key occurs exactly once in each sequence.
+
+    Returned in increasing ``i`` order; the ``j`` values are in
+    whatever order the unique keys appear in ``b`` (not necessarily
+    monotone — that is :func:`anchor_chain`'s job).
+    """
+    key = key or _identity
+    # None marks a key seen more than once.
+    pos_a: Dict[Hashable, Optional[int]] = {}
+    for i, item in enumerate(a):
+        k = key(item)
+        pos_a[k] = i if k not in pos_a else None
+    pos_b: Dict[Hashable, Optional[int]] = {}
+    for j, item in enumerate(b):
+        k = key(item)
+        pos_b[k] = j if k not in pos_b else None
+    out = []
+    for k, i in pos_a.items():
+        if i is None:
+            continue
+        j = pos_b.get(k)
+        if j is not None:
+            out.append((i, j))
+    out.sort()
+    return out
+
+
+def anchor_chain(candidates: Sequence[Tuple[int, int, float]]) -> List[Tuple[int, int, float]]:
+    """Heaviest strictly-monotone subchain of anchor candidates.
+
+    ``candidates`` are (i, j, weight) triples sorted by ``i`` with
+    distinct ``i`` and distinct ``j`` (guaranteed by key uniqueness).
+    Maximizes total weight over chains with increasing ``j`` using a
+    Fenwick tree of prefix maxima over the ``j`` ranks.
+    """
+    k = len(candidates)
+    if k <= 1:
+        return list(candidates)
+    ranks = {j: r for r, j in enumerate(sorted(c[1] for c in candidates), start=1)}
+    # tree[r] holds (best chain weight, candidate index) over a rank range.
+    tree: List[Tuple[float, int]] = [(0.0, -1)] * (k + 1)
+    parent = [-1] * k
+    totals = [0.0] * k
+    best_total = 0.0
+    best_end = -1
+    for idx, (_i, j, w) in enumerate(candidates):
+        r = ranks[j]
+        # Prefix max over ranks < r: the heaviest chain we can extend.
+        prev_total, prev_idx = 0.0, -1
+        q = r - 1
+        while q > 0:
+            if tree[q][0] > prev_total:
+                prev_total, prev_idx = tree[q]
+            q -= q & -q
+        totals[idx] = prev_total + w
+        parent[idx] = prev_idx
+        if totals[idx] > best_total:
+            best_total, best_end = totals[idx], idx
+        # Publish at rank r.
+        q = r
+        while q <= k:
+            if totals[idx] > tree[q][0]:
+                tree[q] = (totals[idx], idx)
+            q += q & -q
+    chain: List[Tuple[int, int, float]] = []
+    idx = best_end
+    while idx >= 0:
+        chain.append(candidates[idx])
+        idx = parent[idx]
+    chain.reverse()
+    return chain
+
+
+#: When the inter-anchor gaps still cover more than this fraction of
+#: the core's DP area, anchoring is not paying for itself (the pages
+#: are mostly unrelated, as in a wholesale rewrite) — fall back to the
+#: plain solver, whose behavior the decomposition is measured against.
+_GAP_AREA_LIMIT = 0.5
+
+
+def _solve_gap(
+    ga: Sequence[T], gb: Sequence[T], weight: WeightFn
+) -> List[Match]:
+    """Weighted LCS of one inter-anchor gap."""
+    if not ga or not gb:
+        return []
+    return weighted_lcs_pairs(ga, gb, weight)
+
+
+def anchored_lcs_pairs(
+    a: Sequence[T],
+    b: Sequence[T],
+    weight: WeightFn,
+    key: Optional[KeyFn] = None,
+    min_anchor_weight: float = 0.0,
+) -> List[Match]:
+    """:func:`weighted_lcs_pairs` accelerated by anchor decomposition.
+
+    ``key`` maps an item to the hashable identity used for uniqueness
+    detection; two items with equal keys must be an exact match under
+    ``weight`` (``weight(x, y) == weight(x, x) > 0``).  With ``key``
+    omitted the items themselves are the keys.
+
+    Only candidates whose exact-match weight exceeds
+    ``min_anchor_weight`` may anchor.  Committing an anchor is a bet
+    that no crossing matches out-weigh it; a light unique token (an
+    ``<HR>`` in a rewritten page, say) loses that bet to a single heavy
+    fuzzy sentence match, so the htmldiff matcher sets the floor to
+    exclude weight-1 break markups and lets only multi-word sentences
+    pin the alignment.
+
+    Falls back to the plain solver when anchors are absent or too
+    sparse to shrink the problem, so it is never worse than one extra
+    O(n + m) scan.
+    """
+    if not a or not b:
+        return []
+    # Identical ends are trimmed exactly as in weighted_lcs_pairs —
+    # crucially BEFORE anchoring, so both solvers resolve repeated
+    # tokens at the document edges to the same occurrences (the suffix
+    # loop claims the *latest* ones).
+    out: List[Match] = []
+    prefix, suffix = trim_common_affixes(
+        a, b, lambda x, y: weight(x, y) > 0.0 and x == y
+    )
+    for i in range(prefix):
+        out.append((i, i, weight(a[i], b[i])))
+    core_a = a[prefix:len(a) - suffix]
+    core_b = b[prefix:len(b) - suffix]
+    candidates = []
+    floor = max(min_anchor_weight, 0.0)
+    for i, j in unique_anchors(core_a, core_b, key):
+        w = weight(core_a[i], core_b[j])
+        if w > floor:
+            candidates.append((i, j, w))
+    chain = anchor_chain(candidates) if candidates else []
+    core_pairs = (
+        _chain_and_gaps(core_a, core_b, chain, weight)
+        if chain
+        else weighted_lcs_pairs(core_a, core_b, weight)
+    )
+    for i, j, w in core_pairs:
+        out.append((prefix + i, prefix + j, w))
+    for k in range(suffix):
+        i = len(a) - suffix + k
+        j = len(b) - suffix + k
+        out.append((i, j, weight(a[i], b[j])))
+    return out
+
+
+def _chain_and_gaps(
+    core_a: Sequence[T],
+    core_b: Sequence[T],
+    chain: List[Tuple[int, int, float]],
+    weight: WeightFn,
+) -> List[Match]:
+    """Commit the anchor chain and solve the gaps — unless the gaps
+    are so large that decomposition buys nothing."""
+    gap_area = 0
+    prev_i = prev_j = 0
+    for i, j, _w in chain:
+        gap_area += (i - prev_i) * (j - prev_j)
+        prev_i, prev_j = i + 1, j + 1
+    gap_area += (len(core_a) - prev_i) * (len(core_b) - prev_j)
+    core_area = len(core_a) * len(core_b)
+    if core_area and gap_area > _GAP_AREA_LIMIT * core_area:
+        return weighted_lcs_pairs(core_a, core_b, weight)
+    out: List[Match] = []
+    prev_i = prev_j = 0
+    for i, j, w in chain:
+        for gi, gj, gw in _solve_gap(core_a[prev_i:i], core_b[prev_j:j], weight):
+            out.append((prev_i + gi, prev_j + gj, gw))
+        out.append((i, j, w))
+        prev_i, prev_j = i + 1, j + 1
+    for gi, gj, gw in _solve_gap(core_a[prev_i:], core_b[prev_j:], weight):
+        out.append((prev_i + gi, prev_j + gj, gw))
+    return out

@@ -22,7 +22,8 @@ for equal or disjoint sequences, and the linear-space score rows.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from bisect import bisect_left
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = [
     "Match",
@@ -32,6 +33,7 @@ __all__ = [
     "weighted_lcs_score",
     "similarity_ratio",
     "trim_common_affixes",
+    "canonicalize_pairs",
 ]
 
 T = TypeVar("T")
@@ -113,18 +115,37 @@ def similarity_ratio(a: Sequence[T], b: Sequence[T]) -> float:
 def _forward_scores(
     a: Sequence[T], b: Sequence[T], weight: WeightFn
 ) -> List[float]:
-    """Last row of the weighted-LCS DP table for ``a`` vs ``b``."""
+    """Last row of the weighted-LCS DP table for ``a`` vs ``b``.
+
+    The inner loop is the hottest code in HtmlDiff, so it avoids
+    per-row list allocation (two reused buffers) and per-cell index
+    arithmetic (the diagonal and left cells ride along as locals);
+    the ``weight`` callback is the remaining per-cell cost, which the
+    token matcher keeps cheap via id interning and its exact-equality
+    fast lane.
+    """
     m = len(b)
     prev = [0.0] * (m + 1)
+    if not a:
+        return prev
+    cur = [0.0] * (m + 1)
     for item_a in a:
-        cur = [0.0] * (m + 1)
-        for j in range(1, m + 1):
-            w = weight(item_a, b[j - 1])
-            best = prev[j] if prev[j] >= cur[j - 1] else cur[j - 1]
-            if w > 0.0 and prev[j - 1] + w > best:
-                best = prev[j - 1] + w
+        diag = prev[0]
+        left = 0.0
+        j = 0
+        for item_b in b:
+            j += 1
+            up = prev[j]
+            best = up if up >= left else left
+            w = weight(item_a, item_b)
+            if w > 0.0:
+                cand = diag + w
+                if cand > best:
+                    best = cand
             cur[j] = best
-        prev = cur
+            diag = up
+            left = best
+        prev, cur = cur, prev
     return prev
 
 
@@ -217,6 +238,53 @@ def weighted_lcs_pairs(
         j = len(b) - suffix + k
         out.append((i, j, weight(a[i], b[j])))
     out.sort()
+    return out
+
+
+def canonicalize_pairs(
+    a: Sequence[T],
+    b: Sequence[T],
+    pairs: Sequence[Match],
+    key: Optional[Callable[[T], Hashable]] = None,
+) -> List[Match]:
+    """Slide every match to the earliest equal-key occurrences.
+
+    A heaviest common subsequence is rarely unique: pages are full of
+    repeated tokens (``<P>``, ``</LI>``, ...), and any solver breaks
+    the resulting ties by accidents of its recursion order.  Two exact
+    algorithms — or one algorithm with and without a decomposition
+    speedup — can then return different, equally-heavy alignments.
+
+    This pass quotients those accidents away.  Scanning the matches in
+    order, each pair is moved to the first positions (after the
+    previous pair) holding the *same keys* as the matched items.  Keys
+    determine weights, so the result is a common subsequence of the
+    same total weight; and any two solutions that pair the same key
+    sequence — differing only in *which* occurrence of a repeated
+    token they picked — canonicalize to the same alignment.  O((n + m)
+    + k log n) with per-key position lists and bisection.
+    """
+    if not pairs:
+        return list(pairs)
+    if key is None:
+        key = lambda x: x  # noqa: E731 - identity
+    pos_a: Dict[Hashable, List[int]] = {}
+    for i, x in enumerate(a):
+        pos_a.setdefault(key(x), []).append(i)
+    pos_b: Dict[Hashable, List[int]] = {}
+    for j, y in enumerate(b):
+        pos_b.setdefault(key(y), []).append(j)
+    out: List[Match] = []
+    prev_i = prev_j = -1
+    for i, j, w in pairs:
+        occ_a = pos_a[key(a[i])]
+        occ_b = pos_b[key(b[j])]
+        # First occurrence after the previous pair; (i, j) itself
+        # qualifies, so the bisect always lands on an index <= it.
+        ci = occ_a[bisect_left(occ_a, prev_i + 1)]
+        cj = occ_b[bisect_left(occ_b, prev_j + 1)]
+        out.append((ci, cj, w))
+        prev_i, prev_j = ci, cj
     return out
 
 

@@ -1,0 +1,164 @@
+"""Tests for anchor decomposition: the patience-style LCS speedup."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffcore.anchor import anchor_chain, anchored_lcs_pairs, unique_anchors
+from repro.diffcore.lcs import (
+    canonicalize_pairs,
+    weighted_lcs_pairs,
+    weighted_lcs_score,
+)
+
+
+def eq_weight(x, y):
+    return 1.0 if x == y else 0.0
+
+
+def assert_valid_matching(a, b, pairs, weight):
+    """Pairs must be strictly monotone with truthful positive weights."""
+    prev_i = prev_j = -1
+    for i, j, w in pairs:
+        assert i > prev_i and j > prev_j
+        assert w == weight(a[i], b[j]) and w > 0.0
+        prev_i, prev_j = i, j
+
+
+class TestUniqueAnchors:
+    def test_empty(self):
+        assert unique_anchors([], []) == []
+
+    def test_all_unique(self):
+        assert unique_anchors("abc", "cab") == [(0, 1), (1, 2), (2, 0)]
+
+    def test_repeats_excluded(self):
+        # 'a' repeats in A, 'b' repeats in B: neither can anchor.
+        assert unique_anchors("aba", "bcb") == []
+
+    def test_one_side_repeat_excluded(self):
+        assert unique_anchors("abc", "abca") == [(1, 1), (2, 2)]
+
+    def test_key_function(self):
+        anchors = unique_anchors(["A", "b"], ["a", "B"], key=str.lower)
+        assert anchors == [(0, 0), (1, 1)]
+
+
+class TestAnchorChain:
+    def test_empty(self):
+        assert anchor_chain([]) == []
+
+    def test_already_monotone(self):
+        cands = [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]
+        assert anchor_chain(cands) == cands
+
+    def test_crossing_pair_keeps_heavier(self):
+        # (0, 5) and (1, 2) cross; the heavier one must survive.
+        assert anchor_chain([(0, 5, 3.0), (1, 2, 1.0)]) == [(0, 5, 3.0)]
+        assert anchor_chain([(0, 5, 1.0), (1, 2, 3.0)]) == [(1, 2, 3.0)]
+
+    def test_weight_beats_count(self):
+        # Two light monotone anchors vs one heavy crossing both.
+        cands = [(0, 4, 1.0), (2, 5, 1.0), (3, 1, 5.0)]
+        assert anchor_chain(cands) == [(3, 1, 5.0)]
+
+    def test_long_monotone_chain(self):
+        cands = [(i, i, 1.0) for i in range(100)]
+        assert anchor_chain(cands) == cands
+
+
+class TestAnchoredLcsPairs:
+    def test_empty_sides(self):
+        assert anchored_lcs_pairs([], "abc", eq_weight) == []
+        assert anchored_lcs_pairs("abc", [], eq_weight) == []
+
+    def test_identical(self):
+        pairs = anchored_lcs_pairs("abcdef", "abcdef", eq_weight)
+        assert pairs == [(i, i, 1.0) for i in range(6)]
+
+    def test_localized_edit(self):
+        a = list("abcdefghij")
+        b = list("abcXefghij")
+        pairs = anchored_lcs_pairs(a, b, eq_weight)
+        assert_valid_matching(a, b, pairs, eq_weight)
+        assert sum(w for _, _, w in pairs) == 9.0
+
+    def test_matches_plain_solver_weight(self):
+        a = list("the quick brown fox jumps over the lazy dog".split())
+        b = list("the quick red fox leaps over one lazy dog".split())
+        anchored = anchored_lcs_pairs(a, b, eq_weight)
+        plain = weighted_lcs_pairs(a, b, eq_weight)
+        assert sum(w for *_, w in anchored) == sum(w for *_, w in plain)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.integers(0, 12), max_size=40),
+        st.lists(st.integers(0, 12), max_size=40),
+    )
+    def test_property_valid_and_bounded(self, a, b):
+        """On arbitrary streams anchoring always returns a *valid*
+        matching and never claims more weight than the true optimum.
+        (It is a heuristic: adversarial transpositions around an
+        anchor may cost weight — the revision-shaped cases where it
+        must agree exactly are covered below and in the htmldiff
+        differential tests.)"""
+        anchored = anchored_lcs_pairs(a, b, eq_weight)
+        assert_valid_matching(a, b, anchored, eq_weight)
+        assert sum(w for *_, w in anchored) <= weighted_lcs_score(a, b, eq_weight)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_property_revision_shaped_edits_agree_exactly(self, data):
+        """Two revisions of a shared backbone (distinct tokens, with
+        independent fresh insertions and deletions — the shape real
+        page revisions have) give identical canonical alignments and
+        full reference weight."""
+        n = data.draw(st.integers(5, 30))
+        backbone = list(range(n))
+
+        def revise(fresh_base):
+            seq = list(backbone)
+            for _ in range(data.draw(st.integers(0, 4))):
+                if data.draw(st.booleans()) and seq:
+                    # Delete a slice.
+                    start = data.draw(st.integers(0, len(seq) - 1))
+                    stop = data.draw(st.integers(start, len(seq)))
+                    del seq[start:stop]
+                else:
+                    # Insert fresh tokens no other revision shares.
+                    at = data.draw(st.integers(0, len(seq)))
+                    count = data.draw(st.integers(1, 5))
+                    seq[at:at] = [fresh_base + k for k in range(count)]
+                    fresh_base += count
+            return seq
+
+        a = revise(1000)
+        b = revise(2000)
+        anchored = canonicalize_pairs(a, b, anchored_lcs_pairs(a, b, eq_weight))
+        plain = canonicalize_pairs(a, b, weighted_lcs_pairs(a, b, eq_weight))
+        assert anchored == plain
+        assert sum(w for *_, w in anchored) == weighted_lcs_score(a, b, eq_weight)
+
+
+class TestCanonicalizePairs:
+    def test_empty(self):
+        assert canonicalize_pairs("ab", "ab", []) == []
+
+    def test_slides_to_earliest_occurrence(self):
+        a, b = "xayaz", "a"
+        # A solver may have matched the second 'a' (index 3).
+        assert canonicalize_pairs(a, b, [(3, 0, 1.0)]) == [(1, 0, 1.0)]
+
+    def test_respects_previous_pair(self):
+        a, b = "aa", "aa"
+        pairs = [(0, 0, 1.0), (1, 1, 1.0)]
+        assert canonicalize_pairs(a, b, pairs) == pairs
+
+    def test_weight_preserved(self):
+        a, b = "abab", "ab"
+        out = canonicalize_pairs(a, b, [(2, 0, 1.0), (3, 1, 1.0)])
+        assert out == [(0, 0, 1.0), (1, 1, 1.0)]
+
+    def test_key_function(self):
+        a, b = ["X", "x"], ["x"]
+        out = canonicalize_pairs(a, b, [(1, 0, 1.0)], key=str.lower)
+        assert out == [(0, 0, 1.0)]

@@ -77,7 +77,8 @@ class TestSentenceMatching:
         assert matcher.inner_lcs_runs == 0
 
     def test_prefilter_disabled_runs_inner_lcs(self):
-        options = HtmlDiffOptions(use_length_prefilter=False)
+        options = HtmlDiffOptions(use_length_prefilter=False,
+                                  use_upper_bound_prefilter=False)
         matcher = TokenMatcher(options)
         short = sentence("word")
         long = sentence("word " + "other " * 20)

@@ -16,6 +16,7 @@ from repro.core.w3newer.thresholds import parse_threshold_config
 from repro.simclock import DAY, HOUR, WEEK, SimClock
 from repro.web.cgi import CounterScript, StaticCgiScript
 from repro.web.client import UserAgent
+from repro.web.http import make_response
 from repro.web.network import Network
 from repro.web.proxy import ProxyCache
 
@@ -321,6 +322,43 @@ class TestErrors:
         world.checker(flags=flags).check("http://site.com/missing")
         record = world.cache.peek("http://site.com/missing")
         assert record.last_http_check == world.clock.now
+
+    def _register_head_only_cgi(self, world):
+        """A CGI whose HEAD succeeds (no Last-Modified, forcing the
+        checksum fallback) but whose GET errors — the shape that used
+        to dodge ``treat_errors_as_success`` on the checksum path."""
+        def flaky(request, now):
+            if request.method == "HEAD":
+                return make_response(200, "")
+            return make_response(500, "<P>boom</P>")
+        world.server.register_cgi("/cgi-bin/flaky", flaky)
+        return "http://site.com/cgi-bin/flaky"
+
+    def test_checksum_error_not_a_check_by_default(self):
+        world = World()
+        url = self._register_head_only_cgi(world)
+        world.clock.advance(3 * DAY)
+        outcome = world.checker().check(url)
+        assert outcome.state is UrlState.ERROR
+        assert outcome.source is CheckSource.CHECKSUM
+        assert world.cache.peek(url).last_http_check is None
+
+    def test_checksum_error_honors_treat_errors_as_success(self):
+        # Regression: the HEAD path recorded the check under -e but the
+        # checksum GET path forgot to, so erroring CGI pages were
+        # re-polled every run regardless of the flag.
+        world = World()
+        url = self._register_head_only_cgi(world)
+        world.clock.advance(3 * DAY)
+        flags = CheckerFlags(treat_errors_as_success=True)
+        outcome = world.checker(flags=flags).check(url)
+        assert outcome.state is UrlState.ERROR
+        assert outcome.source is CheckSource.CHECKSUM
+        assert world.cache.peek(url).last_http_check == world.clock.now
+        # And the record now keeps the URL quiet until the threshold.
+        world.clock.advance(DAY)
+        followup = world.checker(flags=flags).check(url)
+        assert followup.state is UrlState.NOT_CHECKED
 
     def test_systemic_failure_aborts(self):
         world = World()
