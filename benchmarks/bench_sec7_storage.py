@@ -88,6 +88,19 @@ def test_sec7_storage(benchmark, sink):
         archive.revision_count for archive in store.archives.values()
     )
 
+    # Reconstruction cost: deltas applied to check out each archive's
+    # oldest revision, with the store's keyframes vs the plain reverse
+    # chain (head-to-oldest distance).
+    before = sum(a.delta_applications for a in store.archives.values())
+    for archive in store.archives.values():
+        archive.checkout("1.1")
+    keyframed_deltas = sum(
+        a.delta_applications for a in store.archives.values()) - before
+    plain_deltas = sum(
+        a.revision_count - 1 for a in store.archives.values())
+    keyframe_bytes = sum(
+        a.keyframe_bytes() for a in store.archives.values())
+
     sink.row("E7a: snapshot archive after a month of auto-archiving")
     sink.row(f"  URLs archived:        {store.url_count()}   "
              f"(paper: 'over 500')")
@@ -98,6 +111,11 @@ def test_sec7_storage(benchmark, sink):
     sink.row(f"  revisions stored:     {revisions}")
     sink.row(f"  full-copy baseline:   {full_copies:,} bytes "
              f"({full_copies / total:.1f}x the RCS archive)")
+    sink.row(f"  oldest-rev reconstruction: {keyframed_deltas} delta "
+             f"applications (plain reverse chain: {plain_deltas})")
+    sink.row(f"  keyframe overhead:    {keyframe_bytes:,} bytes in memory "
+             f"(interval {store.options.keyframe_interval}; "
+             f"not written to disk)")
 
     # Shape checks against the paper's report.
     assert store.url_count() == URL_COUNT
@@ -105,3 +123,5 @@ def test_sec7_storage(benchmark, sink):
     assert 1_000 < per_url < 30_000, "same order as the paper's 14.3 KB"
     assert top3_share > 0.15, "a few churners dominate the archive"
     assert full_copies > 1.5 * total, "reverse deltas clearly beat copies"
+    assert keyframed_deltas <= plain_deltas, \
+        "keyframes never make reconstruction costlier"

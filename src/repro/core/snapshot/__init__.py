@@ -7,9 +7,12 @@ trick against httpd timeouts.
 """
 
 from .auth import AccountRegistry, AuthenticatedSnapshotService, AuthError
+from .checkoutcache import CheckoutCache
 from .diffcache import DiffCache
+from .journal import JournalError, JournalRecord
 from .keepalive import CgiTimeout, KeepAlive, KeepAliveResult
 from .locking import LockManager, RequestCoalescer
+from .options import StoreOptions
 from .replication import AdmissionControl, ReplicatedSnapshotService
 from .service import OperationCosts, SnapshotService
 from .store import (
@@ -25,7 +28,10 @@ __all__ = [
     "AuthenticatedSnapshotService",
     "AuthError",
     "CgiTimeout",
+    "CheckoutCache",
     "DiffCache",
+    "JournalError",
+    "JournalRecord",
     "KeepAlive",
     "KeepAliveResult",
     "LockManager",
@@ -37,6 +43,7 @@ __all__ = [
     "RememberResult",
     "SnapshotError",
     "SnapshotStore",
+    "StoreOptions",
     "add_base_directive",
     "SeenVersion",
     "UserControl",

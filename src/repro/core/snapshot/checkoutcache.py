@@ -1,0 +1,75 @@
+"""A shared LRU cache of checked-out revision texts.
+
+The :class:`~repro.core.snapshot.diffcache.DiffCache` shares finished
+HtmlDiff output; this cache sits one layer below it and shares the raw
+RCS checkouts that *feed* HtmlDiff and the view/time-travel pages.  A
+Diff link checks out two endpoints, a History page's view links and
+``view_at`` requests re-read the same revisions — and a stored
+revision's text is immutable, so one reconstruction can serve them all.
+
+Entries are keyed ``(url, revision number)``.  Nothing ever needs
+invalidation: a new check-in only appends a new head revision (a new
+key), it never changes an existing one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CheckoutCache"]
+
+
+class CheckoutCache:
+    """LRU cache of ``(url, revision) -> text``.
+
+    ``capacity`` bounds the entry count; 0 disables caching entirely
+    (every ``get`` misses, ``put`` is a no-op), keeping the store's
+    call sites branch-free — the same contract as ``DiffCache``.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, url: str, revision: str) -> Optional[str]:
+        entry = self._entries.get((url, revision))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((url, revision))
+        self.hits += 1
+        return entry
+
+    def put(self, url: str, revision: str, text: str) -> None:
+        if self.capacity == 0:
+            return
+        key = (url, revision)
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = text
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

@@ -1,0 +1,170 @@
+"""Append-only check-in journal for the snapshot repository.
+
+``save_store`` rewrites every ``,v`` file — O(total archive) per save,
+which is what caps a transactional archive's write throughput under
+load (the SiteStory finding).  The journal makes routine persistence
+O(new data): each *new* revision since the last sync is appended as one
+self-contained record, and a loader replays the records (in order,
+through the ordinary ``checkin`` path, which is deterministic) on top
+of the last compacted ``,v`` base to rebuild a byte-identical store.
+
+Record shape, plain text like the rest of the repository::
+
+    rev\t<quoted url>\t<revision>\t<date>\t<quoted author>
+    <quoted log>
+    <quoted text>
+
+``@``-quoting is RCS's (payload wrapped in ``@...@``, literal ``@``
+doubled), so a journal is browsable with ``cat`` exactly like a ``,v``
+file.  Compaction = a full ``save_store`` rewrite followed by
+truncating the journal.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List
+
+__all__ = ["JournalRecord", "JournalError", "append_records",
+           "read_journal", "clear_journal", "JOURNAL_NAME"]
+
+JOURNAL_NAME = "journal.log"
+
+
+class JournalError(ValueError):
+    """The journal text is not a valid record stream."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One checked-in revision, self-contained for replay."""
+
+    url: str
+    revision: str
+    date: int
+    author: str
+    log: str
+    text: str
+
+
+def _quote(text: str) -> str:
+    return "@" + text.replace("@", "@@") + "@"
+
+
+def _serialize(record: JournalRecord) -> str:
+    return "\n".join([
+        "rev\t%s\t%s\t%d\t%s" % (
+            _quote(record.url), record.revision, record.date,
+            _quote(record.author),
+        ),
+        _quote(record.log),
+        _quote(record.text),
+    ]) + "\n"
+
+
+def append_records(directory: str, records: Iterable[JournalRecord]) -> int:
+    """Append records to ``directory``'s journal; returns how many."""
+    path = os.path.join(directory, JOURNAL_NAME)
+    count = 0
+    chunks: List[str] = []
+    for record in records:
+        chunks.append(_serialize(record))
+        count += 1
+    if not chunks:
+        return 0
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("".join(chunks))
+    return count
+
+
+class _Scanner:
+    """Cursor over journal text, reading @strings and plain fields."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+        return self.pos >= len(self.text)
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise JournalError(
+                f"expected {literal!r} at offset {self.pos}"
+            )
+        self.pos += len(literal)
+
+    def read_string(self) -> str:
+        if self.pos >= len(self.text) or self.text[self.pos] != "@":
+            raise JournalError(f"expected @string at offset {self.pos}")
+        self.pos += 1
+        out: List[str] = []
+        while True:
+            next_at = self.text.find("@", self.pos)
+            if next_at == -1:
+                raise JournalError("unterminated @string")
+            out.append(self.text[self.pos:next_at])
+            if self.text[next_at + 1:next_at + 2] == "@":
+                out.append("@")
+                self.pos = next_at + 2
+                continue
+            self.pos = next_at + 1
+            return "".join(out)
+
+    def read_field(self) -> str:
+        """Read up to the next tab or newline (plain metadata field)."""
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "\t\n":
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def skip(self, chars: str) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in chars:
+            self.pos += 1
+
+
+def read_journal(directory: str) -> List[JournalRecord]:
+    """All records in ``directory``'s journal, oldest first."""
+    path = os.path.join(directory, JOURNAL_NAME)
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    scanner = _Scanner(text)
+    records: List[JournalRecord] = []
+    while not scanner.at_end():
+        scanner.expect("rev")
+        scanner.skip("\t")
+        url = scanner.read_string()
+        scanner.skip("\t")
+        revision = scanner.read_field()
+        scanner.skip("\t")
+        date_text = scanner.read_field()
+        scanner.skip("\t")
+        author = scanner.read_string()
+        scanner.skip("\n")
+        log = scanner.read_string()
+        scanner.skip("\n")
+        body = scanner.read_string()
+        try:
+            date = int(date_text)
+        except ValueError:
+            raise JournalError(f"bad date field {date_text!r}")
+        records.append(JournalRecord(
+            url=url, revision=revision, date=date,
+            author=author, log=log, text=body,
+        ))
+    return records
+
+
+def clear_journal(directory: str) -> bool:
+    """Remove the journal (after compaction); True if one existed."""
+    path = os.path.join(directory, JOURNAL_NAME)
+    if os.path.exists(path):
+        os.remove(path)
+        return True
+    return False

@@ -12,22 +12,44 @@ This module writes and reads that directory:
 * ``users.ctl`` — the seen-version control file;
 * ``MANIFEST`` — mangled-name → URL map (URL characters that cannot
   appear in filenames are percent-escaped, so the map is also
-  reconstructible from names alone).
+  reconstructible from names alone);
+* ``journal.log`` — append-only records for revisions checked in since
+  the last full rewrite (see :mod:`.journal`).
 
 Everything is plain text on purpose: the repository is as browsable —
 and as unprotected — as the paper describes.
+
+Two save paths:
+
+* :func:`save_store` — the full rewrite (every ``,v`` file), O(total
+  archive).  A full rewrite supersedes the journal, so it doubles as
+  **compaction** (:func:`compact_store` is the explicit spelling).
+* :func:`append_store` — O(new data): one journal record per revision
+  checked in since the last sync, plus rewrites of the two small
+  bookkeeping files.  :func:`load_store` replays the journal on top of
+  the compacted base through the ordinary deterministic ``checkin``
+  path, reconstructing a store whose serialized archives are
+  byte-identical to what a full rewrite would have produced.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, List
 
 from ...rcs.rcsfile import parse_rcsfile, serialize_rcsfile
+from .journal import (
+    JournalError,
+    JournalRecord,
+    append_records,
+    clear_journal,
+    read_journal,
+)
 from .store import SnapshotStore
 from .usercontrol import UserControl
 
-__all__ = ["save_store", "load_store", "mangle_url", "unmangle_name"]
+__all__ = ["save_store", "append_store", "compact_store", "load_store",
+           "mangle_url", "unmangle_name"]
 
 _SAFE = set(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_"
@@ -62,8 +84,20 @@ def unmangle_name(name: str) -> str:
     return "".join(out)
 
 
+def _write_users(store: SnapshotStore, directory: str) -> None:
+    with open(os.path.join(directory, "users.ctl"), "w",
+              encoding="utf-8") as handle:
+        handle.write(store.users.serialize())
+
+
 def save_store(store: SnapshotStore, directory: str) -> int:
-    """Write the repository to ``directory``; returns files written."""
+    """Write the repository to ``directory``; returns files written.
+
+    A full rewrite: every archive's ``,v`` file is re-serialized.  Any
+    existing journal is superseded by the rewrite and removed, and the
+    store's persisted-revision markers are brought up to date — this is
+    the compaction step of the append-only scheme.
+    """
     archives_dir = os.path.join(directory, "archives")
     os.makedirs(archives_dir, exist_ok=True)
     written = 0
@@ -75,16 +109,60 @@ def save_store(store: SnapshotStore, directory: str) -> int:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(serialize_rcsfile(archive))
         written += 1
-    with open(os.path.join(directory, "users.ctl"), "w",
-              encoding="utf-8") as handle:
-        handle.write(store.users.serialize())
+    _write_users(store, directory)
     written += 1
     with open(os.path.join(directory, "MANIFEST"), "w",
               encoding="utf-8") as handle:
         for name, url in sorted(manifest.items()):
             handle.write(f"{name}\t{url}\n")
     written += 1
+    clear_journal(directory)
+    store.persisted_revisions = {
+        url: archive.revision_count
+        for url, archive in store.archives.items()
+    }
     return written
+
+
+def compact_store(store: SnapshotStore, directory: str) -> int:
+    """Merge the journal into the ``,v`` base (full rewrite) and drop
+    it.  Identical to :func:`save_store`; named for intent."""
+    return save_store(store, directory)
+
+
+def append_store(store: SnapshotStore, directory: str) -> int:
+    """Append-only save: journal every revision checked in since the
+    last sync; returns the number of records appended.
+
+    Only the journal grows — the ``,v`` base stays untouched — so the
+    cost is proportional to the *new* data, not the repository size.
+    The two small bookkeeping files (``users.ctl``, whose seen-markers
+    move even without new revisions, and nothing else) are rewritten
+    each sync.  With ``store.options.journal_persistence`` off this
+    degrades to a full :func:`save_store` rewrite (and returns its
+    file count), keeping call sites branch-free.
+    """
+    if not store.options.journal_persistence:
+        return save_store(store, directory)
+    os.makedirs(directory, exist_ok=True)
+    records: List[JournalRecord] = []
+    for url, archive in sorted(store.archives.items()):
+        done = store.persisted_revisions.get(url, 0)
+        if archive.revision_count <= done:
+            continue
+        for info in archive.revisions()[done:]:
+            records.append(JournalRecord(
+                url=url,
+                revision=info.number,
+                date=info.date,
+                author=info.author,
+                log=info.log,
+                text=archive.checkout(info.number),
+            ))
+        store.persisted_revisions[url] = archive.revision_count
+    appended = append_records(directory, records)
+    _write_users(store, directory)
+    return appended
 
 
 def load_store(store: SnapshotStore, directory: str) -> int:
@@ -92,7 +170,10 @@ def load_store(store: SnapshotStore, directory: str) -> int:
 
     Returns the number of archives loaded.  Existing in-memory archives
     for the same URLs are replaced — the disk copy wins, as it would
-    for a restarted CGI process.
+    for a restarted CGI process.  After the ``,v`` base is read, the
+    journal (if any) is replayed through the ordinary check-in path;
+    replay is strict, raising :class:`~.journal.JournalError` when a
+    record does not land on its recorded revision number.
     """
     archives_dir = os.path.join(directory, "archives")
     loaded = 0
@@ -108,6 +189,29 @@ def load_store(store: SnapshotStore, directory: str) -> int:
             archive.name = url
             store.archives[url] = archive
             loaded += 1
+    for record in read_journal(directory):
+        if record.url not in store.archives:
+            loaded += 1
+        archive = store.archive_for(record.url)
+        number, changed = archive.checkin(
+            record.text, date=record.date,
+            author=record.author, log=record.log,
+        )
+        if not changed or number != record.revision:
+            raise JournalError(
+                f"journal replay of {record.url} expected revision "
+                f"{record.revision}, got {number} (changed={changed})"
+            )
+    # Everything now in memory is on disk (base + journal).
+    store.persisted_revisions = {
+        url: archive.revision_count
+        for url, archive in store.archives.items()
+    }
+    # Loaded archives adopt the store's checkpoint spacing (keyframes
+    # are derived data; this only rebuilds acceleration state).
+    for archive in store.archives.values():
+        if archive.keyframe_interval != store.options.keyframe_interval:
+            archive.set_keyframe_interval(store.options.keyframe_interval)
     users_path = os.path.join(directory, "users.ctl")
     if os.path.exists(users_path):
         with open(users_path, "r", encoding="utf-8") as handle:

@@ -77,6 +77,8 @@ class SnapshotService:
         try:
             if not action:
                 return make_response(200, self._form_page())
+            if action == "stats":
+                return self._stats()
             if not url:
                 return self._error_page(400, "missing the url parameter")
             if action == "remember":
@@ -179,6 +181,30 @@ class SnapshotService:
         else:
             text = self.store.view(url, revision)
         return make_response(200, padding + text)
+
+    def _stats(self) -> Response:
+        """Operator page: every storage layer's counters in one table
+        (``store.stats()`` rendered as nested definition lists)."""
+        padding = self.keepalive.padding(self.costs.cheap)
+
+        def render(value) -> str:
+            if isinstance(value, dict):
+                items = "".join(
+                    f"<DT>{encode_entities(str(key))}</DT>"
+                    f"<DD>{render(val)}</DD>"
+                    for key, val in value.items()
+                )
+                return f"<DL>{items}</DL>"
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return encode_entities(str(value))
+
+        body = (
+            "<HTML><HEAD><TITLE>Snapshot store statistics</TITLE></HEAD>"
+            "<BODY><H1>Snapshot store statistics</H1>"
+            f"{render(self.store.stats())}</BODY></HTML>"
+        )
+        return make_response(200, padding + body)
 
     # ------------------------------------------------------------------
     def _link(self, params: dict, label: str) -> str:

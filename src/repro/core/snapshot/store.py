@@ -27,12 +27,14 @@ from ...web.http import NetworkError
 from ...web.url import parse_url
 from ..htmldiff.api import HtmlDiffResult, html_diff
 from ..htmldiff.options import HtmlDiffOptions
+from .checkoutcache import CheckoutCache
 from .diffcache import DiffCache
 from .locking import LockManager, RequestCoalescer
+from .options import StoreOptions
 from .usercontrol import UserControl
 
 __all__ = ["SnapshotStore", "RememberResult", "SnapshotError",
-           "add_base_directive"]
+           "StoreOptions", "add_base_directive"]
 
 
 class SnapshotError(Exception):
@@ -83,10 +85,12 @@ class SnapshotStore:
         diff_options: Optional[HtmlDiffOptions] = None,
         diff_cache_ttl: int = 3600,
         diff_cache_size: int = 256,
+        options: Optional[StoreOptions] = None,
     ) -> None:
         self.clock = clock
         self.agent = agent
         self.diff_options = diff_options
+        self.options = options if options is not None else StoreOptions()
         self.archives: Dict[str, RcsArchive] = {}
         self.users = UserControl()
         self.locks = LockManager()
@@ -96,9 +100,18 @@ class SnapshotStore:
         #: coalescer's same-instant window.  ``diff_cache_size=0``
         #: disables the cache.
         self.diff_cache = DiffCache(capacity=diff_cache_size)
+        #: Checked-out revision texts are immutable too; this cache sits
+        #: under the diff cache so a Diff link checks out each endpoint
+        #: once, shared with view/view_at/time travel.
+        self.checkout_cache = CheckoutCache(
+            capacity=self.options.checkout_cache_size
+        )
         #: Local cached copy of the most recent fetch per URL (the
         #: paper's "locally cached copy of the HTML document").
         self.page_cache: Dict[str, str] = {}
+        #: url → number of revisions already on disk (compacted ,v base
+        #: plus journal records); maintained by the persistence layer.
+        self.persisted_revisions: Dict[str, int] = {}
         self.htmldiff_invocations = 0
 
     # ------------------------------------------------------------------
@@ -109,7 +122,9 @@ class SnapshotStore:
         key = self._canonical(url)
         archive = self.archives.get(key)
         if archive is None:
-            archive = RcsArchive(name=key)
+            archive = RcsArchive(
+                name=key, keyframe_interval=self.options.keyframe_interval
+            )
             self.archives[key] = archive
         return archive
 
@@ -123,13 +138,47 @@ class SnapshotStore:
         it is not saved if it is unchanged from the previous time it
         was stored away."  Either way the user's control file records
         that they have now seen the head revision.
+
+        With ``options.coalesce_checkins``, concurrent remembers of the
+        same URL (same simulated instant) share one fetch *and* one RCS
+        check-in under a single URL-lock acquisition — the second user
+        "would just wait for the page and then return, rather than
+        repeating the work" (Section 4.2) — and each requester's
+        control file is still stamped individually.
         """
         key = self._canonical(url)
-        with self.locks.acquire(f"url:{key}"), self.locks.acquire(f"user:{user}"):
+        if not self.options.coalesce_checkins:
+            with self.locks.acquire(f"url:{key}"), \
+                    self.locks.acquire(f"user:{user}"):
+                body = self.coalescer.do(
+                    f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
+                )
+                return self._checkin(user, key, body)
+        with self.locks.acquire(f"user:{user}"):
             body = self.coalescer.do(
                 f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
             )
-            return self._checkin(user, key, body)
+            revision, changed, nbytes = self._coalesced_checkin(user, key, body)
+            self.users.record(user, key, revision, self.clock.now)
+            return RememberResult(
+                url=key, revision=revision, changed=changed,
+                fetched_bytes=nbytes, when=self.clock.now,
+            )
+
+    def remember_batch(self, users: List[str], url: str) -> List[RememberResult]:
+        """One fetch + one check-in serving many users at once.
+
+        The shape `CentralTracker.poll` and multi-user w3newer sweeps
+        generate: the page is retrieved once "regardless of the number
+        of users who track it", the archive is touched under one URL
+        lock, and the new head is fanned out to every requesting user's
+        control file.
+        """
+        key = self._canonical(url)
+        body = self.coalescer.do(
+            f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
+        )
+        return self.checkin_content_batch(users, key, body)
 
     def checkin_content(self, user: str, url: str, body: str) -> RememberResult:
         """Check in content the caller already fetched.
@@ -143,22 +192,81 @@ class SnapshotStore:
         with self.locks.acquire(f"url:{key}"), self.locks.acquire(f"user:{user}"):
             return self._checkin(user, key, body)
 
+    def checkin_content_batch(
+        self, users: List[str], url: str, body: str
+    ) -> List[RememberResult]:
+        """Batched form of :meth:`checkin_content`: one archive
+        check-in under one URL lock, then one control-file stamp per
+        user.  Result order matches ``users``; only the first requester
+        reports ``changed`` (exactly what N sequential check-ins of the
+        same body would have reported)."""
+        key = self._canonical(url)
+        author = users[0] if users else "aide"
+        if self.options.coalesce_checkins:
+            revision, changed, _ = self._coalesced_checkin(author, key, body)
+        else:
+            with self.locks.acquire(f"url:{key}"):
+                revision, changed, _ = self._checkin_archive(author, key, body)
+        results = []
+        for index, user in enumerate(users):
+            with self.locks.acquire(f"user:{user}"):
+                self.users.record(user, key, revision, self.clock.now)
+            results.append(RememberResult(
+                url=key, revision=revision,
+                changed=changed and index == 0,
+                fetched_bytes=len(body), when=self.clock.now,
+            ))
+        return results
+
+    def _coalesced_checkin(
+        self, author: str, key: str, body: str
+    ) -> Tuple[str, bool, int]:
+        """Run (or join) this instant's check-in of ``body`` for ``key``.
+
+        The coalescer key carries a body fingerprint, so only check-ins
+        of the *same* content share work.  Joiners see ``changed=False``
+        — exactly what their own check-in of the now-identical body
+        would have returned on the reference path.
+        """
+        mine: List[Tuple[str, bool, int]] = []
+
+        def do_checkin():
+            with self.locks.acquire(f"url:{key}"):
+                outcome = self._checkin_archive(author, key, body)
+            mine.append(outcome)
+            return outcome
+
+        revision, changed, nbytes = self.coalescer.do(
+            f"checkin:{key}:{self.clock.now}:{len(body)}:{hash(body)}",
+            do_checkin,
+        )
+        if not mine:
+            changed = False
+        return revision, changed, nbytes
+
     def _checkin(self, user: str, key: str, body: str) -> RememberResult:
         """The shared check-in tail (callers hold the locks)."""
+        revision, changed, nbytes = self._checkin_archive(user, key, body)
+        self.users.record(user, key, revision, self.clock.now)
+        return RememberResult(
+            url=key, revision=revision, changed=changed,
+            fetched_bytes=nbytes, when=self.clock.now,
+        )
+
+    def _checkin_archive(
+        self, author: str, key: str, body: str
+    ) -> Tuple[str, bool, int]:
+        """Archive mutation alone: (revision, changed, body bytes)."""
         archive = self.archive_for(key)
         revision, changed = archive.checkin(
-            body, date=self.clock.now, author=user,
-            log=f"snapshot by {user}",
+            body, date=self.clock.now, author=author,
+            log=f"snapshot by {author}",
         )
         if changed:
             # New head: cached diffs of existing pairs stay valid; new
             # pairs simply get their own cache entries.
             self.page_cache[key] = body
-        self.users.record(user, key, revision, self.clock.now)
-        return RememberResult(
-            url=key, revision=revision, changed=changed,
-            fetched_bytes=len(body), when=self.clock.now,
-        )
+        return revision, changed, len(body)
 
     def _fetch(self, url: str) -> str:
         try:
@@ -231,12 +339,29 @@ class SnapshotStore:
         self, archive: RcsArchive, rev_old: str, rev_new: str
     ) -> HtmlDiffResult:
         try:
-            old_text = archive.checkout(rev_old)
-            new_text = archive.checkout(rev_new)
+            old_text = self._checkout_text(archive.name, archive, rev_old)
+            new_text = self._checkout_text(archive.name, archive, rev_new)
         except UnknownRevision as exc:
             raise SnapshotError(f"no such revision of {archive.name}: {exc}")
         self.htmldiff_invocations += 1
         return html_diff(old_text, new_text, options=self.diff_options)
+
+    def _checkout_text(
+        self, key: str, archive: RcsArchive, revision: Optional[str] = None
+    ) -> str:
+        """Checkout through the shared LRU cache.
+
+        Revision texts are immutable once checked in, so entries never
+        need invalidation — a new check-in is a new key."""
+        number = revision if revision is not None else archive.head_revision
+        if number is not None:
+            cached = self.checkout_cache.get(key, number)
+            if cached is not None:
+                return cached
+        text = archive.checkout(number)
+        if number is not None:
+            self.checkout_cache.put(key, number, text)
+        return text
 
     # ------------------------------------------------------------------
     # history / view
@@ -261,7 +386,10 @@ class SnapshotStore:
         archive = self.archives.get(key)
         if archive is None or archive.revision_count == 0:
             raise SnapshotError(f"no snapshots of {key}")
-        text = archive.checkout(revision)
+        try:
+            text = self._checkout_text(key, archive, revision)
+        except UnknownRevision as exc:
+            raise SnapshotError(f"no such revision of {key}: {exc}")
         if rewrite_base:
             return add_base_directive(text, key)
         return text
@@ -278,11 +406,15 @@ class SnapshotStore:
         archive = self.archives.get(key)
         if archive is None or archive.revision_count == 0:
             raise SnapshotError(f"no snapshots of {key}")
-        text = archive.checkout_at(date)
-        if text is None:
+        # Resolve the date first (bisect over monotone datestamps), then
+        # go through the shared checkout cache — time-travel requests
+        # for the same epoch hit the same (url, revision) entry.
+        info = archive.revision_at(date)
+        if info is None:
             raise SnapshotError(
                 f"nothing archived for {key} as early as {date}"
             )
+        text = self._checkout_text(key, archive, info.number)
         if rewrite_base:
             return add_base_directive(text, key)
         return text
@@ -303,9 +435,44 @@ class SnapshotStore:
 
     def full_copy_bytes(self) -> int:
         """What storage would cost with a full copy per revision — the
-        baseline the RCS design is measured against."""
+        baseline the RCS design is measured against.  One backward walk
+        per archive (O(revisions)), not one checkout per revision."""
         total = 0
         for archive in self.archives.values():
-            for info in archive.revisions():
-                total += len(archive.checkout(info.number))
+            for _info, text in archive.iter_texts():
+                total += len(text)
         return total
+
+    def stats(self) -> Dict[str, object]:
+        """One dict with every layer's counters: the diff cache, the
+        checkout cache, the request coalescer, the lock manager, and
+        the archives' chain-walk instrumentation."""
+        archives = list(self.archives.values())
+        checkouts = sum(a.checkouts for a in archives)
+        delta_applications = sum(a.delta_applications for a in archives)
+        return {
+            "diff_cache": self.diff_cache.stats(),
+            "checkout_cache": self.checkout_cache.stats(),
+            "coalescer": {
+                "executions": self.coalescer.executions,
+                "coalesced": self.coalescer.coalesced,
+            },
+            "locks": {
+                "acquisitions": self.locks.acquisitions,
+                "contentions": self.locks.contentions,
+            },
+            "archives": {
+                "count": len(archives),
+                "revisions": sum(a.revision_count for a in archives),
+                "checkouts": checkouts,
+                "delta_applications": delta_applications,
+                "mean_chain_length": (
+                    delta_applications / checkouts if checkouts else 0.0
+                ),
+                "keyframe_interval": self.options.keyframe_interval,
+                "keyframe_starts": sum(a.keyframe_starts for a in archives),
+                "keyframes": sum(a.keyframe_count() for a in archives),
+                "keyframe_bytes": sum(a.keyframe_bytes() for a in archives),
+            },
+            "htmldiff_invocations": self.htmldiff_invocations,
+        }

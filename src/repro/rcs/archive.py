@@ -15,12 +15,32 @@ reproduced here:
   "as it existed at a particular time";
 * revision numbers are 1.1, 1.2, 1.3, ... on the trunk (AIDE never
   branches).
+
+Section 7 measures the other side of the reverse-delta bargain: storage
+is cheap but "requesting a page as it existed at a particular time"
+pays one delta application per revision between the head and the
+target.  Two acceleration layers cap that cost without changing any
+observable text:
+
+* **keyframe checkpoints** — with ``keyframe_interval=K > 0``, every
+  K-th revision keeps its full line list in memory when it stops being
+  the head, so a checkout walks at most K-1 deltas from the nearest
+  checkpoint instead of the whole chain.  Keyframes are derived data
+  (reconstructible from the deltas); they are *not* counted in
+  :meth:`size_bytes` and are rebuilt, not stored, when a ``,v`` file is
+  parsed.
+* **revision index** — revision-number lookup is a dict (O(1) instead
+  of a scan), and :meth:`revision_at` bisects over the datestamps while
+  they remain monotone, falling back to the paper-faithful linear scan
+  the moment a clock runs backwards (Section 4.1's non-monotonic
+  timestamps).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..diffcore.textdiff import (
     EditScript,
@@ -61,15 +81,36 @@ class _StoredRevision:
     #: Reverse delta reconstructing THIS revision from its successor.
     #: None for the head (its text is stored whole).
     reverse_delta: Optional[EditScript] = None
+    #: Full line list kept as a checkout checkpoint (keyframe); None for
+    #: ordinary revisions.  Derived data — never serialized.
+    keyframe_lines: Optional[List[str]] = field(default=None, repr=False)
 
 
 class RcsArchive:
-    """One RCS file (`,v` in real RCS), for one URL's page history."""
+    """One RCS file (`,v` in real RCS), for one URL's page history.
 
-    def __init__(self, name: str = "") -> None:
+    ``keyframe_interval=0`` (the default) is the paper's exact cost
+    model; any positive K bounds checkout chains at K-1 deltas.
+    """
+
+    def __init__(self, name: str = "", keyframe_interval: int = 0) -> None:
+        if keyframe_interval < 0:
+            raise ValueError(
+                f"keyframe_interval must be >= 0, got {keyframe_interval}"
+            )
         self.name = name
+        self.keyframe_interval = keyframe_interval
         self._head_lines: List[str] = []
         self._revisions: List[_StoredRevision] = []  # oldest first
+        self._number_index: Dict[str, int] = {}
+        #: Datestamps in revision order, valid for bisect only while
+        #: they are non-decreasing.
+        self._dates: List[int] = []
+        self._dates_monotonic = True
+        # Instrumentation (surfaced through SnapshotStore.stats()).
+        self.checkouts = 0
+        self.delta_applications = 0
+        self.keyframe_starts = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -93,11 +134,28 @@ class RcsArchive:
 
     def size_bytes(self) -> int:
         """Approximate on-disk size: head text + all reverse deltas +
-        a small per-revision metadata overhead (RCS headers)."""
+        a small per-revision metadata overhead (RCS headers).
+
+        Keyframes are excluded — they are reconstructible acceleration
+        state, not archive storage (see :meth:`keyframe_bytes`)."""
         head = sum(len(line) + 1 for line in self._head_lines)
         deltas = sum(rev.info.stored_bytes for rev in self._revisions[:-1])
         metadata = 64 * len(self._revisions)
         return head + deltas + metadata
+
+    def keyframe_bytes(self) -> int:
+        """Memory held by keyframe checkpoints (0 when disabled)."""
+        total = 0
+        for stored in self._revisions:
+            if stored.keyframe_lines is not None:
+                total += sum(len(line) + 1 for line in stored.keyframe_lines)
+        return total
+
+    def keyframe_count(self) -> int:
+        return sum(
+            1 for stored in self._revisions
+            if stored.keyframe_lines is not None
+        )
 
     # ------------------------------------------------------------------
     # ci / co
@@ -124,6 +182,13 @@ class RcsArchive:
             old_head = self._revisions[-1]
             old_head.reverse_delta = reverse
             old_head.info.stored_bytes = script_size(reverse)
+            if (
+                self.keyframe_interval
+                and (len(self._revisions) - 1) % self.keyframe_interval == 0
+            ):
+                # checkin never mutates a committed line list, so the
+                # keyframe can share it instead of copying.
+                old_head.keyframe_lines = self._head_lines
         info = RevisionInfo(
             number=number,
             date=date,
@@ -131,6 +196,10 @@ class RcsArchive:
             log=log,
             stored_bytes=sum(len(line) + 1 for line in new_lines),
         )
+        if self._dates and date < self._dates[-1]:
+            self._dates_monotonic = False
+        self._dates.append(date)
+        self._number_index[number] = len(self._revisions)
         self._revisions.append(_StoredRevision(info=info, reverse_delta=None))
         self._head_lines = new_lines
         return number, True
@@ -138,22 +207,45 @@ class RcsArchive:
     def checkout(self, number: Optional[str] = None) -> str:
         """Reconstruct a revision's text (head by default).
 
-        Walks reverse deltas from the head back to the requested
-        revision — the cost model the paper's storage argument assumes.
+        Walks reverse deltas back from the nearest full text — the head,
+        or a keyframe checkpoint when ``keyframe_interval`` is set.
         """
         if not self._revisions:
             raise UnknownRevision("archive is empty")
+        self.checkouts += 1
         if number is None:
             return "\n".join(self._head_lines)
         index = self._index_of(number)
-        lines = self._head_lines
+        start, lines = self._nearest_full_text(index)
         # Walk backward: revision k is rebuilt by applying revision k's
         # reverse delta to revision k+1's text.
-        for pos in range(len(self._revisions) - 2, index - 1, -1):
+        for pos in range(start - 1, index - 1, -1):
             delta = self._revisions[pos].reverse_delta
             assert delta is not None  # only the head lacks one
             lines = apply_edit_script(lines, delta)
+            self.delta_applications += 1
         return "\n".join(lines)
+
+    def _nearest_full_text(self, index: int) -> Tuple[int, List[str]]:
+        """(start index, full line list) to begin a backward walk from:
+        the closest keyframe at or after ``index``, else the head."""
+        last = len(self._revisions) - 1
+        if self.keyframe_interval and index < last:
+            k = self.keyframe_interval
+            candidate = index + (-index % k)  # smallest multiple of k >= index
+            if candidate < last:
+                keyframe = self._revisions[candidate].keyframe_lines
+                if keyframe is not None:
+                    self.keyframe_starts += 1
+                    return candidate, keyframe
+        return last, self._head_lines
+
+    def chain_length(self, number: str) -> int:
+        """Delta applications a checkout of ``number`` costs right now
+        (the §7 reconstruction-cost axis, without doing the work)."""
+        index = self._index_of(number)
+        start, _ = self._nearest_full_text(index)
+        return start - index
 
     def checkout_at(self, date: int) -> Optional[str]:
         """Text of the newest revision dated at or before ``date``.
@@ -167,7 +259,17 @@ class RcsArchive:
         return self.checkout(info.number)
 
     def revision_at(self, date: int) -> Optional[RevisionInfo]:
-        """Newest revision whose datestamp is <= ``date``."""
+        """Newest revision whose datestamp is <= ``date``.
+
+        O(log n) bisect while datestamps are monotone; the linear scan
+        (last match in revision order) when a clock ran backwards, so
+        non-monotonic histories keep the paper's exact semantics.
+        """
+        if self._dates_monotonic:
+            index = bisect_right(self._dates, date)
+            if index == 0:
+                return None
+            return self._revisions[index - 1].info
         best = None
         for stored in self._revisions:
             if stored.info.date <= date:
@@ -175,11 +277,78 @@ class RcsArchive:
         return best
 
     # ------------------------------------------------------------------
+    # Keyframe maintenance
+    # ------------------------------------------------------------------
+    def set_keyframe_interval(self, interval: int) -> None:
+        """Change the checkpoint spacing and rebuild checkpoints.
+
+        One backward walk over the whole chain — O(revisions) delta
+        applications — materializes every K-th revision.  ``0`` drops
+        all keyframes (back to the paper's cost model).
+        """
+        if interval < 0:
+            raise ValueError(f"keyframe_interval must be >= 0, got {interval}")
+        if interval == self.keyframe_interval:
+            return
+        self.keyframe_interval = interval
+        for stored in self._revisions:
+            stored.keyframe_lines = None
+        if not interval or len(self._revisions) < 2:
+            return
+        lines = self._head_lines
+        for pos in range(len(self._revisions) - 2, -1, -1):
+            delta = self._revisions[pos].reverse_delta
+            assert delta is not None
+            lines = apply_edit_script(lines, delta)
+            if pos % interval == 0:
+                self._revisions[pos].keyframe_lines = lines
+        # The walk reused each reconstruction as the next step's input;
+        # keyframes must not alias a list a later apply could observe —
+        # apply_edit_script builds fresh lists, so sharing is safe.
+
+    # ------------------------------------------------------------------
+    # Bulk reconstruction
+    # ------------------------------------------------------------------
+    def iter_texts(self) -> Iterator[Tuple[RevisionInfo, str]]:
+        """Yield (info, text) for every revision, oldest first.
+
+        A single backward walk reconstructs all n revisions in O(n)
+        delta applications — against n separate checkouts' O(n²) (or
+        O(nK) with keyframes).  Used by full-copy accounting and the
+        journal writer.
+        """
+        if not self._revisions:
+            return
+        texts: List[str] = ["\n".join(self._head_lines)]
+        lines = self._head_lines
+        for pos in range(len(self._revisions) - 2, -1, -1):
+            delta = self._revisions[pos].reverse_delta
+            assert delta is not None
+            lines = apply_edit_script(lines, delta)
+            texts.append("\n".join(lines))
+        texts.reverse()
+        for stored, text in zip(self._revisions, texts):
+            yield stored.info, text
+
+    # ------------------------------------------------------------------
     def _index_of(self, number: str) -> int:
-        for index, stored in enumerate(self._revisions):
-            if stored.info.number == number:
-                return index
-        raise UnknownRevision(number)
+        index = self._number_index.get(number)
+        if index is None:
+            raise UnknownRevision(number)
+        return index
 
     def _stored(self, number: str) -> _StoredRevision:
         return self._revisions[self._index_of(number)]
+
+    def _rebuild_lookup_state(self) -> None:
+        """Recompute index/date structures after direct ``_revisions``
+        surgery (the ,v parser builds archives that way)."""
+        self._number_index = {
+            stored.info.number: index
+            for index, stored in enumerate(self._revisions)
+        }
+        self._dates = [stored.info.date for stored in self._revisions]
+        self._dates_monotonic = all(
+            earlier <= later
+            for earlier, later in zip(self._dates, self._dates[1:])
+        )

@@ -45,8 +45,14 @@ def serialize_rcsfile(archive: RcsArchive) -> str:
         "symbols;",
         "locks; strict;",
         f"comment\t{_quote('# ')};",
-        "",
     ]
+    if archive.keyframe_interval:
+        # Checkpoint spacing survives the round trip; the checkpoints
+        # themselves are derived data and are rebuilt by the parser.
+        # Emitted only when enabled, so reference archives serialize
+        # byte-identically to the historical format.
+        lines.append(f"keyframes\t{archive.keyframe_interval};")
+    lines.append("")
     # Metadata paragraphs, newest first (RCS order).
     for info in reversed(revisions):
         lines.append(f"{info.number}")
@@ -170,6 +176,12 @@ def parse_rcsfile(text: str) -> RcsArchive:
     if head_line is None:
         raise RcsParseError("missing head line")
 
+    # Optional checkpoint spacing (absent in historical archives).
+    keyframe_interval = 0
+    keyframe_match = re.search(r"^keyframes\s+(\d+);$", text, re.MULTILINE)
+    if keyframe_match:
+        keyframe_interval = int(keyframe_match.group(1))
+
     # Revision metadata paragraphs.
     dates: Dict[str, int] = {}
     authors: Dict[str, str] = {}
@@ -205,6 +217,7 @@ def parse_rcsfile(text: str) -> RcsArchive:
 
     archive = RcsArchive(name=name)
     if not order_newest_first:
+        archive.keyframe_interval = keyframe_interval
         return archive
 
     # Text sections: for each revision number, a log string and a text
@@ -250,4 +263,7 @@ def parse_rcsfile(text: str) -> RcsArchive:
             archive._revisions.append(
                 _StoredRevision(info=info, reverse_delta=delta)
             )
+    archive._rebuild_lookup_state()
+    if keyframe_interval:
+        archive.set_keyframe_interval(keyframe_interval)
     return archive

@@ -1,0 +1,225 @@
+"""Differential tests: the storage fast path is output-neutral.
+
+The same discipline as the HtmlDiff fast path (PR 1): a store with
+every acceleration enabled (keyframes, checkout cache, check-in
+coalescing, journal persistence) and a store with
+``StoreOptions().reference()`` are fed the identical revision history —
+every mutate operator, 220 revisions — and every observable result
+(checkout, diff, view_at, reload-from-disk) must be byte-identical.
+"""
+
+import random
+
+import pytest
+
+from repro.core.snapshot.persistence import load_store, save_store
+from repro.core.snapshot.store import SnapshotError, SnapshotStore, StoreOptions
+from repro.rcs.rcsfile import serialize_rcsfile
+from repro.simclock import HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+from ..rcs.test_keyframes import generated_history
+
+URL = "http://tracked.example.com/page.html"
+REVISIONS = 220
+
+
+def make_store(clock, network, options):
+    return SnapshotStore(clock, UserAgent(network, clock), options=options)
+
+
+@pytest.fixture(scope="module")
+def twin_stores():
+    """(clock, fast store, reference store) with identical archives."""
+    clock = SimClock()
+    network = Network(clock)
+    fast = make_store(clock, network, StoreOptions())
+    reference = make_store(clock, network, StoreOptions().reference())
+    for text in generated_history(REVISIONS, seed=19):
+        clock.advance(HOUR)
+        fast.checkin_content("fred@att.com", URL, text)
+        reference.checkin_content("fred@att.com", URL, text)
+    return clock, fast, reference
+
+
+class TestDifferentialOutputs:
+    def test_archives_created_identically(self, twin_stores):
+        _clock, fast, reference = twin_stores
+        fast_archive = fast.archives[URL]
+        ref_archive = reference.archives[URL]
+        assert fast_archive.revision_count == ref_archive.revision_count
+        assert fast_archive.revision_count == REVISIONS
+        assert fast_archive.size_bytes() == ref_archive.size_bytes()
+
+    def test_every_checkout_byte_identical(self, twin_stores):
+        _clock, fast, reference = twin_stores
+        for index in range(REVISIONS):
+            number = f"1.{index + 1}"
+            assert fast.view(URL, revision=number) == \
+                reference.view(URL, revision=number)
+
+    def test_view_at_byte_identical(self, twin_stores):
+        clock, fast, reference = twin_stores
+        rng = random.Random(5)
+        dates = [rng.randrange(0, clock.now + 2 * HOUR) for _ in range(50)]
+        for date in dates:
+            try:
+                fast_text = fast.view_at(URL, date)
+            except SnapshotError:
+                # Nothing that old is archived: the reference path must
+                # refuse identically.
+                with pytest.raises(SnapshotError):
+                    reference.view_at(URL, date)
+                continue
+            assert fast_text == reference.view_at(URL, date)
+
+    def test_diff_byte_identical_on_sampled_pairs(self, twin_stores):
+        _clock, fast, reference = twin_stores
+        rng = random.Random(9)
+        pairs = [(i, i + 1) for i in range(1, REVISIONS, 37)]
+        pairs += [
+            sorted(rng.sample(range(1, REVISIONS + 1), 2)) for _ in range(12)
+        ]
+        for old, new in pairs:
+            fast_result = fast.diff(
+                "fred@att.com", URL, rev_old=f"1.{old}", rev_new=f"1.{new}")
+            ref_result = reference.diff(
+                "fred@att.com", URL, rev_old=f"1.{old}", rev_new=f"1.{new}")
+            assert fast_result.html == ref_result.html
+
+    def test_reload_from_disk_byte_identical(self, twin_stores, tmp_path):
+        clock, fast, reference = twin_stores
+        fast_dir, ref_dir = str(tmp_path / "fast"), str(tmp_path / "ref")
+        save_store(fast, fast_dir)
+        save_store(reference, ref_dir)
+        network = Network(clock)
+        fast2 = make_store(clock, network, StoreOptions())
+        ref2 = make_store(clock, network, StoreOptions().reference())
+        load_store(fast2, fast_dir)
+        load_store(ref2, ref_dir)
+        for index in range(1, REVISIONS + 1, 17):
+            number = f"1.{index}"
+            texts = {
+                fast.view(URL, revision=number),
+                reference.view(URL, revision=number),
+                fast2.view(URL, revision=number),
+                ref2.view(URL, revision=number),
+            }
+            assert len(texts) == 1
+
+    def test_fast_path_walks_fewer_deltas(self, twin_stores):
+        _clock, fast, reference = twin_stores
+        assert fast.archives[URL].chain_length("1.1") < \
+            reference.archives[URL].chain_length("1.1")
+
+
+class TestCheckoutCache:
+    def test_diff_endpoints_cached(self, twin_stores):
+        _clock, fast, _reference = twin_stores
+        before = fast.checkout_cache.stats()["hits"]
+        fast.diff("fred@att.com", URL, rev_old="1.3", rev_new="1.7")
+        fast.view(URL, revision="1.3")
+        fast.view(URL, revision="1.7")
+        assert fast.checkout_cache.stats()["hits"] >= before + 2
+
+    def test_reference_cache_disabled(self, twin_stores):
+        _clock, _fast, reference = twin_stores
+        reference.view(URL, revision="1.4")
+        reference.view(URL, revision="1.4")
+        assert reference.checkout_cache.stats()["hits"] == 0
+        assert len(reference.checkout_cache) == 0
+
+
+class TestCombinedStats:
+    def test_stats_exposes_every_layer(self, twin_stores):
+        _clock, fast, _reference = twin_stores
+        stats = fast.stats()
+        assert set(stats) >= {
+            "diff_cache", "checkout_cache", "coalescer", "locks",
+            "archives", "htmldiff_invocations",
+        }
+        assert stats["archives"]["revisions"] == REVISIONS
+        assert stats["archives"]["keyframe_interval"] == 16
+        assert stats["archives"]["keyframes"] > 0
+        assert stats["archives"]["keyframe_bytes"] > 0
+        assert stats["checkout_cache"]["capacity"] == 64
+        assert stats["diff_cache"]["capacity"] == 256
+
+
+class TestCoalescedCheckins:
+    def make_world(self, coalesce):
+        clock = SimClock()
+        network = Network(clock)
+        server = network.create_server("site.com")
+        server.set_page("/p", "<P>content v1 with several words.</P>")
+        options = StoreOptions() if coalesce else StoreOptions().reference()
+        store = make_store(clock, network, options)
+        return clock, network, server, store
+
+    def test_same_instant_remembers_share_fetch_and_checkin(self):
+        clock, network, server, store = self.make_world(coalesce=True)
+        users = [f"user{i}@att.com" for i in range(8)]
+        results = [store.remember(user, "http://site.com/p") for user in users]
+        assert server.get_count == 1
+        assert [r.revision for r in results] == ["1.1"] * 8
+        assert results[0].changed
+        assert not any(r.changed for r in results[1:])
+        archive = store.archives["http://site.com/p"]
+        assert archive.revision_count == 1
+        # Everyone's control file is stamped.
+        for user in users:
+            assert store.users.last_seen_version(
+                user, "http://site.com/p").revision == "1.1"
+
+    def test_coalesced_outcome_matches_reference(self):
+        outcomes = {}
+        for coalesce in (True, False):
+            clock, network, server, store = self.make_world(coalesce)
+            users = [f"user{i}@att.com" for i in range(5)]
+            results = [store.remember(u, "http://site.com/p") for u in users]
+            clock.advance(HOUR)
+            server.set_page("/p", "<P>content v2, rather different.</P>")
+            results += [store.remember(u, "http://site.com/p") for u in users]
+            outcomes[coalesce] = (
+                [(r.revision, r.changed) for r in results],
+                store.users.serialize(),
+                serialize_rcsfile(store.archives["http://site.com/p"]),
+            )
+        fast_seen = outcomes[True][1]
+        ref_seen = outcomes[False][1]
+        assert outcomes[True][0] == outcomes[False][0]
+        assert fast_seen == ref_seen
+
+    def test_coalesced_uses_fewer_url_locks(self):
+        _clock, _network, _server, fast = self.make_world(coalesce=True)
+        _clock2, _network2, _server2, ref = self.make_world(coalesce=False)
+        users = [f"user{i}@att.com" for i in range(10)]
+        for user in users:
+            fast.remember(user, "http://site.com/p")
+            ref.remember(user, "http://site.com/p")
+        assert fast.locks.acquisitions < ref.locks.acquisitions
+
+    def test_remember_batch(self):
+        clock, network, server, store = self.make_world(coalesce=True)
+        users = [f"user{i}@att.com" for i in range(6)]
+        results = store.remember_batch(users, "http://site.com/p")
+        assert server.get_count == 1
+        assert [r.changed for r in results] == [True] + [False] * 5
+        for user in users:
+            assert store.users.last_seen_version(
+                user, "http://site.com/p").revision == "1.1"
+
+    def test_checkin_content_batch_without_coalescing(self):
+        _clock, _network, _server, store = self.make_world(coalesce=False)
+        users = ["a@x", "b@x"]
+        results = store.checkin_content_batch(
+            users, "http://site.com/p", "<P>hand-fed body.</P>")
+        assert [r.changed for r in results] == [True, False]
+        assert store.archives["http://site.com/p"].revision_count == 1
+
+    def test_different_bodies_do_not_coalesce(self):
+        _clock, _network, _server, store = self.make_world(coalesce=True)
+        store.checkin_content_batch(["a@x"], "http://site.com/p", "<P>one</P>")
+        store.checkin_content_batch(["b@x"], "http://site.com/p", "<P>two</P>")
+        assert store.archives["http://site.com/p"].revision_count == 2
