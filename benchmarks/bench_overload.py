@@ -33,14 +33,18 @@ CONFIG = parse_threshold_config("Default 0\n")
 def build_world(limit):
     clock = SimClock()
     network = Network(clock)
-    server = network.create_server("site.com")
+    # One page per host: the overload hits the shared proxy, and the
+    # resulting timeouts span many distinct hosts — the signature the
+    # systemic-failure detector requires before aborting a run.
     for i in range(URL_COUNT):
-        server.set_page(f"/p{i}.html", f"<P>page {i}</P>")
+        server = network.create_server(f"site{i:02d}.com")
+        server.set_page("/page.html", f"<P>page {i}</P>")
     proxy = ProxyCache(network, clock, ttl=HOUR)
     proxy.requests_per_instant_limit = limit
     agent = UserAgent(network, clock, proxy=proxy)
     hotlist = Hotlist.from_lines(
-        "\n".join(f"http://site.com/p{i}.html" for i in range(URL_COUNT))
+        "\n".join(f"http://site{i:02d}.com/page.html"
+                  for i in range(URL_COUNT))
     )
     return clock, agent, proxy, hotlist
 

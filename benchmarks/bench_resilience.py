@@ -1,0 +1,234 @@
+"""S15 — the resilience layer under a seeded chaos plan.
+
+Three scenarios over a 200-host simulated web:
+
+* **differential guarantee** — a trivial ``FaultPlan`` plus the default
+  ``RetryPolicy`` produces byte-identical reports and an identical
+  request log to the bare ``UserAgent`` (gate: exact equality);
+* **chaos convergence** — every host drops 20% of requests (seeded,
+  deterministic) and a 20-host block is hard-down during the first run,
+  forcing an abort; the checkpointed tracker must converge to 100%
+  hotlist coverage within 3 runs while retry amplification stays
+  bounded (gates: coverage 1.0, amplification ≤ 1.5x);
+* **breaker economics** — a dead host polled daily: the circuit breaker
+  caps the wire traffic wasted on it vs bare retries.
+
+Results land in ``benchmarks/results/BENCH_resilience.json`` next to
+the other BENCH_* files so CI can archive them.
+"""
+
+import json
+import os
+
+from repro.core.w3newer.errors import UrlState
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, SimClock
+from repro.web.client import UserAgent
+from repro.web.network import FaultPlan, Network
+from repro.web.resilience import ResilientAgent, RetryPolicy
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+HOSTS = 200
+RUNS = 3
+CHAOS_SEED = 42
+DROP_RATE = 0.20
+OUTAGE_HOSTS = range(100, 120)  # hard-down block during run 1
+
+CONFIG = parse_threshold_config("Default 0\n")
+
+UNRESOLVED = (UrlState.ERROR, UrlState.NOT_CHECKED, UrlState.NEVER_CHECK)
+
+
+def build_world(plan=None, resilient=False, **agent_kwargs):
+    clock = SimClock()
+    network = Network(clock, fault_plan=plan)
+    for h in range(HOSTS):
+        server = network.create_server(f"host{h:03d}.com")
+        server.set_page("/page.html", f"<P>page of host {h}</P>")
+    agent = UserAgent(network, clock)
+    if resilient:
+        agent = ResilientAgent(agent, **agent_kwargs)
+    hotlist = Hotlist.from_lines(
+        "\n".join(f"http://host{h:03d}.com/page.html" for h in range(HOSTS))
+    )
+    tracker = W3Newer(clock, agent, hotlist, config=CONFIG,
+                      abort_after_failures=5)
+    return clock, network, tracker
+
+
+def drive(clock, tracker, runs=RUNS):
+    """The daily cron: run, then the user reads the report (so every
+    URL is due for a real HTTP check again next run)."""
+    for _ in range(runs):
+        tracker.run()
+        for entry in tracker.hotlist:
+            tracker.mark_page_viewed(entry.url)
+        clock.advance(DAY)
+    return tracker.runs
+
+
+# ----------------------------------------------------------------------
+def scenario_differential(sink):
+    def run_world(resilient):
+        clock, network, tracker = build_world(FaultPlan(), resilient=resilient)
+        drive(clock, tracker)
+        return network, tracker
+
+    plain_net, plain = run_world(False)
+    wrapped_net, wrapped = run_world(True)
+    reports_identical = all(
+        mine.report_html == theirs.report_html
+        for mine, theirs in zip(plain.runs, wrapped.runs)
+    )
+    traffic_identical = plain_net.log == wrapped_net.log
+    stats = wrapped.agent.stats()
+    sink.row(f"  differential: {RUNS} runs x {HOSTS} hosts, zero faults — "
+             f"reports identical: {reports_identical}, "
+             f"traffic identical: {traffic_identical} "
+             f"({len(plain_net.log)} requests each)")
+    assert reports_identical, "zero-fault reports diverged"
+    assert traffic_identical, "zero-fault request logs diverged"
+    assert stats["retries"] == 0 and stats["breaker_opens"] == 0
+    return {
+        "hosts": HOSTS,
+        "runs": RUNS,
+        "requests": len(plain_net.log),
+        "reports_identical": reports_identical,
+        "traffic_identical": traffic_identical,
+    }
+
+
+# ----------------------------------------------------------------------
+def chaos_plan():
+    plan = FaultPlan(seed=CHAOS_SEED)
+    plan.intermittent("*", DROP_RATE, kind="timeout", tag="chaos")
+    for h in OUTAGE_HOSTS:
+        plan.outage(f"host{h:03d}.com", kind="timeout", end=DAY,
+                    tag="outage")
+    return plan
+
+
+def scenario_chaos(sink):
+    clock, network, tracker = build_world(
+        chaos_plan(), resilient=True,
+        policy=RetryPolicy(seed=CHAOS_SEED))
+    runs = drive(clock, tracker)
+
+    covered = set()
+    converged_after = None
+    for index, result in enumerate(runs, start=1):
+        for outcome in result.outcomes:
+            if outcome.state not in UNRESOLVED:
+                covered.add(outcome.url)
+        if converged_after is None and len(covered) == HOSTS:
+            converged_after = index
+    coverage = len(covered) / HOSTS
+
+    # Amplification: chaos wire traffic vs the same schedule on a
+    # fault-free network (the denominator the retry budget protects).
+    clean_clock, clean_net, clean_tracker = build_world(FaultPlan())
+    drive(clean_clock, clean_tracker)
+    amplification = len(network.log) / len(clean_net.log)
+
+    stats = tracker.agent.stats()
+    aborted_runs = sum(1 for r in runs if r.aborted)
+    resumed_runs = sum(1 for r in runs if r.resumed_from is not None)
+    final = runs[-1]
+    sink.row(f"  chaos: seed {CHAOS_SEED}, {DROP_RATE:.0%} drop on all "
+             f"hosts, {len(list(OUTAGE_HOSTS))} hosts dark during run 1")
+    sink.row(f"    coverage {coverage:.1%} (converged after run "
+             f"{converged_after}), {aborted_runs} aborted / "
+             f"{resumed_runs} resumed runs")
+    sink.row(f"    wire: {len(network.log)} requests vs "
+             f"{len(clean_net.log)} clean = {amplification:.2f}x "
+             f"amplification; {stats['retries']} retries, "
+             f"{stats['breaker_opens']} breaker opens, "
+             f"{stats['fallbacks']} stale fallbacks")
+    sink.row(f"    final run: {len(final.errors)} errors, "
+             f"{len(final.stale)} stale of {len(final.outcomes)} outcomes")
+
+    assert coverage == 1.0, f"coverage stuck at {coverage:.1%}"
+    assert converged_after is not None and converged_after <= RUNS
+    assert amplification <= 1.5, f"amplification {amplification:.2f}x"
+    assert aborted_runs >= 1, "outage block never forced an abort"
+    assert resumed_runs >= 1, "checkpoint never resumed"
+    return {
+        "seed": CHAOS_SEED,
+        "hosts": HOSTS,
+        "drop_rate": DROP_RATE,
+        "outage_hosts": len(list(OUTAGE_HOSTS)),
+        "coverage": coverage,
+        "converged_after_run": converged_after,
+        "aborted_runs": aborted_runs,
+        "resumed_runs": resumed_runs,
+        "chaos_requests": len(network.log),
+        "clean_requests": len(clean_net.log),
+        "amplification": round(amplification, 3),
+        "retries": stats["retries"],
+        "breaker_opens": stats["breaker_opens"],
+        "stale_fallbacks": stats["fallbacks"],
+        "final_run_errors": len(final.errors),
+        "final_run_stale": len(final.stale),
+    }
+
+
+# ----------------------------------------------------------------------
+def scenario_breaker_economics(sink):
+    """One dead host, polled daily for two weeks: wire requests spent
+    on it with bare retries vs with a circuit breaker in front."""
+    def poll_dead_host(resilient):
+        plan = FaultPlan()
+        plan.outage("dead.com", kind="refused")
+        clock = SimClock()
+        network = Network(clock, fault_plan=plan)
+        network.create_server("dead.com")
+        agent = UserAgent(network, clock)
+        if resilient:
+            agent = ResilientAgent(agent, policy=RetryPolicy())
+        for _ in range(14):
+            for attempt_url in (f"http://dead.com/p{i}.html" for i in range(5)):
+                try:
+                    agent.get(attempt_url)
+                except Exception:
+                    pass
+            clock.advance(DAY)
+        return len(network.log)
+
+    bare = poll_dead_host(False)
+    with_breaker = poll_dead_host(True)
+    saved = 1 - with_breaker / (bare * 3)  # bare agent would retry 3x
+    sink.row(f"  breaker economics: dead host, 70 polls — bare agent "
+             f"{bare} requests (x3 with naive retries), breaker "
+             f"{with_breaker} requests ({saved:.0%} of naive-retry "
+             f"traffic avoided)")
+    assert with_breaker < bare * 3
+    return {
+        "polls": 70,
+        "bare_requests": bare,
+        "naive_retry_requests": bare * 3,
+        "breaker_requests": with_breaker,
+    }
+
+
+# ----------------------------------------------------------------------
+def test_resilience(sink):
+    sink.row(f"S15: resilience layer — {HOSTS}-host chaos scenario")
+    report = {
+        "differential": scenario_differential(sink),
+        "chaos": scenario_chaos(sink),
+        "breaker_economics": scenario_breaker_economics(sink),
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_resilience.json"), "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    # The headline gates, restated on the persisted report.
+    assert report["differential"]["reports_identical"]
+    assert report["differential"]["traffic_identical"]
+    assert report["chaos"]["coverage"] == 1.0
+    assert report["chaos"]["converged_after_run"] <= RUNS
+    assert report["chaos"]["amplification"] <= 1.5

@@ -9,11 +9,18 @@ trick against httpd timeouts.
 from .auth import AccountRegistry, AuthenticatedSnapshotService, AuthError
 from .checkoutcache import CheckoutCache
 from .diffcache import DiffCache
-from .journal import JournalError, JournalRecord
+from .journal import JournalError, JournalRecord, JournalScan, scan_journal
 from .keepalive import CgiTimeout, KeepAlive, KeepAliveResult
 from .locking import LockManager, RequestCoalescer
 from .options import StoreOptions
 from .replication import AdmissionControl, ReplicatedSnapshotService
+from .persistence import (
+    JournalRecoveryWarning,
+    StoreVerification,
+    load_store,
+    save_store,
+    verify_store,
+)
 from .service import OperationCosts, SnapshotService
 from .store import (
     RememberResult,
@@ -32,6 +39,13 @@ __all__ = [
     "DiffCache",
     "JournalError",
     "JournalRecord",
+    "JournalScan",
+    "scan_journal",
+    "JournalRecoveryWarning",
+    "StoreVerification",
+    "load_store",
+    "save_store",
+    "verify_store",
     "KeepAlive",
     "KeepAliveResult",
     "LockManager",

@@ -8,26 +8,40 @@ self-contained record, and a loader replays the records (in order,
 through the ordinary ``checkin`` path, which is deterministic) on top
 of the last compacted ``,v`` base to rebuild a byte-identical store.
 
-Record shape, plain text like the rest of the repository::
+Record shape: each record is wrapped in a length+checksum **frame** so
+a reader can tell a record that was *committed* from one that was torn
+mid-write by a crash::
 
+    frame <payload-bytes> <crc32-hex>\\n
     rev\t<quoted url>\t<revision>\t<date>\t<quoted author>
     <quoted log>
     <quoted text>
 
+The payload is plain text like the rest of the repository —
 ``@``-quoting is RCS's (payload wrapped in ``@...@``, literal ``@``
-doubled), so a journal is browsable with ``cat`` exactly like a ``,v``
-file.  Compaction = a full ``save_store`` rewrite followed by
-truncating the journal.
+doubled) — so a journal is still browsable with ``cat``.  Compaction =
+a full ``save_store`` rewrite followed by truncating the journal.
+
+Reading comes in two flavors.  :func:`read_journal` is strict: any
+damage raises :class:`JournalError`.  :func:`scan_journal` never raises
+on content: it walks the file byte-by-byte, keeps every record whose
+frame checks out, and reports where (and how) the stream stops making
+sense — including whether valid frames exist *beyond* the damage (a
+mid-file corruption, which truncation would lose data to) or not (a
+torn tail, safely recoverable by truncating).  Journals written before
+framing existed (bare ``rev`` records) are still readable; both readers
+dispatch per record, so mixed files work too.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Iterable, List
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
 
-__all__ = ["JournalRecord", "JournalError", "append_records",
-           "read_journal", "clear_journal", "JOURNAL_NAME"]
+__all__ = ["JournalRecord", "JournalError", "JournalScan", "append_records",
+           "read_journal", "scan_journal", "clear_journal", "JOURNAL_NAME"]
 
 JOURNAL_NAME = "journal.log"
 
@@ -48,6 +62,30 @@ class JournalRecord:
     text: str
 
 
+@dataclass
+class JournalScan:
+    """What a tolerant read of the journal found.
+
+    ``records`` holds every record up to the first damage (all of them
+    when ``damage`` is empty).  ``valid_bytes`` is the byte offset of
+    the end of the last intact record — truncating the file there drops
+    exactly the damaged suffix.  ``recoverable`` is False when intact
+    frames exist *after* the damage: that is mid-file corruption, and
+    truncating would silently discard committed revisions.
+    """
+
+    records: List[JournalRecord] = field(default_factory=list)
+    total_bytes: int = 0
+    valid_bytes: int = 0
+    damage: str = ""
+    damage_offset: Optional[int] = None
+    recoverable: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return not self.damage
+
+
 def _quote(text: str) -> str:
     return "@" + text.replace("@", "@@") + "@"
 
@@ -63,19 +101,29 @@ def _serialize(record: JournalRecord) -> str:
     ]) + "\n"
 
 
+def _frame(record: JournalRecord) -> bytes:
+    payload = _serialize(record).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"frame %d %08x\n" % (len(payload), crc) + payload
+
+
 def append_records(directory: str, records: Iterable[JournalRecord]) -> int:
-    """Append records to ``directory``'s journal; returns how many."""
+    """Append framed records to ``directory``'s journal; returns how
+    many.  The write is flushed and fsynced — a record is either fully
+    on disk or detectably torn, never silently half-applied."""
     path = os.path.join(directory, JOURNAL_NAME)
     count = 0
-    chunks: List[str] = []
+    chunks: List[bytes] = []
     for record in records:
-        chunks.append(_serialize(record))
+        chunks.append(_frame(record))
         count += 1
     if not chunks:
         return 0
     os.makedirs(directory, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write("".join(chunks))
+    with open(path, "ab") as handle:
+        handle.write(b"".join(chunks))
+        handle.flush()
+        os.fsync(handle.fileno())
     return count
 
 
@@ -127,38 +175,158 @@ class _Scanner:
             self.pos += 1
 
 
-def read_journal(directory: str) -> List[JournalRecord]:
-    """All records in ``directory``'s journal, oldest first."""
+def _read_one(scanner: _Scanner) -> JournalRecord:
+    """One ``rev`` record at the scanner's cursor (raises JournalError)."""
+    scanner.expect("rev")
+    scanner.skip("\t")
+    url = scanner.read_string()
+    scanner.skip("\t")
+    revision = scanner.read_field()
+    scanner.skip("\t")
+    date_text = scanner.read_field()
+    scanner.skip("\t")
+    author = scanner.read_string()
+    scanner.skip("\n")
+    log = scanner.read_string()
+    scanner.skip("\n")
+    body = scanner.read_string()
+    try:
+        date = int(date_text)
+    except ValueError:
+        raise JournalError(f"bad date field {date_text!r}")
+    return JournalRecord(url=url, revision=revision, date=date,
+                         author=author, log=log, text=body)
+
+
+_ParseResult = Tuple[bool, int, Optional[JournalRecord], str]
+
+
+def _parse_frame(data: bytes, pos: int) -> _ParseResult:
+    """(ok, end-offset, record, why-not) for a frame starting at pos."""
+    newline = data.find(b"\n", pos)
+    if newline == -1:
+        return False, pos, None, "torn frame header (no terminating newline)"
+    parts = data[pos:newline].split()
+    if len(parts) != 3:
+        return False, pos, None, f"malformed frame header {data[pos:newline]!r}"
+    try:
+        nbytes = int(parts[1])
+    except ValueError:
+        nbytes = -1
+    if nbytes < 0:
+        return False, pos, None, f"malformed frame length {parts[1]!r}"
+    payload = data[newline + 1:newline + 1 + nbytes]
+    if len(payload) < nbytes:
+        return False, pos, None, (
+            f"torn frame payload ({len(payload)} of {nbytes} bytes present)"
+        )
+    crc = b"%08x" % (zlib.crc32(payload) & 0xFFFFFFFF)
+    if crc != parts[2].lower():
+        return False, pos, None, (
+            f"frame checksum mismatch (recorded {parts[2].decode('ascii', 'replace')}, "
+            f"computed {crc.decode('ascii')})"
+        )
+    # The checksum vouches for the bytes; decode defensively anyway.
+    scanner = _Scanner(payload.decode("utf-8", errors="replace"))
+    try:
+        record = _read_one(scanner)
+    except JournalError as exc:
+        return False, pos, None, f"framed record does not parse: {exc}"
+    if not scanner.at_end():
+        return False, pos, None, "trailing bytes inside frame"
+    return True, newline + 1 + nbytes, record, ""
+
+
+def _parse_legacy(data: bytes, pos: int) -> _ParseResult:
+    """One pre-framing bare ``rev`` record starting at byte pos.
+
+    Decodes strictly up to the first invalid byte (if any), so the
+    consumed-byte arithmetic below stays exact; a record that needs
+    bytes past an encoding error simply fails to parse there.
+    """
+    tail = data[pos:]
+    try:
+        text = tail.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        text = tail[:exc.start].decode("utf-8")
+    scanner = _Scanner(text)
+    try:
+        record = _read_one(scanner)
+    except JournalError as exc:
+        return False, pos, None, f"unframed record does not parse: {exc}"
+    consumed = len(text[:scanner.pos].encode("utf-8"))
+    return True, pos + consumed, record, ""
+
+
+def _valid_frame_after(data: bytes, pos: int) -> bool:
+    """Is there any intact frame at a line start beyond ``pos``?"""
+    search = pos
+    while True:
+        candidate = data.find(b"\nframe ", search)
+        if candidate == -1:
+            return False
+        ok, _end, _record, _why = _parse_frame(data, candidate + 1)
+        if ok:
+            return True
+        search = candidate + 1
+
+
+_WHITESPACE = b" \t\r\n"
+
+
+def _scan_bytes(data: bytes) -> JournalScan:
+    scan = JournalScan(total_bytes=len(data))
+    pos = 0
+    while True:
+        while pos < len(data) and data[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= len(data):
+            scan.valid_bytes = len(data)
+            return scan
+        if data.startswith(b"frame ", pos):
+            ok, end, record, why = _parse_frame(data, pos)
+        elif data.startswith(b"rev", pos):
+            ok, end, record, why = _parse_legacy(data, pos)
+        else:
+            ok, end, record, why = (
+                False, pos, None,
+                f"unrecognized record start {data[pos:pos + 8]!r}",
+            )
+        if not ok:
+            scan.valid_bytes = pos
+            scan.damage = f"{why} (at byte {pos})"
+            scan.damage_offset = pos
+            scan.recoverable = not _valid_frame_after(data, pos)
+            return scan
+        scan.records.append(record)
+        pos = end
+
+
+def scan_journal(directory: str) -> JournalScan:
+    """Tolerant read of ``directory``'s journal (see :class:`JournalScan`).
+
+    Never raises on content: damage is *reported*, with enough
+    positional detail for the caller to truncate (torn tail) or refuse
+    to (mid-file corruption with committed records beyond it).
+    """
     path = os.path.join(directory, JOURNAL_NAME)
     if not os.path.exists(path):
-        return []
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    scanner = _Scanner(text)
-    records: List[JournalRecord] = []
-    while not scanner.at_end():
-        scanner.expect("rev")
-        scanner.skip("\t")
-        url = scanner.read_string()
-        scanner.skip("\t")
-        revision = scanner.read_field()
-        scanner.skip("\t")
-        date_text = scanner.read_field()
-        scanner.skip("\t")
-        author = scanner.read_string()
-        scanner.skip("\n")
-        log = scanner.read_string()
-        scanner.skip("\n")
-        body = scanner.read_string()
-        try:
-            date = int(date_text)
-        except ValueError:
-            raise JournalError(f"bad date field {date_text!r}")
-        records.append(JournalRecord(
-            url=url, revision=revision, date=date,
-            author=author, log=log, text=body,
-        ))
-    return records
+        return JournalScan()
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return _scan_bytes(data)
+
+
+def read_journal(directory: str) -> List[JournalRecord]:
+    """All records in ``directory``'s journal, oldest first.
+
+    Strict: any damage anywhere raises :class:`JournalError`.  Use
+    :func:`scan_journal` when a partial read is acceptable.
+    """
+    scan = scan_journal(directory)
+    if scan.damage:
+        raise JournalError(scan.damage)
+    return scan.records
 
 
 def clear_journal(directory: str) -> bool:

@@ -35,21 +35,30 @@ Two save paths:
 from __future__ import annotations
 
 import os
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ...rcs.archive import RcsArchive
 from ...rcs.rcsfile import parse_rcsfile, serialize_rcsfile
 from .journal import (
+    JOURNAL_NAME,
     JournalError,
     JournalRecord,
     append_records,
     clear_journal,
-    read_journal,
+    scan_journal,
 )
 from .store import SnapshotStore
 from .usercontrol import UserControl
 
 __all__ = ["save_store", "append_store", "compact_store", "load_store",
+           "verify_store", "StoreVerification", "JournalRecoveryWarning",
            "mangle_url", "unmangle_name"]
+
+
+class JournalRecoveryWarning(UserWarning):
+    """A torn journal tail was truncated away during load."""
 
 _SAFE = set(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_"
@@ -171,9 +180,16 @@ def load_store(store: SnapshotStore, directory: str) -> int:
     Returns the number of archives loaded.  Existing in-memory archives
     for the same URLs are replaced — the disk copy wins, as it would
     for a restarted CGI process.  After the ``,v`` base is read, the
-    journal (if any) is replayed through the ordinary check-in path;
-    replay is strict, raising :class:`~.journal.JournalError` when a
-    record does not land on its recorded revision number.
+    journal (if any) is replayed through the ordinary check-in path.
+
+    A *torn tail* — the journal stops mid-record, the signature of a
+    crash during an append — is recovered from, not fatal: the damaged
+    suffix is truncated away, a :class:`JournalRecoveryWarning` is
+    issued, and every record whose frame was committed is replayed.
+    Damage with intact frames *beyond* it is different — truncating
+    there would silently drop committed revisions — so mid-file
+    corruption raises :class:`~.journal.JournalError`, as does a replay
+    record that does not land on its recorded revision number.
     """
     archives_dir = os.path.join(directory, "archives")
     loaded = 0
@@ -189,7 +205,22 @@ def load_store(store: SnapshotStore, directory: str) -> int:
             archive.name = url
             store.archives[url] = archive
             loaded += 1
-    for record in read_journal(directory):
+    scan = scan_journal(directory)
+    if scan.damage:
+        if not scan.recoverable:
+            raise JournalError(
+                f"journal corrupted mid-file with intact records beyond "
+                f"the damage — refusing to truncate: {scan.damage}"
+            )
+        warnings.warn(
+            f"journal tail torn ({scan.damage}); truncating to last "
+            f"intact record — {len(scan.records)} record(s) kept, "
+            f"{scan.total_bytes - scan.valid_bytes} byte(s) dropped",
+            JournalRecoveryWarning,
+            stacklevel=2,
+        )
+        _truncate_journal(directory, scan.valid_bytes)
+    for record in scan.records:
         if record.url not in store.archives:
             loaded += 1
         archive = store.archive_for(record.url)
@@ -217,6 +248,123 @@ def load_store(store: SnapshotStore, directory: str) -> int:
         with open(users_path, "r", encoding="utf-8") as handle:
             store.users = UserControl.deserialize(handle.read())
     return loaded
+
+
+def _truncate_journal(directory: str, valid_bytes: int) -> None:
+    path = os.path.join(directory, JOURNAL_NAME)
+    if valid_bytes <= 0:
+        clear_journal(directory)
+        return
+    with open(path, "r+b") as handle:
+        handle.truncate(valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+@dataclass
+class StoreVerification:
+    """What :func:`verify_store` found.  ``problems`` are data-losing
+    (corrupt archives, unreplayable or mid-file-damaged journal);
+    ``notes`` are survivable oddities (torn tail, orphan manifest
+    entries).  ``ok`` means :func:`load_store` would succeed and lose
+    nothing that was ever committed."""
+
+    directory: str
+    archives_checked: int = 0
+    journal_records: int = 0
+    problems: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.problems)} problem(s)"
+        return (
+            f"{self.directory}: {verdict} — {self.archives_checked} "
+            f"archive(s), {self.journal_records} journal record(s), "
+            f"{len(self.notes)} note(s)"
+        )
+
+
+def verify_store(directory: str) -> StoreVerification:
+    """Inspect an on-disk repository and *report* damage, never raise.
+
+    The read-only counterpart of :func:`load_store`'s recovery: every
+    ``,v`` file is parsed and its head checked out, the journal is
+    scanned frame-by-frame, and the surviving records are replayed onto
+    a scratch copy of the archives — so a replay mismatch is found
+    before a real load trips over it.  Nothing on disk is modified.
+    """
+    report = StoreVerification(directory=directory)
+    if not os.path.isdir(directory):
+        report.notes.append("no repository directory")
+        return report
+    manifest = _read_manifest(os.path.join(directory, "MANIFEST"))
+    archives_dir = os.path.join(directory, "archives")
+    archives: Dict[str, RcsArchive] = {}
+    if os.path.isdir(archives_dir):
+        for name in sorted(os.listdir(archives_dir)):
+            if not name.endswith(",v"):
+                continue
+            report.archives_checked += 1
+            url = manifest.get(name) or unmangle_name(name[:-2])
+            try:
+                with open(os.path.join(archives_dir, name), "r",
+                          encoding="utf-8") as handle:
+                    archive = parse_rcsfile(handle.read())
+                if archive.revision_count:
+                    archive.checkout(archive.head_revision)
+            except Exception as exc:
+                report.problems.append(f"archives/{name}: {exc}")
+                continue
+            archive.name = url
+            archives[url] = archive
+    for name in manifest:
+        if not os.path.exists(os.path.join(archives_dir, name)):
+            report.notes.append(f"MANIFEST names missing archive {name}")
+    scan = scan_journal(directory)
+    report.journal_records = len(scan.records)
+    if scan.damage:
+        if scan.recoverable:
+            report.notes.append(
+                f"journal tail torn ({scan.damage}); load_store would "
+                f"truncate {scan.total_bytes - scan.valid_bytes} byte(s)"
+            )
+        else:
+            report.problems.append(
+                f"journal corrupted mid-file with intact records beyond "
+                f"the damage: {scan.damage}"
+            )
+    for record in scan.records:
+        archive = archives.get(record.url)
+        if archive is None:
+            archive = RcsArchive(name=record.url)
+            archives[record.url] = archive
+        try:
+            number, changed = archive.checkin(
+                record.text, date=record.date,
+                author=record.author, log=record.log,
+            )
+        except Exception as exc:
+            report.problems.append(
+                f"journal replay of {record.url} rev {record.revision}: {exc}"
+            )
+            continue
+        if not changed or number != record.revision:
+            report.problems.append(
+                f"journal replay of {record.url} expected revision "
+                f"{record.revision}, got {number} (changed={changed})"
+            )
+    users_path = os.path.join(directory, "users.ctl")
+    if os.path.exists(users_path):
+        try:
+            with open(users_path, "r", encoding="utf-8") as handle:
+                UserControl.deserialize(handle.read())
+        except Exception as exc:
+            report.problems.append(f"users.ctl: {exc}")
+    return report
 
 
 def _read_manifest(path: str) -> Dict[str, str]:

@@ -450,7 +450,7 @@ class SnapshotStore:
         archives = list(self.archives.values())
         checkouts = sum(a.checkouts for a in archives)
         delta_applications = sum(a.delta_applications for a in archives)
-        return {
+        out: Dict[str, object] = {
             "diff_cache": self.diff_cache.stats(),
             "checkout_cache": self.checkout_cache.stats(),
             "coalescer": {
@@ -476,3 +476,9 @@ class SnapshotStore:
             },
             "htmldiff_invocations": self.htmldiff_invocations,
         }
+        # When the agent is a ResilientAgent its retry/breaker counters
+        # belong in the same picture (remember() rides its retry loop).
+        agent_stats = getattr(self.agent, "stats", None)
+        if callable(agent_stats):
+            out["resilience"] = agent_stats()
+        return out

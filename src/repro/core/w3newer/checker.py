@@ -29,9 +29,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...simclock import NEVER, WEEK, SimClock
-from ...web.client import UserAgent
-from ...web.http import NetworkError
+from ...web.client import RobotsUnavailable, UserAgent
+from ...web.http import NetworkError, NetworkUnreachable
 from ...web.proxy import ProxyCache
+from ...web.resilience import CircuitOpen, RetriesExhausted
 from ...web.robots import RobotsFile
 from ...web.url import parse_url
 from .errors import (
@@ -51,6 +52,15 @@ __all__ = ["CheckerFlags", "UrlChecker", "content_checksum"]
 def content_checksum(body: str) -> str:
     """The page-content checksum used when Last-Modified is absent."""
     return hashlib.md5(body.encode("utf-8", "replace")).hexdigest()
+
+
+def _wire_cost(exc: NetworkError) -> int:
+    """HTTP requests a failed call actually put on the wire."""
+    if isinstance(exc, CircuitOpen):
+        return 0
+    if isinstance(exc, RetriesExhausted):
+        return exc.attempts
+    return 1
 
 
 @dataclass
@@ -99,6 +109,10 @@ class UrlChecker:
         self.flags = flags or CheckerFlags()
         self.failures = failure_detector or SystemicFailureDetector()
         self._robots_by_host: Dict[str, RobotsFile] = {}
+        #: Hosts whose robots.txt answered an HTTP error this run; the
+        #: verdict (the error message) is cached so the host is asked
+        #: once, and every one of its URLs reports the same error.
+        self._robots_errors: Dict[str, str] = {}
         #: Hosts that produced a transport failure during THIS run; with
         #: ``skip_failing_hosts`` their remaining URLs are not attempted.
         self._failed_hosts: set = set()
@@ -177,8 +191,21 @@ class UrlChecker:
         # 5. The robot exclusion protocol.
         requests_spent = 0
         if not self.flags.ignore_robots:
-            allowed, robots_cost = self._robots_allow(parsed.host, parsed.path)
+            allowed, robots_cost, robots_error = self._robots_allow(
+                parsed.host, parsed.path
+            )
             requests_spent += robots_cost
+            if robots_error:
+                # robots.txt answered an HTTP error (500 from an
+                # overloaded host, say): we do NOT know the host's
+                # policy, so crawling it anyway is not an option — the
+                # URL surfaces as an error the user can see counted.
+                record.record_error(robots_error)
+                return CheckOutcome(
+                    url=url, state=UrlState.ERROR, error=robots_error,
+                    error_count=record.error_count, last_seen=last_seen,
+                    http_requests=requests_spent,
+                )
             if not allowed:
                 record.robot_forbidden = True
                 return CheckOutcome(
@@ -231,7 +258,17 @@ class UrlChecker:
         return candidates
 
     def _robots_allow(self, host: str, path: str):
-        """(allowed, http_cost) with per-run per-host robots caching."""
+        """(allowed, http_cost, error) with per-run per-host caching.
+
+        ``error`` is non-empty when robots.txt answered an HTTP error —
+        the caller reports the URL as ERROR rather than crawling a host
+        whose policy is unknown.  Transport failures still mean
+        "proceed": the page fetch itself will surface the problem with
+        better context.
+        """
+        cached_error = self._robots_errors.get(host)
+        if cached_error is not None:
+            return False, 0, cached_error
         robots = self._robots_by_host.get(host)
         cost = 0
         if robots is None:
@@ -239,13 +276,22 @@ class UrlChecker:
                 robots = self.agent.fetch_robots(host)
                 cost = 1
                 self.failures.record_success()
+            except RobotsUnavailable as exc:
+                self._robots_errors[host] = str(exc)
+                return False, 1, str(exc)
+            except CircuitOpen:
+                # Short-circuited before any wire traffic; the page
+                # fetch below will hit the same breaker.
+                robots = RobotsFile()
+                cost = 0
+            except RetriesExhausted as exc:
+                robots = RobotsFile()
+                cost = exc.attempts
             except NetworkError:
-                # Unreachable robots.txt: proceed; the page fetch itself
-                # will surface the transport problem with better context.
                 robots = RobotsFile()
                 cost = 1
             self._robots_by_host[host] = robots
-        return robots.allows(self.flags.robot_name, path or "/"), cost
+        return robots.allows(self.flags.robot_name, path or "/"), cost, ""
 
     def _check_via_http(
         self, url: str, last_seen: Optional[int], record, requests_spent: int
@@ -255,7 +301,7 @@ class UrlChecker:
             result = self.agent.head(url)
         except NetworkError as exc:
             return self._transport_error(url, record, last_seen, exc,
-                                         requests_spent + 1)
+                                         requests_spent + _wire_cost(exc))
         requests_spent += 1 + len(result.redirects)
         self.failures.record_success()
         response = result.response
@@ -305,7 +351,7 @@ class UrlChecker:
             result = self.agent.get(url)
         except NetworkError as exc:
             return self._transport_error(url, record, last_seen, exc,
-                                         requests_spent + 1)
+                                         requests_spent + _wire_cost(exc))
         requests_spent += 1 + len(result.redirects)
         self.failures.record_success()
         response = result.response
@@ -348,17 +394,46 @@ class UrlChecker:
         self, url: str, record, last_seen: Optional[int], exc: Exception,
         requests_spent: int,
     ) -> CheckOutcome:
-        self._failed_hosts.add(parse_url(url).host)
+        host = parse_url(url).host
+        self._failed_hosts.add(host)
         record.record_error(str(exc))
         if self.flags.treat_errors_as_success:
             record.last_http_check = self.clock.now
+        # Degraded mode: when the resilience layer has already done its
+        # best (retries exhausted) or refuses to try (open circuit), and
+        # previous runs left a verdict in the status cache, serve that
+        # verdict stale rather than failing the URL outright.  A STALE
+        # row degrades gracefully; it does not feed the abort detector.
+        degraded = isinstance(exc, (CircuitOpen, RetriesExhausted))
+        has_cached_verdict = (
+            record.modification_date is not None
+            or record.checksum is not None
+        )
+        if degraded and has_cached_verdict:
+            record_fallback = getattr(self.agent, "record_fallback", None)
+            if callable(record_fallback):
+                record_fallback()
+            return CheckOutcome(
+                url=url, state=UrlState.STALE,
+                source=CheckSource.STATUS_CACHE,
+                modification_date=record.modification_date,
+                error=f"degraded: {exc}", error_count=record.error_count,
+                last_seen=last_seen, moved_to=record.moved_to,
+                http_requests=requests_spent,
+            )
         outcome = CheckOutcome(
             url=url, state=UrlState.ERROR, error=str(exc),
             error_count=record.error_count, last_seen=last_seen,
             http_requests=requests_spent,
         )
-        # May raise RunAborted — the runner catches it.
-        self.failures.record_transport_failure()
+        # May raise RunAborted — the runner catches it.  Failures of a
+        # single host cannot abort the run (the detector wants host
+        # diversity); a dead network can.
+        systemic = isinstance(exc, NetworkUnreachable) or (
+            isinstance(exc, RetriesExhausted)
+            and isinstance(exc.cause, NetworkUnreachable)
+        )
+        self.failures.record_transport_failure(host=host, systemic=systemic)
         return outcome
 
     @staticmethod

@@ -37,6 +37,9 @@ class UrlState(Enum):
     MOVED = "moved"
     #: Some per-URL error (404/410, timeout, DNS, refused...).
     ERROR = "error"
+    #: Degraded mode: the host is open-circuited or out of retries, so
+    #: the verdict is the status cache's last word, served stale.
+    STALE = "stale"
 
 
 class CheckSource(Enum):
@@ -81,6 +84,14 @@ class SystemicFailureDetector:
     a row point at the local network or proxy, not at the URLs; w3newer
     should "abort and try again later (preferably in time for the user
     to see an updated report)".
+
+    "Distinct hosts" is load-bearing: a streak of failures from one
+    host means *that host* is dead, which is a per-URL problem, not a
+    reason to abandon the rest of the hotlist.  The streak escalates to
+    :class:`RunAborted` only once it spans at least two hosts — or when
+    a failure is inherently systemic (``NetworkUnreachable``, or a
+    caller that cannot name the host), which no amount of host
+    diversity is needed to confirm.
     """
 
     def __init__(self, abort_after: int = 5) -> None:
@@ -89,15 +100,27 @@ class SystemicFailureDetector:
         self.abort_after = abort_after
         self.consecutive_failures = 0
         self.total_failures = 0
+        self._streak_hosts: set = set()
+        self._streak_systemic = False
 
-    def record_transport_failure(self) -> None:
+    def record_transport_failure(self, host: Optional[str] = None,
+                                 systemic: bool = False) -> None:
         self.consecutive_failures += 1
         self.total_failures += 1
-        if self.consecutive_failures >= self.abort_after:
+        if systemic or host is None:
+            self._streak_systemic = True
+        else:
+            self._streak_hosts.add(host.lower())
+        if self.consecutive_failures >= self.abort_after and (
+            self._streak_systemic or len(self._streak_hosts) >= 2
+        ):
             raise RunAborted(
-                f"{self.consecutive_failures} consecutive transport failures; "
+                f"{self.consecutive_failures} consecutive transport failures "
+                f"across {max(len(self._streak_hosts), 1)} host(s); "
                 "local network or proxy trouble — aborting this run"
             )
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
+        self._streak_hosts.clear()
+        self._streak_systemic = False

@@ -50,6 +50,7 @@ _STATE_LABELS: Dict[UrlState, str] = {
     UrlState.ROBOT_FORBIDDEN: "robots.txt forbids checking",
     UrlState.MOVED: "moved",
     UrlState.ERROR: "error",
+    UrlState.STALE: "stale (last known state)",
 }
 
 _GROUP_ORDER = {
@@ -57,10 +58,11 @@ _GROUP_ORDER = {
     UrlState.NEVER_SEEN: 0,
     UrlState.MOVED: 1,
     UrlState.ERROR: 1,
-    UrlState.ROBOT_FORBIDDEN: 2,
-    UrlState.SEEN: 3,
-    UrlState.NOT_CHECKED: 4,
-    UrlState.NEVER_CHECK: 4,
+    UrlState.STALE: 2,
+    UrlState.ROBOT_FORBIDDEN: 3,
+    UrlState.SEEN: 4,
+    UrlState.NOT_CHECKED: 5,
+    UrlState.NEVER_CHECK: 5,
 }
 
 
@@ -77,7 +79,7 @@ def _aide_links(url: str, options: ReportOptions) -> str:
 
 
 def _sort_key(outcome: CheckOutcome, options: ReportOptions):
-    group = _GROUP_ORDER.get(outcome.state, 5)
+    group = _GROUP_ORDER.get(outcome.state, 6)
     priority = options.priority(outcome.url) if options.priority else 0.0
     recency = outcome.modification_date or 0
     return (group, -priority, -recency, outcome.url)
@@ -105,6 +107,14 @@ def render_report(
             detail = f" &#183; {encode_entities(outcome.error)}"
             if outcome.error_count > 1:
                 detail += f" ({outcome.error_count} consecutive errors)"
+        if outcome.state is UrlState.STALE:
+            # Degraded mode: the verdict is the status cache's last
+            # word; say so, and show how old that word is.
+            detail = " &#183; <I>host unreachable; showing last known state"
+            if outcome.modification_date is not None:
+                detail += (f" (modified "
+                           f"{format_timestamp(outcome.modification_date)})")
+            detail += "</I>"
         if outcome.moved_to:
             detail += (
                 f' &#183; moved to <A HREF="{outcome.moved_to}">'
@@ -118,9 +128,12 @@ def render_report(
 
     changed = sum(1 for o in outcomes if o.is_new_to_user)
     errors = sum(1 for o in outcomes if o.state is UrlState.ERROR)
+    stale = sum(1 for o in outcomes if o.state is UrlState.STALE)
     header_bits = [f"{len(outcomes)} URLs", f"{changed} changed"]
     if errors:
         header_bits.append(f"{errors} errors")
+    if stale:
+        header_bits.append(f"{stale} stale")
     status_line = ", ".join(header_bits)
     abort_html = (
         f'<P><B>Run aborted early:</B> {encode_entities(aborted)}</P>'

@@ -5,6 +5,12 @@ crontab entry, and generates an HTML document indicating which pages
 have changed."  :class:`W3Newer` owns the per-user state (hotlist,
 history, status cache, flags) and produces a :class:`RunResult` per
 invocation; :meth:`W3Newer.schedule` hangs it off the simulation cron.
+
+Aborting is no longer losing: when the systemic-failure detector fires,
+the position in the hotlist (and every outcome already computed) is
+parked in a :class:`RunCheckpoint`, and the next invocation resumes
+mid-list — the paper's "abort and try again later" without repeating
+the work already done.
 """
 
 from __future__ import annotations
@@ -24,7 +30,24 @@ from .report import ReportOptions, render_report
 from .statuscache import StatusCache
 from .thresholds import ThresholdConfig
 
-__all__ = ["RunResult", "W3Newer"]
+__all__ = ["RunResult", "RunCheckpoint", "W3Newer"]
+
+
+@dataclass
+class RunCheckpoint:
+    """Where an aborted run stopped, so the next one can resume.
+
+    ``next_index`` is the hotlist position of the URL whose check
+    triggered the abort (it gets retried first); ``outcomes`` carries
+    everything already decided, so the resumed run's report still
+    covers the whole hotlist.  A checkpoint is only honored while the
+    hotlist has the same length — an edited hotlist restarts cleanly.
+    """
+
+    next_index: int
+    hotlist_size: int
+    started_at: int
+    outcomes: List[CheckOutcome] = field(default_factory=list)
 
 
 @dataclass
@@ -35,6 +58,8 @@ class RunResult:
     outcomes: List[CheckOutcome] = field(default_factory=list)
     aborted: str = ""
     report_html: str = ""
+    #: Hotlist index this run resumed from (None = started fresh).
+    resumed_from: Optional[int] = None
 
     @property
     def changed(self) -> List[CheckOutcome]:
@@ -43,6 +68,11 @@ class RunResult:
     @property
     def errors(self) -> List[CheckOutcome]:
         return [o for o in self.outcomes if o.state is UrlState.ERROR]
+
+    @property
+    def stale(self) -> List[CheckOutcome]:
+        """Degraded-mode verdicts served from the status cache."""
+        return [o for o in self.outcomes if o.state is UrlState.STALE]
 
     @property
     def http_requests(self) -> int:
@@ -92,11 +122,32 @@ class W3Newer:
         self.report_options = report_options or ReportOptions()
         self.abort_after_failures = abort_after_failures
         self.runs: List[RunResult] = []
+        #: Set when a run aborts; the next run resumes from it.
+        self.checkpoint: Optional[RunCheckpoint] = None
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        """Check every hotlist URL; abort early on systemic failure."""
-        result = RunResult(started_at=self.clock.now)
+        """Check every hotlist URL; abort early on systemic failure.
+
+        If the previous invocation aborted, this one picks up from its
+        checkpoint instead of restarting: outcomes already computed are
+        carried over and checking continues mid-list.
+        """
+        entries = list(self.hotlist)
+        start_index = 0
+        carried: List[CheckOutcome] = []
+        resumed_from: Optional[int] = None
+        if (
+            self.checkpoint is not None
+            and self.checkpoint.hotlist_size == len(entries)
+        ):
+            start_index = self.checkpoint.next_index
+            carried = list(self.checkpoint.outcomes)
+            resumed_from = start_index
+        self.checkpoint = None
+        result = RunResult(started_at=self.clock.now,
+                           resumed_from=resumed_from)
+        result.outcomes.extend(carried)
         checker = UrlChecker(
             clock=self.clock,
             agent=self.agent,
@@ -108,11 +159,21 @@ class W3Newer:
             flags=self.flags,
             failure_detector=SystemicFailureDetector(self.abort_after_failures),
         )
+        index = start_index
         try:
-            for entry in self.hotlist:
-                result.outcomes.append(checker.check(entry.url))
+            while index < len(entries):
+                result.outcomes.append(checker.check(entries[index].url))
+                index += 1
         except RunAborted as exc:
             result.aborted = str(exc)
+            # Park the position: the aborting URL itself is retried
+            # first next time (its outcome was never recorded).
+            self.checkpoint = RunCheckpoint(
+                next_index=index,
+                hotlist_size=len(entries),
+                started_at=result.started_at,
+                outcomes=list(result.outcomes),
+            )
         result.report_html = render_report(
             result.outcomes,
             list(self.hotlist),

@@ -9,7 +9,13 @@ discusses (timeouts, moved URLs, robot bans, noisy pages) is
 exercisable deterministically.
 """
 
-from .client import FetchResult, TooManyRedirects, UserAgent
+from .client import (
+    FetchResult,
+    RobotsUnavailable,
+    TooManyRedirects,
+    UserAgent,
+    robots_from_response,
+)
 from .http import (
     ConnectionRefused,
     DnsError,
@@ -21,16 +27,32 @@ from .http import (
     TimeoutError_,
     make_response,
 )
-from .network import Network, RequestRecord
+from .network import FaultPlan, FaultRule, Network, RequestRecord
 from .proxy import ProxyCache
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientAgent,
+    RetriesExhausted,
+    RetryPolicy,
+)
 from .robots import RobotsFile, parse_robots_txt
 from .server import HttpServer, Page
 from .url import Url, join_url, parse_url
 
 __all__ = [
     "FetchResult",
+    "RobotsUnavailable",
     "TooManyRedirects",
     "UserAgent",
+    "robots_from_response",
+    "FaultPlan",
+    "FaultRule",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "ResilientAgent",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ConnectionRefused",
     "DnsError",
     "Headers",

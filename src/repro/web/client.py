@@ -20,13 +20,46 @@ from .proxy import ProxyCache
 from .robots import RobotsFile, parse_robots_txt
 from .url import Url, join_url, parse_url
 
-__all__ = ["UserAgent", "FetchResult", "TooManyRedirects"]
+__all__ = ["UserAgent", "FetchResult", "TooManyRedirects",
+           "RobotsUnavailable", "robots_from_response"]
 
 _MAX_REDIRECTS = 5
 
 
 class TooManyRedirects(NetworkError):
     """Redirect chain exceeded the hop limit (loop or misconfiguration)."""
+
+
+class RobotsUnavailable(Exception):
+    """robots.txt answered with an HTTP error (500 from an overloaded
+    host, 403, ...).
+
+    Deliberately NOT a :class:`NetworkError`: transport failures mean
+    "could not ask", which callers may shrug at, while an HTTP error
+    means the host answered and we still don't know its policy — the
+    checker must surface that as a per-URL error instead of crawling a
+    host that never said "allowed".
+    """
+
+    def __init__(self, host: str, status: int, reason: str) -> None:
+        super().__init__(f"robots.txt for {host}: HTTP {status} {reason}")
+        self.host = host
+        self.status = status
+        self.reason = reason
+
+
+def robots_from_response(host: str, response) -> RobotsFile:
+    """Turn a ``/robots.txt`` response into a policy, per the protocol.
+
+    Only 404 means "no robots file, no restrictions".  Any other non-ok
+    status raises :class:`RobotsUnavailable` — a 500 from an overloaded
+    host is not permission to crawl it.
+    """
+    if response.ok:
+        return parse_robots_txt(response.body)
+    if response.status == 404:
+        return RobotsFile()
+    raise RobotsUnavailable(host, response.status, response.reason)
 
 
 @dataclass
@@ -114,11 +147,10 @@ class UserAgent:
     def fetch_robots(self, host: str, timeout: Optional[int] = None) -> RobotsFile:
         """Fetch and parse ``http://host/robots.txt``.
 
-        A missing file (404) means "no restrictions", per the protocol.
+        A missing file (404) means "no restrictions", per the protocol;
+        any other HTTP error raises :class:`RobotsUnavailable`.
         Transport errors propagate — the caller decides whether an
         unreachable host blocks the real fetch anyway.
         """
         result = self.get(f"http://{host}/robots.txt", timeout=timeout)
-        if result.response.ok:
-            return parse_robots_txt(result.response.body)
-        return RobotsFile()
+        return robots_from_response(host, result.response)

@@ -1,0 +1,371 @@
+"""Retry/backoff, circuit breakers, and the resilient user agent.
+
+Section 3.1 is about surviving a hostile web: moved and vanished pages,
+overloaded proxies, dead networks.  The base :class:`~.client.UserAgent`
+reports each of those faithfully and immediately — one transport error
+per request — which is exactly right for the paper's measurements and
+exactly wrong for a production tracker polling hundreds of flaky hosts.
+This module adds the missing layer:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  spent on the shared :class:`~repro.simclock.SimClock` (waiting takes
+  simulated time, like everything else), plus a global retry budget
+  that bounds request amplification, and 503/``Retry-After`` awareness
+  so an overloaded host's own advice is honored;
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine, one per host: after enough consecutive failures the host is
+  short-circuited without touching the wire, and a single probe after
+  the reset timeout decides whether it has recovered;
+* :class:`ResilientAgent` — a drop-in wrapper around ``UserAgent``
+  (same ``get``/``head``/``post``/``fetch_robots`` surface) composing
+  the two, with a ``stats()`` dict of counters in the same style as the
+  snapshot store's layers.
+
+Differential guarantee: with a fault-free network and any policy, every
+first attempt succeeds, so the wrapper issues exactly the requests the
+bare agent would — no hidden traffic, byte-identical downstream output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from .client import FetchResult, UserAgent, robots_from_response
+from .http import (
+    ConnectionRefused,
+    Headers,
+    NetworkError,
+    NetworkUnreachable,
+    TimeoutError_,
+)
+from .robots import RobotsFile
+from .url import Url, parse_url
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ResilientAgent",
+           "CircuitOpen", "RetriesExhausted"]
+
+
+class CircuitOpen(NetworkError):
+    """Short-circuited: the host's breaker is open, nothing was sent."""
+
+    def __init__(self, host: str) -> None:
+        super().__init__(f"circuit open for {host}; request short-circuited")
+        self.host = host
+
+
+class RetriesExhausted(NetworkError):
+    """Every allowed attempt failed; ``cause`` is the last error."""
+
+    def __init__(self, host: str, attempts: int, cause: NetworkError) -> None:
+        super().__init__(
+            f"{host}: {attempts} attempt(s) failed; last error: {cause}"
+        )
+        self.host = host
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up on one request.
+
+    Backoff for attempt *n* (1-based) is ``base_delay * multiplier**
+    (n-1)`` capped at ``max_delay``, plus a deterministic jitter in
+    ``[0, jitter]`` hashed from ``(seed, host, attempt)`` — two runs of
+    the same scenario wait the same simulated seconds, but two hosts
+    retried in the same instant do not thundering-herd in lockstep.
+
+    ``budget`` bounds the *total* retries an agent may spend over its
+    lifetime (None = unbounded): with B exhausted, failures surface
+    immediately, which is what caps retry amplification under a
+    systemic outage.  ``retry_on_503`` treats an overloaded host's 503
+    as transient, waiting at least its ``Retry-After`` if advertised.
+    """
+
+    max_attempts: int = 3
+    base_delay: int = 2
+    multiplier: int = 2
+    max_delay: int = 60
+    jitter: int = 1
+    budget: Optional[int] = None
+    retry_on_503: bool = True
+    retry_dns: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays must be >= 0")
+
+    def retryable(self, exc: NetworkError) -> bool:
+        """Is this transport error worth a second attempt?
+
+        Timeouts, refused connections, and unreachable networks are
+        transient by nature; DNS failures usually mean "renamed or
+        deactivated" (Section 3.1) and are only retried when
+        ``retry_dns`` is set.
+        """
+        if isinstance(exc, (TimeoutError_, ConnectionRefused,
+                            NetworkUnreachable)):
+            return True
+        if self.retry_dns and isinstance(exc, NetworkError):
+            return True
+        return False
+
+    def backoff(self, host: str, attempt: int) -> int:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{self.seed}:{host}:{attempt}".encode("utf-8")).digest()
+            delay += int.from_bytes(digest[:4], "big") % (self.jitter + 1)
+        return delay
+
+
+class CircuitBreaker:
+    """Per-host closed/open/half-open breaker on the sim clock.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, requests are refused without touching the wire.  After
+    ``reset_timeout`` seconds the breaker half-opens: the next request
+    is a probe whose outcome either closes the circuit or re-opens it
+    for another full timeout.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, clock, failure_threshold: int = 5,
+                 reset_timeout: int = 300) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[int] = None
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a request go out right now?  (Open → half-open happens
+        here, when the reset timeout has elapsed.)"""
+        if self.state == self.OPEN:
+            if self.clock.now - self.opened_at >= self.reset_timeout:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> bool:
+        """Note a failure; True when this one opened the circuit."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe failed: straight back to open.
+            self.state = self.OPEN
+            self.opened_at = self.clock.now
+            self.opens += 1
+            return True
+        if (self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.state = self.OPEN
+            self.opened_at = self.clock.now
+            self.opens += 1
+            return True
+        return False
+
+
+class ResilientAgent:
+    """A :class:`UserAgent` wrapped in retries and circuit breakers.
+
+    Drop-in: the w3newer checker and the snapshot store only use
+    ``get``/``head``/``post``/``fetch_robots``, all present here with
+    identical signatures.  Failures surface as:
+
+    * :class:`CircuitOpen` — the host's breaker refused the request
+      outright (zero wire traffic);
+    * :class:`RetriesExhausted` — every allowed attempt failed (the
+      last underlying error rides along as ``cause``);
+    * the original :class:`NetworkError` — non-retryable failures
+      (DNS, by default) pass straight through on the first attempt.
+
+    Degraded-mode callers (the checker's STALE fallback) bump the
+    ``fallbacks`` counter through :meth:`record_fallback` so one
+    ``stats()`` dict tells the whole resilience story.
+    """
+
+    def __init__(
+        self,
+        agent: UserAgent,
+        policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: int = 300,
+    ) -> None:
+        self.agent = agent
+        self.clock = agent.clock
+        self.policy = policy or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.retries = 0
+        self.short_circuits = 0
+        self.fallbacks = 0
+        self._budget_left = self.policy.budget
+
+    # ------------------------------------------------------------------
+    # Passthroughs, so the wrapper is a true drop-in
+    # ------------------------------------------------------------------
+    @property
+    def network(self):
+        return self.agent.network
+
+    @property
+    def proxy(self):
+        return self.agent.proxy
+
+    @property
+    def agent_name(self) -> str:
+        return self.agent.agent_name
+
+    # ------------------------------------------------------------------
+    def breaker_for(self, host: str) -> CircuitBreaker:
+        key = host.lower()
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.clock,
+                failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def record_fallback(self) -> None:
+        """A caller served stale data instead of failing outright."""
+        self.fallbacks += 1
+
+    @property
+    def breaker_opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+    def open_hosts(self) -> list:
+        """Hosts currently short-circuited (open, timeout not elapsed)."""
+        return sorted(
+            host for host, b in self._breakers.items()
+            if b.state == CircuitBreaker.OPEN
+            and self.clock.now - b.opened_at < b.reset_timeout
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Counters in the same shape as the snapshot layers'."""
+        return {
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "short_circuits": self.short_circuits,
+            "fallbacks": self.fallbacks,
+            "budget_remaining": self._budget_left,
+            "open_hosts": self.open_hosts(),
+        }
+
+    # ------------------------------------------------------------------
+    def _budget_allows(self) -> bool:
+        return self._budget_left is None or self._budget_left > 0
+
+    def _spend_retry(self, host: str, attempt: int,
+                     minimum_wait: int = 0) -> None:
+        delay = max(self.policy.backoff(host, attempt), minimum_wait)
+        if delay:
+            self.clock.advance(delay)
+        self.retries += 1
+        if self._budget_left is not None:
+            self._budget_left -= 1
+
+    def _execute(self, host: str, thunk) -> FetchResult:
+        breaker = self.breaker_for(host)
+        if not breaker.allow():
+            self.short_circuits += 1
+            raise CircuitOpen(host)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = thunk()
+            except NetworkError as exc:
+                breaker.record_failure()
+                if not self.policy.retryable(exc):
+                    raise
+                exhausted = (
+                    attempt >= self.policy.max_attempts
+                    or not self._budget_allows()
+                    or not breaker.allow()
+                )
+                if exhausted:
+                    raise RetriesExhausted(host, attempt, exc)
+                self._spend_retry(host, attempt)
+                continue
+            response = result.response
+            if response.status == 503 and self.policy.retry_on_503:
+                breaker.record_failure()
+                if (attempt >= self.policy.max_attempts
+                        or not self._budget_allows()
+                        or not breaker.allow()):
+                    # Out of attempts: the 503 is the answer; the
+                    # caller sees the HTTP error, not an exception.
+                    return result
+                retry_after = response.headers.get("Retry-After")
+                try:
+                    minimum = int(retry_after) if retry_after else 0
+                except ValueError:
+                    minimum = 0
+                self._spend_retry(host, attempt, minimum_wait=minimum)
+                continue
+            if response.status == 503:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            return result
+
+    def _host_of(self, url: Union[str, Url]) -> str:
+        if isinstance(url, str):
+            url = parse_url(url)
+        return url.host.lower()
+
+    # ------------------------------------------------------------------
+    # The UserAgent surface
+    # ------------------------------------------------------------------
+    def get(self, url: Union[str, Url], timeout: Optional[int] = None,
+            headers: Optional[Headers] = None) -> FetchResult:
+        return self._execute(
+            self._host_of(url),
+            lambda: self.agent.get(url, timeout=timeout, headers=headers),
+        )
+
+    def head(self, url: Union[str, Url],
+             timeout: Optional[int] = None) -> FetchResult:
+        return self._execute(
+            self._host_of(url), lambda: self.agent.head(url, timeout=timeout)
+        )
+
+    def post(self, url: Union[str, Url], body: str,
+             timeout: Optional[int] = None) -> FetchResult:
+        return self._execute(
+            self._host_of(url),
+            lambda: self.agent.post(url, body, timeout=timeout),
+        )
+
+    def fetch_robots(self, host: str,
+                     timeout: Optional[int] = None) -> RobotsFile:
+        """Like :meth:`UserAgent.fetch_robots`, but each underlying GET
+        rides the retry/breaker machinery."""
+        result = self.get(f"http://{host}/robots.txt", timeout=timeout)
+        return robots_from_response(host, result.response)

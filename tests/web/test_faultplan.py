@@ -1,0 +1,170 @@
+"""Tests for the scriptable, seed-deterministic FaultPlan."""
+
+import pytest
+
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.http import ConnectionRefused, DnsError, TimeoutError_
+from repro.web.network import FaultPlan, FaultRule, Network
+
+
+def build_world(plan=None):
+    clock = SimClock()
+    network = Network(clock, fault_plan=plan)
+    server = network.create_server("site.com")
+    server.set_page("/index.html", "<P>hello</P>")
+    agent = UserAgent(network, clock)
+    return clock, network, agent
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="gremlins")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="timeout", probability=1.5)
+
+    def test_window_is_half_open(self):
+        rule = FaultRule(kind="timeout", start=10, end=20)
+        assert not rule.active_at(9)
+        assert rule.active_at(10)
+        assert rule.active_at(19)
+        assert not rule.active_at(20)
+
+    def test_unbounded_window(self):
+        rule = FaultRule(kind="timeout")
+        assert rule.active_at(0)
+        assert rule.active_at(10 ** 9)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_trivial_and_inert(self):
+        plan = FaultPlan()
+        assert plan.is_trivial()
+        clock, network, agent = build_world(plan)
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_outage_window(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="refused", start=100, end=200)
+        clock, network, agent = build_world(plan)
+        assert agent.get("http://site.com/index.html").response.ok
+        clock.advance(150)
+        with pytest.raises(ConnectionRefused):
+            agent.get("http://site.com/index.html")
+        clock.advance(100)  # now 250: past the window
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_dns_fault(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="dns")
+        clock, network, agent = build_world(plan)
+        with pytest.raises(DnsError):
+            agent.get("http://site.com/index.html")
+
+    def test_intermittent_failures_are_seed_deterministic(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.intermittent("site.com", 0.5, kind="timeout")
+            clock, network, agent = build_world(plan)
+            outcomes = []
+            for _ in range(40):
+                try:
+                    agent.get("http://site.com/index.html")
+                    outcomes.append("ok")
+                except TimeoutError_:
+                    outcomes.append("timeout")
+            return outcomes
+
+        first = run(seed=7)
+        again = run(seed=7)
+        other = run(seed=8)
+        assert first == again
+        assert first != other
+        assert "ok" in first and "timeout" in first
+
+    def test_flaky_until_recovers(self):
+        plan = FaultPlan()
+        plan.flaky_until("site.com", recover_at=50, probability=1.0)
+        clock, network, agent = build_world(plan)
+        with pytest.raises(TimeoutError_):
+            agent.get("http://site.com/index.html")
+        clock.advance(50)
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_slowdown_spike_times_out_impatient_clients(self):
+        plan = FaultPlan()
+        plan.slowdown("site.com", delay=120, start=10, end=20)
+        clock, network, agent = build_world(plan)
+        assert agent.get("http://site.com/index.html").response.ok
+        clock.advance(10)
+        with pytest.raises(TimeoutError_):
+            agent.get("http://site.com/index.html", timeout=30)
+        clock.advance(10)
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_overloaded_host_advertises_retry_after(self):
+        plan = FaultPlan()
+        plan.overloaded("site.com", retry_after=30)
+        clock, network, agent = build_world(plan)
+        result = agent.get("http://site.com/index.html")
+        assert result.response.status == 503
+        assert result.response.headers.get("Retry-After") == "30"
+        # 503s are responses, not transport failures: they are logged.
+        assert network.log[-1].status == 503
+
+    def test_wildcard_rules_apply_to_every_host(self):
+        plan = FaultPlan()
+        plan.outage("*", kind="refused")
+        clock, network, agent = build_world(plan)
+        network.create_server("other.com").set_page("/x.html", "<P>x</P>")
+        for url in ("http://site.com/index.html", "http://other.com/x.html"):
+            with pytest.raises(ConnectionRefused):
+                agent.get(url)
+
+    def test_host_rules_win_over_wildcard(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="dns")
+        plan.outage("*", kind="refused")
+        clock, network, agent = build_world(plan)
+        with pytest.raises(DnsError):
+            agent.get("http://site.com/index.html")
+
+    def test_clear_by_tag(self):
+        plan = FaultPlan()
+        plan.outage("site.com", tag="drill")
+        plan.slowdown("site.com", delay=5, tag="keep")
+        assert plan.clear("site.com", tag="drill") == 1
+        assert not plan.is_trivial()
+        assert plan.clear() == 1
+        assert plan.is_trivial()
+
+
+class TestLegacyToggles:
+    """The paper-era all-or-nothing switches, now trivial plans."""
+
+    def test_kill_and_restore_dns(self):
+        clock, network, agent = build_world()
+        network.kill_dns("site.com")
+        with pytest.raises(DnsError):
+            agent.get("http://site.com/index.html")
+        network.restore_dns("site.com")
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_refuse_and_accept(self):
+        clock, network, agent = build_world()
+        network.refuse_connections("site.com")
+        with pytest.raises(ConnectionRefused):
+            agent.get("http://site.com/index.html")
+        network.accept_connections("site.com")
+        assert agent.get("http://site.com/index.html").response.ok
+
+    def test_toggles_do_not_clobber_scripted_rules(self):
+        clock, network, agent = build_world()
+        network.plan.outage("site.com", kind="refused", tag="scripted")
+        network.refuse_connections("site.com")
+        network.accept_connections("site.com")
+        with pytest.raises(ConnectionRefused):
+            agent.get("http://site.com/index.html")

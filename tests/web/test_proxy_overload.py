@@ -12,12 +12,18 @@ from repro.web.network import Network
 from repro.web.proxy import ProxyCache
 
 
-def build_world(limit):
+def build_world(limit, hosts=1):
     clock = SimClock()
     network = Network(clock)
     server = network.create_server("site.com")
     for i in range(20):
         server.set_page(f"/p{i}.html", f"<P>page {i}</P>")
+    # Optional extra hosts, one page each, so a proxy meltdown shows up
+    # as failures spanning *distinct* servers (what the systemic
+    # detector requires before aborting a run).
+    for h in range(1, hosts):
+        other = network.create_server(f"site{h}.com")
+        other.set_page("/page.html", f"<P>host {h}</P>")
     proxy = ProxyCache(network, clock, ttl=HOUR)
     proxy.requests_per_instant_limit = limit
     agent = UserAgent(network, clock, proxy=proxy)
@@ -48,7 +54,30 @@ class TestBurstOverload:
         # The paper's exact scenario: the background tracker fires a
         # burst of requests through an overloadable proxy; the proxy
         # starts timing out; w3newer detects the systemic failure and
-        # aborts rather than hammering on.
+        # aborts rather than hammering on.  The hotlist spans many
+        # hosts behind the one proxy: timeouts across distinct servers
+        # are what convinces the detector the trouble is local.
+        clock, network, server, proxy, agent = build_world(limit=4, hosts=20)
+        hotlist = Hotlist.from_lines(
+            "http://site.com/p0.html\n"
+            + "\n".join(f"http://site{h}.com/page.html" for h in range(1, 20))
+        )
+        tracker = W3Newer(
+            clock, agent, hotlist,
+            config=parse_threshold_config("Default 0\n"),
+            proxy=proxy,
+            abort_after_failures=3,
+        )
+        clock.advance(DAY)
+        result = tracker.run()
+        assert result.aborted
+        assert len(result.outcomes) < 20
+
+    def test_single_host_failures_do_not_abort(self):
+        # Same burst, but every URL lives on one server: a streak of
+        # failures from a single host means *that host* is in trouble,
+        # not the network, so the run pushes on and reports per-URL
+        # errors instead of aborting.
         clock, network, server, proxy, agent = build_world(limit=4)
         hotlist = Hotlist.from_lines(
             "\n".join(f"http://site.com/p{i}.html" for i in range(20))
@@ -61,8 +90,9 @@ class TestBurstOverload:
         )
         clock.advance(DAY)
         result = tracker.run()
-        assert result.aborted
-        assert len(result.outcomes) < 20
+        assert not result.aborted
+        assert len(result.outcomes) == 20
+        assert result.errors
 
     def test_patient_tracker_survives(self):
         # Spreading the same checks over time stays under the burst

@@ -1,0 +1,233 @@
+"""Tests for RetryPolicy, CircuitBreaker, and ResilientAgent."""
+
+import pytest
+
+from repro.simclock import SimClock
+from repro.web.client import RobotsUnavailable, UserAgent
+from repro.web.http import ConnectionRefused, DnsError, TimeoutError_
+from repro.web.network import FaultPlan, Network
+from repro.web.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientAgent,
+    RetriesExhausted,
+    RetryPolicy,
+)
+
+
+def build_world(plan=None, **agent_kwargs):
+    clock = SimClock()
+    network = Network(clock, fault_plan=plan)
+    server = network.create_server("site.com")
+    server.set_page("/index.html", "<P>hello</P>")
+    agent = ResilientAgent(UserAgent(network, clock), **agent_kwargs)
+    return clock, network, server, agent
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=2, multiplier=2, max_delay=10,
+                             jitter=0)
+        delays = [policy.backoff("site.com", n) for n in range(1, 6)]
+        assert delays == [2, 4, 8, 10, 10]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=2, jitter=3, seed=5)
+        first = [policy.backoff("site.com", n) for n in range(1, 8)]
+        again = [policy.backoff("site.com", n) for n in range(1, 8)]
+        assert first == again
+        base = RetryPolicy(base_delay=2, jitter=0)
+        for n, delay in enumerate(first, start=1):
+            assert 0 <= delay - base.backoff("site.com", n) <= 3
+
+    def test_jitter_varies_by_host(self):
+        policy = RetryPolicy(base_delay=0, multiplier=1, jitter=100)
+        hosts = [f"h{i}.com" for i in range(12)]
+        assert len({policy.backoff(h, 1) for h in hosts}) > 1
+
+    def test_retryable_classes(self):
+        policy = RetryPolicy()
+        assert policy.retryable(TimeoutError_("t"))
+        assert policy.retryable(ConnectionRefused("r"))
+        assert not policy.retryable(DnsError("d"))
+        assert RetryPolicy(retry_dns=True).retryable(DnsError("d"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_half_open_probe_success_closes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=60)
+        breaker.record_failure()
+        clock.advance(60)
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=60)
+        breaker.record_failure()
+        clock.advance(60)
+        assert breaker.allow()
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 2
+
+    def test_success_resets_failure_count(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+
+
+class TestResilientAgent:
+    def test_transparent_on_healthy_network(self):
+        clock, network, server, agent = build_world()
+        result = agent.get("http://site.com/index.html")
+        assert result.response.ok
+        assert len(network.log) == 1
+        stats = agent.stats()
+        assert stats["retries"] == 0
+        assert stats["breaker_opens"] == 0
+
+    def test_retries_through_flaky_window_and_waits(self):
+        # Host deterministically down until t=5; first retry's backoff
+        # pushes the clock past recovery, so attempt 2 succeeds.
+        plan = FaultPlan()
+        plan.flaky_until("site.com", recover_at=5, probability=1.0)
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(base_delay=10, jitter=0))
+        result = agent.get("http://site.com/index.html")
+        assert result.response.ok
+        assert agent.retries == 1
+        assert clock.now >= 5
+        assert len(network.log) == 2
+
+    def test_exhaustion_raises_with_cause(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="refused")
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(max_attempts=3, jitter=0),
+            breaker_threshold=10)
+        with pytest.raises(RetriesExhausted) as info:
+            agent.get("http://site.com/index.html")
+        assert info.value.attempts == 3
+        assert isinstance(info.value.cause, ConnectionRefused)
+        assert len(network.log) == 3
+
+    def test_dns_error_not_retried_by_default(self):
+        clock, network, server, agent = build_world()
+        with pytest.raises(DnsError):
+            agent.get("http://nosuch.com/page.html")
+        assert agent.retries == 0
+        assert len(network.log) == 1
+
+    def test_breaker_short_circuits_without_wire_traffic(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="refused")
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=2, breaker_reset=300)
+        for _ in range(2):
+            with pytest.raises(RetriesExhausted):
+                agent.get("http://site.com/index.html")
+        wire_before = len(network.log)
+        with pytest.raises(CircuitOpen):
+            agent.get("http://site.com/index.html")
+        assert len(network.log) == wire_before
+        assert agent.short_circuits == 1
+        assert agent.open_hosts() == ["site.com"]
+
+    def test_breaker_probe_recovers(self):
+        plan = FaultPlan()
+        plan.flaky_until("site.com", recover_at=100, probability=1.0)
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=1, breaker_reset=200)
+        with pytest.raises(RetriesExhausted):
+            agent.get("http://site.com/index.html")
+        clock.advance(200)  # past both the fault window and the reset
+        assert agent.get("http://site.com/index.html").response.ok
+        assert agent.breaker_for("site.com").state == CircuitBreaker.CLOSED
+        assert agent.open_hosts() == []
+
+    def test_503_retried_honoring_retry_after(self):
+        plan = FaultPlan()
+        plan.overloaded("site.com", retry_after=30, end=25)
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(base_delay=1, jitter=0))
+        result = agent.get("http://site.com/index.html")
+        assert result.response.ok
+        assert agent.retries == 1
+        assert clock.now >= 30  # waited the advertised Retry-After
+
+    def test_503_returned_when_attempts_run_out(self):
+        plan = FaultPlan()
+        plan.overloaded("site.com")
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(max_attempts=2, jitter=0),
+            breaker_threshold=10)
+        result = agent.get("http://site.com/index.html")
+        assert result.response.status == 503
+
+    def test_budget_bounds_amplification(self):
+        plan = FaultPlan()
+        plan.outage("site.com", kind="refused")
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(max_attempts=3, jitter=0, budget=3),
+            breaker_threshold=100)
+        with pytest.raises(RetriesExhausted):
+            agent.get("http://site.com/index.html")  # 3 attempts, 2 retries
+        with pytest.raises(RetriesExhausted):
+            agent.get("http://site.com/index.html")  # budget allows 1 more
+        assert agent.stats()["budget_remaining"] == 0
+        wire_before = len(network.log)
+        with pytest.raises(RetriesExhausted):
+            agent.get("http://site.com/index.html")
+        assert len(network.log) == wire_before + 1  # no retries left
+
+    def test_fetch_robots_rides_the_retry_loop(self):
+        plan = FaultPlan()
+        plan.flaky_until("site.com", recover_at=5, probability=1.0)
+        clock, network, server, agent = build_world(
+            plan, policy=RetryPolicy(base_delay=10, jitter=0))
+        robots = agent.fetch_robots("site.com")
+        assert robots.allows("w3newer", "/index.html")
+        assert agent.retries == 1
+
+    def test_fetch_robots_surfaces_server_errors(self):
+        from repro.web.http import make_response
+
+        clock, network, server, agent = build_world()
+        server.register_cgi(
+            "/robots.txt", lambda request, now: make_response(500, "<P>boom</P>")
+        )
+        with pytest.raises(RobotsUnavailable):
+            agent.fetch_robots("site.com")
+
+    def test_stats_shape(self):
+        clock, network, server, agent = build_world()
+        agent.record_fallback()
+        stats = agent.stats()
+        assert set(stats) == {"retries", "breaker_opens", "short_circuits",
+                              "fallbacks", "budget_remaining", "open_hosts"}
+        assert stats["fallbacks"] == 1
