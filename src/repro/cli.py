@@ -12,6 +12,7 @@ archives — so the CLI provides both:
     aide co page.html -r 1.1                   # print an old revision
     aide rlog page.html                        # revision history
     aide rcsdiff page.html -r 1.1 -r 1.3       # diff two revisions
+    aide fsck /var/aide/repo --repair          # repository consistency
 
 ``aide htmldiff``/``rcsdiff`` exit 0 when identical and 1 when
 differences were found (the ``diff``/``cmp`` convention), 2 on usage
@@ -200,6 +201,33 @@ def _cmd_rcsdiff(args: argparse.Namespace) -> int:
     return 0 if not out else 1
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Cross-file consistency check of an on-disk snapshot repository.
+
+    Exit 0 when consistent, 1 when problems remain (after repair, if
+    ``--repair`` was given), 2 when the directory does not exist.
+    """
+    from .core.snapshot.persistence import verify_store
+
+    if not os.path.isdir(args.directory):
+        print(f"aide: no repository at {args.directory}", file=sys.stderr)
+        return 2
+    report = verify_store(args.directory, repair=args.repair)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        for problem in report.problems:
+            print(f"problem: {problem}")
+        for note in report.notes:
+            print(f"note: {note}")
+        for fix in report.repaired:
+            print(f"repaired: {fix}")
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     """A zero-setup tour: simulated site, tracker run, merged diff."""
     from .aide.engine import Aide
@@ -316,6 +344,24 @@ def build_parser() -> argparse.ArgumentParser:
     rcsdiff.add_argument("--html", action="store_true",
                          help="render with HtmlDiff instead of unified text")
     rcsdiff.set_defaults(func=_cmd_rcsdiff)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="check an on-disk snapshot repository for cross-file "
+             "damage (archives vs control files vs cache vs journal)",
+    )
+    fsck.add_argument("directory", help="repository directory")
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="fix what is fixable: rewrite stale cache files, drop "
+             "dangling control-file stamps, compact rolled-back "
+             "transactions out of the journal",
+    )
+    fsck.add_argument(
+        "--json", action="store_true",
+        help="print the structured report as JSON",
+    )
+    fsck.set_defaults(func=_cmd_fsck)
 
     demo = sub.add_parser(
         "demo", help="run a self-contained track-and-diff tour"

@@ -9,9 +9,20 @@ trick against httpd timeouts.
 from .auth import AccountRegistry, AuthenticatedSnapshotService, AuthError
 from .checkoutcache import CheckoutCache
 from .diffcache import DiffCache
-from .journal import JournalError, JournalRecord, JournalScan, scan_journal
+from .journal import (
+    JournalError,
+    JournalRecord,
+    JournalScan,
+    ResolvedJournal,
+    SeenRecord,
+    TxnAbort,
+    TxnCommit,
+    TxnIntent,
+    resolve_entries,
+    scan_journal,
+)
 from .keepalive import CgiTimeout, KeepAlive, KeepAliveResult
-from .locking import LockManager, RequestCoalescer
+from .locking import LockError, LockManager, RequestCoalescer
 from .options import StoreOptions
 from .replication import AdmissionControl, ReplicatedSnapshotService
 from .persistence import (
@@ -21,7 +32,16 @@ from .persistence import (
     save_store,
     verify_store,
 )
+from .sched import (
+    CRASH_POINTS,
+    CrashPlan,
+    DeadlockError,
+    Failpoints,
+    SimScheduler,
+    SimulatedCrash,
+)
 from .service import OperationCosts, SnapshotService
+from .wal import Transaction, WalError, WriteAheadLog
 from .store import (
     RememberResult,
     SnapshotError,
@@ -36,10 +56,26 @@ __all__ = [
     "AuthError",
     "CgiTimeout",
     "CheckoutCache",
+    "CRASH_POINTS",
+    "CrashPlan",
+    "DeadlockError",
     "DiffCache",
+    "Failpoints",
     "JournalError",
     "JournalRecord",
     "JournalScan",
+    "LockError",
+    "ResolvedJournal",
+    "SeenRecord",
+    "SimScheduler",
+    "SimulatedCrash",
+    "Transaction",
+    "TxnAbort",
+    "TxnCommit",
+    "TxnIntent",
+    "WalError",
+    "WriteAheadLog",
+    "resolve_entries",
     "scan_journal",
     "JournalRecoveryWarning",
     "StoreVerification",

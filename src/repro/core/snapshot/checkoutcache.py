@@ -59,6 +59,13 @@ class CheckoutCache:
             entries.popitem(last=False)
             self.evictions += 1
 
+    def invalidate_revision(self, url: str, revision: str) -> None:
+        """Drop one entry.  The "nothing ever needs invalidation" rule
+        has exactly one exception: a transaction rollback drops the head
+        revision, and a later check-in may reuse its number with
+        different text."""
+        self._entries.pop((url, revision), None)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)

@@ -13,7 +13,7 @@ a reader can tell a record that was *committed* from one that was torn
 mid-write by a crash::
 
     frame <payload-bytes> <crc32-hex>\\n
-    rev\t<quoted url>\t<revision>\t<date>\t<quoted author>
+    rev\t<quoted url>\t<revision>\t<date>\t<quoted author>[\ttxn=<id>]
     <quoted log>
     <quoted text>
 
@@ -21,6 +21,29 @@ The payload is plain text like the rest of the repository —
 ``@``-quoting is RCS's (payload wrapped in ``@...@``, literal ``@``
 doubled) — so a journal is still browsable with ``cat``.  Compaction =
 a full ``save_store`` rewrite followed by truncating the journal.
+
+The journal doubles as the snapshot service's **write-ahead intent
+log** (paper §4.2's cross-file consistency problem: "the RCS
+repository, the locally cached copy of the HTML document, and the
+control files" must move together).  Four more framed record types
+carry a transaction through the log::
+
+    txn\t<id>\t<op>\t<quoted url>\t<date>\t<quoted author>
+    <quoted newline-joined users>          -- the write-ahead intent
+
+    seen\t<id>\t<quoted user>\t<quoted url>\t<revision>\t<when>
+                                            -- one control-file stamp
+
+    commit\t<id>                            -- the commit marker
+    abort\t<id>                             -- a clean rollback marker
+
+A ``rev`` or ``seen`` record tagged with a transaction id only takes
+effect if that id's ``commit`` marker made it to disk;
+:func:`resolve_entries` computes the surviving effect set, and
+everything belonging to an uncommitted transaction is rolled back on
+replay.  Untagged ``rev`` records (every journal written before
+transactions existed) are unconditionally applied, so old journals
+read exactly as before.
 
 Reading comes in two flavors.  :func:`read_journal` is strict: any
 damage raises :class:`JournalError`.  :func:`scan_journal` never raises
@@ -40,7 +63,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
-__all__ = ["JournalRecord", "JournalError", "JournalScan", "append_records",
+__all__ = ["JournalRecord", "JournalError", "JournalScan", "TxnIntent",
+           "SeenRecord", "TxnCommit", "TxnAbort", "ResolvedJournal",
+           "append_records", "append_entries", "resolve_entries",
            "read_journal", "scan_journal", "clear_journal", "JOURNAL_NAME"]
 
 JOURNAL_NAME = "journal.log"
@@ -52,7 +77,11 @@ class JournalError(ValueError):
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One checked-in revision, self-contained for replay."""
+    """One checked-in revision, self-contained for replay.
+
+    ``txn`` is empty for standalone (pre-transaction) records; when
+    set, the record only takes effect if its transaction committed.
+    """
 
     url: str
     revision: str
@@ -60,26 +89,73 @@ class JournalRecord:
     author: str
     log: str
     text: str
+    txn: str = ""
+
+
+@dataclass(frozen=True)
+class TxnIntent:
+    """Write-ahead declaration: operation ``op`` on ``url`` for
+    ``users`` is about to mutate the repository under id ``txn``."""
+
+    txn: str
+    op: str
+    url: str
+    date: int
+    author: str
+    users: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SeenRecord:
+    """One per-user control-file stamp (user saw revision at when)."""
+
+    txn: str
+    user: str
+    url: str
+    revision: str
+    when: int
+
+
+@dataclass(frozen=True)
+class TxnCommit:
+    """Transaction ``txn``'s effects are complete and durable."""
+
+    txn: str
+
+
+@dataclass(frozen=True)
+class TxnAbort:
+    """Transaction ``txn`` was rolled back cleanly (CGI timeout or an
+    application error); its effect records must be skipped."""
+
+    txn: str
 
 
 @dataclass
 class JournalScan:
     """What a tolerant read of the journal found.
 
-    ``records`` holds every record up to the first damage (all of them
-    when ``damage`` is empty).  ``valid_bytes`` is the byte offset of
-    the end of the last intact record — truncating the file there drops
-    exactly the damaged suffix.  ``recoverable`` is False when intact
-    frames exist *after* the damage: that is mid-file corruption, and
-    truncating would silently discard committed revisions.
+    ``entries`` holds every record up to the first damage (all of them
+    when ``damage`` is empty) — revision records, transaction intents,
+    seen stamps, and commit/abort markers alike; ``records`` filters
+    the revision records for callers that only replay check-ins.
+    ``valid_bytes`` is the byte offset of the end of the last intact
+    record — truncating the file there drops exactly the damaged
+    suffix.  ``recoverable`` is False when intact frames exist *after*
+    the damage: that is mid-file corruption, and truncating would
+    silently discard committed revisions.
     """
 
-    records: List[JournalRecord] = field(default_factory=list)
+    entries: List[object] = field(default_factory=list)
     total_bytes: int = 0
     valid_bytes: int = 0
     damage: str = ""
     damage_offset: Optional[int] = None
     recoverable: bool = True
+
+    @property
+    def records(self) -> List[JournalRecord]:
+        return [e for e in self.entries if isinstance(e, JournalRecord)]
 
     @property
     def clean(self) -> bool:
@@ -91,31 +167,53 @@ def _quote(text: str) -> str:
 
 
 def _serialize(record: JournalRecord) -> str:
-    return "\n".join([
-        "rev\t%s\t%s\t%d\t%s" % (
-            _quote(record.url), record.revision, record.date,
-            _quote(record.author),
-        ),
-        _quote(record.log),
-        _quote(record.text),
-    ]) + "\n"
+    header = "rev\t%s\t%s\t%d\t%s" % (
+        _quote(record.url), record.revision, record.date,
+        _quote(record.author),
+    )
+    if record.txn:
+        header += "\ttxn=%s" % record.txn
+    return "\n".join([header, _quote(record.log), _quote(record.text)]) + "\n"
 
 
-def _frame(record: JournalRecord) -> bytes:
-    payload = _serialize(record).encode("utf-8")
+def _serialize_entry(entry: object) -> str:
+    if isinstance(entry, JournalRecord):
+        return _serialize(entry)
+    if isinstance(entry, TxnIntent):
+        return (
+            "txn\t%s\t%s\t%s\t%d\t%s\n%s\n" % (
+                entry.txn, entry.op, _quote(entry.url), entry.date,
+                _quote(entry.author), _quote("\n".join(entry.users)),
+            )
+        )
+    if isinstance(entry, SeenRecord):
+        return "seen\t%s\t%s\t%s\t%s\t%d\n" % (
+            entry.txn, _quote(entry.user), _quote(entry.url),
+            entry.revision, entry.when,
+        )
+    if isinstance(entry, TxnCommit):
+        return "commit\t%s\n" % entry.txn
+    if isinstance(entry, TxnAbort):
+        return "abort\t%s\n" % entry.txn
+    raise TypeError(f"unknown journal entry type {type(entry).__name__}")
+
+
+def _frame(entry: object) -> bytes:
+    payload = _serialize_entry(entry).encode("utf-8")
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     return b"frame %d %08x\n" % (len(payload), crc) + payload
 
 
-def append_records(directory: str, records: Iterable[JournalRecord]) -> int:
-    """Append framed records to ``directory``'s journal; returns how
-    many.  The write is flushed and fsynced — a record is either fully
-    on disk or detectably torn, never silently half-applied."""
+def append_entries(directory: str, entries: Iterable[object]) -> int:
+    """Append framed entries (any record type) to ``directory``'s
+    journal; returns how many.  The write is flushed and fsynced — an
+    entry is either fully on disk or detectably torn, never silently
+    half-applied."""
     path = os.path.join(directory, JOURNAL_NAME)
     count = 0
     chunks: List[bytes] = []
-    for record in records:
-        chunks.append(_frame(record))
+    for entry in entries:
+        chunks.append(_frame(entry))
         count += 1
     if not chunks:
         return 0
@@ -125,6 +223,11 @@ def append_records(directory: str, records: Iterable[JournalRecord]) -> int:
         handle.flush()
         os.fsync(handle.fileno())
     return count
+
+
+def append_records(directory: str, records: Iterable[JournalRecord]) -> int:
+    """Append framed revision records (see :func:`append_entries`)."""
+    return append_entries(directory, records)
 
 
 class _Scanner:
@@ -175,6 +278,13 @@ class _Scanner:
             self.pos += 1
 
 
+def _int_field(text: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise JournalError(f"bad {what} field {text!r}")
+
+
 def _read_one(scanner: _Scanner) -> JournalRecord:
     """One ``rev`` record at the scanner's cursor (raises JournalError)."""
     scanner.expect("rev")
@@ -186,19 +296,79 @@ def _read_one(scanner: _Scanner) -> JournalRecord:
     date_text = scanner.read_field()
     scanner.skip("\t")
     author = scanner.read_string()
+    txn = ""
+    if scanner.text.startswith("\ttxn=", scanner.pos):
+        scanner.pos += len("\ttxn=")
+        txn = scanner.read_field()
     scanner.skip("\n")
     log = scanner.read_string()
     scanner.skip("\n")
     body = scanner.read_string()
-    try:
-        date = int(date_text)
-    except ValueError:
-        raise JournalError(f"bad date field {date_text!r}")
-    return JournalRecord(url=url, revision=revision, date=date,
-                         author=author, log=log, text=body)
+    return JournalRecord(url=url, revision=revision,
+                         date=_int_field(date_text, "date"),
+                         author=author, log=log, text=body, txn=txn)
 
 
-_ParseResult = Tuple[bool, int, Optional[JournalRecord], str]
+def _read_intent(scanner: _Scanner) -> TxnIntent:
+    scanner.expect("txn")
+    scanner.skip("\t")
+    txn = scanner.read_field()
+    scanner.skip("\t")
+    op = scanner.read_field()
+    scanner.skip("\t")
+    url = scanner.read_string()
+    scanner.skip("\t")
+    date_text = scanner.read_field()
+    scanner.skip("\t")
+    author = scanner.read_string()
+    scanner.skip("\n")
+    users_blob = scanner.read_string()
+    users = tuple(users_blob.split("\n")) if users_blob else ()
+    return TxnIntent(txn=txn, op=op, url=url,
+                     date=_int_field(date_text, "date"),
+                     author=author, users=users)
+
+
+def _read_seen(scanner: _Scanner) -> SeenRecord:
+    scanner.expect("seen")
+    scanner.skip("\t")
+    txn = scanner.read_field()
+    scanner.skip("\t")
+    user = scanner.read_string()
+    scanner.skip("\t")
+    url = scanner.read_string()
+    scanner.skip("\t")
+    revision = scanner.read_field()
+    scanner.skip("\t")
+    when_text = scanner.read_field()
+    return SeenRecord(txn=txn, user=user, url=url, revision=revision,
+                      when=_int_field(when_text, "when"))
+
+
+def _read_marker(scanner: _Scanner) -> object:
+    keyword = scanner.read_field()
+    scanner.skip("\t")
+    txn = scanner.read_field()
+    if not txn:
+        raise JournalError(f"{keyword} marker without a transaction id")
+    return TxnCommit(txn=txn) if keyword == "commit" else TxnAbort(txn=txn)
+
+
+def _read_entry(scanner: _Scanner) -> object:
+    """One record of any type at the scanner's cursor."""
+    text, pos = scanner.text, scanner.pos
+    if text.startswith("rev", pos):
+        return _read_one(scanner)
+    if text.startswith("txn", pos):
+        return _read_intent(scanner)
+    if text.startswith("seen", pos):
+        return _read_seen(scanner)
+    if text.startswith("commit", pos) or text.startswith("abort", pos):
+        return _read_marker(scanner)
+    raise JournalError(f"unrecognized record keyword at offset {pos}")
+
+
+_ParseResult = Tuple[bool, int, Optional[object], str]
 
 
 def _parse_frame(data: bytes, pos: int) -> _ParseResult:
@@ -229,7 +399,7 @@ def _parse_frame(data: bytes, pos: int) -> _ParseResult:
     # The checksum vouches for the bytes; decode defensively anyway.
     scanner = _Scanner(payload.decode("utf-8", errors="replace"))
     try:
-        record = _read_one(scanner)
+        record = _read_entry(scanner)
     except JournalError as exc:
         return False, pos, None, f"framed record does not parse: {exc}"
     if not scanner.at_end():
@@ -298,7 +468,7 @@ def _scan_bytes(data: bytes) -> JournalScan:
             scan.damage_offset = pos
             scan.recoverable = not _valid_frame_after(data, pos)
             return scan
-        scan.records.append(record)
+        scan.entries.append(record)
         pos = end
 
 
@@ -327,6 +497,76 @@ def read_journal(directory: str) -> List[JournalRecord]:
     if scan.damage:
         raise JournalError(scan.damage)
     return scan.records
+
+
+@dataclass
+class ResolvedJournal:
+    """The effect set that survives transaction resolution.
+
+    ``revisions`` and ``seens`` hold, in journal order, every effect
+    record that should be replayed: untagged (legacy) revision records
+    plus records whose transaction committed.  ``rolled_back`` lists
+    transaction ids whose effects were discarded — ``aborted`` ones by
+    a clean abort marker, ``interrupted`` ones by a crash that beat
+    the commit marker to disk.
+    """
+
+    revisions: List[JournalRecord] = field(default_factory=list)
+    seens: List[SeenRecord] = field(default_factory=list)
+    intents: "dict[str, TxnIntent]" = field(default_factory=dict)
+    committed: List[str] = field(default_factory=list)
+    aborted: List[str] = field(default_factory=list)
+    interrupted: List[str] = field(default_factory=list)
+
+    @property
+    def rolled_back(self) -> List[str]:
+        return self.aborted + self.interrupted
+
+    def describe(self, txn: str) -> str:
+        intent = self.intents.get(txn)
+        if intent is None:
+            return txn
+        who = ",".join(intent.users) or intent.author
+        return f"{txn} ({intent.op} {intent.url} for {who})"
+
+
+def resolve_entries(entries: Iterable[object]) -> ResolvedJournal:
+    """Split a journal's entries into applied effects and rollbacks.
+
+    The commit protocol: effect records (``rev``/``seen``) tagged with
+    a transaction id are provisional until that id's ``commit`` marker
+    appears; an ``abort`` marker (or no marker at all — the crash
+    case) rolls them back.  Untagged revision records predate
+    transactions and are applied unconditionally.
+    """
+    entries = list(entries)
+    committed = {e.txn for e in entries if isinstance(e, TxnCommit)}
+    aborted = {e.txn for e in entries if isinstance(e, TxnAbort)}
+    resolved = ResolvedJournal()
+    seen_ids: List[str] = []
+    for entry in entries:
+        if isinstance(entry, TxnIntent):
+            resolved.intents[entry.txn] = entry
+            if entry.txn not in seen_ids:
+                seen_ids.append(entry.txn)
+        elif isinstance(entry, JournalRecord):
+            if entry.txn and entry.txn not in seen_ids:
+                seen_ids.append(entry.txn)
+            if not entry.txn or entry.txn in committed:
+                resolved.revisions.append(entry)
+        elif isinstance(entry, SeenRecord):
+            if entry.txn not in seen_ids:
+                seen_ids.append(entry.txn)
+            if entry.txn in committed:
+                resolved.seens.append(entry)
+    for txn in seen_ids:
+        if txn in committed:
+            resolved.committed.append(txn)
+        elif txn in aborted:
+            resolved.aborted.append(txn)
+        else:
+            resolved.interrupted.append(txn)
+    return resolved
 
 
 def clear_journal(directory: str) -> bool:

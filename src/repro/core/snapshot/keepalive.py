@@ -53,6 +53,17 @@ class KeepAlive:
 
         Raises :class:`CgiTimeout` when httpd would have killed the
         connection before the operation produced output.
+
+        Boundary semantics, pinned deliberately:
+
+        * ``duration == httpd_timeout`` **dies** — httpd's timer fires
+          at the end of the interval, and an operation that produces
+          its first output exactly then has already lost the race
+          (``>=``, not ``>``).
+        * ``duration == 0`` **survives** in every configuration, with
+          zero padding — an instantaneous operation emits its response
+          before any timer matters, even with the keep-alive child
+          disabled.
         """
         if duration < 0:
             raise ValueError("negative duration")
@@ -81,3 +92,34 @@ class KeepAlive:
         """The literal spaces the child would have written (prepended
         to the CGI response body; browsers ignore leading whitespace)."""
         return " " * self.run(duration).padding_spaces
+
+    def guard(self, store, duration: int) -> str:
+        """Padding for an operation that must not leave partial state.
+
+        A store without transaction machinery keeps the historical
+        upfront verdict: a doomed operation raises :class:`CgiTimeout`
+        before any work starts.  A transactional store (write-ahead log
+        and failpoints attached) arms a **mid-operation abort**
+        instead: the timeout is delivered at the transaction's commit
+        barrier, the operation unwinds through the ordinary rollback
+        path, and nothing half-done survives — an operation that
+        outlives httpd never commits.
+        """
+        failpoints = getattr(store, "failpoints", None)
+        if failpoints is None or getattr(store, "wal", None) is None:
+            return self.padding(duration)
+        try:
+            return self.padding(duration)
+        except CgiTimeout:
+            failpoints.arm_timeout()
+            return ""
+
+    def unguard(self, store) -> bool:
+        """Clear any still-armed abort once the operation has ended by
+        other means; returns True if an armed timeout never fired (the
+        operation finished without crossing a commit barrier, but httpd
+        closed the connection all the same)."""
+        failpoints = getattr(store, "failpoints", None)
+        if failpoints is None:
+            return False
+        return failpoints.disarm_timeout()

@@ -37,16 +37,19 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...rcs.archive import RcsArchive
 from ...rcs.rcsfile import parse_rcsfile, serialize_rcsfile
+from ...simclock import SimClock
 from .journal import (
     JOURNAL_NAME,
     JournalError,
     JournalRecord,
+    ResolvedJournal,
     append_records,
     clear_journal,
+    resolve_entries,
     scan_journal,
 )
 from .store import SnapshotStore
@@ -54,11 +57,18 @@ from .usercontrol import UserControl
 
 __all__ = ["save_store", "append_store", "compact_store", "load_store",
            "verify_store", "StoreVerification", "JournalRecoveryWarning",
-           "mangle_url", "unmangle_name"]
+           "mangle_url", "unmangle_name", "CACHE_DIR"]
+
+#: Subdirectory holding the "locally cached copy of the HTML document"
+#: (paper §4.2) — one file per URL, same name mangling as the ``,v``
+#: archives.  Written by write-ahead transactions (:mod:`.wal`) and
+#: reconciled against head revisions on load and by ``verify_store``.
+CACHE_DIR = "cache"
 
 
 class JournalRecoveryWarning(UserWarning):
-    """A torn journal tail was truncated away during load."""
+    """A torn journal tail was truncated away during load, or a
+    half-done transaction was rolled back."""
 
 _SAFE = set(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_"
@@ -130,6 +140,9 @@ def save_store(store: SnapshotStore, directory: str) -> int:
         url: archive.revision_count
         for url, archive in store.archives.items()
     }
+    # Compaction may have dropped rolled-back revisions the cache files
+    # still reflect; bring any existing cache files back to the heads.
+    _reconcile_cache(store.archives, directory)
     return written
 
 
@@ -171,6 +184,7 @@ def append_store(store: SnapshotStore, directory: str) -> int:
         store.persisted_revisions[url] = archive.revision_count
     appended = append_records(directory, records)
     _write_users(store, directory)
+    _reconcile_cache(store.archives, directory)
     return appended
 
 
@@ -190,6 +204,16 @@ def load_store(store: SnapshotStore, directory: str) -> int:
     there would silently drop committed revisions — so mid-file
     corruption raises :class:`~.journal.JournalError`, as does a replay
     record that does not land on its recorded revision number.
+
+    Transactional records (see :mod:`.wal`) are resolved before replay:
+    effects of a transaction whose ``commit`` marker never reached disk
+    are **rolled back** — their ``rev`` and ``seen`` records skipped, a
+    :class:`JournalRecoveryWarning` naming the half-done operation
+    issued — and any ``cache/`` file left behind by the interrupted
+    write is reconciled against the surviving head revision.  Committed
+    ``seen`` records are applied on top of ``users.ctl``, recovering
+    control-file stamps that were journaled but never made it into a
+    bookkeeping rewrite.
     """
     archives_dir = os.path.join(directory, "archives")
     loaded = 0
@@ -220,7 +244,15 @@ def load_store(store: SnapshotStore, directory: str) -> int:
             stacklevel=2,
         )
         _truncate_journal(directory, scan.valid_bytes)
-    for record in scan.records:
+    resolved = resolve_entries(scan.entries)
+    for txn in resolved.interrupted:
+        warnings.warn(
+            f"transaction {resolved.describe(txn)} never committed; "
+            f"rolling back its journaled effects",
+            JournalRecoveryWarning,
+            stacklevel=2,
+        )
+    for record in resolved.revisions:
         if record.url not in store.archives:
             loaded += 1
         archive = store.archive_for(record.url)
@@ -243,11 +275,85 @@ def load_store(store: SnapshotStore, directory: str) -> int:
     for archive in store.archives.values():
         if archive.keyframe_interval != store.options.keyframe_interval:
             archive.set_keyframe_interval(store.options.keyframe_interval)
+    # users.ctl is the bookkeeping base; committed seen records layer
+    # the stamps that were journaled after its last rewrite on top.
     users_path = os.path.join(directory, "users.ctl")
     if os.path.exists(users_path):
         with open(users_path, "r", encoding="utf-8") as handle:
             store.users = UserControl.deserialize(handle.read())
+    for seen in resolved.seens:
+        store.users.record(seen.user, seen.url, seen.revision, seen.when)
+    # Stamps referencing revisions that did not survive (lost to a torn
+    # tail, or rolled back with their transaction) are pruned — a
+    # recovered store must not claim a user has seen a version it
+    # cannot produce.
+    dangling = [
+        (user, url, seen.revision)
+        for user, url, seen in store.users.all_stamps()
+        if not _revision_known(store.archives.get(url), seen.revision)
+    ]
+    for user, url, revision in dangling:
+        warnings.warn(
+            f"dropping {user}'s stamp of {url} rev {revision}: the "
+            f"revision is not in the recovered archive",
+            JournalRecoveryWarning,
+            stacklevel=2,
+        )
+        store.users.forget(user, url, revision)
+    # A crash after the cache write but before the commit marker leaves
+    # the cache file ahead of the (rolled-back) archive; rewrite any
+    # such file from the revision that actually survived.
+    _reconcile_cache(store.archives, directory, page_cache=store.page_cache)
     return loaded
+
+
+def _revision_known(archive: Optional[RcsArchive], revision: str) -> bool:
+    return archive is not None and any(
+        info.number == revision for info in archive.revisions()
+    )
+
+
+def _reconcile_cache(
+    archives: Dict[str, RcsArchive],
+    directory: str,
+    page_cache: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Make every ``cache/`` file match its archive's head revision.
+
+    Returns a description of each fix.  Files for unknown or empty
+    archives are removed; mismatched files are rewritten from the head.
+    Only URLs that *have* a cache file are touched — the cache is an
+    optional per-URL artifact, written by transactions.
+    """
+    cache_dir = os.path.join(directory, CACHE_DIR)
+    fixed: List[str] = []
+    if not os.path.isdir(cache_dir):
+        return fixed
+    by_name = {mangle_url(url): url for url in archives}
+    for name in sorted(os.listdir(cache_dir)):
+        path = os.path.join(cache_dir, name)
+        if not os.path.isfile(path):
+            continue
+        if name.endswith(".tmp"):
+            os.remove(path)
+            fixed.append(f"cache/{name}: removed orphaned temp file")
+            continue
+        url = by_name.get(name)
+        archive = archives.get(url) if url is not None else None
+        if archive is None or archive.revision_count == 0:
+            os.remove(path)
+            fixed.append(f"cache/{name}: removed (no archived revisions)")
+            continue
+        head = archive.checkout(archive.head_revision)
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        if content != head:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(head)
+            fixed.append(f"cache/{name}: rewritten from head revision")
+        if page_cache is not None:
+            page_cache[url] = head
+    return fixed
 
 
 def _truncate_journal(directory: str, valid_bytes: int) -> None:
@@ -264,16 +370,21 @@ def _truncate_journal(directory: str, valid_bytes: int) -> None:
 @dataclass
 class StoreVerification:
     """What :func:`verify_store` found.  ``problems`` are data-losing
-    (corrupt archives, unreplayable or mid-file-damaged journal);
-    ``notes`` are survivable oddities (torn tail, orphan manifest
-    entries).  ``ok`` means :func:`load_store` would succeed and lose
-    nothing that was ever committed."""
+    (corrupt archives, unreplayable or mid-file-damaged journal,
+    cross-file invariant violations); ``notes`` are survivable oddities
+    (torn tail, orphan manifest entries, transactions a load would roll
+    back).  ``ok`` means :func:`load_store` would succeed and lose
+    nothing that was ever committed.  ``repaired`` lists the fixes a
+    ``repair=True`` run applied."""
 
     directory: str
     archives_checked: int = 0
     journal_records: int = 0
+    cache_files_checked: int = 0
+    seen_stamps_checked: int = 0
     problems: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    repaired: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -281,21 +392,53 @@ class StoreVerification:
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else f"{len(self.problems)} problem(s)"
+        repaired = f", {len(self.repaired)} repair(s)" if self.repaired else ""
         return (
             f"{self.directory}: {verdict} — {self.archives_checked} "
             f"archive(s), {self.journal_records} journal record(s), "
-            f"{len(self.notes)} note(s)"
+            f"{self.cache_files_checked} cache file(s), "
+            f"{self.seen_stamps_checked} seen stamp(s), "
+            f"{len(self.notes)} note(s){repaired}"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Structured form for the CGI ``action=fsck`` endpoint and the
+        crash-consistency bench gate."""
+        return {
+            "directory": self.directory,
+            "ok": self.ok,
+            "archives_checked": self.archives_checked,
+            "journal_records": self.journal_records,
+            "cache_files_checked": self.cache_files_checked,
+            "seen_stamps_checked": self.seen_stamps_checked,
+            "problems": list(self.problems),
+            "notes": list(self.notes),
+            "repaired": list(self.repaired),
+        }
 
-def verify_store(directory: str) -> StoreVerification:
+
+def verify_store(directory: str, repair: bool = False) -> StoreVerification:
     """Inspect an on-disk repository and *report* damage, never raise.
 
     The read-only counterpart of :func:`load_store`'s recovery: every
     ``,v`` file is parsed and its head checked out, the journal is
-    scanned frame-by-frame, and the surviving records are replayed onto
-    a scratch copy of the archives — so a replay mismatch is found
-    before a real load trips over it.  Nothing on disk is modified.
+    scanned frame-by-frame, transactions are resolved, and the
+    surviving records are replayed onto a scratch copy of the archives
+    — so a replay mismatch is found before a real load trips over it.
+
+    On top of the per-file checks, the **cross-file invariants** of
+    paper §4.2's consistency triangle:
+
+    * every revision named by a control-file stamp (``users.ctl`` plus
+      committed journaled stamps) exists in its URL's archive;
+    * every ``cache/`` file matches its archive's head revision.
+
+    With ``repair=False`` (the default) nothing on disk is modified.
+    ``repair=True`` fixes what is fixable — rewrites mismatched cache
+    files from the head, drops control-file stamps naming revisions
+    that do not exist, compacts rolled-back transactions out of the
+    journal — then re-verifies and reports the remaining state with
+    the applied fixes listed in ``repaired``.
     """
     report = StoreVerification(directory=directory)
     if not os.path.isdir(directory):
@@ -304,6 +447,7 @@ def verify_store(directory: str) -> StoreVerification:
     manifest = _read_manifest(os.path.join(directory, "MANIFEST"))
     archives_dir = os.path.join(directory, "archives")
     archives: Dict[str, RcsArchive] = {}
+    unreadable: List[str] = []
     if os.path.isdir(archives_dir):
         for name in sorted(os.listdir(archives_dir)):
             if not name.endswith(",v"):
@@ -318,6 +462,7 @@ def verify_store(directory: str) -> StoreVerification:
                     archive.checkout(archive.head_revision)
             except Exception as exc:
                 report.problems.append(f"archives/{name}: {exc}")
+                unreadable.append(name)
                 continue
             archive.name = url
             archives[url] = archive
@@ -337,7 +482,18 @@ def verify_store(directory: str) -> StoreVerification:
                 f"journal corrupted mid-file with intact records beyond "
                 f"the damage: {scan.damage}"
             )
-    for record in scan.records:
+    resolved = resolve_entries(scan.entries)
+    for txn in resolved.interrupted:
+        report.notes.append(
+            f"transaction {resolved.describe(txn)} never committed; "
+            f"load_store would roll it back"
+        )
+    if resolved.aborted:
+        report.notes.append(
+            f"{len(resolved.aborted)} cleanly aborted transaction(s) "
+            f"awaiting compaction"
+        )
+    for record in resolved.revisions:
         archive = archives.get(record.url)
         if archive is None:
             archive = RcsArchive(name=record.url)
@@ -357,14 +513,125 @@ def verify_store(directory: str) -> StoreVerification:
                 f"journal replay of {record.url} expected revision "
                 f"{record.revision}, got {number} (changed={changed})"
             )
+    # The effective control-file state a load would build: users.ctl
+    # plus the committed journaled stamps.
+    users = UserControl()
     users_path = os.path.join(directory, "users.ctl")
     if os.path.exists(users_path):
         try:
             with open(users_path, "r", encoding="utf-8") as handle:
-                UserControl.deserialize(handle.read())
+                users = UserControl.deserialize(handle.read())
         except Exception as exc:
             report.problems.append(f"users.ctl: {exc}")
-    return report
+    for seen in resolved.seens:
+        users.record(seen.user, seen.url, seen.revision, seen.when)
+    # Cross-file invariant 1: every stamped revision exists.  When a
+    # recoverable torn tail is present the lost write explains (and a
+    # load repairs) the dangling stamp, so it is a note, not a problem.
+    torn_tail = bool(scan.damage) and scan.recoverable
+    dangling: List[tuple] = []
+    for user, url, seen in users.all_stamps():
+        report.seen_stamps_checked += 1
+        if not _revision_known(archives.get(url), seen.revision):
+            finding = (
+                f"users.ctl: {user} has seen {url} rev {seen.revision}, "
+                f"which is not in the archive"
+            )
+            if torn_tail:
+                report.notes.append(
+                    finding + " (torn tail; a load would drop the stamp)"
+                )
+            else:
+                report.problems.append(finding)
+            dangling.append((user, url, seen.revision))
+    # Cross-file invariant 2: every cache file matches its head.  A
+    # mismatch on a URL some rolled-back transaction touched is the
+    # expected debris of the interrupted write — a load reconciles it —
+    # so, like the torn-tail stamps above, it is a note, not a problem.
+    rolled_back_urls = {
+        resolved.intents[txn].url
+        for txn in resolved.rolled_back
+        if txn in resolved.intents
+    }
+    cache_dir = os.path.join(directory, CACHE_DIR)
+    stale_cache = False
+    if os.path.isdir(cache_dir):
+        by_name = {mangle_url(url): url for url in archives}
+        for name in sorted(os.listdir(cache_dir)):
+            path = os.path.join(cache_dir, name)
+            if not os.path.isfile(path) or name.endswith(".tmp"):
+                continue
+            report.cache_files_checked += 1
+            url = by_name.get(name) or unmangle_name(name)
+            explained = url in rolled_back_urls
+            archive = archives.get(url)
+            if archive is None or archive.revision_count == 0:
+                finding = (
+                    f"cache/{name}: cached copy of a URL with no "
+                    f"archived revisions"
+                )
+                stale_cache = True
+                if explained:
+                    report.notes.append(
+                        finding + " (rolled-back transaction; a load "
+                        "would remove it)"
+                    )
+                else:
+                    report.problems.append(finding)
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                content = handle.read()
+            if content != archive.checkout(archive.head_revision):
+                finding = (
+                    f"cache/{name}: cached copy does not match head "
+                    f"revision {archive.head_revision}"
+                )
+                stale_cache = True
+                if explained:
+                    report.notes.append(
+                        finding + " (rolled-back transaction; a load "
+                        "would rewrite it)"
+                    )
+                else:
+                    report.problems.append(finding)
+    if not repair:
+        return report
+    fixable = (
+        dangling or stale_cache or resolved.rolled_back
+        or (scan.damage and scan.recoverable)
+    )
+    if not fixable:
+        return report
+    repaired = _repair_store(directory, archives, users, dangling)
+    final = verify_store(directory, repair=False)
+    final.repaired = repaired
+    return final
+
+
+def _repair_store(
+    directory: str,
+    archives: Dict[str, RcsArchive],
+    users: UserControl,
+    dangling: List[tuple],
+) -> List[str]:
+    """Write the verified scratch state back: drop dangling stamps,
+    compact rolled-back transactions out of the journal, and reconcile
+    the cache files against the surviving heads."""
+    repaired: List[str] = []
+    for user, url, revision in dangling:
+        users.forget(user, url, revision)
+        repaired.append(
+            f"users.ctl: dropped {user}'s stamp of {url} rev {revision}"
+        )
+    scratch = SnapshotStore(SimClock(), agent=None)
+    scratch.archives = dict(archives)
+    scratch.users = users
+    save_store(scratch, directory)
+    repaired.append(
+        "compacted archives and journal (rolled-back transactions dropped)"
+    )
+    repaired.extend(_reconcile_cache(archives, directory))
+    return repaired
 
 
 def _read_manifest(path: str) -> Dict[str, str]:

@@ -22,13 +22,15 @@ become 504s (what the browser saw when the trick was disabled).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 from ...html.entities import encode_entities
 from ...web.cgi import encode_query_string, parse_query_string
 from ...web.http import Request, Response, make_response
 from .keepalive import CgiTimeout, KeepAlive
+from .persistence import verify_store
 from .store import SnapshotError, SnapshotStore
 
 __all__ = ["SnapshotService", "OperationCosts"]
@@ -57,11 +59,14 @@ class SnapshotService:
         keepalive: Optional[KeepAlive] = None,
         costs: Optional[OperationCosts] = None,
         script_path: str = "/cgi-bin/snapshot",
+        repository_dir: Optional[str] = None,
     ) -> None:
         self.store = store
         self.keepalive = keepalive or KeepAlive()
         self.costs = costs or OperationCosts()
         self.script_path = script_path
+        #: On-disk repository for the ``fsck`` action; None disables it.
+        self.repository_dir = repository_dir
 
     # ------------------------------------------------------------------
     # CGI entry point
@@ -79,6 +84,8 @@ class SnapshotService:
                 return make_response(200, self._form_page())
             if action == "stats":
                 return self._stats()
+            if action == "fsck":
+                return self._fsck(repair=params.get("repair") == "1")
             if not url:
                 return self._error_page(400, "missing the url parameter")
             if action == "remember":
@@ -99,11 +106,33 @@ class SnapshotService:
             )
 
     # ------------------------------------------------------------------
+    def _run_guarded(self, duration: int, op: Callable) -> Tuple[str, object]:
+        """Run a long operation under the keep-alive guard.
+
+        On a legacy store this is exactly the historical behaviour (a
+        doomed operation raises before starting).  On a transactional
+        store the timeout is delivered at the commit barrier instead,
+        so the operation rolls back rather than leaving partial state;
+        if the operation ends without crossing a barrier, the armed
+        verdict still stands — httpd closed the connection either way.
+        """
+        padding = self.keepalive.guard(self.store, duration)
+        try:
+            result = op()
+        finally:
+            if self.keepalive.unguard(self.store):
+                raise CgiTimeout(
+                    f"no output for {duration}s exceeds httpd's "
+                    f"{self.keepalive.httpd_timeout}s timeout"
+                )
+        return padding, result
+
     def _remember(self, user: str, url: str) -> Response:
         if not user:
             return self._error_page(400, "an identifier (email) is required")
-        padding = self.keepalive.padding(self.costs.fetch)
-        result = self.store.remember(user, url)
+        padding, result = self._run_guarded(
+            self.costs.fetch, lambda: self.store.remember(user, url)
+        )
         verdict = (
             f"saved as revision {result.revision}"
             if result.changed
@@ -128,8 +157,10 @@ class SnapshotService:
                 400, "a user (for 'since I last saved') or explicit "
                      "revisions are required"
             )
-        padding = self.keepalive.padding(self.costs.fetch + self.costs.htmldiff)
-        result = self.store.diff(user, url, rev_old=r1, rev_new=r2)
+        padding, result = self._run_guarded(
+            self.costs.fetch + self.costs.htmldiff,
+            lambda: self.store.diff(user, url, rev_old=r1, rev_new=r2),
+        )
         return make_response(200, padding + result.html)
 
     def _history(self, user: str, url: str) -> Response:
@@ -205,6 +236,38 @@ class SnapshotService:
             f"{render(self.store.stats())}</BODY></HTML>"
         )
         return make_response(200, padding + body)
+
+    def _fsck(self, repair: bool = False) -> Response:
+        """Operator page: cross-file consistency check of the on-disk
+        repository (``action=fsck``, ``&repair=1`` to fix what is
+        fixable).  The page carries the structured report as JSON so
+        scripts can consume the same endpoint."""
+        if self.repository_dir is None:
+            return self._error_page(
+                400, "fsck requires an on-disk repository directory"
+            )
+        padding = self.keepalive.padding(self.costs.cheap)
+        report = verify_store(self.repository_dir, repair=repair)
+        verdict = "consistent" if report.ok else "INCONSISTENT"
+
+        def listing(title: str, items) -> str:
+            if not items:
+                return ""
+            rows = "".join(f"<LI>{encode_entities(item)}</LI>"
+                           for item in items)
+            return f"<H2>{title}</H2><UL>{rows}</UL>"
+
+        body = (
+            "<HTML><HEAD><TITLE>Repository check</TITLE></HEAD><BODY>"
+            f"<H1>Repository check: {verdict}</H1>"
+            f"<P>{encode_entities(report.summary())}</P>"
+            f"{listing('Problems', report.problems)}"
+            f"{listing('Notes', report.notes)}"
+            f"{listing('Repairs applied', report.repaired)}"
+            f"<PRE>{encode_entities(json.dumps(report.to_dict(), indent=2))}"
+            "</PRE></BODY></HTML>"
+        )
+        return make_response(200 if report.ok else 500, padding + body)
 
     # ------------------------------------------------------------------
     def _link(self, params: dict, label: str) -> str:

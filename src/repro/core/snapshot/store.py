@@ -17,7 +17,7 @@ and later retrieve differences.  Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ...html.lexer import Tag, tokenize_html
 from ...rcs.archive import RcsArchive, RevisionInfo, UnknownRevision
@@ -32,6 +32,10 @@ from .diffcache import DiffCache
 from .locking import LockManager, RequestCoalescer
 from .options import StoreOptions
 from .usercontrol import UserControl
+
+if TYPE_CHECKING:
+    from .sched import Failpoints
+    from .wal import Transaction, WriteAheadLog
 
 __all__ = ["SnapshotStore", "RememberResult", "SnapshotError",
            "StoreOptions", "add_base_directive"]
@@ -113,6 +117,29 @@ class SnapshotStore:
         #: plus journal records); maintained by the persistence layer.
         self.persisted_revisions: Dict[str, int] = {}
         self.htmldiff_invocations = 0
+        #: Optional transaction manager (``attach_wal``).  Without one,
+        #: every mutating path behaves exactly as before — the
+        #: write-ahead machinery is overhead-only and opt-in.
+        self.wal: Optional["WriteAheadLog"] = None
+        #: Optional crash-point hub (``attach_failpoints``); ``None``
+        #: makes every ``_step`` a no-op.
+        self.failpoints: Optional["Failpoints"] = None
+
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Make remember / check-in / batch operations transactional:
+        intent + effect records through ``wal``'s journal, rollback on
+        abort, recovery-driven rollback after a crash."""
+        self.wal = wal
+
+    def attach_failpoints(self, failpoints: "Failpoints") -> None:
+        """Thread the named crash points through this store's
+        mutating operations."""
+        self.failpoints = failpoints
+
+    def _step(self, point: str) -> None:
+        if self.failpoints is not None:
+            self.failpoints.step(point)
 
     # ------------------------------------------------------------------
     def _canonical(self, url: str) -> str:
@@ -147,23 +174,129 @@ class SnapshotStore:
         control file is still stamped individually.
         """
         key = self._canonical(url)
+        if self.locks.scheduler is not None:
+            return self._remember_queued(user, key)
         if not self.options.coalesce_checkins:
-            with self.locks.acquire(f"url:{key}"), \
-                    self.locks.acquire(f"user:{user}"):
-                body = self.coalescer.do(
-                    f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
-                )
-                return self._checkin(user, key, body)
-        with self.locks.acquire(f"user:{user}"):
+            txn = self._begin("remember", key, user, (user,))
+            try:
+                with self.locks.acquire(f"url:{key}"), \
+                        self.locks.acquire(f"user:{user}"):
+                    body = self.coalescer.do(
+                        f"fetch:{key}:{self.clock.now}",
+                        lambda: self._fetch(key),
+                    )
+                    self._step("remember.fetched")
+                    result = self._checkin(user, key, body, txn)
+                return self._commit(txn, result)
+            except Exception:
+                self._rollback(txn)
+                raise
+        # Coalesced: the fetch runs lock-free (it has no effects to
+        # protect), the winner's check-in takes the URL lock inside the
+        # coalescer, and the control-file stamp takes the user lock —
+        # per-URL strictly before per-user, never nested the other way.
+        txn = self._begin("remember", key, user, (user,))
+        try:
             body = self.coalescer.do(
                 f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
             )
-            revision, changed, nbytes = self._coalesced_checkin(user, key, body)
-            self.users.record(user, key, revision, self.clock.now)
-            return RememberResult(
+            self._step("remember.fetched")
+            revision, changed, nbytes = self._coalesced_checkin(
+                user, key, body, txn
+            )
+            with self.locks.acquire(f"user:{user}"):
+                self._stamp(txn, user, key, revision)
+            return self._commit(txn, RememberResult(
                 url=key, revision=revision, changed=changed,
                 fetched_bytes=nbytes, when=self.clock.now,
-            )
+            ))
+        except Exception:
+            self._rollback(txn)
+            raise
+
+    def _remember_queued(self, user: str, key: str) -> RememberResult:
+        """Remember under a scheduler: the fetch happens *inside* the
+        URL lock, so a second simultaneous request for the same page
+        parks on the queue and, once woken, joins the winner's work
+        through the coalescer — "the second snapshot process would just
+        wait for the page and then return" (§4.2)."""
+        txn = self._begin("remember", key, user, (user,))
+        try:
+            with self.locks.acquire(f"url:{key}"):
+                self._step("remember.url-locked")
+                body = self.coalescer.do(
+                    f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
+                )
+                self._step("remember.fetched")
+                mine: List[Tuple[str, bool, int]] = []
+
+                def do_checkin():
+                    outcome = self._checkin_archive(user, key, body)
+                    mine.append(outcome)
+                    self._log_rev(txn, key, outcome, body, user)
+                    return outcome
+
+                revision, changed, nbytes = self.coalescer.do(
+                    f"checkin:{key}:{self.clock.now}:{len(body)}:{hash(body)}",
+                    do_checkin,
+                )
+                if not mine:
+                    changed = False
+            with self.locks.acquire(f"user:{user}"):
+                self._stamp(txn, user, key, revision)
+            return self._commit(txn, RememberResult(
+                url=key, revision=revision, changed=changed,
+                fetched_bytes=nbytes, when=self.clock.now,
+            ))
+        except Exception:
+            self._rollback(txn)
+            raise
+
+    # ------------------------------------------------------------------
+    # transaction plumbing (no-ops without an attached WAL)
+    # ------------------------------------------------------------------
+    def _begin(self, op: str, key: str, author: str,
+               users: Tuple[str, ...]) -> Optional["Transaction"]:
+        if self.wal is None:
+            return None
+        txn = self.wal.begin(op, key, author, users)
+        self._step("txn.intent-appended")
+        return txn
+
+    def _log_rev(self, txn: Optional["Transaction"], key: str,
+                 outcome: Tuple[str, bool, int], body: str,
+                 author: str) -> None:
+        """Journal a just-made archive check-in and refresh the local
+        cached copy — the two on-disk effects beyond the control file."""
+        revision, changed, _nbytes = outcome
+        if txn is None or not changed:
+            return
+        txn.log_rev(key, revision, body, f"snapshot by {author}")
+        self._step("txn.rev-appended")
+        txn.write_cache(key, body)
+        self._step("txn.cache-written")
+
+    def _stamp(self, txn: Optional["Transaction"], user: str, key: str,
+               revision: str) -> None:
+        """Record a seen-version stamp (caller holds the user lock)."""
+        prior = self.users.record(user, key, revision, self.clock.now)
+        if txn is not None:
+            txn.log_seen(user, key, revision, self.clock.now, prior)
+            self._step("txn.seen-appended")
+
+    def _commit(self, txn: Optional["Transaction"], result):
+        """The atomic point.  ``txn.commit`` barrier first: an armed
+        CGI timeout fires here, so an operation that outlived httpd
+        never commits — it unwinds through :meth:`_rollback` instead."""
+        self._step("txn.commit")
+        if txn is not None:
+            txn.commit()
+            self._step("txn.committed")
+        return result
+
+    def _rollback(self, txn: Optional["Transaction"]) -> None:
+        if txn is not None and txn.state == "open":
+            txn.abort()
 
     def remember_batch(self, users: List[str], url: str) -> List[RememberResult]:
         """One fetch + one check-in serving many users at once.
@@ -189,8 +322,15 @@ class SnapshotStore:
         economy-of-scale argument is about.
         """
         key = self._canonical(url)
-        with self.locks.acquire(f"url:{key}"), self.locks.acquire(f"user:{user}"):
-            return self._checkin(user, key, body)
+        txn = self._begin("checkin", key, user, (user,))
+        try:
+            with self.locks.acquire(f"url:{key}"), \
+                    self.locks.acquire(f"user:{user}"):
+                result = self._checkin(user, key, body, txn)
+            return self._commit(txn, result)
+        except Exception:
+            self._rollback(txn)
+            raise
 
     def checkin_content_batch(
         self, users: List[str], url: str, body: str
@@ -202,37 +342,54 @@ class SnapshotStore:
         same body would have reported)."""
         key = self._canonical(url)
         author = users[0] if users else "aide"
-        if self.options.coalesce_checkins:
-            revision, changed, _ = self._coalesced_checkin(author, key, body)
-        else:
-            with self.locks.acquire(f"url:{key}"):
-                revision, changed, _ = self._checkin_archive(author, key, body)
-        results = []
-        for index, user in enumerate(users):
-            with self.locks.acquire(f"user:{user}"):
-                self.users.record(user, key, revision, self.clock.now)
-            results.append(RememberResult(
-                url=key, revision=revision,
-                changed=changed and index == 0,
-                fetched_bytes=len(body), when=self.clock.now,
-            ))
-        return results
+        txn = self._begin("checkin-batch", key, author, tuple(users))
+        try:
+            if self.options.coalesce_checkins:
+                revision, changed, _ = self._coalesced_checkin(
+                    author, key, body, txn
+                )
+            else:
+                with self.locks.acquire(f"url:{key}"):
+                    outcome = self._checkin_archive(author, key, body)
+                    self._log_rev(txn, key, outcome, body, author)
+                    revision, changed, _ = outcome
+            results = []
+            for index, user in enumerate(users):
+                with self.locks.acquire(f"user:{user}"):
+                    self._stamp(txn, user, key, revision)
+                self._step("batch.user-stamped")
+                results.append(RememberResult(
+                    url=key, revision=revision,
+                    changed=changed and index == 0,
+                    fetched_bytes=len(body), when=self.clock.now,
+                ))
+            return self._commit(txn, results)
+        except Exception:
+            self._rollback(txn)
+            raise
 
     def _coalesced_checkin(
-        self, author: str, key: str, body: str
+        self,
+        author: str,
+        key: str,
+        body: str,
+        txn: Optional["Transaction"] = None,
     ) -> Tuple[str, bool, int]:
         """Run (or join) this instant's check-in of ``body`` for ``key``.
 
         The coalescer key carries a body fingerprint, so only check-ins
         of the *same* content share work.  Joiners see ``changed=False``
         — exactly what their own check-in of the now-identical body
-        would have returned on the reference path.
+        would have returned on the reference path.  Only the winner's
+        transaction journals the revision; a joiner's transaction
+        carries just its own control-file stamp.
         """
         mine: List[Tuple[str, bool, int]] = []
 
         def do_checkin():
             with self.locks.acquire(f"url:{key}"):
                 outcome = self._checkin_archive(author, key, body)
+                self._log_rev(txn, key, outcome, body, author)
             mine.append(outcome)
             return outcome
 
@@ -244,10 +401,18 @@ class SnapshotStore:
             changed = False
         return revision, changed, nbytes
 
-    def _checkin(self, user: str, key: str, body: str) -> RememberResult:
+    def _checkin(
+        self,
+        user: str,
+        key: str,
+        body: str,
+        txn: Optional["Transaction"] = None,
+    ) -> RememberResult:
         """The shared check-in tail (callers hold the locks)."""
-        revision, changed, nbytes = self._checkin_archive(user, key, body)
-        self.users.record(user, key, revision, self.clock.now)
+        outcome = self._checkin_archive(user, key, body)
+        self._log_rev(txn, key, outcome, body, user)
+        revision, changed, nbytes = outcome
+        self._stamp(txn, user, key, revision)
         return RememberResult(
             url=key, revision=revision, changed=changed,
             fetched_bytes=nbytes, when=self.clock.now,
@@ -319,6 +484,7 @@ class SnapshotStore:
                     f"fetch:{key}:{self.clock.now}", lambda: self._fetch(key)
                 )
                 self.checkin_content("aide-snapshot", key, body)
+                self._step("diff.checked-in")
             except SnapshotError:
                 pass
             rev_new = archive.head_revision
@@ -457,10 +623,7 @@ class SnapshotStore:
                 "executions": self.coalescer.executions,
                 "coalesced": self.coalescer.coalesced,
             },
-            "locks": {
-                "acquisitions": self.locks.acquisitions,
-                "contentions": self.locks.contentions,
-            },
+            "locks": self.locks.stats(),
             "archives": {
                 "count": len(archives),
                 "revisions": sum(a.revision_count for a in archives),
@@ -476,6 +639,10 @@ class SnapshotStore:
             },
             "htmldiff_invocations": self.htmldiff_invocations,
         }
+        if self.wal is not None:
+            out["wal"] = self.wal.stats()
+        if self.failpoints is not None:
+            out["failpoints"] = self.failpoints.stats()
         # When the agent is a ResilientAgent its retry/breaker counters
         # belong in the same picture (remember() rides its retry loop).
         agent_stats = getattr(self.agent, "stats", None)

@@ -36,20 +36,78 @@ class UserControl:
         self._seen: Dict[str, Dict[str, List[SeenVersion]]] = {}
 
     # ------------------------------------------------------------------
-    def record(self, user: str, url: str, revision: str, when: int) -> None:
+    def record(
+        self, user: str, url: str, revision: str, when: int
+    ) -> Optional[SeenVersion]:
         """Note that ``user`` checked in / saw ``revision`` of ``url``.
 
         Recording the same revision again updates the time only — the
         paper's point is that a re-save of an unchanged page still
         refreshes the user's "I have seen this" marker.
+
+        Returns the entry this call displaced (the same revision with
+        its old timestamp), or ``None`` when the revision is new for
+        this <user, URL> — exactly what :meth:`undo_record` needs to
+        roll the stamp back.
         """
         per_user = self._seen.setdefault(user, {})
         versions = per_user.setdefault(url, [])
         for index, seen in enumerate(versions):
             if seen.revision == revision:
                 versions[index] = SeenVersion(revision=revision, when=when)
-                return
+                return seen
         versions.append(SeenVersion(revision=revision, when=when))
+        return None
+
+    def undo_record(
+        self,
+        user: str,
+        url: str,
+        revision: str,
+        prior: Optional[SeenVersion],
+    ) -> None:
+        """Reverse one :meth:`record` call (transaction rollback).
+
+        ``prior`` is :meth:`record`'s return value: ``None`` removes
+        the freshly appended entry, a displaced entry restores its old
+        timestamp.  A stamp someone else has since rewritten is left
+        alone — rollback must never clobber a later transaction.
+        """
+        versions = self._seen.get(user, {}).get(url)
+        if not versions:
+            return
+        if prior is None:
+            if versions and versions[-1].revision == revision:
+                versions.pop()
+            if not versions:
+                self.forget(user, url)
+            return
+        for index, seen in enumerate(versions):
+            if seen.revision == revision:
+                versions[index] = prior
+                return
+
+    def forget(self, user: str, url: str, revision: Optional[str] = None) -> None:
+        """Drop seen-version state (fsck repair surface).
+
+        With ``revision`` given, removes that one entry; otherwise the
+        whole <user, URL> history.  Empty maps are pruned so a repaired
+        control file serializes without ghost lines.
+        """
+        per_user = self._seen.get(user)
+        if per_user is None:
+            return
+        versions = per_user.get(url)
+        if versions is None:
+            return
+        if revision is None:
+            del per_user[url]
+        else:
+            per_user[url] = [s for s in versions if s.revision != revision]
+            if not per_user[url]:
+                del per_user[url]
+        if not per_user:
+            del self._seen[user]
 
     def versions_seen(self, user: str, url: str) -> List[SeenVersion]:
         """All versions this user has seen of this URL (check-in order)."""
@@ -72,6 +130,14 @@ class UserControl:
 
     def urls_for(self, user: str) -> List[str]:
         return sorted(self._seen.get(user, {}).keys())
+
+    def all_stamps(self):
+        """Every (user, url, SeenVersion) triple, sorted — the full
+        cross-file surface a repository check must validate."""
+        for user in sorted(self._seen):
+            for url in sorted(self._seen[user]):
+                for seen in self._seen[user][url]:
+                    yield user, url, seen
 
     # ------------------------------------------------------------------
     def serialize(self) -> str:

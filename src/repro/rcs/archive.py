@@ -204,6 +204,46 @@ class RcsArchive:
         self._head_lines = new_lines
         return number, True
 
+    def drop_head(self, number: str) -> None:
+        """Undo the most recent :meth:`checkin` (transaction rollback).
+
+        Only the head can be dropped — the write-ahead log never needs
+        to unwind anything older, and interior drops would invalidate
+        the whole delta chain.  The previous revision is rebuilt from
+        its reverse delta and becomes the head again, exactly as if the
+        dropped check-in had never happened.
+        """
+        if not self._revisions:
+            raise KeyError(f"no revisions to drop in {self.name or ',v'}")
+        head = self._revisions[-1]
+        if head.info.number != number:
+            raise KeyError(
+                f"cannot drop {number}: head is {head.info.number}"
+            )
+        self._revisions.pop()
+        self._dates.pop()
+        del self._number_index[number]
+        if self._revisions:
+            new_head = self._revisions[-1]
+            if new_head.reverse_delta is not None:
+                self._head_lines = apply_edit_script(
+                    self._head_lines, new_head.reverse_delta
+                )
+                self.delta_applications += 1
+            # Promote: the head stores its full text, no delta, and its
+            # keyframe (derived acceleration state) is redundant.
+            new_head.reverse_delta = None
+            new_head.keyframe_lines = None
+            new_head.info.stored_bytes = sum(
+                len(line) + 1 for line in self._head_lines
+            )
+        else:
+            self._head_lines = []
+        self._dates_monotonic = all(
+            self._dates[i] <= self._dates[i + 1]
+            for i in range(len(self._dates) - 1)
+        )
+
     def checkout(self, number: Optional[str] = None) -> str:
         """Reconstruct a revision's text (head by default).
 

@@ -1,0 +1,86 @@
+"""Tests for RcsArchive.drop_head — the transaction-rollback primitive.
+
+Dropping the head must leave the archive exactly as if the dropped
+check-in had never happened: the previous revision becomes a full-text
+head again, every older revision still reconstructs, and serialization
+is byte-identical to the never-checked-in history.
+"""
+
+import pytest
+
+from repro.rcs.archive import RcsArchive
+from repro.rcs.rcsfile import serialize_rcsfile
+
+
+def build(texts, keyframe_interval=16):
+    archive = RcsArchive("page.html", keyframe_interval=keyframe_interval)
+    for index, text in enumerate(texts):
+        archive.checkin(text, date=index + 1, author="fred")
+    return archive
+
+
+class TestDropHead:
+    def test_drop_restores_previous_head(self):
+        archive = build(["one\nalpha", "two\nalpha", "three\nbeta"])
+        archive.drop_head("1.3")
+        assert archive.head_revision == "1.2"
+        assert archive.revision_count == 2
+        assert archive.checkout() == "two\nalpha"
+        assert archive.checkout("1.1") == "one\nalpha"
+
+    def test_drop_to_empty(self):
+        archive = build(["only\nrevision"])
+        archive.drop_head("1.1")
+        assert archive.revision_count == 0
+        assert archive.head_revision is None
+
+    def test_only_the_head_can_drop(self):
+        archive = build(["v1", "v2"])
+        with pytest.raises(KeyError):
+            archive.drop_head("1.1")
+        with pytest.raises(KeyError):
+            archive.drop_head("1.9")
+
+    def test_drop_on_empty_archive_raises(self):
+        archive = RcsArchive("empty")
+        with pytest.raises(KeyError):
+            archive.drop_head("1.1")
+
+    def test_checkin_after_drop_reuses_the_number(self):
+        archive = build(["v1", "v2"])
+        archive.drop_head("1.2")
+        number, changed = archive.checkin("v2 again", date=9)
+        assert number == "1.2"
+        assert changed
+        assert archive.checkout("1.2") == "v2 again"
+        assert archive.checkout("1.1") == "v1"
+
+    def test_serialization_matches_never_checked_in(self):
+        texts = [f"line a {i}\nline b\nline c {i % 3}" for i in range(6)]
+        reference = build(texts[:5])
+        rolled = build(texts)  # one extra check-in...
+        rolled.drop_head("1.6")  # ...then rolled back
+        assert serialize_rcsfile(rolled) == serialize_rcsfile(reference)
+
+    def test_drop_with_keyframes(self):
+        # A keyframe interval small enough that heads carry derived
+        # acceleration state; dropping must not corrupt reconstruction.
+        texts = [f"v{i}\ncommon\ntail {i % 2}" for i in range(8)]
+        archive = build(texts, keyframe_interval=2)
+        archive.drop_head("1.8")
+        for i in range(7):
+            assert archive.checkout(f"1.{i + 1}") == texts[i]
+
+    def test_repeated_drops_unwind_in_order(self):
+        texts = ["v1", "v2", "v3", "v4"]
+        archive = build(texts)
+        for number in ("1.4", "1.3", "1.2"):
+            archive.drop_head(number)
+        assert archive.revision_count == 1
+        assert archive.checkout() == "v1"
+
+    def test_stored_bytes_recomputed(self):
+        archive = build(["short", "a much longer head revision text"])
+        archive.drop_head("1.2")
+        info = archive.revisions()[-1]
+        assert info.stored_bytes == len("short") + 1

@@ -1,0 +1,266 @@
+"""Tests for verify_store's cross-file invariants, repair mode, and the
+CLI / CGI fsck surfaces.
+
+The consistency triangle of paper §4.2 — archives, control files,
+cached copies — checked as a whole: a stamp must name a revision that
+exists, a cached copy must match its head, and anything a half-done
+transaction left behind must be explainable and repairable.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.core.snapshot.keepalive import CgiTimeout
+from repro.core.snapshot.persistence import (
+    mangle_url,
+    save_store,
+    verify_store,
+)
+from repro.core.snapshot.sched import CrashPlan, Failpoints, SimulatedCrash
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.snapshot.wal import WriteAheadLog
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+URL = "http://site.com/page"
+V1 = "<HTML><BODY><P>fsck fodder, version one.</P></BODY></HTML>"
+
+
+def make_world(tmp_path, transactional=False):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/page", V1)
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    repo = str(tmp_path)
+    if transactional:
+        store.attach_wal(WriteAheadLog(store, repo))
+        store.attach_failpoints(Failpoints())
+    return clock, network, server, store, repo
+
+
+class TestVerify:
+    def test_clean_repository(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        save_store(store, repo)
+        report = verify_store(repo)
+        assert report.ok
+        assert report.archives_checked == 1
+        assert report.seen_stamps_checked == 1
+        assert not report.notes
+
+    def test_missing_directory_is_a_note(self, tmp_path):
+        report = verify_store(str(tmp_path / "nowhere"))
+        assert report.ok
+        assert report.notes == ["no repository directory"]
+
+    def test_dangling_stamp_is_a_problem(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        store.users.record("eve@x.com", URL, "1.9", 0)  # no such revision
+        save_store(store, repo)
+        report = verify_store(repo)
+        assert not report.ok
+        assert any("eve@x.com" in p and "1.9" in p for p in report.problems)
+
+    def test_repair_drops_dangling_stamp(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        store.users.record("eve@x.com", URL, "1.9", 0)
+        save_store(store, repo)
+        report = verify_store(repo, repair=True)
+        assert report.ok
+        assert any("dropped eve@x.com" in fix for fix in report.repaired)
+        # Fred's legitimate stamp survived the repair.
+        control = open(os.path.join(repo, "users.ctl")).read()
+        assert "fred@att.com" in control
+        assert "eve@x.com" not in control
+
+    def test_stale_cache_file_is_a_problem(self, tmp_path):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.remember("fred@att.com", URL)
+        path = store.wal.cache_path(URL)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("<P>tampered, does not match any revision</P>")
+        report = verify_store(repo)
+        assert not report.ok
+        assert any("does not match head" in p for p in report.problems)
+
+    def test_repair_rewrites_stale_cache_from_head(self, tmp_path):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.remember("fred@att.com", URL)
+        path = store.wal.cache_path(URL)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("<P>tampered</P>")
+        report = verify_store(repo, repair=True)
+        assert report.ok, report.problems
+        assert open(path).read() == V1
+
+    def test_orphan_cache_file_is_a_problem_and_repairable(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        save_store(store, repo)
+        cache_dir = os.path.join(repo, "cache")
+        os.makedirs(cache_dir, exist_ok=True)
+        orphan = os.path.join(
+            cache_dir, mangle_url("http://site.com/never-archived")
+        )
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("<P>nobody archived me</P>")
+        report = verify_store(repo)
+        assert not report.ok
+        assert any("no archived revisions" in p for p in report.problems)
+        repaired = verify_store(repo, repair=True)
+        assert repaired.ok
+        assert not os.path.exists(orphan)
+
+    def test_interrupted_transaction_is_a_note(self, tmp_path):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.failpoints.arm(CrashPlan.at("txn.seen-appended"))
+        with pytest.raises(SimulatedCrash):
+            store.remember("fred@att.com", URL)
+        report = verify_store(repo)
+        assert report.ok, report.problems
+        assert any("never committed" in note for note in report.notes)
+
+    def test_aborted_transaction_compacted_away_by_repair(self, tmp_path):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.remember("fred@att.com", URL)
+        store.failpoints.arm_timeout()
+        clock.advance(60)
+        server.set_page("/page", "<P>doomed rewrite</P>")
+        with pytest.raises(CgiTimeout):
+            store.remember("fred@att.com", URL)
+        report = verify_store(repo)
+        assert report.ok
+        assert any("aborted" in note for note in report.notes)
+        repaired = verify_store(repo, repair=True)
+        assert repaired.ok
+        assert not repaired.notes
+
+    def test_torn_tail_downgrades_to_notes(self, tmp_path):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.remember("fred@att.com", URL)
+        journal = os.path.join(repo, "journal.log")
+        size = os.path.getsize(journal)
+        with open(journal, "r+b") as handle:
+            handle.truncate(size - 5)  # tear the commit marker's frame
+        report = verify_store(repo)
+        assert report.ok, report.problems
+        assert any("torn" in note for note in report.notes)
+
+    def test_to_dict_round_trips_through_json(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        save_store(store, repo)
+        payload = json.loads(json.dumps(verify_store(repo).to_dict()))
+        assert payload["ok"] is True
+        assert payload["archives_checked"] == 1
+        assert payload["problems"] == []
+
+
+class TestCliFsck:
+    def _repo(self, tmp_path, tamper=False):
+        clock, network, server, store, repo = make_world(tmp_path)
+        store.remember("fred@att.com", URL)
+        if tamper:
+            store.users.record("eve@x.com", URL, "1.9", 0)
+        save_store(store, repo)
+        return repo
+
+    def test_clean_repo_exits_zero(self, tmp_path, capsys):
+        repo = self._repo(tmp_path)
+        assert cli.main(["fsck", repo]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_problems_exit_one(self, tmp_path, capsys):
+        repo = self._repo(tmp_path, tamper=True)
+        assert cli.main(["fsck", repo]) == 1
+        out = capsys.readouterr().out
+        assert "problem:" in out
+
+    def test_repair_then_exit_zero(self, tmp_path, capsys):
+        repo = self._repo(tmp_path, tamper=True)
+        assert cli.main(["fsck", repo, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired:" in out
+        assert cli.main(["fsck", repo]) == 0
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        repo = self._repo(tmp_path)
+        assert cli.main(["fsck", repo, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_missing_directory_exits_two(self, tmp_path):
+        assert cli.main(["fsck", str(tmp_path / "nowhere")]) == 2
+
+
+class TestCgiFsck:
+    def _serve(self, tmp_path, tamper=False):
+        clock, network, server, store, repo = make_world(
+            tmp_path, transactional=True
+        )
+        store.remember("fred@att.com", URL)
+        if tamper:
+            with open(store.wal.cache_path(URL), "w",
+                      encoding="utf-8") as handle:
+                handle.write("<P>tampered</P>")
+        service = SnapshotService(store, repository_dir=repo)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", service)
+        client = UserAgent(network, clock)
+        return client, repo
+
+    def _call(self, client, query):
+        return client.get(
+            f"http://aide.att.com/cgi-bin/snapshot?{query}"
+        ).response
+
+    def test_consistent_repo_returns_200(self, tmp_path):
+        client, repo = self._serve(tmp_path)
+        resp = self._call(client, "action=fsck")
+        assert resp.status == 200
+        assert "consistent" in resp.body
+        assert '"ok": true' in resp.body  # embedded JSON for scripts
+
+    def test_inconsistent_repo_returns_500(self, tmp_path):
+        client, repo = self._serve(tmp_path, tamper=True)
+        resp = self._call(client, "action=fsck")
+        assert resp.status == 500
+        assert "INCONSISTENT" in resp.body
+
+    def test_repair_param_fixes_and_reports(self, tmp_path):
+        client, repo = self._serve(tmp_path, tamper=True)
+        resp = self._call(client, "action=fsck&repair=1")
+        assert resp.status == 200
+        assert "Repairs applied" in resp.body
+        assert self._call(client, "action=fsck").status == 200
+
+    def test_fsck_without_repository_dir_is_400(self, tmp_path):
+        clock, network, server, store, repo = make_world(tmp_path)
+        service = SnapshotService(store)  # no repository_dir
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", service)
+        client = UserAgent(network, clock)
+        resp = client.get(
+            "http://aide.att.com/cgi-bin/snapshot?action=fsck"
+        ).response
+        assert resp.status == 400

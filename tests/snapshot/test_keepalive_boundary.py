@@ -1,0 +1,164 @@
+"""Boundary tests for the keep-alive timeout arithmetic and the
+mid-operation abort guard.
+
+Pins the edge semantics the docstring promises: an operation exactly as
+long as httpd's timeout DIES (the timer fires at the end of the
+interval, ``>=`` not ``>``), and a zero-duration operation survives in
+every configuration with zero padding.
+"""
+
+import pytest
+
+from repro.core.snapshot.keepalive import CgiTimeout, KeepAlive
+from repro.core.snapshot.sched import Failpoints
+from repro.core.snapshot.service import OperationCosts, SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.snapshot.wal import WriteAheadLog
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+URL = "http://site.com/page"
+
+
+class TestExactBoundary:
+    def test_duration_equal_to_timeout_dies_when_disabled(self):
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        with pytest.raises(CgiTimeout):
+            guard.run(60)
+
+    def test_duration_one_below_timeout_survives_when_disabled(self):
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        result = guard.run(59)
+        assert result.survived and result.padding_spaces == 0
+
+    def test_duration_equal_to_timeout_dies_with_slow_child(self):
+        # emit_interval == httpd_timeout: the child's first space is
+        # exactly as late as the timer — it loses the same race.
+        guard = KeepAlive(httpd_timeout=60, emit_interval=60)
+        with pytest.raises(CgiTimeout):
+            guard.run(60)
+        assert guard.run(59).survived
+
+    def test_duration_equal_to_timeout_survives_with_working_child(self):
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        result = guard.run(60)
+        assert result.survived
+        assert result.padding_spaces == 4
+
+    def test_zero_duration_survives_in_every_configuration(self):
+        configs = [
+            KeepAlive(httpd_timeout=60, emit_interval=15),
+            KeepAlive(httpd_timeout=60, emit_interval=60),
+            KeepAlive(httpd_timeout=60, enabled=False),
+            KeepAlive(httpd_timeout=1, enabled=False),
+        ]
+        for guard in configs:
+            result = guard.run(0)
+            assert result.survived
+            assert result.padding_spaces == 0
+
+    def test_padding_at_interval_boundary(self):
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        assert guard.run(14).padding_spaces == 0
+        assert guard.run(15).padding_spaces == 1
+        assert guard.run(30).padding_spaces == 2
+
+
+def make_world(tmp_path=None):
+    clock = SimClock()
+    network = Network(clock)
+    server = network.create_server("site.com")
+    server.set_page("/page", "<P>guard me.</P>")
+    store = SnapshotStore(clock, UserAgent(network, clock))
+    if tmp_path is not None:
+        store.attach_wal(WriteAheadLog(store, str(tmp_path)))
+        store.attach_failpoints(Failpoints())
+    return clock, network, server, store
+
+
+class TestGuard:
+    def test_legacy_store_raises_upfront(self):
+        # Exact historical behaviour: no transaction machinery, so a
+        # doomed operation must not start at all.
+        clock, network, server, store = make_world()
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        with pytest.raises(CgiTimeout):
+            guard.guard(store, 60)
+
+    def test_legacy_store_survivor_gets_padding(self):
+        clock, network, server, store = make_world()
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        assert guard.guard(store, 35) == "  "
+
+    def test_transactional_store_arms_instead_of_raising(self, tmp_path):
+        clock, network, server, store = make_world(tmp_path)
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        assert guard.guard(store, 60) == ""
+        assert store.failpoints._timeout_armed
+        assert guard.unguard(store)  # armed but never fired
+
+    def test_transactional_store_survivor_not_armed(self, tmp_path):
+        clock, network, server, store = make_world(tmp_path)
+        guard = KeepAlive(httpd_timeout=60, emit_interval=15)
+        assert guard.guard(store, 35) == "  "
+        assert not store.failpoints._timeout_armed
+        assert not guard.unguard(store)
+
+    def test_doomed_remember_rolls_back_cleanly(self, tmp_path):
+        clock, network, server, store = make_world(tmp_path)
+        guard = KeepAlive(httpd_timeout=60, enabled=False)
+        guard.guard(store, 120)
+        with pytest.raises(CgiTimeout):
+            store.remember("fred@att.com", URL)
+        assert store.archive_for(URL).revision_count == 0
+        assert store.users.last_seen_version("fred@att.com", URL) is None
+        assert store.failpoints.timeout_aborts == 1
+
+
+class TestServiceBoundary:
+    def _serve(self, tmp_path=None, **keepalive_kwargs):
+        world = make_world(tmp_path)
+        clock, network, server, store = world
+        service = SnapshotService(
+            store,
+            keepalive=KeepAlive(**keepalive_kwargs),
+            costs=OperationCosts(fetch=60, htmldiff=30, cheap=1),
+        )
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", service)
+        client = UserAgent(network, clock)
+        return store, client
+
+    def _remember(self, client):
+        return client.get(
+            "http://aide.att.com/cgi-bin/snapshot?action=remember"
+            f"&url={URL}&user=fred@att.com"
+        ).response
+
+    def test_exact_timeout_is_504_on_legacy_store(self):
+        store, client = self._serve(httpd_timeout=60, enabled=False)
+        assert self._remember(client).status == 504
+        # Historical semantics: the operation never started.
+        assert store.archive_for(URL).revision_count == 0
+
+    def test_exact_timeout_is_504_on_transactional_store(self, tmp_path):
+        store, client = self._serve(
+            tmp_path, httpd_timeout=60, enabled=False
+        )
+        resp = self._remember(client)
+        assert resp.status == 504
+        # The work started, hit the commit barrier, and rolled back.
+        assert store.failpoints.timeout_aborts == 1
+        assert store.wal.stats()["aborted"] == 1
+        assert store.archive_for(URL).revision_count == 0
+        assert store.users.last_seen_version("fred@att.com", URL) is None
+
+    def test_one_second_under_timeout_succeeds_both_ways(self, tmp_path):
+        for store, client in (
+            self._serve(httpd_timeout=61, enabled=False),
+            self._serve(tmp_path, httpd_timeout=61, enabled=False),
+        ):
+            resp = self._remember(client)
+            assert resp.status == 200
+            assert store.archive_for(URL).revision_count == 1

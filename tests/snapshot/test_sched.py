@@ -1,0 +1,361 @@
+"""Tests for the deterministic scheduler, queued locks, crash plans.
+
+The lab bench for paper §4.2's operational problems: reproducible
+interleavings, real lock queueing, stale-lock breaking after a crashed
+holder, lease expiry, and wait-for-graph deadlock detection enforcing
+the url-before-user lock order.
+"""
+
+import pytest
+
+from repro.core.snapshot.locking import LockError, LockManager
+from repro.core.snapshot.sched import (
+    CRASH_POINTS,
+    CrashPlan,
+    DeadlockError,
+    Failpoints,
+    SimScheduler,
+    SimulatedCrash,
+)
+from repro.simclock import SimClock
+
+
+class TestCrashPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan(point="no.such.point")
+
+    def test_hit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashPlan(point="txn.commit", hit=0)
+
+    def test_seeded_is_deterministic(self):
+        for seed in range(20):
+            assert CrashPlan.seeded(seed) == CrashPlan.seeded(seed)
+
+    def test_seeded_stays_in_registry(self):
+        for seed in range(50):
+            plan = CrashPlan.seeded(seed)
+            assert plan.point in CRASH_POINTS
+            assert plan.hit >= 1
+
+    def test_should_crash_matches_point_and_hit(self):
+        plan = CrashPlan.at("remember.fetched", hit=2)
+        assert not plan.should_crash("remember.fetched", 1)
+        assert plan.should_crash("remember.fetched", 2)
+        assert not plan.should_crash("txn.commit", 2)
+
+
+class TestFailpoints:
+    def test_undeclared_point_rejected(self):
+        fp = Failpoints()
+        with pytest.raises(ValueError):
+            fp.step("not.a.point")
+
+    def test_inactive_step_only_counts(self):
+        fp = Failpoints()
+        assert not fp.active
+        fp.step("txn.commit")
+        fp.step("txn.commit")
+        assert fp.hits["txn.commit"] == 2
+        assert fp.stats() == {"steps": 2, "crashes": 0, "timeout_aborts": 0}
+
+    def test_standalone_plan_raises_at_the_hit(self):
+        fp = Failpoints()
+        fp.arm(CrashPlan.at("remember.fetched", hit=2))
+        fp.step("remember.fetched")  # hit 1: survives
+        with pytest.raises(SimulatedCrash) as info:
+            fp.step("remember.fetched")
+        assert info.value.point == "remember.fetched"
+        assert info.value.hit == 2
+        assert fp.crashes == 1
+
+    def test_arm_resets_hit_counters(self):
+        fp = Failpoints()
+        fp.step("txn.commit")
+        fp.arm(CrashPlan.at("txn.commit", hit=1))
+        with pytest.raises(SimulatedCrash):
+            fp.step("txn.commit")
+
+    def test_crash_is_not_an_ordinary_exception(self):
+        # BaseException: `except Exception` cleanup code cannot swallow
+        # a simulated death and pretend the process survived.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_recording_traces_points(self):
+        fp = Failpoints()
+        fp.recording = True
+        fp.step("txn.intent-appended")
+        fp.step("txn.commit")
+        assert fp.trace == ["txn.intent-appended", "txn.commit"]
+
+    def test_armed_timeout_fires_only_at_commit_barrier(self):
+        from repro.core.snapshot.keepalive import CgiTimeout
+        fp = Failpoints()
+        fp.arm_timeout()
+        fp.step("remember.fetched")  # not the barrier: nothing happens
+        with pytest.raises(CgiTimeout):
+            fp.step("txn.commit")
+        assert fp.timeout_aborts == 1
+        assert not fp.disarm_timeout()  # already fired
+
+
+class TestSchedulerDeterminism:
+    def _run_once(self, seed):
+        sched = SimScheduler(seed=seed)
+
+        def worker():
+            sched.checkpoint("a")
+            sched.checkpoint("b")
+            sched.checkpoint("c")
+            return "done"
+
+        for name in ("p1", "p2", "p3"):
+            sched.spawn(name, worker)
+        sched.run()
+        sched.join_threads()
+        return list(sched.trace)
+
+    def test_same_seed_same_interleaving(self):
+        assert self._run_once(seed=42) == self._run_once(seed=42)
+        assert self._run_once(seed=7) == self._run_once(seed=7)
+
+    def test_round_robin_alternates(self):
+        trace = self._run_once(seed=None)
+        # Strict rotation: p1 a, p2 a, p3 a, p1 b, ...
+        assert trace[:6] == [
+            ("p1", "a"), ("p2", "a"), ("p3", "a"),
+            ("p1", "b"), ("p2", "b"), ("p3", "b"),
+        ]
+
+    def test_all_processes_complete(self):
+        sched = SimScheduler()
+        sched.spawn("p1", lambda: 11)
+        sched.spawn("p2", lambda: 22)
+        procs = sched.run()
+        sched.join_threads()
+        assert procs["p1"].result == 11
+        assert procs["p2"].result == 22
+        assert all(p.state == "done" for p in procs.values())
+
+    def test_process_exception_is_reported_not_raised(self):
+        sched = SimScheduler()
+
+        def boom():
+            raise RuntimeError("bang")
+
+        sched.spawn("p1", boom)
+        procs = sched.run()
+        sched.join_threads()
+        assert procs["p1"].state == "failed"
+        assert isinstance(procs["p1"].error, RuntimeError)
+
+    def test_duplicate_name_rejected(self):
+        sched = SimScheduler()
+        sched.spawn("p1", lambda: None)
+        with pytest.raises(ValueError):
+            sched.spawn("p1", lambda: None)
+
+
+class TestQueuedLocks:
+    def _bench(self, seed=None, **lock_kwargs):
+        sched = SimScheduler(seed=seed)
+        locks = LockManager(**lock_kwargs)
+        locks.attach(sched)
+        return sched, locks
+
+    def test_contended_acquire_blocks_then_gets_lock(self):
+        sched, locks = self._bench()
+        order = []
+
+        def holder():
+            with locks.acquire("url:x"):
+                sched.checkpoint("held")
+                order.append("holder")
+
+        def waiter():
+            with locks.acquire("url:x"):
+                order.append("waiter")
+
+        sched.spawn("holder", holder)
+        sched.spawn("waiter", waiter)
+        procs = sched.run()
+        sched.join_threads()
+        assert all(p.state == "done" for p in procs.values())
+        assert order == ["holder", "waiter"]
+        assert ("waiter", "blocked:url:x") in sched.trace
+        assert ("waiter", "granted:url:x") in sched.trace
+        assert locks.contentions == 1
+
+    def test_queue_is_fifo(self):
+        sched, locks = self._bench()
+        order = []
+
+        def holder():
+            with locks.acquire("url:x"):
+                sched.checkpoint("held")
+                sched.checkpoint("held more")
+
+        def waiter(name):
+            def body():
+                with locks.acquire("url:x"):
+                    order.append(name)
+            return body
+
+        sched.spawn("holder", holder)
+        sched.spawn("w1", waiter("w1"))
+        sched.spawn("w2", waiter("w2"))
+        sched.spawn("w3", waiter("w3"))
+        sched.run()
+        sched.join_threads()
+        assert order == ["w1", "w2", "w3"]
+
+    def test_killed_holder_lock_granted_to_waiter(self):
+        # The §4.2 stale-lock story: the crashed process's lock file
+        # outlives it; breaking it unblocks the queue.
+        sched, locks = self._bench()
+        fp = Failpoints()
+        fp.attach(sched)
+        fp.arm(CrashPlan.at("remember.fetched", hit=1))
+        outcomes = []
+
+        def doomed():
+            locks.acquire("url:x")  # deliberately never released
+            fp.step("remember.fetched")  # killed here, lock still held
+
+        def survivor():
+            with locks.acquire("url:x"):
+                outcomes.append("got it")
+
+        sched.spawn("doomed", doomed)
+        sched.spawn("survivor", survivor)
+        procs = sched.run()
+        sched.join_threads()
+        assert procs["doomed"].state == "dead"
+        assert procs["doomed"].crashed_at == "remember.fetched"
+        assert procs["survivor"].state == "done"
+        assert outcomes == ["got it"]
+        assert locks.stale_breaks == 1
+
+    def test_corpse_lock_without_waiters_broken_by_next_acquirer(self):
+        sched, locks = self._bench()
+        fp = Failpoints()
+        fp.attach(sched)
+        fp.arm(CrashPlan.at("remember.fetched", hit=1))
+
+        def doomed():
+            locks.acquire("url:x")
+            fp.step("remember.fetched")
+
+        sched.spawn("doomed", doomed)
+        sched.run()
+        sched.join_threads()
+        # Nobody was waiting: the stale lock file is still there.
+        assert locks.held("url:x")
+        assert locks.holder("url:x") == "doomed"
+
+        def late():
+            with locks.acquire("url:x"):
+                return "broke in"
+
+        sched2_proc = sched.spawn("late", late)
+        sched.run()
+        sched.join_threads()
+        assert sched2_proc.result == "broke in"
+        assert locks.stale_breaks == 1
+
+    def test_lease_expiry_breaks_old_lock(self):
+        clock = SimClock()
+        sched = SimScheduler()
+        locks = LockManager(clock, lease_seconds=300)
+        locks.attach(sched)
+        locks.acquire("url:x")  # driver-held, never released
+        clock.advance(600)
+
+        def taker():
+            with locks.acquire("url:x"):
+                return "took over"
+
+        proc = sched.spawn("taker", taker)
+        sched.run()
+        sched.join_threads()
+        assert proc.result == "took over"
+        assert locks.lease_expiries == 1
+
+    def test_unexpired_foreign_lock_refused_outside_processes(self):
+        clock = SimClock()
+        locks = LockManager(clock, lease_seconds=300)
+        sched = SimScheduler()
+        locks.attach(sched)
+
+        def holder():
+            locks.acquire("url:x")
+
+        sched.spawn("holder", holder)
+        sched.run()
+        sched.join_threads()
+        # The driver cannot block; an unexpired foreign lock is an error.
+        with pytest.raises(LockError):
+            locks.acquire("url:x")
+
+
+class TestDeadlockDetection:
+    def _wedge(self):
+        """Two processes taking the same two locks in opposite order."""
+        sched = SimScheduler()
+        locks = LockManager()
+        locks.attach(sched)
+
+        def ordered():  # url before user: the discipline
+            with locks.acquire("url:x"):
+                sched.checkpoint("has url")
+                with locks.acquire("user:alice"):
+                    pass
+
+        def misordered():  # user before url: the violation
+            with locks.acquire("user:alice"):
+                sched.checkpoint("has user")
+                with locks.acquire("url:x"):
+                    pass
+
+        sched.spawn("ordered", ordered)
+        sched.spawn("misordered", misordered)
+        procs = sched.run()
+        sched.join_threads()
+        return locks, procs
+
+    def test_cycle_detected_and_reported(self):
+        locks, procs = self._wedge()
+        failed = [p for p in procs.values()
+                  if isinstance(p.error, DeadlockError)]
+        assert len(failed) == 1
+        cycle = failed[0].error.cycle
+        assert any("url:x" in hop for hop in cycle)
+        assert any("user:alice" in hop for hop in cycle)
+        assert "deadlock:" in str(failed[0].error)
+        assert locks.deadlocks == 1
+
+    def test_misordering_counted(self):
+        locks, _procs = self._wedge()
+        assert locks.order_violations == 1
+
+    def test_victim_unwinding_releases_its_lock(self):
+        # The DeadlockError unwinds the victim's `with` blocks, so the
+        # other process finishes normally.
+        _locks, procs = self._wedge()
+        survivors = [p for p in procs.values() if p.state == "done"]
+        assert len(survivors) == 1
+
+    def test_strict_order_rejects_statically(self):
+        locks = LockManager(strict_order=True)
+        with locks.acquire("user:alice"):
+            with pytest.raises(LockError):
+                locks.acquire("url:x")
+        assert locks.order_violations == 1
+
+    def test_url_then_user_is_clean(self):
+        locks = LockManager(strict_order=True)
+        with locks.acquire("url:x"):
+            with locks.acquire("user:alice"):
+                pass
+        assert locks.order_violations == 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.snapshot.keepalive import CgiTimeout, KeepAlive
-from repro.core.snapshot.locking import LockManager, RequestCoalescer
+from repro.core.snapshot.locking import LockError, LockManager, RequestCoalescer
 from repro.core.snapshot.service import OperationCosts, SnapshotService
 from repro.core.snapshot.store import SnapshotStore
 from repro.core.snapshot.usercontrol import UserControl
@@ -168,11 +168,27 @@ class TestLockManager:
         lease1.release()
         assert not locks.held("k")
 
-    def test_double_release_harmless(self):
+    def test_double_release_raises(self):
+        # A second release used to be silently absorbed, driving the
+        # held-count negative; now it is a hard error.
         locks = LockManager()
         lease = locks.acquire("k")
         lease.release()
-        lease.release()
+        with pytest.raises(LockError):
+            lease.release()
+        assert not locks.held("k")
+
+    def test_context_manager_releases_on_exception(self):
+        locks = LockManager()
+        with pytest.raises(RuntimeError, match="boom"):
+            with locks.acquire("k"):
+                raise RuntimeError("boom")
+        assert not locks.held("k")
+
+    def test_exit_after_manual_release_is_not_double(self):
+        locks = LockManager()
+        with locks.acquire("k") as lease:
+            lease.release()
         assert not locks.held("k")
 
 
