@@ -1,0 +1,152 @@
+"""S5f — the observability layer's overhead gate.
+
+Runs one fixed multi-user AIDE scenario twice — once with the no-op
+default (``NOOP``) and once with a full :class:`Observability`
+attached — and asserts the two contracts the subsystem makes:
+
+* **byte identity**: every report, diff page, and archive is
+  byte-identical with telemetry on and off;
+* **bounded overhead**: the instrumented run costs at most 5% more
+  wall-clock than the no-op run (min-of-N timing to shed scheduler
+  noise).
+
+Writes ``benchmarks/results/BENCH_obs.json`` next to the other
+BENCH_* files so CI can archive them.
+"""
+
+import json
+import os
+import time
+
+from repro.aide.engine import Aide
+from repro.core.w3newer.hotlist import Hotlist
+from repro.obs import NOOP, Observability
+from repro.rcs.rcsfile import serialize_rcsfile
+from repro.simclock import DAY, SimClock
+from repro.workloads.mutate import MutationMix
+from repro.workloads.pagegen import PageGenerator
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+USERS = 3
+URLS = 8
+ROUNDS = 3
+REPS = 5
+#: The acceptance gate: instrumented wall-clock / no-op wall-clock.
+MAX_OVERHEAD = 1.05
+
+
+def make_pages():
+    """URLS pages, each with ROUNDS successive versions."""
+    generator = PageGenerator(seed=23)
+    mix = MutationMix.typical(seed=23)
+    pages = {}
+    for index in range(URLS):
+        versions = [generator.page(paragraphs=12, links=6)]
+        for _ in range(ROUNDS - 1):
+            versions.append(mix.apply(versions[-1]))
+        pages[f"/page{index}.html"] = versions
+    return pages
+
+
+def run_scenario(obs, pages):
+    """The fixed workload; returns every observable output."""
+    clock = SimClock()
+    aide = Aide(clock=clock, obs=obs)
+    server = aide.network.create_server("www.example.com")
+    urls = [f"http://www.example.com{path}" for path in pages]
+    for path, versions in pages.items():
+        server.set_page(path, versions[0])
+    hotlist_lines = "\n".join(f"{url} Page" for url in urls)
+    names = [f"user{i}@example.com" for i in range(USERS)]
+    for name in names:
+        user = aide.add_user(name, Hotlist.from_lines(hotlist_lines))
+        for url in urls:
+            user.visit(url, clock)
+            aide.remember(name, url)
+    outputs = []
+    for round_index in range(1, ROUNDS):
+        clock.advance(3 * DAY)
+        for path, versions in pages.items():
+            server.set_page(path, versions[round_index])
+        clock.advance(DAY)
+        for name in names:
+            run = aide.run_w3newer(name)
+            outputs.append(run.report_html)
+            for url in urls[:2]:
+                outputs.append(aide.diff(name, url).body)
+    outputs.extend(
+        serialize_rcsfile(archive)
+        for _key, archive in sorted(aide.store.archives.items())
+    )
+    return aide, outputs
+
+
+def timed(obs_factory, pages, reps=REPS):
+    best = float("inf")
+    outputs = None
+    aide = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        aide, outputs = run_scenario(obs_factory(), pages)
+        best = min(best, time.perf_counter() - start)
+    return best, aide, outputs
+
+
+def test_observability_overhead_gate(sink):
+    pages = make_pages()
+
+    off_s, _aide_off, off_outputs = timed(lambda: NOOP, pages)
+    on_s, aide_on, on_outputs = timed(
+        lambda: Observability(seed=17), pages
+    )
+
+    assert on_outputs == off_outputs, (
+        "telemetry changed an observable output"
+    )
+    overhead = on_s / off_s
+    events = len(aide_on.obs.journal)
+    snapshot = aide_on.obs.snapshot()
+
+    sink.row("S5f: observability overhead (enabled vs no-op, min of "
+             f"{REPS} reps)")
+    sink.row(f"{'variant':>10s} {'seconds':>9s} {'events':>7s} "
+             f"{'metrics':>8s}")
+    sink.row(f"{'no-op':>10s} {off_s:9.4f} {'-':>7s} {'-':>8s}")
+    sink.row(f"{'enabled':>10s} {on_s:9.4f} {events:7d} "
+             f"{len(snapshot):8d}")
+    sink.row(f"overhead: {(overhead - 1) * 100:+.1f}% "
+             f"(gate: +{(MAX_OVERHEAD - 1) * 100:.0f}%)")
+
+    report = {
+        "noop_seconds": round(off_s, 6),
+        "enabled_seconds": round(on_s, 6),
+        "overhead_ratio": round(overhead, 4),
+        "gate_ratio": MAX_OVERHEAD,
+        "byte_identical": True,
+        "journal_events": events,
+        "metric_names": len(snapshot),
+        "users": USERS,
+        "urls": URLS,
+        "rounds": ROUNDS,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_obs.json"), "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"observability overhead {(overhead - 1) * 100:.1f}% exceeds the "
+        f"{(MAX_OVERHEAD - 1) * 100:.0f}% gate"
+    )
+
+
+def test_telemetry_determinism(sink):
+    """Same seed, same scenario → byte-identical JSONL journal."""
+    pages = make_pages()
+    first, _ = run_scenario(Observability(seed=29), pages)
+    second, _ = run_scenario(Observability(seed=29), pages)
+    a = first.obs.journal.to_jsonl()
+    b = second.obs.journal.to_jsonl()
+    assert a == b and a != ""
+    sink.row("telemetry determinism: two seeded runs produced "
+             f"byte-identical journals ({len(a.splitlines())} records)")

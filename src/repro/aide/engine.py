@@ -23,6 +23,7 @@ from ..core.w3newer.report import ReportOptions
 from ..core.w3newer.runner import RunResult, W3Newer
 from ..core.w3newer.statuscache import StatusCache
 from ..core.w3newer.thresholds import ThresholdConfig
+from ..obs import NOOP as NOOP_OBS
 from ..simclock import SimClock
 from ..web.cgi import encode_query_string
 from ..web.client import UserAgent
@@ -63,9 +64,13 @@ class Aide:
         network: Optional[Network] = None,
         proxy_ttl: int = 3600,
         use_proxy: bool = True,
+        obs=None,
     ) -> None:
         self.clock = clock or SimClock()
         self.network = network or Network(self.clock)
+        #: One Observability instance for the whole deployment: the
+        #: store, the CGI service, and every user's tracker share it.
+        self.obs = obs if obs is not None else NOOP_OBS
         self.proxy = (
             ProxyCache(self.network, self.clock, ttl=proxy_ttl)
             if use_proxy else None
@@ -73,7 +78,8 @@ class Aide:
         #: The service's own fetches go direct (it sits near the backbone).
         self.service_agent = UserAgent(self.network, self.clock,
                                        agent_name="AIDE-snapshot/1.0")
-        self.store = SnapshotStore(self.clock, self.service_agent)
+        self.store = SnapshotStore(self.clock, self.service_agent,
+                                   obs=self.obs)
         self.service = SnapshotService(self.store, script_path=self.SERVICE_PATH)
         self.server = self.network.create_server(self.SERVICE_HOST)
         self.server.register_cgi(self.SERVICE_PATH, self.service)
@@ -107,6 +113,7 @@ class Aide:
                 snapshot_base=f"http://{self.SERVICE_HOST}{self.SERVICE_PATH}",
                 user=name,
             ),
+            obs=self.obs,
         )
         user = AideUser(name=name, hotlist=hotlist, history=history,
                         tracker=tracker, browser=browser)

@@ -228,6 +228,93 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a saved metrics snapshot (``metrics.json`` from
+    ``Observability.save``, or the run directory holding one) as
+    Prometheus text or pretty JSON.
+
+    Exit 0 on success, 2 when the file is missing or unparseable.
+    """
+    import json
+
+    from .obs import to_json, to_prometheus
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "metrics.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        print(f"aide: {path} is not a metrics snapshot", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        sys.stdout.write(to_json(snapshot))
+    else:
+        sys.stdout.write(to_prometheus(snapshot))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Print a saved event journal (``events.jsonl``) as a span tree.
+
+    Spans nest under their parents; non-span events print inline at
+    their position in the sequence.  Exit 2 when the journal is
+    missing or unparseable.
+    """
+    import json
+
+    path = args.run
+    if os.path.isdir(path):
+        path = os.path.join(path, "events.jsonl")
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") != "span"]
+    children: dict = {}
+    by_id = {}
+    for record in spans:
+        by_id[record["span"]] = record
+        children.setdefault(record.get("parent", ""), []).append(record)
+
+    def fmt(record) -> str:
+        attrs = record.get("attrs") or {}
+        extra = " ".join(f"{k}={v}" for k, v in attrs.items())
+        window = f"[{record.get('start', '?')}..{record.get('end', '?')}]"
+        error = record.get("error") or ""
+        tail = f" ERROR {error}" if error else ""
+        return f"{record['name']} {window} {extra}".rstrip() + tail
+
+    def walk(parent: str, depth: int) -> None:
+        for record in children.get(parent, []):
+            print("  " * depth + fmt(record))
+            walk(record["span"], depth + 1)
+
+    roots = [r for r in spans
+             if r.get("parent", "") not in by_id or not r.get("parent")]
+    if not spans and not events:
+        print("aide: empty journal", file=sys.stderr)
+        return 0
+    walk("", 0)
+    # Orphaned parents (shouldn't happen, but don't lose spans).
+    for record in roots:
+        if record.get("parent"):
+            print(fmt(record))
+            walk(record["span"], 1)
+    if events and not args.spans_only:
+        print(f"-- {len(events)} events --")
+        for record in events:
+            fields = {k: v for k, v in record.items()
+                      if k not in ("kind", "seq", "t")}
+            extra = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            print(f"t={record.get('t', '?')} {record['kind']} {extra}".rstrip())
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     """A zero-setup tour: simulated site, tracker run, merged diff."""
     from .aide.engine import Aide
@@ -362,6 +449,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the structured report as JSON",
     )
     fsck.set_defaults(func=_cmd_fsck)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a saved metrics snapshot (metrics.json or a run "
+             "directory) as Prometheus text or JSON",
+    )
+    metrics.add_argument("path", help="metrics.json file or run directory")
+    metrics.add_argument("--format", choices=["text", "json"],
+                         default="text", help="output format (default text)")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="print a saved event journal (events.jsonl or a run "
+             "directory) as a nested span tree",
+    )
+    trace.add_argument("run", help="events.jsonl file or run directory")
+    trace.add_argument("--spans-only", action="store_true",
+                       help="omit the non-span event listing")
+    trace.set_defaults(func=_cmd_trace)
 
     demo = sub.add_parser(
         "demo", help="run a self-contained track-and-diff tour"

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ...obs import NOOP as NOOP_OBS
 from .classify import ClassifiedDiff, classify_documents
 from .markup import MergedPageRenderer
 from .matcher import TokenMatcher
@@ -58,26 +59,38 @@ def html_diff(
     new_html: str,
     options: Optional[HtmlDiffOptions] = None,
     matcher: Optional[TokenMatcher] = None,
+    obs=None,
 ) -> HtmlDiffResult:
     """Compare two HTML documents and produce a marked-up page.
 
     ``options`` selects the presentation mode and the comparison
     thresholds; ``matcher`` may be supplied to share a memoization
-    cache (and its instrumentation) across calls.
+    cache (and its instrumentation) across calls.  ``obs`` (an
+    :class:`repro.obs.Observability`) gets one span per phase —
+    tokenize, classify, render — plus invocation/token counters.
     """
     options = options or HtmlDiffOptions()
     options.validate()
     if matcher is None:
         matcher = TokenMatcher(options)
+    if obs is None:
+        obs = NOOP_OBS
 
     if options.mode is PresentationMode.MERGED_REVERSED:
         # "By reversing the sense of 'old' and 'new' one can create a
         # merged page with the old markups intact and the new deleted."
         old_html, new_html = new_html, old_html
 
-    old_tokens: List[Token] = tokenize_document(old_html)
-    new_tokens: List[Token] = tokenize_document(new_html)
-    diff = classify_documents(old_tokens, new_tokens, matcher=matcher)
+    obs.counter("htmldiff.invocations").inc()
+    with obs.span("htmldiff.tokenize") as span:
+        old_tokens: List[Token] = tokenize_document(old_html)
+        new_tokens: List[Token] = tokenize_document(new_html)
+        span.set(old_tokens=len(old_tokens), new_tokens=len(new_tokens))
+    obs.counter("htmldiff.tokens").inc(len(old_tokens) + len(new_tokens))
+    with obs.span("htmldiff.classify") as span:
+        diff = classify_documents(old_tokens, new_tokens, matcher=matcher)
+        span.set(differences=diff.difference_count,
+                 identical=diff.identical)
     renderer = MergedPageRenderer(options)
 
     density_suppressed = False
@@ -103,17 +116,20 @@ def html_diff(
 
         repaired_new = serialize_nodes(repair_nodes(_lex(new_html)))
         body = renderer._insert_banner(repaired_new, renderer._banner(diff, note))
+        obs.counter("htmldiff.density_suppressed").inc()
         return HtmlDiffResult(html=body, diff=diff, density_suppressed=True,
                               matcher_stats=matcher.stats())
 
-    if options.mode in (PresentationMode.MERGED, PresentationMode.MERGED_REVERSED):
-        html = renderer.render_merged(diff, note)
-    elif options.mode is PresentationMode.ONLY_DIFFERENCES:
-        html = renderer.render_only_differences(diff, note)
-    elif options.mode is PresentationMode.NEW_ONLY:
-        html = renderer.render_new_only(diff, note)
-    else:  # pragma: no cover - exhaustive over the enum
-        raise ValueError(f"unknown presentation mode: {options.mode}")
+    with obs.span("htmldiff.render", mode=options.mode.value) as span:
+        if options.mode in (PresentationMode.MERGED, PresentationMode.MERGED_REVERSED):
+            html = renderer.render_merged(diff, note)
+        elif options.mode is PresentationMode.ONLY_DIFFERENCES:
+            html = renderer.render_only_differences(diff, note)
+        elif options.mode is PresentationMode.NEW_ONLY:
+            html = renderer.render_new_only(diff, note)
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unknown presentation mode: {options.mode}")
+        span.set(bytes=len(html))
     return HtmlDiffResult(html=html, diff=diff,
                           density_suppressed=density_suppressed,
                           matcher_stats=matcher.stats())

@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ...obs import NOOP_HISTOGRAM
 from ...simclock import SimClock
 from .sched import DeadlockError, SimScheduler
 
@@ -95,6 +96,14 @@ class LockManager:
         self.lease_expiries = 0
         self.order_violations = 0
         self.deadlocks = 0
+        #: Sim-seconds spent parked on contended locks (histogram
+        #: handle; a no-op until :meth:`attach_obs`).
+        self._h_wait = NOOP_HISTOGRAM
+
+    def attach_obs(self, obs) -> None:
+        """Record blocking waits into ``obs``'s
+        ``snapshot.locking.wait_seconds`` histogram."""
+        self._h_wait = obs.histogram("snapshot.locking.wait_seconds")
 
     # ------------------------------------------------------------------
     def attach(self, scheduler: SimScheduler) -> None:
@@ -151,7 +160,9 @@ class LockManager:
             )
         self._detect_deadlock(owner, key, state)
         state.queue.append(owner)
+        waited_from = self._now()
         self.scheduler.block_on(key)
+        self._h_wait.observe(self._now() - waited_from)
         # Woken: the releaser (or a death) granted us the lock.
         state = self._locks[key]
         if state.owner != owner:

@@ -349,6 +349,18 @@ class SimScheduler:
             self._last_run = chosen
             self._resume(self.processes[chosen])
 
+    def stats(self) -> Dict[str, object]:
+        """Scheduling counters for the observability surface."""
+        by_state: Dict[str, int] = {}
+        for process in self.processes.values():
+            by_state[process.state] = by_state.get(process.state, 0) + 1
+        return {
+            "steps": self._steps,
+            "processes": len(self.processes),
+            "by_state": dict(sorted(by_state.items())),
+            "trace_events": len(self.trace),
+        }
+
     def join_threads(self, timeout: float = 1.0) -> None:
         """Best-effort join of finished process threads (abandoned dead
         threads are daemons and are left parked)."""

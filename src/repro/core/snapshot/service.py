@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ...html.entities import encode_entities
+from ...obs import to_json, to_prometheus
 from ...web.cgi import encode_query_string, parse_query_string
 from ...web.http import Request, Response, make_response
 from .keepalive import CgiTimeout, KeepAlive
@@ -84,6 +85,8 @@ class SnapshotService:
                 return make_response(200, self._form_page())
             if action == "stats":
                 return self._stats()
+            if action == "metrics":
+                return self._metrics(params.get("format", "text"))
             if action == "fsck":
                 return self._fsck(repair=params.get("repair") == "1")
             if not url:
@@ -236,6 +239,21 @@ class SnapshotService:
             f"{render(self.store.stats())}</BODY></HTML>"
         )
         return make_response(200, padding + body)
+
+    def _metrics(self, fmt: str) -> Response:
+        """Scrape endpoint (``action=metrics``): the store's metrics
+        registry in Prometheus text exposition format, or as a JSON
+        object with ``format=json``.  Collectors (the legacy ``stats()``
+        dicts) are polled at scrape time, so the page is current even
+        when no instrumented code path has run."""
+        snapshot = self.store.obs.snapshot()
+        if fmt == "json":
+            return make_response(200, to_json(snapshot),
+                                 content_type="application/json")
+        if fmt != "text":
+            return self._error_page(400, f"unknown metrics format {fmt!r}")
+        return make_response(200, to_prometheus(snapshot),
+                             content_type="text/plain")
 
     def _fsck(self, repair: bool = False) -> Response:
         """Operator page: cross-file consistency check of the on-disk

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ...html.lexer import Tag, tokenize_html
+from ...obs import NOOP as NOOP_OBS
 from ...rcs.archive import RcsArchive, RevisionInfo, UnknownRevision
 from ...simclock import SimClock
 from ...web.client import UserAgent
@@ -90,11 +91,13 @@ class SnapshotStore:
         diff_cache_ttl: int = 3600,
         diff_cache_size: int = 256,
         options: Optional[StoreOptions] = None,
+        obs=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
         self.diff_options = diff_options
         self.options = options if options is not None else StoreOptions()
+        self.obs = obs if obs is not None else NOOP_OBS
         self.archives: Dict[str, RcsArchive] = {}
         self.users = UserControl()
         self.locks = LockManager()
@@ -124,6 +127,18 @@ class SnapshotStore:
         #: Optional crash-point hub (``attach_failpoints``); ``None``
         #: makes every ``_step`` a no-op.
         self.failpoints: Optional["Failpoints"] = None
+        # Observability: the aggregated stats() dict doubles as the
+        # registry collector for every storage layer, and the lock
+        # manager records wait histograms through the same handle.
+        self.obs.register_stats("snapshot.store", self.stats)
+        self.locks.attach_obs(self.obs)
+        self._c_remembers = self.obs.counter("snapshot.remember.requests")
+        self._c_diffs = self.obs.counter("snapshot.diff.requests")
+        self._c_views = self.obs.counter("snapshot.view.requests")
+        self._c_checkins = self.obs.counter("snapshot.checkin.revisions")
+        self._c_fetch_bytes = self.obs.counter("snapshot.fetch.bytes")
+        self._c_wal_commits = self.obs.counter("snapshot.wal.commits")
+        self._c_wal_rollbacks = self.obs.counter("snapshot.wal.rollbacks")
 
     # ------------------------------------------------------------------
     def attach_wal(self, wal: "WriteAheadLog") -> None:
@@ -159,6 +174,21 @@ class SnapshotStore:
     # remember
     # ------------------------------------------------------------------
     def remember(self, user: str, url: str) -> RememberResult:
+        """Fetch the live page and check it in for ``user``.  (The
+        check-in transaction is bracketed by a ``snapshot.remember``
+        span; see :mod:`repro.obs`.)"""
+        with self.obs.span("snapshot.remember", url=self._canonical(url),
+                           user=user) as span:
+            self._c_remembers.inc()
+            result = self._remember_impl(user, url)
+            span.set(revision=result.revision, changed=result.changed,
+                     fetched_bytes=result.fetched_bytes)
+            self._c_fetch_bytes.inc(result.fetched_bytes)
+            if result.changed:
+                self._c_checkins.inc()
+            return result
+
+    def _remember_impl(self, user: str, url: str) -> RememberResult:
         """Fetch the live page and check it in for ``user``.
 
         "Though the page is retrieved, the RCS ci command ensures that
@@ -260,6 +290,7 @@ class SnapshotStore:
         if self.wal is None:
             return None
         txn = self.wal.begin(op, key, author, users)
+        self.obs.event("snapshot.txn.begin", op=op, url=key, txn=txn.txn)
         self._step("txn.intent-appended")
         return txn
 
@@ -291,12 +322,16 @@ class SnapshotStore:
         self._step("txn.commit")
         if txn is not None:
             txn.commit()
+            self._c_wal_commits.inc()
+            self.obs.event("snapshot.txn.commit", txn=txn.txn)
             self._step("txn.committed")
         return result
 
     def _rollback(self, txn: Optional["Transaction"]) -> None:
         if txn is not None and txn.state == "open":
             txn.abort()
+            self._c_wal_rollbacks.inc()
+            self.obs.event("snapshot.txn.rollback", txn=txn.txn)
 
     def remember_batch(self, users: List[str], url: str) -> List[RememberResult]:
         """One fetch + one check-in serving many users at once.
@@ -342,6 +377,13 @@ class SnapshotStore:
         same body would have reported)."""
         key = self._canonical(url)
         author = users[0] if users else "aide"
+        with self.obs.span("snapshot.checkin_batch", url=key,
+                           users=len(users)):
+            return self._checkin_batch_impl(users, key, body, author)
+
+    def _checkin_batch_impl(
+        self, users: List[str], key: str, body: str, author: str
+    ) -> List[RememberResult]:
         txn = self._begin("checkin-batch", key, author, tuple(users))
         try:
             if self.options.coalesce_checkins:
@@ -464,6 +506,20 @@ class SnapshotStore:
         invocation".
         """
         key = self._canonical(url)
+        with self.obs.span("snapshot.diff", url=key, user=user) as span:
+            self._c_diffs.inc()
+            result = self._diff_impl(user, key, rev_old, rev_new)
+            span.set(identical=result.identical,
+                     differences=result.difference_count)
+            return result
+
+    def _diff_impl(
+        self,
+        user: str,
+        key: str,
+        rev_old: Optional[str],
+        rev_new: Optional[str],
+    ) -> HtmlDiffResult:
         archive = self.archives.get(key)
         if archive is None or archive.revision_count == 0:
             raise SnapshotError(f"no snapshots of {key} — Remember it first")
@@ -510,7 +566,8 @@ class SnapshotStore:
         except UnknownRevision as exc:
             raise SnapshotError(f"no such revision of {archive.name}: {exc}")
         self.htmldiff_invocations += 1
-        return html_diff(old_text, new_text, options=self.diff_options)
+        return html_diff(old_text, new_text, options=self.diff_options,
+                         obs=self.obs)
 
     def _checkout_text(
         self, key: str, archive: RcsArchive, revision: Optional[str] = None
@@ -549,6 +606,7 @@ class SnapshotStore:
              rewrite_base: bool = True) -> str:
         """A stored version's text, BASE-rewritten by default."""
         key = self._canonical(url)
+        self._c_views.inc()
         archive = self.archives.get(key)
         if archive is None or archive.revision_count == 0:
             raise SnapshotError(f"no snapshots of {key}")
@@ -569,6 +627,7 @@ class SnapshotStore:
         that old is archived.
         """
         key = self._canonical(url)
+        self._c_views.inc()
         archive = self.archives.get(key)
         if archive is None or archive.revision_count == 0:
             raise SnapshotError(f"no snapshots of {key}")
@@ -639,8 +698,20 @@ class SnapshotStore:
             },
             "htmldiff_invocations": self.htmldiff_invocations,
         }
+        # "locking" mirrors "locks" under the name the CGI stats page
+        # documents; "wal" and "sched" are always present so the
+        # action=stats surface shows whether those layers are attached.
+        out["locking"] = out["locks"]
         if self.wal is not None:
-            out["wal"] = self.wal.stats()
+            out["wal"] = dict(self.wal.stats(), attached=True)
+        else:
+            out["wal"] = {
+                "attached": False, "begun": 0, "committed": 0, "aborted": 0,
+            }
+        if self.locks.scheduler is not None:
+            out["sched"] = dict(self.locks.scheduler.stats(), attached=True)
+        else:
+            out["sched"] = {"attached": False}
         if self.failpoints is not None:
             out["failpoints"] = self.failpoints.stats()
         # When the agent is a ResilientAgent its retry/breaker counters

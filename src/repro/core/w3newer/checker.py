@@ -28,6 +28,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ...obs import NOOP as NOOP_OBS
 from ...simclock import NEVER, WEEK, SimClock
 from ...web.client import RobotsUnavailable, UserAgent
 from ...web.http import NetworkError, NetworkUnreachable
@@ -98,6 +99,7 @@ class UrlChecker:
         local_files: Optional[LocalFiles] = None,
         flags: Optional[CheckerFlags] = None,
         failure_detector: Optional[SystemicFailureDetector] = None,
+        obs=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
@@ -116,6 +118,12 @@ class UrlChecker:
         #: Hosts that produced a transport failure during THIS run; with
         #: ``skip_failing_hosts`` their remaining URLs are not attempted.
         self._failed_hosts: set = set()
+        self.obs = obs if obs is not None else NOOP_OBS
+        self._c_head = self.obs.counter("w3newer.fetch.head_requests")
+        self._c_get = self.obs.counter("w3newer.fetch.get_requests")
+        self._c_bytes = self.obs.counter("w3newer.fetch.bytes")
+        self._c_robots = self.obs.counter("w3newer.fetch.robots_requests")
+        self._c_degraded = self.obs.counter("w3newer.degraded_stale")
 
     # ------------------------------------------------------------------
     def check(self, url: str) -> CheckOutcome:
@@ -275,6 +283,7 @@ class UrlChecker:
             try:
                 robots = self.agent.fetch_robots(host)
                 cost = 1
+                self._c_robots.inc()
                 self.failures.record_success()
             except RobotsUnavailable as exc:
                 self._robots_errors[host] = str(exc)
@@ -302,6 +311,7 @@ class UrlChecker:
         except NetworkError as exc:
             return self._transport_error(url, record, last_seen, exc,
                                          requests_spent + _wire_cost(exc))
+        self._c_head.inc()
         requests_spent += 1 + len(result.redirects)
         self.failures.record_success()
         response = result.response
@@ -352,6 +362,8 @@ class UrlChecker:
         except NetworkError as exc:
             return self._transport_error(url, record, last_seen, exc,
                                          requests_spent + _wire_cost(exc))
+        self._c_get.inc()
+        self._c_bytes.inc(len(result.response.body))
         requests_spent += 1 + len(result.redirects)
         self.failures.record_success()
         response = result.response
@@ -410,6 +422,9 @@ class UrlChecker:
             or record.checksum is not None
         )
         if degraded and has_cached_verdict:
+            self._c_degraded.inc()
+            self.obs.event("w3newer.degraded_stale", url=url,
+                           reason=type(exc).__name__)
             record_fallback = getattr(self.agent, "record_fallback", None)
             if callable(record_fallback):
                 record_fallback()

@@ -39,6 +39,11 @@ class ReportOptions:
     title: str = "w3newer: what's new on your hotlist"
     #: Optional priority: higher floats sort first within their group.
     priority: Optional[Callable[[str], float]] = None
+    #: Append the run-summary block (per-run cost totals) to the
+    #: report.  Off by default because it changes the report's bytes —
+    #: the observability differential tests compare reports with the
+    #: telemetry layer on and off and require them identical.
+    run_summary: bool = False
 
 
 _STATE_LABELS: Dict[UrlState, str] = {
@@ -91,8 +96,9 @@ def render_report(
     options: Optional[ReportOptions] = None,
     now: Optional[int] = None,
     aborted: str = "",
+    summary: Optional[Dict[str, object]] = None,
 ) -> str:
-    """The Figure 1 HTML report."""
+    """The Figure 1 HTML report (plus an optional run-summary block)."""
     options = options or ReportOptions()
     titles = {entry.url: entry.display_title() for entry in entries}
 
@@ -141,6 +147,7 @@ def render_report(
         else ""
     )
     generated = format_timestamp(now) if now is not None else ""
+    summary_html = _render_summary(summary) if summary else ""
     return (
         "<HTML><HEAD><TITLE>"
         f"{encode_entities(options.title)}</TITLE></HEAD><BODY>"
@@ -148,8 +155,21 @@ def render_report(
         f"<P>{status_line}. Generated {generated} for "
         f"{encode_entities(options.user)}.</P>{abort_html}<HR><UL>"
         + "\n".join(rows)
-        + "</UL></BODY></HTML>"
+        + f"</UL>{summary_html}</BODY></HTML>"
     )
+
+
+def _render_summary(summary: Dict[str, object]) -> str:
+    """The run-summary block: what this invocation cost, in the
+    spirit of Table 1's per-URL accounting.  Keys render in the order
+    supplied (the runner passes a stable order)."""
+    items = "".join(
+        f"<DT>{encode_entities(str(key))}</DT>"
+        f"<DD>{encode_entities(str(value))}</DD>"
+        for key, value in summary.items()
+        if value not in (None, "")
+    )
+    return f"<HR><H2>Run summary</H2><DL>{items}</DL>"
 
 
 def render_all_dates_report(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ...obs import NOOP as NOOP_OBS
 from ...simclock import DAY, CronScheduler, SimClock
 from ...web.client import UserAgent
 from ...web.proxy import ProxyCache
@@ -106,6 +107,7 @@ class W3Newer:
         flags: Optional[CheckerFlags] = None,
         report_options: Optional[ReportOptions] = None,
         abort_after_failures: int = 5,
+        obs=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
@@ -124,6 +126,14 @@ class W3Newer:
         self.runs: List[RunResult] = []
         #: Set when a run aborts; the next run resumes from it.
         self.checkpoint: Optional[RunCheckpoint] = None
+        self.obs = obs if obs is not None else NOOP_OBS
+        self._c_runs = self.obs.counter("w3newer.runs")
+        self._c_checks = self.obs.counter("w3newer.checks")
+        self._c_http = self.obs.counter("w3newer.http_requests")
+        self._c_aborts = self.obs.counter("w3newer.run_aborts")
+        self._h_check_cost = self.obs.histogram(
+            "w3newer.check.http_requests", buckets=(0, 1, 2, 3, 5, 8, 13),
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -158,21 +168,53 @@ class W3Newer:
             local_files=self.local_files,
             flags=self.flags,
             failure_detector=SystemicFailureDetector(self.abort_after_failures),
+            obs=self.obs,
         )
+        self._c_runs.inc()
         index = start_index
-        try:
-            while index < len(entries):
-                result.outcomes.append(checker.check(entries[index].url))
-                index += 1
-        except RunAborted as exc:
-            result.aborted = str(exc)
-            # Park the position: the aborting URL itself is retried
-            # first next time (its outcome was never recorded).
-            self.checkpoint = RunCheckpoint(
-                next_index=index,
-                hotlist_size=len(entries),
-                started_at=result.started_at,
-                outcomes=list(result.outcomes),
+        with self.obs.span(
+            "w3newer.run", urls=len(entries),
+            resumed=resumed_from is not None,
+        ) as run_span:
+            try:
+                while index < len(entries):
+                    url = entries[index].url
+                    # One span per hotlist URL: the state/source pair
+                    # names the ladder rung that decided it (threshold
+                    # skip, proxy/status-cache verdict, HEAD, checksum
+                    # fallback, degraded STALE).
+                    with self.obs.span("w3newer.check", url=url) as span:
+                        outcome = checker.check(url)
+                        span.set(
+                            state=outcome.state.name.lower(),
+                            source=outcome.source.value,
+                            http_requests=outcome.http_requests,
+                        )
+                    result.outcomes.append(outcome)
+                    self._c_checks.inc()
+                    self._c_http.inc(outcome.http_requests)
+                    self._h_check_cost.observe(outcome.http_requests)
+                    self.obs.counter(
+                        "w3newer.state." + outcome.state.name.lower()
+                    ).inc()
+                    index += 1
+            except RunAborted as exc:
+                result.aborted = str(exc)
+                self._c_aborts.inc()
+                self.obs.event("w3newer.run_aborted", reason=str(exc),
+                               next_index=index)
+                # Park the position: the aborting URL itself is retried
+                # first next time (its outcome was never recorded).
+                self.checkpoint = RunCheckpoint(
+                    next_index=index,
+                    hotlist_size=len(entries),
+                    started_at=result.started_at,
+                    outcomes=list(result.outcomes),
+                )
+            run_span.set(
+                checked=len(result.outcomes),
+                http_requests=result.http_requests,
+                aborted=bool(result.aborted),
             )
         result.report_html = render_report(
             result.outcomes,
@@ -180,9 +222,28 @@ class W3Newer:
             options=self.report_options,
             now=self.clock.now,
             aborted=result.aborted,
+            summary=(self._run_summary(result)
+                     if self.report_options.run_summary else None),
         )
         self.runs.append(result)
         return result
+
+    def _run_summary(self, result: RunResult) -> dict:
+        """The report's opt-in run-summary block: per-run cost totals
+        in the spirit of the paper's Table 1 accounting.  Derived from
+        the RunResult alone (deterministic, works with observability
+        disabled); opt-in because it changes the report's bytes."""
+        return {
+            "urls": len(result.outcomes),
+            "changed": len(result.changed),
+            "errors": len(result.errors),
+            "stale": len(result.stale),
+            "skipped": result.skipped,
+            "checked_via_http": result.checked_via_http,
+            "http_requests": result.http_requests,
+            "resumed_from": result.resumed_from,
+            "aborted": result.aborted or "",
+        }
 
     def schedule(self, cron: CronScheduler, period: int = DAY):
         """Hang this tracker off the simulated crontab."""

@@ -1,0 +1,54 @@
+"""Unified observability: metrics registry, sim-clock tracing, and
+structured run telemetry for the AIDE reproduction.
+
+Quick start::
+
+    from repro.obs import Observability
+
+    obs = Observability(clock=clock, seed=7)
+    aide = Aide(clock=clock, obs=obs)
+    ...                       # run trackers, remember/diff pages
+    obs.save("run-telemetry") # events.jsonl + metrics.json + metrics.prom
+
+Everything is deterministic on purpose: span ids come from a seeded
+sha256 chain, timestamps from the shared :class:`~repro.simclock.SimClock`,
+and exports iterate sorted names — two runs of the same seeded
+scenario produce byte-identical telemetry, and an instrumented run
+produces byte-identical *output* (reports, archives) to an
+uninstrumented one.
+"""
+
+from .events import EventJournal
+from .export import to_json, to_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+)
+from .runtime import NOOP, Observability, noop
+from .trace import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NOOP",
+    "noop",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "EventJournal",
+    "to_prometheus",
+    "to_json",
+]

@@ -1,0 +1,63 @@
+"""The structured event journal: one append-only JSONL stream per run.
+
+Every observable occurrence — a retry, a circuit opening, a
+transaction commit, a finished span — is one record:
+
+    {"kind": "resilience.retry", "seq": 12, "t": 86420, "host": ...}
+
+``seq`` is the arrival order (total order within a run), ``t`` the
+simulation time.  Records carry only JSON-scalar fields supplied by
+the instrumented code; serialization sorts keys and uses compact
+separators, so two runs of the same seeded scenario produce
+byte-identical streams — the property the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = ["EventJournal"]
+
+
+class EventJournal:
+    """In-memory JSONL journal of structured run events."""
+
+    def __init__(self, clock=None, enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.records: List[Dict[str, object]] = []
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one event; ``fields`` must be JSON-serializable."""
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "seq": self._seq,
+            "t": self.clock.now if self.clock is not None else 0,
+            "kind": kind,
+        }
+        record.update(fields)
+        self._seq += 1
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [r for r in self.records if r["kind"] == kind]
+
+    def to_jsonl(self) -> str:
+        """The canonical byte-stable serialization."""
+        if not self.records:
+            return ""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self.records
+        ) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())

@@ -1,0 +1,60 @@
+"""Exporters: the registry snapshot as Prometheus text or JSON.
+
+Both render the flat ``name → value`` mapping produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.  The text format
+follows the Prometheus exposition conventions (dotted names become
+underscore names, histograms expand to ``_bucket``/``_sum``/``_count``
+series); non-numeric collector values (host lists, state strings) are
+skipped there but preserved in the JSON document, which is the
+lossless form.
+
+Output is byte-deterministic: the snapshot arrives sorted and both
+exporters iterate it in order.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict
+
+__all__ = ["to_prometheus", "to_json"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def to_prometheus(snapshot: Dict[str, object]) -> str:
+    """Prometheus-style text exposition of a registry snapshot."""
+    lines = []
+    for name, value in snapshot.items():
+        metric = _metric_name(name)
+        if isinstance(value, dict) and value.get("kind") == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, count in value["buckets"]:
+                lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+            lines.append(f"{metric}_sum {value['sum']}")
+            lines.append(f"{metric}_count {value['count']}")
+        elif isinstance(value, bool):
+            lines.append(f"{metric} {int(value)}")
+        elif isinstance(value, (int, float)):
+            if isinstance(value, float):
+                lines.append(f"{metric} {value:.6g}")
+            else:
+                lines.append(f"{metric} {value}")
+        elif value is None:
+            continue  # e.g. an unbounded retry budget
+        else:
+            continue  # lists/strings live in the JSON export only
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: Dict[str, object]) -> str:
+    """The lossless JSON document (every collector value included)."""
+    return json.dumps(snapshot, sort_keys=True, indent=2, default=str) + "\n"

@@ -1,0 +1,109 @@
+"""The :class:`Observability` facade: registry + tracer + journal.
+
+One object threads through the whole deployment (``Aide(obs=...)``
+fans it out to the store, the service, and every tracker).  Components
+accept ``obs=None`` and fall back to the module-level :data:`NOOP`
+singleton, whose handles are shared do-nothing objects — so an
+uninstrumented deployment pays one attribute load and one no-op call
+per instrumentation site, and produces byte-identical output either
+way (the differential guarantee ``bench_observability`` gates).
+
+``save(directory)`` persists one run's telemetry as three files:
+
+* ``events.jsonl`` — the span/event stream (byte-reproducible for a
+  fixed seed; ``aide trace`` renders it);
+* ``metrics.json`` — the lossless registry snapshot (``aide metrics``
+  renders it);
+* ``metrics.prom`` — the Prometheus text exposition of the same
+  snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Sequence
+
+from .events import EventJournal
+from .export import to_json, to_prometheus
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = ["Observability", "NOOP", "noop"]
+
+
+class Observability:
+    """Everything one deployment records about itself."""
+
+    def __init__(self, clock=None, seed: int = 0,
+                 enabled: bool = True) -> None:
+        self.clock = clock
+        self.seed = seed
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.journal = EventJournal(clock=clock, enabled=enabled)
+        self.tracer = Tracer(clock=clock, seed=seed, journal=self.journal,
+                             enabled=enabled)
+
+    # ------------------------------------------------------------------
+    # delegation sugar, so call sites need only one handle
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.registry.gauge(name, help=help)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        return self.registry.histogram(name, buckets=buckets, help=help)
+
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def event(self, kind: str, **fields) -> None:
+        self.journal.emit(kind, **fields)
+
+    def register_stats(self, prefix: str, fn: Callable[[], dict]) -> None:
+        """Adopt a legacy ``stats()`` provider as a registry collector."""
+        self.registry.register_collector(prefix, fn)
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.registry.snapshot()
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> Dict[str, str]:
+        """Write events.jsonl / metrics.json / metrics.prom; returns
+        the path of each file written."""
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "events": os.path.join(directory, "events.jsonl"),
+            "metrics": os.path.join(directory, "metrics.json"),
+            "prometheus": os.path.join(directory, "metrics.prom"),
+        }
+        self.journal.write(paths["events"])
+        snapshot = self.snapshot()
+        with open(paths["metrics"], "w", encoding="utf-8") as handle:
+            handle.write(to_json(snapshot))
+        with open(paths["prometheus"], "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(snapshot))
+        return paths
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A fresh disabled instance (prefer :data:`NOOP` as a default)."""
+        return cls(enabled=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (f"Observability({state}, seed={self.seed}, "
+                f"{len(self.journal)} events)")
+
+
+#: The shared do-nothing instance every component defaults to.
+NOOP = Observability(enabled=False)
+
+
+def noop() -> Observability:
+    """The shared :data:`NOOP` instance (for call sites that want a
+    callable default rather than the module constant)."""
+    return NOOP

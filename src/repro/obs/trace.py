@@ -1,0 +1,154 @@
+"""Sim-clock tracing: nested spans with deterministic ids.
+
+A :class:`Span` brackets one logical operation (a per-URL w3newer
+check, a snapshot check-in transaction, an HtmlDiff phase).  Spans
+nest: the tracer keeps a stack, so a ``snapshot.checkin`` opened
+inside a ``w3newer.run`` records that run as its parent.
+
+Two departures from wall-clock tracers, both deliberate:
+
+* **Ids are a seeded sha256 chain**, not ``random``/``uuid``: each
+  ``span()`` advances ``state = sha256(state + name)`` and takes the
+  first 8 bytes.  Identical seeds and identical operation sequences
+  produce identical ids, so traces are byte-reproducible across runs
+  and safe to compare in differential tests — and, because no global
+  RNG is consumed, opening a span can never perturb seeded workloads
+  or ``SimScheduler`` interleavings.
+* **Timestamps are simulation time.**  Operations that cost simulated
+  seconds (retry backoffs, keep-alive waits, lock waits) show real
+  durations; CPU-bound phases show zero and carry work counts
+  (tokens, entries) as attributes instead.  Wall-clock timings are
+  excluded on purpose: they would break byte-reproducibility.
+
+Finished spans become ``kind="span"`` records in the shared
+:class:`~repro.obs.events.EventJournal`, interleaved with plain events
+in completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from .events import EventJournal
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+
+class Span:
+    """One in-flight (then finished) traced operation."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start", "end",
+                 "attrs", "error")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: str,
+                 parent_id: str, start: int,
+                 attrs: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[int] = None
+        self.attrs = attrs
+        self.error = ""
+
+    def set(self, **attrs) -> None:
+        """Attach (JSON-scalar) attributes to the span."""
+        self.attrs.update(attrs)
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self.tracer._finish(self)
+        return False  # never swallow
+
+
+class _NoopSpan:
+    """Shared span stand-in when tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id = ""
+    parent_id = ""
+    start = 0
+    end = 0
+    error = ""
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces nested spans on the sim clock with chained ids."""
+
+    def __init__(self, clock=None, seed: int = 0,
+                 journal: Optional[EventJournal] = None,
+                 enabled: bool = True) -> None:
+        self.clock = clock
+        self.seed = seed
+        self.journal = journal
+        self.enabled = enabled
+        self._state = hashlib.sha256(
+            f"aide-trace:{seed}".encode("utf-8")).digest()
+        self._stack: List[Span] = []
+        self.finished: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _next_id(self, name: str) -> str:
+        self._state = hashlib.sha256(
+            self._state + name.encode("utf-8")).digest()
+        return self._state[:8].hex()
+
+    def _now(self) -> int:
+        return self.clock.now if self.clock is not None else 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span; use as a context manager."""
+        if not self.enabled:
+            return NOOP_SPAN
+        parent = self._stack[-1].span_id if self._stack else ""
+        span = Span(self, name, self._next_id(name), parent,
+                    self._now(), attrs)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._now()
+        # Spans close LIFO under the context-manager discipline; an
+        # out-of-order close (a span kept past its parent) still pops
+        # everything above it so the stack cannot wedge.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.finished.append(span)
+        if self.journal is not None:
+            self.journal.emit(
+                "span",
+                name=span.name,
+                span=span.span_id,
+                parent=span.parent_id,
+                start=span.start,
+                end=span.end,
+                error=span.error,
+                attrs=dict(sorted(span.attrs.items())),
+            )
+
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None

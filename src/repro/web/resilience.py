@@ -32,6 +32,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from ..obs import NOOP as NOOP_OBS
 from .client import FetchResult, UserAgent, robots_from_response
 from .http import (
     ConnectionRefused,
@@ -210,6 +211,7 @@ class ResilientAgent:
         policy: Optional[RetryPolicy] = None,
         breaker_threshold: int = 5,
         breaker_reset: int = 300,
+        obs=None,
     ) -> None:
         self.agent = agent
         self.clock = agent.clock
@@ -221,6 +223,8 @@ class ResilientAgent:
         self.short_circuits = 0
         self.fallbacks = 0
         self._budget_left = self.policy.budget
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.obs.register_stats("web.resilience", self.stats)
 
     # ------------------------------------------------------------------
     # Passthroughs, so the wrapper is a true drop-in
@@ -253,6 +257,7 @@ class ResilientAgent:
     def record_fallback(self) -> None:
         """A caller served stale data instead of failing outright."""
         self.fallbacks += 1
+        self.obs.event("resilience.fallback")
 
     @property
     def breaker_opens(self) -> int:
@@ -284,6 +289,8 @@ class ResilientAgent:
     def _spend_retry(self, host: str, attempt: int,
                      minimum_wait: int = 0) -> None:
         delay = max(self.policy.backoff(host, attempt), minimum_wait)
+        self.obs.event("resilience.retry", host=host, attempt=attempt,
+                       delay=delay)
         if delay:
             self.clock.advance(delay)
         self.retries += 1
@@ -294,6 +301,7 @@ class ResilientAgent:
         breaker = self.breaker_for(host)
         if not breaker.allow():
             self.short_circuits += 1
+            self.obs.event("resilience.short_circuit", host=host)
             raise CircuitOpen(host)
         attempt = 0
         while True:
@@ -301,7 +309,8 @@ class ResilientAgent:
             try:
                 result = thunk()
             except NetworkError as exc:
-                breaker.record_failure()
+                if breaker.record_failure():
+                    self.obs.event("resilience.breaker_open", host=host)
                 if not self.policy.retryable(exc):
                     raise
                 exhausted = (
@@ -315,7 +324,8 @@ class ResilientAgent:
                 continue
             response = result.response
             if response.status == 503 and self.policy.retry_on_503:
-                breaker.record_failure()
+                if breaker.record_failure():
+                    self.obs.event("resilience.breaker_open", host=host)
                 if (attempt >= self.policy.max_attempts
                         or not self._budget_allows()
                         or not breaker.allow()):
@@ -330,7 +340,8 @@ class ResilientAgent:
                 self._spend_retry(host, attempt, minimum_wait=minimum)
                 continue
             if response.status == 503:
-                breaker.record_failure()
+                if breaker.record_failure():
+                    self.obs.event("resilience.breaker_open", host=host)
             else:
                 breaker.record_success()
             return result

@@ -1,0 +1,73 @@
+"""The ``aide metrics`` and ``aide trace`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Observability
+from repro.simclock import SimClock
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A saved run directory with spans, events, and metrics."""
+    clock = SimClock()
+    obs = Observability(clock=clock, seed=11)
+    obs.counter("w3newer.checks").inc(3)
+    obs.histogram("snapshot.locking.wait_seconds", buckets=(1, 10)).observe(4)
+    with obs.span("w3newer.run", urls=3):
+        clock.advance(20)
+        with obs.span("w3newer.check", url="http://a/") as span:
+            span.set(state="changed")
+        obs.event("w3newer.degraded_stale", url="http://b/", reason="DnsError")
+    obs.save(str(tmp_path))
+    return tmp_path
+
+
+class TestMetricsCommand:
+    def test_prometheus_text_from_directory(self, run_dir, capsys):
+        assert main(["metrics", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "w3newer_checks 3" in out
+        assert 'snapshot_locking_wait_seconds_bucket{le="10"} 1' in out
+
+    def test_json_format(self, run_dir, capsys):
+        assert main(["metrics", str(run_dir), "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["w3newer.checks"] == 3
+
+    def test_explicit_file_path(self, run_dir, capsys):
+        path = run_dir / "metrics.json"
+        assert main(["metrics", str(path)]) == 0
+        assert "w3newer_checks 3" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+
+
+class TestTraceCommand:
+    def test_span_tree_nests_children(self, run_dir, capsys):
+        assert main(["trace", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        run_line = next(l for l in lines if "w3newer.run" in l)
+        check_line = next(l for l in lines if "w3newer.check" in l)
+        assert not run_line.startswith(" ")
+        assert check_line.startswith("  ")
+        assert "urls=3" in run_line
+        assert "state=changed" in check_line
+
+    def test_events_listed_after_spans(self, run_dir, capsys):
+        assert main(["trace", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "w3newer.degraded_stale" in out
+        assert "reason=DnsError" in out
+
+    def test_spans_only_omits_events(self, run_dir, capsys):
+        assert main(["trace", str(run_dir), "--spans-only"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded_stale" not in out
+
+    def test_missing_journal_exits_2(self, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2

@@ -1,0 +1,192 @@
+"""Differential and surface tests for the observability layer.
+
+The contract: telemetry is *pure observation*.  A deployment run with
+a full Observability attached must produce byte-identical reports,
+diffs, and archives to the same deployment run with the no-op default
+— and the telemetry itself must be deterministic (same seed, same
+scenario, same bytes).
+"""
+
+import json
+
+from repro.aide.engine import Aide
+from repro.core.w3newer.hotlist import Hotlist
+from repro.obs import NOOP, Observability
+from repro.rcs.rcsfile import serialize_rcsfile
+from repro.simclock import DAY, SimClock
+
+URL = "http://www.example.com/news.html"
+SERVICE = "http://aide.research.att.com/cgi-bin/snapshot"
+
+
+def _page(version: int) -> str:
+    return (
+        "<HTML><HEAD><TITLE>News</TITLE></HEAD><BODY>"
+        f"<H1>News</H1><P>Bulletin number {version} is out today.</P>"
+        "<P>Contact the secretary with questions.</P></BODY></HTML>"
+    )
+
+
+def run_deployment(obs):
+    """One fixed scenario: remember, change, w3newer run, diff."""
+    clock = SimClock()
+    aide = Aide(clock=clock, obs=obs)
+    server = aide.network.create_server("www.example.com")
+    server.set_page("/news.html", _page(1))
+    user = aide.add_user(
+        "you@example.com", Hotlist.from_lines(f"{URL} Example news")
+    )
+    user.visit(URL, clock)
+    aide.remember("you@example.com", URL)
+    clock.advance(3 * DAY)
+    server.set_page("/news.html", _page(2))
+    clock.advance(3 * DAY)
+    run = aide.run_w3newer("you@example.com")
+    diff = aide.diff("you@example.com", URL)
+    history = aide.history_page("you@example.com", URL)
+    return aide, run, diff, history
+
+
+class TestByteIdentity:
+    def test_outputs_identical_with_and_without_obs(self):
+        aide_on, run_on, diff_on, hist_on = run_deployment(
+            Observability(seed=3)
+        )
+        aide_off, run_off, diff_off, hist_off = run_deployment(NOOP)
+        assert run_on.report_html == run_off.report_html
+        assert diff_on.body == diff_off.body
+        assert hist_on.body == hist_off.body
+        archives_on = {
+            key: serialize_rcsfile(a)
+            for key, a in aide_on.store.archives.items()
+        }
+        archives_off = {
+            key: serialize_rcsfile(a)
+            for key, a in aide_off.store.archives.items()
+        }
+        assert archives_on == archives_off
+
+    def test_telemetry_deterministic_across_runs(self):
+        first = run_deployment(Observability(seed=9))[0]
+        second = run_deployment(Observability(seed=9))[0]
+        assert (first.obs.journal.to_jsonl()
+                == second.obs.journal.to_jsonl())
+        assert first.obs.journal.to_jsonl() != ""
+
+    def test_run_summary_block_is_opt_in(self):
+        obs = Observability(seed=4)
+        aide, run, _diff, _hist = run_deployment(obs)
+        assert "Run summary" not in run.report_html
+        user = aide.users["you@example.com"]
+        user.tracker.report_options.run_summary = True
+        second = aide.run_w3newer("you@example.com")
+        assert "Run summary" in second.report_html
+        assert "http_requests" in second.report_html
+
+
+class TestFiveLayerExposure:
+    def test_snapshot_names_every_layer(self):
+        aide, _run, _diff, _hist = run_deployment(Observability(seed=5))
+        snap = aide.obs.snapshot()
+        prefixes = {name.split(".")[0] for name in snap}
+        assert "w3newer" in prefixes          # checker/runner layer
+        assert "htmldiff" in prefixes         # diff engine layer
+        assert "snapshot" in prefixes         # store/WAL/locking layer
+        # RCS archives surface through the store collector.
+        assert any(name.startswith("snapshot.store.archives.")
+                   for name in snap)
+        # The locking layer exports both the legacy counters and the
+        # wait histogram.
+        assert "snapshot.locking.wait_seconds" in snap
+        assert "snapshot.store.locks.acquisitions" in snap
+
+    def test_resilience_layer_registers_when_used(self):
+        from repro.obs import Observability as Obs
+        from repro.simclock import SimClock as Clock
+        from repro.web.client import UserAgent
+        from repro.web.network import Network
+        from repro.web.resilience import ResilientAgent
+
+        clock = Clock()
+        network = Network(clock)
+        network.create_server("slow.com").set_page("/x", "<P>hi.</P>")
+        obs = Obs(clock=clock, seed=1)
+        agent = ResilientAgent(UserAgent(network, clock), obs=obs)
+        agent.get("http://slow.com/x")
+        snap = obs.snapshot()
+        assert any(name.startswith("web.resilience.") for name in snap)
+
+
+class TestCgiSurfaces:
+    def test_metrics_action_prometheus_text(self):
+        aide, _run, _diff, _hist = run_deployment(Observability(seed=6))
+        browser = aide.users["you@example.com"].browser
+        response = browser.get(f"{SERVICE}?action=metrics").response
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == "text/plain"
+        assert "w3newer_checks 1" in response.body
+        assert "snapshot_remember_requests" in response.body
+
+    def test_metrics_action_json(self):
+        aide, _run, _diff, _hist = run_deployment(Observability(seed=6))
+        browser = aide.users["you@example.com"].browser
+        response = browser.get(
+            f"{SERVICE}?action=metrics&format=json"
+        ).response
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == "application/json"
+        snap = json.loads(response.body)
+        assert snap["w3newer.checks"] == 1
+
+    def test_metrics_action_unknown_format(self):
+        aide, _run, _diff, _hist = run_deployment(Observability(seed=6))
+        browser = aide.users["you@example.com"].browser
+        response = browser.get(f"{SERVICE}?action=metrics&format=xml").response
+        assert response.status == 400
+
+    def test_metrics_action_works_without_obs(self):
+        # A NOOP deployment still answers the scrape — empty registry.
+        aide, _run, _diff, _hist = run_deployment(NOOP)
+        browser = aide.users["you@example.com"].browser
+        response = browser.get(f"{SERVICE}?action=metrics").response
+        assert response.status == 200
+
+    def test_stats_action_reports_wal_locking_sched(self):
+        aide, _run, _diff, _hist = run_deployment(NOOP)
+        browser = aide.users["you@example.com"].browser
+        response = browser.get(f"{SERVICE}?action=stats").response
+        assert response.status == 200
+        for key in ("wal", "locking", "sched", "attached"):
+            assert key in response.body
+
+
+class TestStoreStats:
+    def test_wal_and_sched_always_present(self):
+        aide, _run, _diff, _hist = run_deployment(NOOP)
+        stats = aide.store.stats()
+        assert stats["wal"] == {
+            "attached": False, "begun": 0, "committed": 0, "aborted": 0,
+        }
+        assert stats["sched"] == {"attached": False}
+        assert stats["locking"] == stats["locks"]
+
+    def test_wal_stats_reflect_transactions(self, tmp_path):
+        from repro.core.snapshot.store import SnapshotStore
+        from repro.core.snapshot.wal import WriteAheadLog
+        from repro.web.client import UserAgent
+        from repro.web.network import Network
+
+        clock = SimClock()
+        network = Network(clock)
+        network.create_server("a.com").set_page("/p", "<P>hello there.</P>")
+        obs = Observability(clock=clock, seed=2)
+        store = SnapshotStore(clock, UserAgent(network, clock), obs=obs)
+        store.attach_wal(WriteAheadLog(store, str(tmp_path)))
+        store.remember("alice", "http://a.com/p")
+        stats = store.stats()
+        assert stats["wal"]["attached"] is True
+        assert stats["wal"]["committed"] == 1
+        assert obs.snapshot()["snapshot.wal.commits"] == 1
+        kinds = {r["kind"] for r in obs.journal.records}
+        assert "snapshot.txn.begin" in kinds
+        assert "snapshot.txn.commit" in kinds

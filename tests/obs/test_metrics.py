@@ -1,0 +1,119 @@
+"""The metrics registry: instruments, collectors, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    MetricsRegistry,
+    to_json,
+    to_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("w3newer.checks")
+        c.inc()
+        c.inc(4)
+        assert registry.snapshot()["w3newer.checks"] == 5
+
+    def test_gauge_sets(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("snapshot.archives")
+        g.set(7)
+        assert registry.snapshot()["snapshot.archives"] == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", buckets=(1, 10, 100))
+        for value in (0, 5, 50, 500):
+            h.observe(value)
+        snap = registry.snapshot()["wait"]
+        assert snap["kind"] == "histogram"
+        assert snap["count"] == 4
+        assert snap["sum"] == 555
+        # Cumulative counts: <=1 -> 1, <=10 -> 2, <=100 -> 3, +Inf -> 4.
+        assert [pair[1] for pair in snap["buckets"]] == [1, 2, 3, 4]
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError):
+            registry.gauge("a.b")
+
+    def test_disabled_registry_hands_out_shared_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NOOP_COUNTER
+        assert registry.gauge("y") is NOOP_GAUGE
+        assert registry.histogram("z") is NOOP_HISTOGRAM
+        NOOP_COUNTER.inc(100)
+        NOOP_GAUGE.set(5)
+        NOOP_HISTOGRAM.observe(3)
+        assert registry.snapshot() == {}
+
+
+class TestCollectors:
+    def test_collector_dict_is_flattened(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "store", lambda: {"cache": {"hits": 3, "misses": 1}, "total": 4}
+        )
+        snap = registry.snapshot()
+        assert snap["store.cache.hits"] == 3
+        assert snap["store.cache.misses"] == 1
+        assert snap["store.total"] == 4
+
+    def test_collector_polled_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.register_collector("live", lambda: {"n": state["n"]})
+        assert registry.snapshot()["live.n"] == 0
+        state["n"] = 9
+        assert registry.snapshot()["live.n"] == 9
+
+    def test_collector_wins_on_name_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("a.n").inc(1)
+        registry.register_collector("a", lambda: {"n": 99})
+        assert registry.snapshot()["a.n"] == 99
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        assert list(registry.snapshot()) == sorted(registry.snapshot())
+
+
+class TestExporters:
+    def test_prometheus_sanitizes_names(self):
+        text = to_prometheus({"snapshot.wal.commits": 3})
+        assert "snapshot_wal_commits 3" in text
+
+    def test_prometheus_expands_histograms(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", buckets=(1, 10))
+        h.observe(5)
+        text = to_prometheus(registry.snapshot())
+        assert 'wait_bucket{le="1"} 0' in text
+        assert 'wait_bucket{le="10"} 1' in text
+        assert 'wait_bucket{le="+Inf"} 1' in text
+        assert "wait_sum 5" in text
+        assert "wait_count 1" in text
+
+    def test_prometheus_skips_non_numerics(self):
+        text = to_prometheus({"a.note": "hello", "a.n": 1})
+        assert "hello" not in text
+        assert "a_n 1" in text
+
+    def test_json_round_trips(self):
+        snap = {"a.n": 1, "a.note": "hello", "a.rate": 0.5}
+        assert json.loads(to_json(snap)) == snap
