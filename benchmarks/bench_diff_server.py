@@ -1,0 +1,162 @@
+"""S18 — the sharded diff server's two hard gates.
+
+A seeded closed-loop load of 10,000 simulated users (20,000 logical
+requests, all in virtual time) drives :class:`~repro.serve.server.
+DiffServer` in three configurations and asserts:
+
+* **byte identity** — every response the 4-shard, pooled, cached
+  server serves is byte-identical (status, body, content type) to what
+  the single-store reference :class:`~repro.core.snapshot.service.
+  SnapshotService` produces for the same request;
+* **scaling** — closed-loop throughput at 4 shards is at least 3x the
+  1-shard baseline (same per-shard worker count — shards are machines,
+  so 4 shards own 4x the workers), with p99 latency bounded;
+* **backpressure works** — overload is shed with 503 + ``Retry-After``
+  and every shed request eventually completes after honoring the
+  advice (the closed loop retries exactly when told to).
+
+Writes ``benchmarks/results/BENCH_service.json`` next to the other
+BENCH_* files so CI can archive them.
+"""
+
+import json
+import os
+import time
+
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.serve import ClosedLoopLoad, DiffServer, build_world, seed_world
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SEED = 1996
+PAGES = 128
+ROUNDS = 3
+USERS = 10_000
+REQUESTS_PER_USER = 2
+WORKERS_PER_SHARD = 8
+QUEUE_LIMIT = 256
+THINK_TIME = 30
+ARRIVAL_WINDOW = 120
+
+#: The acceptance gates.
+MIN_SPEEDUP = 3.0
+MAX_P99 = 2 * 3600  # four-shard p99 must stay under two simulated hours
+
+
+def build_server(shards):
+    world = build_world(SEED, pages=PAGES)
+    server = DiffServer(
+        world.clock, world.agent, shards=shards,
+        workers_per_shard=WORKERS_PER_SHARD, queue_limit=QUEUE_LIMIT,
+    )
+    revisions = seed_world(server, world, seed=SEED, rounds=ROUNDS)
+    return world, server, revisions
+
+
+def build_reference():
+    world = build_world(SEED, pages=PAGES)
+    service = SnapshotService(SnapshotStore(world.clock, world.agent))
+    revisions = seed_world(service, world, seed=SEED, rounds=ROUNDS)
+    return world, service, revisions
+
+
+def run_load(world, server, revisions):
+    load = ClosedLoopLoad(
+        SEED, world.urls, revisions, users=USERS,
+        requests_per_user=REQUESTS_PER_USER, think_time=THINK_TIME,
+        arrival_window=ARRIVAL_WINDOW,
+    )
+    started = time.time()
+    report = load.run(server, start=world.clock.now)
+    return report, time.time() - started
+
+
+def test_diff_server_scaling_and_identity(sink):
+    sink.row("S18: sharded diff server under 10k-user closed-loop load")
+    sink.row(f"  pages={PAGES} rounds={ROUNDS} users={USERS} "
+             f"requests/user={REQUESTS_PER_USER}")
+    sink.row("")
+
+    # -- the system under test and the baseline ------------------------
+    world1, server1, revisions1 = build_server(shards=1)
+    report1, wall1 = run_load(world1, server1, revisions1)
+    world4, server4, revisions4 = build_server(shards=4)
+    report4, wall4 = run_load(world4, server4, revisions4)
+    assert revisions1 == revisions4
+
+    header = (f"  {'config':<12} {'makespan':>9} {'throughput':>11} "
+              f"{'p50':>6} {'p99':>6} {'shed':>8} {'wall':>7}")
+    sink.row(header)
+    for label, report, wall in (("1 shard", report1, wall1),
+                                ("4 shards", report4, wall4)):
+        sink.row(f"  {label:<12} {report.makespan:>8}s "
+                 f"{report.throughput:>9.2f}/s {report.latency_p50:>5}s "
+                 f"{report.latency_p99:>5}s {report.shed:>8} {wall:>6.1f}s")
+    speedup = report4.throughput / report1.throughput
+    sink.row(f"  speedup: {speedup:.2f}x  (gate: >= {MIN_SPEEDUP}x)")
+    sink.row("")
+
+    # -- gate: every logical request completed despite shedding --------
+    for report in (report1, report4):
+        assert report.completed == USERS * REQUESTS_PER_USER
+    assert report4.shed > 0, "load never exercised backpressure"
+
+    # -- gate: byte identity against the single-store reference -------
+    ref_world, reference, _ = build_reference()
+    replayed = ClosedLoopLoad.replay(report4, reference,
+                                     now=ref_world.clock.now)
+    mismatches = 0
+    for key, response in report4.responses.items():
+        other = replayed[key]
+        identical = (
+            response.status == other.status
+            and response.body == other.body
+            and response.headers.get("Content-Type")
+            == other.headers.get("Content-Type")
+        )
+        if not identical:
+            mismatches += 1
+    sink.row(f"  byte-identity: {len(report4.responses) - mismatches}/"
+             f"{len(report4.responses)} responses identical to reference")
+    assert mismatches == 0, f"{mismatches} responses diverged from reference"
+
+    # -- gate: scaling and bounded tail --------------------------------
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-shard throughput only {speedup:.2f}x the 1-shard baseline"
+    )
+    assert report4.latency_p99 <= MAX_P99, (
+        f"4-shard p99 {report4.latency_p99}s exceeds {MAX_P99}s"
+    )
+
+    # -- persist -------------------------------------------------------
+    stats4 = server4.stats()
+    payload = {
+        "seed": SEED,
+        "pages": PAGES,
+        "users": USERS,
+        "requests_per_user": REQUESTS_PER_USER,
+        "workers_per_shard": WORKERS_PER_SHARD,
+        "queue_limit": QUEUE_LIMIT,
+        "one_shard": report1.to_dict(),
+        "four_shards": report4.to_dict(),
+        "speedup": round(speedup, 4),
+        "gates": {
+            "min_speedup": MIN_SPEEDUP,
+            "max_p99": MAX_P99,
+            "byte_identity_responses": len(report4.responses),
+            "byte_identity_mismatches": mismatches,
+        },
+        "four_shard_stats": {
+            "routed": stats4["routed"],
+            "pool": stats4["pool"],
+            "response_cache": stats4["response_cache"],
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_service.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    cache = stats4["response_cache"]
+    sink.row(f"  response cache: {cache['hits']} hits, "
+             f"hit rate {cache['hit_rate']:.2f}")
+    sink.row(f"  four-shard routing: {stats4['routed']}")

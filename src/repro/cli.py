@@ -13,6 +13,7 @@ archives — so the CLI provides both:
     aide rlog page.html                        # revision history
     aide rcsdiff page.html -r 1.1 -r 1.3       # diff two revisions
     aide fsck /var/aide/repo --repair          # repository consistency
+    aide serve --shards 4 --users 1000         # sharded diff server demo
 
 ``aide htmldiff``/``rcsdiff`` exit 0 when identical and 1 when
 differences were found (the ``diff``/``cmp`` convention), 2 on usage
@@ -206,13 +207,21 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
     Exit 0 when consistent, 1 when problems remain (after repair, if
     ``--repair`` was given), 2 when the directory does not exist.
+
+    A repository with a ``SHARDS`` manifest (written by the sharded
+    store's ``save_sharded``) is checked shard by shard and the reports
+    folded into one.
     """
     from .core.snapshot.persistence import verify_store
+    from .core.snapshot.sharding import read_shard_count, verify_sharded
 
     if not os.path.isdir(args.directory):
         print(f"aide: no repository at {args.directory}", file=sys.stderr)
         return 2
-    report = verify_store(args.directory, repair=args.repair)
+    if read_shard_count(args.directory) is not None:
+        report = verify_sharded(args.directory, repair=args.repair)
+    else:
+        report = verify_store(args.directory, repair=args.repair)
     if args.json:
         import json
 
@@ -313,6 +322,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             extra = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
             print(f"t={record.get('t', '?')} {record['kind']} {extra}".rstrip())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up the sharded diff server in a simulated world, seed it,
+    and drive a closed-loop load against it; print the service report.
+
+    Everything runs in virtual time on a seeded clock, so two
+    invocations with the same arguments print identical numbers.  With
+    ``--save DIR`` the seeded archives are written out per shard (plus
+    the ``SHARDS`` manifest), ready for ``aide fsck``.
+    """
+    import json
+
+    from .core.snapshot.sharding import save_sharded
+    from .serve import ClosedLoopLoad, DiffServer, build_world, seed_world
+
+    world = build_world(args.seed, pages=args.pages)
+    server = DiffServer(
+        world.clock, world.agent, shards=args.shards,
+        workers_per_shard=args.workers, queue_limit=args.queue_limit,
+    )
+    revisions = seed_world(server, world, seed=args.seed, rounds=args.rounds)
+    print(f"# seeded {len(world.urls)} pages x {args.rounds} revisions "
+          f"across {args.shards} shard(s)", file=sys.stderr)
+    load = ClosedLoopLoad(
+        args.seed, world.urls, revisions, users=args.users,
+        requests_per_user=args.requests_per_user,
+    )
+    report = load.run(server, start=world.clock.now)
+    payload = {"load": report.to_dict(), "server": server.stats()}
+    if args.save:
+        save_sharded(server.store, args.save)
+        payload["repository"] = args.save
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if report.completed == report.requests else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -469,6 +513,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--spans-only", action="store_true",
                        help="omit the non-span event listing")
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded diff server under a seeded closed-loop "
+             "load (virtual time) and print the service report",
+    )
+    serve.add_argument("--shards", type=int, default=4,
+                       help="store shards / worker pools (default 4)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="workers per shard (default 8)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="admission queue depth per shard (default 256)")
+    serve.add_argument("--users", type=int, default=1000,
+                       help="closed-loop simulated users (default 1000)")
+    serve.add_argument("--requests-per-user", type=int, default=2,
+                       help="requests each user issues (default 2)")
+    serve.add_argument("--pages", type=int, default=64,
+                       help="tracked origin pages (default 64)")
+    serve.add_argument("--rounds", type=int, default=3,
+                       help="revisions seeded per page (default 3)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="determinism seed (default 0)")
+    serve.add_argument("--save", metavar="DIR",
+                       help="write the seeded archives to DIR per shard")
+    serve.set_defaults(func=_cmd_serve)
 
     demo = sub.add_parser(
         "demo", help="run a self-contained track-and-diff tour"

@@ -58,6 +58,12 @@ class DiffCache:
         return (url, str(rev_old), str(rev_new), options_key)
 
     # ------------------------------------------------------------------
+    def peek(self, key: Hashable) -> bool:
+        """Non-mutating membership probe: would :meth:`get` hit?  (No
+        LRU touch, no hit/miss accounting — the diff server's cost
+        model asks without disturbing the cache's statistics.)"""
+        return key in self._entries
+
     def get(self, key: Hashable) -> Optional[HtmlDiffResult]:
         entry = self._entries.get(key)
         if entry is None:

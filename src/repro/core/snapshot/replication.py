@@ -35,12 +35,19 @@ __all__ = ["AdmissionControl", "ReplicatedSnapshotService"]
 class AdmissionControl:
     """503 everything past N requests in one simulated instant."""
 
-    def __init__(self, service, clock: SimClock, limit: int) -> None:
+    def __init__(self, service, clock: SimClock, limit: int,
+                 retry_after: int = 1) -> None:
         if limit < 1:
             raise ValueError("limit must be at least 1")
+        if retry_after < 1:
+            raise ValueError("retry_after must be at least 1")
         self.service = service
         self.clock = clock
         self.limit = limit
+        #: The window resets every simulated instant, so one second is
+        #: always enough — advertised so clients back off exactly that
+        #: long instead of guessing with blind exponential delays.
+        self.retry_after = retry_after
         self._instant = -1
         self._count = 0
         self.admitted = 0
@@ -54,11 +61,13 @@ class AdmissionControl:
         self._count += 1
         if self._count > self.limit:
             self.rejected += 1
-            return make_response(
+            response = make_response(
                 503,
                 "<P>The snapshot facility is at its simultaneous-user "
                 "limit; please retry shortly.</P>",
             )
+            response.headers.set("Retry-After", str(self.retry_after))
+            return response
         self.admitted += 1
         return self.service(request, now)
 

@@ -34,7 +34,55 @@ from .keepalive import CgiTimeout, KeepAlive
 from .persistence import verify_store
 from .store import SnapshotError, SnapshotStore
 
-__all__ = ["SnapshotService", "OperationCosts"]
+__all__ = ["SnapshotService", "OperationCosts", "stats_page_html",
+           "fsck_page_html"]
+
+
+def _render_stats_value(value) -> str:
+    if isinstance(value, dict):
+        items = "".join(
+            f"<DT>{encode_entities(str(key))}</DT>"
+            f"<DD>{_render_stats_value(val)}</DD>"
+            for key, val in value.items()
+        )
+        return f"<DL>{items}</DL>"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return encode_entities(str(value))
+
+
+def stats_page_html(stats: dict) -> str:
+    """The ``action=stats`` operator page for any layered stats dict
+    (shared by the CGI service and the sharded diff server)."""
+    return (
+        "<HTML><HEAD><TITLE>Snapshot store statistics</TITLE></HEAD>"
+        "<BODY><H1>Snapshot store statistics</H1>"
+        f"{_render_stats_value(stats)}</BODY></HTML>"
+    )
+
+
+def fsck_page_html(report) -> str:
+    """The ``action=fsck`` page body for any verification report with
+    the ``ok``/``summary()``/``problems``/``notes``/``repaired``/
+    ``to_dict()`` surface (plain or sharded)."""
+    verdict = "consistent" if report.ok else "INCONSISTENT"
+
+    def listing(title: str, items) -> str:
+        if not items:
+            return ""
+        rows = "".join(f"<LI>{encode_entities(item)}</LI>" for item in items)
+        return f"<H2>{title}</H2><UL>{rows}</UL>"
+
+    return (
+        "<HTML><HEAD><TITLE>Repository check</TITLE></HEAD><BODY>"
+        f"<H1>Repository check: {verdict}</H1>"
+        f"<P>{encode_entities(report.summary())}</P>"
+        f"{listing('Problems', report.problems)}"
+        f"{listing('Notes', report.notes)}"
+        f"{listing('Repairs applied', report.repaired)}"
+        f"<PRE>{encode_entities(json.dumps(report.to_dict(), indent=2))}"
+        "</PRE></BODY></HTML>"
+    )
 
 
 @dataclass
@@ -220,25 +268,7 @@ class SnapshotService:
         """Operator page: every storage layer's counters in one table
         (``store.stats()`` rendered as nested definition lists)."""
         padding = self.keepalive.padding(self.costs.cheap)
-
-        def render(value) -> str:
-            if isinstance(value, dict):
-                items = "".join(
-                    f"<DT>{encode_entities(str(key))}</DT>"
-                    f"<DD>{render(val)}</DD>"
-                    for key, val in value.items()
-                )
-                return f"<DL>{items}</DL>"
-            if isinstance(value, float):
-                return f"{value:.3f}"
-            return encode_entities(str(value))
-
-        body = (
-            "<HTML><HEAD><TITLE>Snapshot store statistics</TITLE></HEAD>"
-            "<BODY><H1>Snapshot store statistics</H1>"
-            f"{render(self.store.stats())}</BODY></HTML>"
-        )
-        return make_response(200, padding + body)
+        return make_response(200, padding + stats_page_html(self.store.stats()))
 
     def _metrics(self, fmt: str) -> Response:
         """Scrape endpoint (``action=metrics``): the store's metrics
@@ -266,26 +296,8 @@ class SnapshotService:
             )
         padding = self.keepalive.padding(self.costs.cheap)
         report = verify_store(self.repository_dir, repair=repair)
-        verdict = "consistent" if report.ok else "INCONSISTENT"
-
-        def listing(title: str, items) -> str:
-            if not items:
-                return ""
-            rows = "".join(f"<LI>{encode_entities(item)}</LI>"
-                           for item in items)
-            return f"<H2>{title}</H2><UL>{rows}</UL>"
-
-        body = (
-            "<HTML><HEAD><TITLE>Repository check</TITLE></HEAD><BODY>"
-            f"<H1>Repository check: {verdict}</H1>"
-            f"<P>{encode_entities(report.summary())}</P>"
-            f"{listing('Problems', report.problems)}"
-            f"{listing('Notes', report.notes)}"
-            f"{listing('Repairs applied', report.repaired)}"
-            f"<PRE>{encode_entities(json.dumps(report.to_dict(), indent=2))}"
-            "</PRE></BODY></HTML>"
-        )
-        return make_response(200 if report.ok else 500, padding + body)
+        return make_response(200 if report.ok else 500,
+                             padding + fsck_page_html(report))
 
     # ------------------------------------------------------------------
     def _link(self, params: dict, label: str) -> str:

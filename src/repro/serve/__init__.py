@@ -1,0 +1,35 @@
+"""The long-running snapshot/diff server (paper Section 4.2, scaled).
+
+The paper served everything through one CGI dispatch per request; this
+package is the front end the "millions of users" north star needs: a
+stateful server object composing
+
+* :class:`~repro.core.snapshot.sharding.ShardedSnapshotStore` shards
+  behind stable rendezvous routing,
+* a bounded per-shard :class:`~.pool.WorkerPool` (admission queue +
+  deterministic virtual-time queueing on the shared sim clock),
+* a per-shard :class:`~.cache.ResponseCache` above the store's
+  ``DiffCache``/``CheckoutCache``,
+* backpressure: queue-full requests get **503 + Retry-After**, which
+  :class:`~repro.web.resilience.ResilientAgent` already honors,
+
+with every moving part wired through :mod:`repro.obs`.
+"""
+
+from .cache import ResponseCache, cacheable_key
+from .loadgen import ClosedLoopLoad, LoadReport, build_world, seed_world
+from .pool import Admission, Rejection, WorkerPool
+from .server import DiffServer
+
+__all__ = [
+    "Admission",
+    "ClosedLoopLoad",
+    "DiffServer",
+    "LoadReport",
+    "Rejection",
+    "ResponseCache",
+    "WorkerPool",
+    "build_world",
+    "cacheable_key",
+    "seed_world",
+]

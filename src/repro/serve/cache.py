@@ -1,0 +1,132 @@
+"""Per-shard response caching for the diff server.
+
+Paper Section 4.2: "These loads can be alleviated by caching the output
+of HtmlDiff for a while."  The store already caches *diff results*
+(:class:`~repro.core.snapshot.diffcache.DiffCache`) and *checkout
+texts* (:class:`~repro.core.snapshot.checkoutcache.CheckoutCache`);
+this layer caches the **finished HTTP response** — rendered HTML,
+keep-alive padding and all — so a repeat request never reaches the
+store at all.
+
+Soundness rule: a response may be replayed only if recomputing it could
+not produce different bytes.  Three request shapes qualify:
+
+* ``action=view&rev=R`` — a pinned revision's text is immutable;
+* ``action=diff&r1=A&r2=B`` — the diff of two pinned revisions is
+  immutable (the store's own DiffCache relies on the same fact);
+* ``action=view&date=D`` — resolves through ``revision_at``; a *new*
+  check-in can change the resolution, so these entries are **volatile**
+  and are dropped for a URL whenever the server routes a mutating
+  action (remember, or a diff that may check in the live page) there.
+
+Everything else (default diffs, history, remember, stats) is
+state-dependent or side-effecting and is never cached.  Entries are
+LRU-bounded; the hit counters feed the ``serve.cache.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..web.http import Response
+
+__all__ = ["ResponseCache", "cacheable_key"]
+
+
+def cacheable_key(params: Dict[str, str]) -> Optional[Tuple]:
+    """The cache identity of a request, or None when it must not be
+    cached.  The key carries a ``volatile`` flag (date-resolved views)
+    used for per-URL invalidation."""
+    action = params.get("action", "")
+    url = params.get("url", "")
+    if not url:
+        return None
+    if action == "view":
+        rev = params.get("rev")
+        date = params.get("date")
+        if rev is not None:
+            return ("view", url, str(rev), False)
+        if date is not None:
+            return ("view_at", url, str(date), True)
+        return None
+    if action == "diff":
+        r1, r2 = params.get("r1"), params.get("r2")
+        if r1 is not None and r2 is not None:
+            return ("diff", url, str(r1), str(r2), False)
+        return None
+    return None
+
+
+def _copy_response(response: Response) -> Response:
+    """Responses are handed to transport code that may mutate them
+    (HEAD handling blanks bodies); never share the cached object."""
+    return Response(status=response.status, headers=response.headers.copy(),
+                    body=response.body)
+
+
+class ResponseCache:
+    """LRU cache of finished responses for one shard."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Response]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[Response]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return _copy_response(entry)
+
+    def put(self, key: Hashable, response: Response) -> None:
+        if self.capacity == 0:
+            return
+        # Only successful pages are worth replaying; error pages are
+        # cheap to regenerate and may reflect transient state.
+        if response.status != 200:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = _copy_response(response)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_url(self, url: str) -> int:
+        """Drop the *volatile* entries for ``url`` (date-resolved
+        views); pinned-revision entries are immutable and survive."""
+        doomed = [
+            key for key in self._entries
+            if key[1] == url and key[-1] is True
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

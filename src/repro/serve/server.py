@@ -1,0 +1,331 @@
+"""The sharded, pooled, cached snapshot/diff server.
+
+One :class:`DiffServer` is the whole Section-4.2 scaling story in a
+single front end:
+
+* requests route by **URL hash** (rendezvous, via
+  :class:`~repro.core.snapshot.sharding.ShardedSnapshotStore`) to one
+  of N shards, each a full :class:`~repro.core.snapshot.store.
+  SnapshotStore` + :class:`~repro.core.snapshot.service.
+  SnapshotService` pair — so every response body is produced by
+  exactly the code the single-store reference service runs, which is
+  what makes the byte-identity gate possible;
+* each shard has a bounded :class:`~.pool.WorkerPool`; a request that
+  cannot even queue is shed with **503 + Retry-After** (the advice
+  :class:`~repro.web.resilience.ResilientAgent` honors) instead of
+  joining an unbounded-latency convoy;
+* each shard has a :class:`~.cache.ResponseCache` above the store's
+  DiffCache/CheckoutCache, so a repeated pinned-revision request costs
+  one dictionary lookup;
+* queue depth, busy workers, shard routing, cache hit rate, shed rate,
+  and per-action latency histograms all land in :mod:`repro.obs`.
+
+The server is callable with the CGI signature ``(request, now) ->
+Response`` so it registers on a simulated
+:class:`~repro.web.server.HttpServer` exactly where the single CGI
+script used to sit — the "long-running" difference is that the object
+keeps its pools, caches, and shards alive across requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.snapshot.keepalive import KeepAlive
+from ..core.snapshot.service import (
+    OperationCosts,
+    SnapshotService,
+    fsck_page_html,
+    stats_page_html,
+)
+from ..core.snapshot.sharding import ShardedSnapshotStore, verify_sharded
+from ..core.snapshot.diffcache import DiffCache
+from ..core.snapshot.options import StoreOptions
+from ..obs import NOOP as NOOP_OBS, to_json, to_prometheus
+from ..simclock import SimClock
+from ..web.cgi import parse_query_string
+from ..web.client import UserAgent
+from ..web.http import Request, Response, make_response
+from .cache import ResponseCache, cacheable_key
+from .pool import Admission, Rejection, WorkerPool
+
+__all__ = ["DiffServer"]
+
+#: Actions with their own latency histogram; anything else is "other".
+_TRACKED_ACTIONS = ("remember", "diff", "history", "view", "form")
+
+
+class DiffServer:
+    """N store shards, N worker pools, N response caches, one face."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        agent: UserAgent,
+        shards: int = 4,
+        workers_per_shard: int = 4,
+        queue_limit: int = 32,
+        response_cache_size: int = 512,
+        costs: Optional[OperationCosts] = None,
+        keepalive: Optional[KeepAlive] = None,
+        store_options: Optional[StoreOptions] = None,
+        diff_options=None,
+        obs=None,
+        script_path: str = "/cgi-bin/snapshot",
+        repository_dir: Optional[str] = None,
+    ) -> None:
+        self.clock = clock
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.costs = costs or OperationCosts()
+        self.keepalive = keepalive or KeepAlive()
+        self.script_path = script_path
+        self.repository_dir = repository_dir
+        self.store = ShardedSnapshotStore(
+            clock, agent, shard_count=shards,
+            diff_options=diff_options, options=store_options, obs=self.obs,
+        )
+        #: One full CGI service per shard: the response-rendering code
+        #: is shared with the reference deployment, not reimplemented.
+        self.services: List[SnapshotService] = [
+            SnapshotService(
+                shard_store, keepalive=self.keepalive, costs=self.costs,
+                script_path=script_path,
+            )
+            for shard_store in self.store.shards
+        ]
+        self.pools: List[WorkerPool] = [
+            WorkerPool(workers_per_shard, queue_limit, obs=self.obs,
+                       name=f"serve.shard{index:02d}.pool")
+            for index in range(shards)
+        ]
+        self.response_caches: List[ResponseCache] = [
+            ResponseCache(capacity=response_cache_size) for _ in range(shards)
+        ]
+        self.requests = 0
+        self.shed = 0
+        self.cache_hits = 0
+        #: The last dispatch's schedule — the closed-loop driver reads
+        #: completion times from here right after calling the server.
+        self.last_admission: Optional[Admission] = None
+        self._c_requests = self.obs.counter("serve.requests")
+        self._c_shed = self.obs.counter("serve.shed")
+        self._c_cache_hits = self.obs.counter("serve.cache.hits")
+        self._c_cache_misses = self.obs.counter("serve.cache.misses")
+        self._h_latency = {
+            action: self.obs.histogram(f"serve.latency.{action}")
+            for action in _TRACKED_ACTIONS + ("other",)
+        }
+        self.obs.register_stats("serve.server", self.stats)
+
+    # ------------------------------------------------------------------
+    # CGI entry point
+    # ------------------------------------------------------------------
+    def __call__(self, request: Request, now: int) -> Response:
+        response, _schedule = self.dispatch(request, now)
+        return response
+
+    def dispatch(
+        self, request: Request, now: int
+    ) -> Tuple[Response, Union[Admission, Rejection, None]]:
+        """Serve one request; also return its pool schedule (None for
+        requests the server answers without touching a pool)."""
+        self.requests += 1
+        self._c_requests.inc()
+        if request.method == "POST":
+            params = parse_query_string(request.body)
+        else:
+            params = parse_query_string(request.url.query)
+        action = params.get("action", "")
+        url = params.get("url", "")
+
+        # Operator surfaces answer from the front end itself: their
+        # content spans every shard, and they must stay reachable even
+        # with all pools saturated.
+        if action == "stats":
+            return self._stats_page(), None
+        if action == "metrics":
+            return self._metrics_page(params.get("format", "text")), None
+        if action == "fsck":
+            return self._fsck_page(params.get("repair") == "1"), None
+
+        shard_index = self._shard_index(url)
+        cache = self.response_caches[shard_index]
+        pool = self.pools[shard_index]
+        key = self._cache_key(params, url)
+
+        cached = cache.get(key) if key is not None else None
+        if cached is not None:
+            self.cache_hits += 1
+            self._c_cache_hits.inc()
+        elif key is not None:
+            self._c_cache_misses.inc()
+
+        cost = self._cost(action, params, shard_index,
+                          cache_hit=cached is not None)
+        schedule = pool.admit(cost, now)
+        if isinstance(schedule, Rejection):
+            self.shed += 1
+            self._c_shed.inc()
+            self.last_admission = None
+            return self._shed_response(schedule), schedule
+        self.last_admission = schedule
+        self._observe_latency(action, schedule.latency(now))
+
+        if cached is not None:
+            return cached, schedule
+        response = self.services[shard_index](request, now)
+        if key is not None:
+            cache.put(key, response)
+        if self._mutates(action, params) and url:
+            cache.invalidate_url(self._canonical(url))
+        return response, schedule
+
+    # ------------------------------------------------------------------
+    # Routing, caching, cost model
+    # ------------------------------------------------------------------
+    def _canonical(self, url: str) -> str:
+        try:
+            return self.store.router.canonical(url)
+        except Exception:
+            return url
+
+    def _shard_index(self, url: str) -> int:
+        """No-URL requests (the registration form) go to shard 0, like
+        the replicated service routed them to replica 0."""
+        if not url:
+            return 0
+        try:
+            index = self.store.router.route(url)
+        except Exception:
+            return 0
+        self.store._c_routes[index].inc()
+        return index
+
+    def _cache_key(self, params: Dict[str, str], url: str):
+        if not url:
+            return None
+        canonical = dict(params)
+        canonical["url"] = self._canonical(url)
+        return cacheable_key(canonical)
+
+    @staticmethod
+    def _mutates(action: str, params: Dict[str, str]) -> bool:
+        """Could this action check a new revision in?  ``remember``
+        always; ``diff`` when the new endpoint is unpinned (the Diff
+        link fetches the live page and archives it)."""
+        if action == "remember":
+            return True
+        if action == "diff":
+            return params.get("r2") is None
+        return False
+
+    def _cost(self, action: str, params: Dict[str, str], shard_index: int,
+              cache_hit: bool) -> int:
+        """Simulated worker-seconds one request occupies a worker.
+
+        The response cache turns any request into a memory read; a
+        pinned diff whose result is already in the shard's DiffCache
+        skips the HtmlDiff run; everything else mirrors the
+        :class:`OperationCosts` arithmetic the CGI service charges.
+        """
+        costs = self.costs
+        if cache_hit:
+            return costs.cheap
+        if action == "remember":
+            return costs.fetch
+        if action == "diff":
+            r1, r2 = params.get("r1"), params.get("r2")
+            if r1 is not None and r2 is not None:
+                store = self.store.shards[shard_index]
+                shared_key = DiffCache.make_key(
+                    self._canonical(params.get("url", "")), r1, r2,
+                    store.diff_options,
+                )
+                if store.diff_cache.peek(shared_key):
+                    return costs.cheap
+                return costs.htmldiff
+            return costs.fetch + costs.htmldiff
+        return costs.cheap
+
+    def _observe_latency(self, action: str, latency: int) -> None:
+        name = action if action in _TRACKED_ACTIONS else (
+            "form" if not action else "other"
+        )
+        self._h_latency[name].observe(latency)
+
+    # ------------------------------------------------------------------
+    # Backpressure and operator pages
+    # ------------------------------------------------------------------
+    def _shed_response(self, rejection: Rejection) -> Response:
+        response = make_response(
+            503,
+            "<P>The snapshot facility is at its simultaneous-user "
+            "limit; please retry shortly.</P>",
+        )
+        response.headers.set("Retry-After", str(rejection.retry_after))
+        return response
+
+    def _stats_page(self) -> Response:
+        padding = self.keepalive.padding(self.costs.cheap)
+        stats = dict(self.store.stats())
+        stats["serve"] = self.stats()
+        return make_response(200, padding + stats_page_html(stats))
+
+    def _metrics_page(self, fmt: str) -> Response:
+        snapshot = self.obs.snapshot()
+        if fmt == "json":
+            return make_response(200, to_json(snapshot),
+                                 content_type="application/json")
+        if fmt != "text":
+            return make_response(
+                400, "<HTML><HEAD><TITLE>Snapshot error</TITLE></HEAD><BODY>"
+                     "<H1>Snapshot error</H1>"
+                     f"<P>unknown metrics format {fmt!r}</P></BODY></HTML>",
+            )
+        return make_response(200, to_prometheus(snapshot),
+                             content_type="text/plain")
+
+    def _fsck_page(self, repair: bool) -> Response:
+        if self.repository_dir is None:
+            return make_response(
+                400, "<HTML><HEAD><TITLE>Snapshot error</TITLE></HEAD><BODY>"
+                     "<H1>Snapshot error</H1><P>fsck requires an on-disk "
+                     "repository directory</P></BODY></HTML>",
+            )
+        padding = self.keepalive.padding(self.costs.cheap)
+        report = verify_sharded(self.repository_dir, repair=repair)
+        return make_response(200 if report.ok else 500,
+                             padding + fsck_page_html(report))
+
+    # ------------------------------------------------------------------
+    def attach_scheduler(self, scheduler) -> None:
+        """Deterministic concurrency: wire every shard's locks and
+        failpoints to a :class:`~repro.core.snapshot.sched.SimScheduler`
+        so simulated request processes interleave reproducibly."""
+        self.store.attach_scheduler(scheduler)
+
+    def stats(self) -> Dict[str, object]:
+        pools = [pool.stats() for pool in self.pools]
+        caches = [cache.stats() for cache in self.response_caches]
+        lookups = sum(c["hits"] + c["misses"] for c in caches)
+        hits = sum(c["hits"] for c in caches)
+        return {
+            "requests": self.requests,
+            "shed": self.shed,
+            "shards": self.store.shard_count,
+            "routed": list(self.store.router.routed),
+            "pool": {
+                "workers": sum(p["workers"] for p in pools),
+                "admitted": sum(p["admitted"] for p in pools),
+                "rejected": sum(p["rejected"] for p in pools),
+                "queued": sum(p["queued"] for p in pools),
+                "busy_seconds": sum(p["busy_seconds"] for p in pools),
+            },
+            "response_cache": {
+                "hits": hits,
+                "misses": sum(c["misses"] for c in caches),
+                "evictions": sum(c["evictions"] for c in caches),
+                "invalidations": sum(c["invalidations"] for c in caches),
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            },
+        }

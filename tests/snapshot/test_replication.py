@@ -11,6 +11,7 @@ from repro.core.snapshot.store import SnapshotStore
 from repro.simclock import DAY, SimClock
 from repro.web.client import UserAgent
 from repro.web.network import Network
+from repro.web.resilience import ResilientAgent, RetryPolicy
 
 
 @pytest.fixture
@@ -62,6 +63,48 @@ class TestAdmissionControl:
         clock, network, origin, agent = world
         with pytest.raises(ValueError):
             AdmissionControl(make_service(clock, agent), clock, limit=0)
+        with pytest.raises(ValueError):
+            AdmissionControl(make_service(clock, agent), clock, limit=1,
+                             retry_after=0)
+
+    def test_503_carries_retry_after(self, world):
+        clock, network, origin, agent = world
+        limited = AdmissionControl(make_service(clock, agent), clock, limit=1)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", limited)
+        client = UserAgent(network, clock)
+        call(client, "action=remember&url=http://site.com/p0.html&user=a")
+        rejected = call(client,
+                        "action=remember&url=http://site.com/p1.html&user=a")
+        assert rejected.status == 503
+        # The window resets next instant, and the header says so.
+        assert rejected.headers.get("Retry-After") == "1"
+
+    def test_resilient_agent_honors_retry_after(self, world):
+        """End to end: a ResilientAgent that would otherwise retry with
+        zero backoff (base_delay=0, jitter=0) succeeds only because the
+        503's Retry-After tells it to wait out the admission window."""
+        clock, network, origin, agent = world
+        limited = AdmissionControl(make_service(clock, agent), clock, limit=1)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", limited)
+        resilient = ResilientAgent(
+            UserAgent(network, clock),
+            policy=RetryPolicy(base_delay=0, jitter=0),
+        )
+        # Exhaust this instant's admission window.
+        call(UserAgent(network, clock),
+             "action=remember&url=http://site.com/p0.html&user=a")
+        before = clock.now
+        result = resilient.get(
+            "http://aide.att.com/cgi-bin/snapshot?"
+            "action=remember&url=http://site.com/p1.html&user=a"
+        )
+        assert result.response.status == 200
+        # The only wait in the policy is the advertised Retry-After.
+        assert clock.now == before + 1
+        assert resilient.retries == 1
+        assert limited.rejected == 1 and limited.admitted == 2
 
 
 class TestReplication:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -115,3 +117,44 @@ class TestDemoCommand:
         assert "w3newer reports" in out
         assert "<STRIKE>" in out
         assert "<STRONG><I>" in out
+
+
+class TestServeCommand:
+    def test_serve_reports_and_saves_a_sharded_repository(
+        self, tmp_path, capsys
+    ):
+        repo = tmp_path / "repo"
+        code = main([
+            "serve", "--shards", "2", "--users", "50", "--pages", "8",
+            "--rounds", "2", "--save", str(repo),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["load"]["completed"] == 100
+        assert payload["server"]["shards"] == 2
+        assert (repo / "SHARDS").read_text().strip() == "2"
+        # The saved repository passes the sharded fsck.
+        assert main(["fsck", str(repo)]) == 0
+        assert "2/2 shard(s) clean" in capsys.readouterr().out
+
+    def test_serve_is_deterministic(self, capsys):
+        args = ["serve", "--shards", "2", "--users", "40", "--pages", "8",
+                "--rounds", "2", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fsck_names_the_broken_shard(self, tmp_path, capsys):
+        repo = tmp_path / "repo"
+        assert main([
+            "serve", "--shards", "2", "--users", "10", "--pages", "8",
+            "--rounds", "1", "--save", str(repo),
+        ]) == 0
+        capsys.readouterr()
+        doomed = next((repo / "shard-01").rglob("*,v"))
+        doomed.unlink()
+        assert main(["fsck", str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "INCONSISTENT" in out
+        assert "[shard-01]" in out
