@@ -127,6 +127,10 @@ class SnapshotStore:
         #: Optional crash-point hub (``attach_failpoints``); ``None``
         #: makes every ``_step`` a no-op.
         self.failpoints: Optional["Failpoints"] = None
+        #: Optional crawl-stats provider (``attach_crawl_stats``): the
+        #: w3newer tracker's scheduling/estimator/governor counters,
+        #: surfaced under ``crawl`` in :meth:`stats`.
+        self._crawl_stats = None
         # Observability: the aggregated stats() dict doubles as the
         # registry collector for every storage layer, and the lock
         # manager records wait histograms through the same handle.
@@ -151,6 +155,13 @@ class SnapshotStore:
         """Thread the named crash points through this store's
         mutating operations."""
         self.failpoints = failpoints
+
+    def attach_crawl_stats(self, provider) -> None:
+        """Surface a crawl tracker's stats under ``crawl`` in
+        :meth:`stats` (and therefore the CGI ``action=stats`` page).
+        ``provider`` is a zero-argument callable returning a dict —
+        typically ``W3Newer.crawl_stats``."""
+        self._crawl_stats = provider
 
     def _step(self, point: str) -> None:
         if self.failpoints is not None:
@@ -714,6 +725,12 @@ class SnapshotStore:
             out["sched"] = {"attached": False}
         if self.failpoints is not None:
             out["failpoints"] = self.failpoints.stats()
+        # "crawl" is always present, like "wal"/"sched": the stats page
+        # shows whether a crawl tracker is wired to this store.
+        if self._crawl_stats is not None:
+            out["crawl"] = dict(self._crawl_stats())
+        else:
+            out["crawl"] = {"attached": False}
         # When the agent is a ResilientAgent its retry/breaker counters
         # belong in the same picture (remember() rides its retry loop).
         agent_stats = getattr(self.agent, "stats", None)

@@ -7,6 +7,13 @@ Remember/Diff/History links into the snapshot facility.
 """
 
 from .checker import CheckerFlags, UrlChecker, content_checksum
+from .crawl import (
+    CrawlExecutor,
+    CrawlOptions,
+    CrawlResult,
+    FetchSlot,
+    HostGovernor,
+)
 from .errors import (
     CheckOutcome,
     CheckSource,
@@ -23,7 +30,15 @@ from .report import (
     render_report,
     render_report_text,
 )
-from .runner import RunResult, W3Newer
+from .estimator import ChangeRateEstimator, UrlEstimate
+from .runner import CrawlCheckpoint, RunCheckpoint, RunResult, W3Newer
+from .scheduler import (
+    CrawlSchedule,
+    PolicyDecision,
+    ScheduledCheck,
+    SchedulePolicy,
+    build_schedule,
+)
 from .statuscache import StatusCache, UrlRecord
 from .thresholds import (
     TABLE1_CONFIG,
@@ -36,6 +51,20 @@ __all__ = [
     "CheckerFlags",
     "UrlChecker",
     "content_checksum",
+    "ChangeRateEstimator",
+    "UrlEstimate",
+    "CrawlExecutor",
+    "CrawlOptions",
+    "CrawlResult",
+    "FetchSlot",
+    "HostGovernor",
+    "CrawlSchedule",
+    "PolicyDecision",
+    "ScheduledCheck",
+    "SchedulePolicy",
+    "build_schedule",
+    "RunCheckpoint",
+    "CrawlCheckpoint",
     "CheckOutcome",
     "CheckSource",
     "RunAborted",

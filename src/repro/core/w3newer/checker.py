@@ -126,8 +126,16 @@ class UrlChecker:
         self._c_degraded = self.obs.counter("w3newer.degraded_stale")
 
     # ------------------------------------------------------------------
-    def check(self, url: str) -> CheckOutcome:
-        """Run the full ladder for one URL."""
+    def check(self, url: str, force: bool = False) -> CheckOutcome:
+        """Run the full ladder for one URL.
+
+        ``force`` is the adaptive scheduler's voice: it already decided
+        to spend HTTP on this URL, so the threshold rate limits (steps
+        1 and 4) and the trust window on cached *unmodified* verdicts
+        are skipped.  ``never`` thresholds, robots.txt, and cached
+        changed-since-seen verdicts still win — forcing buys a fetch,
+        not permission.
+        """
         now = self.clock.now
         threshold = self.config.threshold_for(url)
         if threshold == NEVER:
@@ -148,7 +156,12 @@ class UrlChecker:
             )
 
         # 1. Recently visited by the user ⇒ not due.
-        if threshold > 0 and last_seen is not None and now - last_seen < threshold:
+        if (
+            not force
+            and threshold > 0
+            and last_seen is not None
+            and now - last_seen < threshold
+        ):
             return CheckOutcome(
                 url=url, state=UrlState.NOT_CHECKED, last_seen=last_seen
             )
@@ -172,6 +185,10 @@ class UrlChecker:
                     url=url, state=state, source=source,
                     modification_date=mod_date, last_seen=last_seen,
                 )
+            if force:
+                # The scheduler decided to spend HTTP; a cached
+                # unmodified verdict must not suppress the fetch.
+                continue
             if threshold == 0:
                 # Table 1's "checked upon every execution": a zero
                 # threshold never trusts a cached unmodified verdict.
@@ -188,7 +205,8 @@ class UrlChecker:
 
         # 4. Direct-request rate limiting.
         if (
-            threshold > 0
+            not force
+            and threshold > 0
             and record.last_http_check is not None
             and now - record.last_http_check < threshold
         ):
@@ -237,6 +255,11 @@ class UrlChecker:
                 last_seen=last_seen,
             )
         record.record_success()
+        if (
+            record.modification_date is not None
+            and stat.mtime > record.modification_date
+        ):
+            record.note_change(stat.mtime)
         record.modification_date = stat.mtime
         record.date_obtained_at = self.clock.now
         if last_seen is None:
@@ -334,9 +357,14 @@ class UrlChecker:
 
         mod_date = response.last_modified
         if mod_date is not None:
+            previous_date = record.modification_date
             record.last_http_check = now
             record.modification_date = mod_date
             record.date_obtained_at = now
+            if previous_date is not None and mod_date > previous_date:
+                # The Last-Modified moved between looks: a genuine
+                # change instant the rate estimator can learn from.
+                record.note_change(mod_date)
             state = self._state_from_date(mod_date, last_seen)
             if record.moved_to and state is UrlState.SEEN:
                 # Unchanged content at a new address: the move itself is
@@ -394,6 +422,7 @@ class UrlChecker:
             state = UrlState.NEVER_SEEN if last_seen is None else UrlState.CHANGED
             record.modification_date = now  # best effort: "changed by now"
             record.date_obtained_at = now
+            record.note_change(now)
         else:
             state = UrlState.SEEN if last_seen is not None else UrlState.NEVER_SEEN
         return CheckOutcome(

@@ -31,6 +31,9 @@ class UrlState(Enum):
     NOT_CHECKED = "not checked"
     #: Skipped forever (threshold ``never``).
     NEVER_CHECK = "never checked"
+    #: Skipped this run: the fetch budget ran out before this URL's
+    #: turn (the budgeted scheduler's over-budget verdict).
+    DEFERRED = "deferred"
     #: robots.txt forbids automated retrieval (cached verdict).
     ROBOT_FORBIDDEN = "robots"
     #: The URL moved (301); the report shows the forwarding pointer.

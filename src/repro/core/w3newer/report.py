@@ -44,6 +44,10 @@ class ReportOptions:
     #: the observability differential tests compare reports with the
     #: telemetry layer on and off and require them identical.
     run_summary: bool = False
+    #: Build the HTML at all.  A 100k-URL run renders a ~100k-row
+    #: report; fleet-scale benchmark runs turn this off and keep only
+    #: the outcome list.
+    render: bool = True
 
 
 _STATE_LABELS: Dict[UrlState, str] = {
@@ -52,6 +56,7 @@ _STATE_LABELS: Dict[UrlState, str] = {
     UrlState.SEEN: "seen",
     UrlState.NOT_CHECKED: "not checked",
     UrlState.NEVER_CHECK: "never checked",
+    UrlState.DEFERRED: "deferred (fetch budget)",
     UrlState.ROBOT_FORBIDDEN: "robots.txt forbids checking",
     UrlState.MOVED: "moved",
     UrlState.ERROR: "error",
@@ -68,6 +73,7 @@ _GROUP_ORDER = {
     UrlState.SEEN: 4,
     UrlState.NOT_CHECKED: 5,
     UrlState.NEVER_CHECK: 5,
+    UrlState.DEFERRED: 5,
 }
 
 

@@ -42,6 +42,10 @@ class UrlRecord:
     last_error: str = ""
     #: A 301 told us where the page went.
     moved_to: str = ""
+    #: When the page was last *observed to change* (the Last-Modified
+    #: advancing, or a checksum mismatch) — the change-rate estimator's
+    #: per-URL evidence, persisted with the rest of the record.
+    last_change_at: Optional[int] = None
 
     def record_success(self) -> None:
         self.error_count = 0
@@ -50,6 +54,11 @@ class UrlRecord:
     def record_error(self, message: str) -> None:
         self.error_count += 1
         self.last_error = message
+
+    def note_change(self, at: int) -> None:
+        """Record an observed change instant (monotone latest-wins)."""
+        if self.last_change_at is None or at > self.last_change_at:
+            self.last_change_at = at
 
 
 class StatusCache:
@@ -85,7 +94,12 @@ class StatusCache:
     # Persistence (w3newer keeps this across cron runs)
     # ------------------------------------------------------------------
     def serialize(self) -> str:
-        """A line-per-URL text format, ``|``-separated fields."""
+        """A line-per-URL text format, ``|``-separated fields.
+
+        The tenth field (``last_change_at``) was added for the change-
+        rate estimator; :meth:`deserialize` still accepts the legacy
+        nine-field form, so old cache files load cleanly.
+        """
         lines = []
         for key in sorted(self._records):
             r = self._records[key]
@@ -101,6 +115,7 @@ class StatusCache:
                         "R" if r.robot_forbidden else "-",
                         str(r.error_count),
                         r.moved_to or "-",
+                        _opt(r.last_change_at),
                     ]
                 )
             )
@@ -111,7 +126,7 @@ class StatusCache:
         cache = cls()
         for line in text.splitlines():
             parts = line.split("|")
-            if len(parts) != 9:
+            if len(parts) not in (9, 10):
                 continue
             record = cache.record_for(parts[0])
             record.modification_date = _parse_opt(parts[1])
@@ -125,6 +140,8 @@ class StatusCache:
             except ValueError:
                 record.error_count = 0
             record.moved_to = "" if parts[8] == "-" else parts[8]
+            if len(parts) == 10:
+                record.last_change_at = _parse_opt(parts[9])
         return cache
 
 

@@ -88,10 +88,18 @@ def parse_threshold_config(text: str) -> ThresholdConfig:
     separates the two (patterns contain no spaces — they are URLs).
     A line starting with ``Default`` (case-insensitive) sets the
     fallback threshold; without one, the default is "2d" as in Table 1.
-    Bad regexes raise ``ValueError`` naming the offending line.
+
+    Table 1's comment pins the semantics: "Default is equivalent to
+    ending the file with '.*'" — i.e. every ``Default`` line behaves
+    like a ``.*`` rule appended *after* all explicit patterns, and the
+    first matching pattern wins.  Explicit patterns therefore always
+    beat the default regardless of line order, and when several
+    ``Default`` lines appear the FIRST one wins (the first ``.*``
+    would match first).  Bad regexes raise ``ValueError`` naming the
+    offending line.
     """
     rules: List[ThresholdRule] = []
-    default = parse_duration("2d")
+    default: Optional[int] = None
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
@@ -104,7 +112,8 @@ def parse_threshold_config(text: str) -> ThresholdConfig:
         pattern, spec = parts
         threshold = parse_duration(spec)
         if pattern.lower() == "default":
-            default = threshold
+            if default is None:
+                default = threshold
             continue
         try:
             compiled = re.compile(pattern)
@@ -113,4 +122,6 @@ def parse_threshold_config(text: str) -> ThresholdConfig:
         rules.append(
             ThresholdRule(pattern=pattern, threshold=threshold, compiled=compiled)
         )
+    if default is None:
+        default = parse_duration("2d")
     return ThresholdConfig(rules=rules, default=default)

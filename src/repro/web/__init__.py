@@ -28,6 +28,7 @@ from .http import (
     make_response,
 )
 from .network import FaultPlan, FaultRule, Network, RequestRecord
+from .politeness import PolitenessLog
 from .proxy import ProxyCache
 from .resilience import (
     CircuitBreaker,
@@ -67,6 +68,7 @@ __all__ = [
     "ProxyCache",
     "RobotsFile",
     "parse_robots_txt",
+    "PolitenessLog",
     "HttpServer",
     "Page",
     "Url",

@@ -85,16 +85,26 @@ class UserAgent:
         proxy: Optional[ProxyCache] = None,
         agent_name: str = "w3newer/1.0",
         default_timeout: int = 60,
+        politeness=None,
     ) -> None:
         self.network = network
         self.clock = clock
         self.proxy = proxy
         self.agent_name = agent_name
         self.default_timeout = default_timeout
+        #: Optional :class:`~repro.web.politeness.PolitenessLog`: every
+        #: outbound request (retries included) is noted per host before
+        #: dispatch — the wire-side ground truth the crawl governor's
+        #: virtual schedule is checked against.
+        self.politeness = politeness
 
     # ------------------------------------------------------------------
     def _transport(self, request: Request) -> Response:
         request.headers.set("User-Agent", self.agent_name)
+        if self.politeness is not None:
+            self.politeness.note(
+                request.url.host, self.clock.now, method=request.method
+            )
         if self.proxy is not None:
             return self.proxy.request(request)
         return self.network.request(request)

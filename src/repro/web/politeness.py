@@ -1,0 +1,69 @@
+"""Transport-level per-host request accounting.
+
+The crawl pipeline's politeness guarantees (max in-flight per host,
+min inter-request delay) are *scheduled* by the governor's virtual
+timeline; this log is the ground truth on the other side of the stack:
+it counts what actually went over the wire, per host, at the
+:class:`~repro.web.client.UserAgent` transport hook.  Tests cross-check
+the two — every request the governor placed must show up here, and
+nothing else.
+
+Attached to a UserAgent (or through a ResilientAgent's passthrough),
+every request is noted before dispatch, including retries the
+resilience layer issues — retries are real traffic a polite crawler
+must account for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PolitenessLog"]
+
+
+class PolitenessLog:
+    """Per-host counts and timing of outbound requests."""
+
+    def __init__(self) -> None:
+        self.requests_by_host: Dict[str, int] = {}
+        self.last_request_at: Dict[str, int] = {}
+        #: Smallest observed gap between successive requests to one
+        #: host, in sim-clock seconds (None until a host repeats).
+        #: Within one frozen-clock run every gap is 0 — the virtual
+        #: spacing lives in the governor — so this is meaningful for
+        #: cross-run cadence, not intra-run pacing.
+        self.min_gap: Optional[int] = None
+        self.total = 0
+
+    def note(self, host: str, now: int, method: str = "GET") -> None:
+        """Record one outbound request to ``host`` at sim time ``now``."""
+        host = (host or "-").lower()
+        self.total += 1
+        self.requests_by_host[host] = self.requests_by_host.get(host, 0) + 1
+        last = self.last_request_at.get(host)
+        if last is not None:
+            gap = now - last
+            if self.min_gap is None or gap < self.min_gap:
+                self.min_gap = gap
+        self.last_request_at[host] = now
+
+    def busiest(self) -> Optional[Tuple[str, int]]:
+        """The host that received the most requests (ties: name order)."""
+        if not self.requests_by_host:
+            return None
+        host = min(
+            self.requests_by_host,
+            key=lambda h: (-self.requests_by_host[h], h),
+        )
+        return host, self.requests_by_host[host]
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate accounting for the observability surface."""
+        top = self.busiest()
+        return {
+            "requests": self.total,
+            "hosts": len(self.requests_by_host),
+            "busiest_host": top[0] if top else None,
+            "busiest_requests": top[1] if top else 0,
+            "min_gap": self.min_gap,
+        }

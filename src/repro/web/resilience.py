@@ -241,6 +241,15 @@ class ResilientAgent:
     def agent_name(self) -> str:
         return self.agent.agent_name
 
+    @property
+    def politeness(self):
+        """The wrapped agent's per-host request accounting log."""
+        return self.agent.politeness
+
+    @politeness.setter
+    def politeness(self, log) -> None:
+        self.agent.politeness = log
+
     # ------------------------------------------------------------------
     def breaker_for(self, host: str) -> CircuitBreaker:
         key = host.lower()

@@ -18,6 +18,15 @@ from .mutate import (
     restructure,
     rewrite,
 )
+from .crawlworld import (
+    CRAWL_CLASSES,
+    CrawlWorld,
+    apply_changes,
+    build_crawl_hotlist,
+    build_crawl_world,
+    revision_history,
+    seed_estimator,
+)
 from .pagegen import PageGenerator
 from .schedule import PageEvolution, WebEvolver
 from .scenario import CHANGE_CLASSES, SyntheticWeb, build_hotlist, build_web
@@ -34,6 +43,13 @@ __all__ = [
     "edit_sentence",
     "restructure",
     "rewrite",
+    "CRAWL_CLASSES",
+    "CrawlWorld",
+    "apply_changes",
+    "build_crawl_hotlist",
+    "build_crawl_world",
+    "revision_history",
+    "seed_estimator",
     "PageGenerator",
     "PageEvolution",
     "WebEvolver",

@@ -1,0 +1,227 @@
+"""A seeded, 100k-URL-capable web for crawl-scheduling experiments.
+
+The :mod:`~repro.workloads.scenario` worlds carry full generated page
+bodies and cron-driven mutation — realistic, but too heavy to build a
+hundred thousand of.  This module trades fidelity for scale: each page
+is a one-line body plus a deterministic change *period* and *phase*, so
+a whole day of churn is applied with arithmetic instead of cron events.
+
+The population mixes four change classes chosen to make revisit
+scheduling matter (a crawler with a fixed budget should spend it on
+``hot``/``warm`` pages, not on the 40% that never change):
+
+========  ===========  =========  ===============================
+class     period       fraction   1995 analogue
+========  ===========  =========  ===============================
+hot       12 hours     3%         what's-new lists, news indexes
+warm      3 days       12%        active project pages
+cool      4 weeks      45%        maintained but slow pages
+dead      never        40%        abandoned pages
+========  ===========  =========  ===============================
+
+:func:`seed_estimator` replays each page's synthetic revision history
+into a :class:`~repro.core.w3newer.estimator.ChangeRateEstimator` —
+the "fit from snapshot history" cold-start path, with the world itself
+standing in for a snapshot archive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.w3newer.estimator import ChangeRateEstimator
+from ..core.w3newer.hotlist import Hotlist
+from ..simclock import DAY, HOUR, WEEK, SimClock
+from ..web.network import Network
+
+__all__ = [
+    "CRAWL_CLASSES",
+    "CrawlWorld",
+    "build_crawl_world",
+    "apply_changes",
+    "revision_history",
+    "seed_estimator",
+    "build_crawl_hotlist",
+]
+
+#: Change-class name → (period seconds, fraction of the population).
+#: Period 0 means the page never changes.
+CRAWL_CLASSES: Dict[str, Tuple[int, float]] = {
+    "hot": (12 * HOUR, 0.03),
+    "warm": (3 * DAY, 0.12),
+    "cool": (4 * WEEK, 0.45),
+    "dead": (0, 0.40),
+}
+
+
+@dataclass
+class CrawlWorld:
+    """A built crawl universe: network, page index, change model."""
+
+    clock: SimClock
+    network: Network
+    created_at: int
+    #: Every page as an absolute URL, in creation order.
+    urls: List[str] = field(default_factory=list)
+    #: URL → change-class name.
+    change_class: Dict[str, str] = field(default_factory=dict)
+    #: URL → change period in seconds (0 = never changes).
+    period: Dict[str, int] = field(default_factory=dict)
+    #: URL → phase offset in [0, period): when in its cycle the page
+    #: changes, so updates spread over the period instead of stampeding.
+    phase: Dict[str, int] = field(default_factory=dict)
+    #: URL → number of changes already applied to the live server.
+    applied: Dict[str, int] = field(default_factory=dict)
+    #: URL → (host, path) for direct server access.
+    location: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def urls_in_class(self, name: str) -> List[str]:
+        """All URLs assigned to change class ``name``."""
+        return [url for url in self.urls if self.change_class[url] == name]
+
+    def changes_due(self, url: str, now: int) -> int:
+        """How many changes the model says ``url`` has had by ``now``."""
+        period = self.period[url]
+        if period <= 0:
+            return 0
+        elapsed = now - (self.created_at + self.phase[url])
+        if elapsed < 0:
+            return 0
+        return elapsed // period + 1
+
+
+def build_crawl_world(
+    urls: int = 1000,
+    hosts: int = 50,
+    seed: int = 0,
+    clock: Optional[SimClock] = None,
+    network: Optional[Network] = None,
+    classes: Optional[Dict[str, Tuple[int, float]]] = None,
+) -> CrawlWorld:
+    """Build a seeded world of ``urls`` one-line pages on ``hosts`` hosts.
+
+    Pages are dealt round-robin across hosts and assigned a change
+    class by the configured fractions; everything (class, phase, body)
+    derives from ``seed``, so two builds with the same arguments are
+    identical.
+    """
+    clock = clock or SimClock()
+    network = network or Network(clock)
+    rng = random.Random(seed)
+    classes = classes or CRAWL_CLASSES
+    class_names = sorted(classes)
+    weights = [classes[name][1] for name in class_names]
+
+    world = CrawlWorld(clock=clock, network=network, created_at=clock.now)
+    hosts = max(1, hosts)
+    servers = [
+        network.create_server(f"crawl{i}.example.com") for i in range(hosts)
+    ]
+    for index in range(urls):
+        server = servers[index % hosts]
+        path = f"/p{index}.html"
+        server.set_page(path, f"<P>page {index} rev 0</P>")
+        url = f"http://{server.host}{path}"
+        cls = rng.choices(class_names, weights=weights, k=1)[0]
+        period = classes[cls][0]
+        world.urls.append(url)
+        world.change_class[url] = cls
+        world.period[url] = period
+        world.phase[url] = rng.randrange(period) if period > 0 else 0
+        world.applied[url] = 0
+        world.location[url] = (server.host, path)
+    return world
+
+
+def apply_changes(world: CrawlWorld, now: Optional[int] = None) -> int:
+    """Bring every page's live content up to date with the change model.
+
+    Each page due for changes since the last application gets a new
+    revision body and a fresh Last-Modified stamp (the world's clock
+    must already be at ``now``).  Idempotent: calling twice at the same
+    time changes nothing the second time.  Returns the number of pages
+    that changed.
+    """
+    if now is None:
+        now = world.clock.now
+    changed = 0
+    for url in world.urls:
+        due = world.changes_due(url, now)
+        if due <= world.applied[url]:
+            continue
+        host, path = world.location[url]
+        server = world.network.server_for(host)
+        server.set_page(path, f"<P>page {path} rev {due}</P>")
+        world.applied[url] = due
+        changed += 1
+    return changed
+
+
+def revision_history(
+    world: CrawlWorld,
+    url: str,
+    start: Optional[int] = None,
+    until: Optional[int] = None,
+) -> List[int]:
+    """The page's synthetic revision timestamps in ``[start, until]``.
+
+    The first entry is the page's (possibly back-dated) creation; each
+    later entry is one change, at ``created_at + phase + k*period``.
+    ``start`` may predate the world — the archive "remembers" revisions
+    from before the simulation began, which is how the estimator gets a
+    warm prior without any live checks.
+    """
+    if until is None:
+        until = world.clock.now
+    if start is None:
+        start = world.created_at
+    dates = [start]
+    period = world.period[url]
+    if period <= 0:
+        return dates
+    first = world.created_at + world.phase[url]
+    k = 0
+    if first > start:
+        # Back-fill whole periods so the history covers [start, until].
+        k = -((first - start) // period + 1)
+    while True:
+        stamp = first + k * period
+        k += 1
+        if stamp < start:
+            continue
+        if stamp > until:
+            break
+        dates.append(stamp)
+    return dates
+
+
+def seed_estimator(
+    world: CrawlWorld,
+    estimator: ChangeRateEstimator,
+    lookback: int = 8 * WEEK,
+    until: Optional[int] = None,
+) -> None:
+    """Cold-start an estimator from the world's revision histories.
+
+    Replays each URL's synthetic snapshot history over the ``lookback``
+    window ending at ``until`` (default: now).  Dead pages contribute a
+    single observation, so their estimated rate collapses to the low
+    prior and a budgeted adaptive schedule ranks them last.
+    """
+    if until is None:
+        until = world.clock.now
+    start = until - lookback
+    for url in world.urls:
+        estimator.seed_from_history(
+            url, revision_history(world, url, start=start, until=until)
+        )
+
+
+def build_crawl_hotlist(world: CrawlWorld, size: Optional[int] = None) -> Hotlist:
+    """A hotlist of the first ``size`` world URLs (default: all)."""
+    hotlist = Hotlist()
+    for url in world.urls[: size if size is not None else len(world.urls)]:
+        hotlist.add(url, title=url)
+    return hotlist

@@ -158,3 +158,41 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "INCONSISTENT" in out
         assert "[shard-01]" in out
+
+
+class TestNewerCommand:
+    ARGS = ["newer", "--urls", "300", "--hosts", "15", "--days", "2",
+            "--budget", "80", "--workers", "4"]
+
+    def test_newer_reports_the_crawl(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "adaptive"
+        assert payload["world"]["urls"] == 300
+        assert len(payload["days"]) == 2
+        day = payload["days"][0]
+        assert day["deferred"] > 0  # the budget bit
+        assert day["makespan"] > 0
+        assert payload["politeness"]["requests"] > 0
+        assert payload["crawl"]["attached"] is True
+
+    def test_newer_is_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_newer_explain_includes_the_rationale(self, capsys):
+        url = "http://crawl0.example.com/p0.html"
+        assert main(self.ARGS + ["--explain", url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        explain = payload["explain"]
+        assert explain["url"] == url
+        assert "p_changed_now" in explain
+        assert "last_decision" in explain
+
+    def test_newer_static_policy(self, capsys):
+        assert main(self.ARGS + ["--policy", "static"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "static"

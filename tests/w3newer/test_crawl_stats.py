@@ -1,0 +1,104 @@
+"""Tests for the crawl observability surface.
+
+The snapshot store's layered ``stats()`` dict (and therefore the CGI
+``action=stats`` operator page) always carries a ``crawl`` block, like
+``wal``/``sched``: ``{"attached": False}`` until a tracker is wired in
+with ``attach_crawl_stats``, and the tracker's live crawl counters
+afterwards.
+"""
+
+from repro.core.snapshot.store import SnapshotStore
+from repro.core.snapshot.service import SnapshotService
+from repro.core.w3newer import (
+    BrowserHistory,
+    ChangeRateEstimator,
+    CrawlOptions,
+    ReportOptions,
+    SchedulePolicy,
+    W3Newer,
+)
+from repro.simclock import DAY, SimClock
+from repro.web import Network, UserAgent
+from repro.workloads import (
+    apply_changes,
+    build_crawl_hotlist,
+    build_crawl_world,
+    seed_estimator,
+)
+
+
+def build_tracker():
+    clock = SimClock()
+    clock.advance(100 * DAY)
+    network = Network(clock)
+    world = build_crawl_world(urls=30, hosts=3, seed=5,
+                              clock=clock, network=network)
+    agent = UserAgent(network, clock)
+    history = BrowserHistory()
+    for url in world.urls:
+        history.visit(url, clock.now)
+    estimator = ChangeRateEstimator()
+    seed_estimator(world, estimator)
+    tracker = W3Newer(
+        clock, agent, build_crawl_hotlist(world), history=history,
+        crawl=CrawlOptions(workers=4, budget=10,
+                           policy=SchedulePolicy.ADAPTIVE, seed=0),
+        estimator=estimator,
+        report_options=ReportOptions(render=False),
+    )
+    return clock, network, world, agent, tracker
+
+
+class TestStoreStats:
+    def test_crawl_block_present_when_unattached(self):
+        clock = SimClock()
+        network = Network(clock)
+        store = SnapshotStore(clock, UserAgent(network, clock))
+        assert store.stats()["crawl"] == {"attached": False}
+
+    def test_attached_tracker_surfaces_crawl_counters(self):
+        clock, network, world, agent, tracker = build_tracker()
+        store = SnapshotStore(clock, agent)
+        store.attach_crawl_stats(tracker.crawl_stats)
+        clock.advance(DAY)
+        apply_changes(world)
+        tracker.run()
+        crawl = store.stats()["crawl"]
+        assert crawl["attached"] is True
+        assert crawl["policy"] == "adaptive"
+        assert crawl["runs"] == 1
+        assert crawl["last_run"]["governor"]["fetches"] == 10
+        assert crawl["estimator"]["tracked"] == 30
+
+    def test_tracker_crawl_stats_unattached_without_crawl(self):
+        clock = SimClock()
+        network = Network(clock)
+        server = network.create_server("site.com")
+        server.set_page("/x", "<P>x</P>")
+        from repro.core.w3newer import Hotlist
+        tracker = W3Newer(
+            clock, UserAgent(network, clock),
+            Hotlist.from_lines("http://site.com/x X"),
+        )
+        assert tracker.crawl_stats() == {"attached": False}
+
+
+class TestCgiStatsPage:
+    def test_action_stats_shows_the_crawl_block(self):
+        clock, network, world, agent, tracker = build_tracker()
+        store = SnapshotStore(clock, agent)
+        store.attach_crawl_stats(tracker.crawl_stats)
+        clock.advance(DAY)
+        apply_changes(world)
+        tracker.run()
+        service = SnapshotService(store)
+        aide = network.create_server("aide.att.com")
+        aide.register_cgi("/cgi-bin/snapshot", service)
+        client = UserAgent(network, clock)
+        page = client.get(
+            "http://aide.att.com/cgi-bin/snapshot?action=stats"
+        ).response
+        assert page.status == 200
+        assert "crawl" in page.body
+        assert "adaptive" in page.body
+        assert "makespan" in page.body

@@ -1,0 +1,191 @@
+"""Tests for the per-URL Poisson change-rate estimator."""
+
+import math
+
+from repro.core.w3newer.estimator import (
+    DEFAULT_PRIOR_RATE,
+    ChangeRateEstimator,
+    UrlEstimate,
+)
+from repro.core.w3newer.statuscache import StatusCache
+from repro.simclock import DAY, HOUR, WEEK
+
+URL = "http://site.com/page.html"
+
+
+class TestObservations:
+    def test_first_observation_is_baseline_only(self):
+        est = ChangeRateEstimator()
+        est.observe(URL, 1000, changed=True)  # flag ignored on baseline
+        e = est.peek(URL)
+        assert e.checks == 1
+        assert e.changes == 0
+        assert e.first_observed_at == 1000
+        assert e.last_check_at == 1000
+
+    def test_later_observations_accumulate(self):
+        est = ChangeRateEstimator()
+        est.observe(URL, 0, changed=False)
+        est.observe(URL, DAY, changed=True)
+        est.observe(URL, 2 * DAY, changed=False)
+        e = est.peek(URL)
+        assert e.checks == 3
+        assert e.changes == 1
+        assert e.last_change_at == DAY
+        assert e.span == 2 * DAY
+
+    def test_misses_tracked_separately(self):
+        est = ChangeRateEstimator()
+        est.observe_miss(URL, 50)
+        e = est.peek(URL)
+        assert e.misses == 1
+        assert e.checks == 0  # a miss teaches nothing about the page
+
+    def test_canonicalization_merges_url_spellings(self):
+        est = ChangeRateEstimator()
+        est.observe("HTTP://Site.com/page.html", 0, changed=False)
+        est.observe("http://site.com:80/page.html", DAY, changed=True)
+        assert len(est) == 1
+        assert est.peek(URL).checks == 2
+
+
+class TestRates:
+    def test_unknown_url_gets_prior(self):
+        est = ChangeRateEstimator()
+        assert est.rate("http://nowhere.com/") == DEFAULT_PRIOR_RATE
+
+    def test_single_point_history_gets_prior(self):
+        est = ChangeRateEstimator()
+        est.observe(URL, 0, changed=False)
+        assert est.rate(URL) == DEFAULT_PRIOR_RATE
+
+    def test_fast_page_outranks_slow_page(self):
+        est = ChangeRateEstimator()
+        for day in range(10):
+            est.observe("http://fast.com/", day * DAY, changed=day > 0)
+        for day in range(10):
+            est.observe("http://slow.com/", day * DAY, changed=day == 5)
+        assert est.rate("http://fast.com/") > est.rate("http://slow.com/")
+
+    def test_rate_approximates_true_period(self):
+        # A page checked every 12h that changed every time: the
+        # bias-corrected estimator must say "faster than 1/day", which
+        # a naive changes/span ratio would cap at.
+        est = ChangeRateEstimator()
+        for k in range(20):
+            est.observe(URL, k * 12 * HOUR, changed=k > 0)
+        assert est.rate(URL) > 1.5 / DAY
+
+    def test_p_changed_monotone_in_elapsed(self):
+        est = ChangeRateEstimator()
+        for day in range(6):
+            est.observe(URL, day * DAY, changed=True)
+        p1 = est.p_changed(URL, HOUR)
+        p2 = est.p_changed(URL, DAY)
+        p3 = est.p_changed(URL, WEEK)
+        assert 0.0 < p1 < p2 < p3 < 1.0
+
+    def test_p_changed_boundaries(self):
+        est = ChangeRateEstimator()
+        assert est.p_changed(URL, None) == 1.0  # never observed: explore
+        assert est.p_changed(URL, 0) == 0.0
+        assert est.p_changed(URL, -5) == 0.0
+
+    def test_next_due_crosses_confidence(self):
+        est = ChangeRateEstimator()
+        for day in range(6):
+            est.observe(URL, day * DAY, changed=True)
+        due = est.next_due(URL, last_checked=10 * DAY, confidence=0.5)
+        assert due is not None
+        elapsed = due - 10 * DAY
+        p = est.p_changed(URL, elapsed)
+        assert math.isclose(p, 0.5, abs_tol=0.05)
+        assert est.next_due(URL, None) is None
+
+
+class TestSeeding:
+    def test_seed_from_history_counts_revisions_as_changes(self):
+        est = ChangeRateEstimator()
+        est.seed_from_history(URL, [0, DAY, 2 * DAY, 3 * DAY])
+        e = est.peek(URL)
+        assert e.checks == 4
+        assert e.changes == 3
+        assert e.last_change_at == 3 * DAY
+
+    def test_seed_is_idempotent(self):
+        est = ChangeRateEstimator()
+        est.seed_from_history(URL, [0, DAY, 2 * DAY])
+        est.seed_from_history(URL, [0, DAY, 2 * DAY])
+        assert est.peek(URL).changes == 2
+        # New later revisions still merge in.
+        est.seed_from_history(URL, [2 * DAY, 3 * DAY])
+        assert est.peek(URL).changes == 3
+
+    def test_absorb_status_cache_fills_gaps_only(self):
+        cache = StatusCache()
+        record = cache.record_for(URL)
+        record.date_obtained_at = 5 * DAY
+        record.modification_date = 6 * DAY
+        record.last_http_check = 7 * DAY
+        est = ChangeRateEstimator()
+        est.observe("http://other.com/", 0, changed=False)
+        est.absorb_status_cache(cache)
+        e = est.peek(URL)
+        assert e is not None
+        assert e.first_observed_at == 5 * DAY
+        assert e.changes == 1  # Last-Modified inside the window counts
+        # Already-tracked URLs are untouched.
+        before = est.peek("http://other.com/").checks
+        est.absorb_status_cache(cache)
+        assert est.peek("http://other.com/").checks == before
+
+
+class TestSurfaces:
+    def test_explain_payload(self):
+        est = ChangeRateEstimator()
+        for day in range(4):
+            est.observe(URL, day * DAY, changed=True)
+        info = est.explain(URL, now=5 * DAY)
+        assert info["tracked"] is True
+        assert info["checks"] == 4
+        assert info["changes"] == 3
+        assert 0.0 < info["p_changed_now"] <= 1.0
+        assert info["next_due_at"] is not None
+        untracked = est.explain("http://nowhere.com/", now=5 * DAY)
+        assert untracked["tracked"] is False
+        assert untracked["p_changed_now"] == 1.0
+
+    def test_stats_aggregates(self):
+        est = ChangeRateEstimator()
+        est.observe(URL, 0, changed=False)
+        est.observe(URL, DAY, changed=True)
+        est.observe_miss(URL, 2 * DAY)
+        assert est.stats() == {
+            "tracked": 1, "observations": 2, "changes": 1, "misses": 1,
+        }
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        est = ChangeRateEstimator()
+        for day in range(5):
+            est.observe(URL, day * DAY, changed=day % 2 == 1)
+        est.observe_miss(URL, 6 * DAY)
+        est.observe("http://other.com/x", 9, changed=False)
+        text = est.serialize()
+        back = ChangeRateEstimator.deserialize(text)
+        assert len(back) == len(est)
+        for e in est.estimates():
+            b = back.peek(e.url)
+            assert (b.checks, b.changes, b.misses) == (
+                e.checks, e.changes, e.misses
+            )
+            assert b.last_check_at == e.last_check_at
+            assert b.last_change_at == e.last_change_at
+        assert back.rate(URL) == est.rate(URL)
+
+    def test_deserialize_skips_garbage_lines(self):
+        text = "http://ok.com/|3|1|0|0|200|100\nnot|a|line\n\n"
+        back = ChangeRateEstimator.deserialize(text)
+        assert len(back) == 1
+        assert back.peek("http://ok.com/").checks == 3

@@ -1,0 +1,174 @@
+"""Tests for budgeted crawl scheduling (static and adaptive policies)."""
+
+import pytest
+
+from repro.core.w3newer.errors import UrlState
+from repro.core.w3newer.estimator import ChangeRateEstimator
+from repro.core.w3newer.history import BrowserHistory
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.scheduler import SchedulePolicy, build_schedule
+from repro.core.w3newer.statuscache import StatusCache
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import DAY, HOUR
+
+CONFIG = parse_threshold_config(
+    "http://never\\.com/.* never\nDefault 2d\n"
+)
+NOW = 100 * DAY
+
+
+def entries_for(*urls):
+    hotlist = Hotlist()
+    for url in urls:
+        hotlist.add(url, title=url)
+    return list(hotlist)
+
+
+def schedule(urls, policy=SchedulePolicy.STATIC, **kwargs):
+    kwargs.setdefault("history", BrowserHistory())
+    kwargs.setdefault("cache", StatusCache())
+    if policy is SchedulePolicy.ADAPTIVE:
+        kwargs.setdefault("estimator", ChangeRateEstimator())
+    return build_schedule(
+        entries_for(*urls), now=NOW, config=CONFIG, policy=policy, **kwargs
+    )
+
+
+class TestScreening:
+    def test_never_threshold_wins_unconditionally(self):
+        sched = schedule(["http://never.com/comic", "http://a.com/x"])
+        assert [c.url for c in sched.checks] == ["http://a.com/x"]
+        synthesized = {o.url: o.state for _, o in sched.synthesized}
+        assert synthesized["http://never.com/comic"] is UrlState.NEVER_CHECK
+        assert sched.counters["never"] == 1
+
+    def test_duplicates_coalesce_onto_first_owner(self):
+        sched = schedule([
+            "http://a.com/x", "HTTP://A.com:80/x", "http://b.com/y",
+        ])
+        assert len(sched.checks) == 2
+        owner = sched.checks[0]
+        assert owner.url == "http://a.com/x"
+        assert owner.coalesced == (1,)
+        assert sched.counters["coalesced"] == 1
+
+    def test_static_recently_visited_not_due(self):
+        history = BrowserHistory()
+        history.visit("http://a.com/x", NOW - HOUR)
+        sched = schedule(["http://a.com/x"], history=history)
+        assert sched.checks == []
+        ((_, outcome),) = sched.synthesized
+        assert outcome.state is UrlState.NOT_CHECKED
+        assert sched.counters["not_due"] == 1
+
+    def test_adaptive_ignores_visit_rate_limit(self):
+        # The adaptive policy has no "not due" notion: a recently
+        # visited page simply gets a low probability and competes.
+        history = BrowserHistory()
+        history.visit("http://a.com/x", NOW - HOUR)
+        sched = schedule(["http://a.com/x"], policy=SchedulePolicy.ADAPTIVE,
+                         history=history)
+        assert len(sched.checks) == 1
+        assert sched.checks[0].force is True
+        assert 0.0 <= sched.checks[0].priority < 0.05
+
+    def test_cached_changed_verdict_is_free(self):
+        cache = StatusCache()
+        record = cache.record_for("http://a.com/x")
+        record.modification_date = NOW - DAY
+        record.date_obtained_at = NOW - DAY
+        history = BrowserHistory()
+        history.visit("http://a.com/x", NOW - 3 * DAY)
+        sched = schedule(["http://a.com/x"], cache=cache, history=history,
+                         budget=0)
+        # Free checks run even with a zero fetch budget.
+        assert len(sched.checks) == 1
+        assert sched.checks[0].expects_http is False
+        assert sched.counters["free"] == 1
+
+    def test_adaptive_requires_estimator(self):
+        with pytest.raises(ValueError):
+            build_schedule(
+                entries_for("http://a.com/x"), now=NOW, config=CONFIG,
+                history=BrowserHistory(), cache=StatusCache(),
+                policy=SchedulePolicy.ADAPTIVE,
+            )
+
+
+class TestBudget:
+    URLS = [f"http://h{i}.com/p" for i in range(6)]
+
+    def test_static_budget_truncates_in_hotlist_order(self):
+        sched = schedule(self.URLS, budget=2)
+        assert [c.url for c in sched.checks] == self.URLS[:2]
+        deferred = [o for _, o in sched.synthesized
+                    if o.state is UrlState.DEFERRED]
+        assert len(deferred) == 4
+        assert sched.counters["deferred"] == 4
+
+    def test_adaptive_budget_picks_highest_probability(self):
+        est = ChangeRateEstimator()
+        history = BrowserHistory()
+        # h0 is a known fast page, h1 a known slow one; both last
+        # verified 2 days ago.  h2..h5 have never been observed by
+        # anything -> must-explore, p=1.0, they outrank both.
+        for url in self.URLS[:2]:
+            history.visit(url, NOW - 2 * DAY)
+        for day in range(10):
+            est.observe(self.URLS[0], NOW - 20 * DAY + day * DAY, changed=True)
+            est.observe(self.URLS[1], NOW - 20 * DAY + day * DAY,
+                        changed=day == 5)
+        sched = schedule(self.URLS, policy=SchedulePolicy.ADAPTIVE,
+                         estimator=est, history=history, budget=5)
+        chosen = [c.url for c in sched.checks]
+        deferred = [o.url for _, o in sched.synthesized
+                    if o.state is UrlState.DEFERRED]
+        assert deferred == [self.URLS[1]]  # the slow page loses
+        assert self.URLS[0] in chosen
+        explore = [c for c in sched.checks if c.url in self.URLS[2:]]
+        assert all(c.priority == 1.0 for c in explore)
+
+    def test_checks_emitted_in_hotlist_order(self):
+        est = ChangeRateEstimator()
+        sched = schedule(self.URLS, policy=SchedulePolicy.ADAPTIVE,
+                         estimator=est, budget=4)
+        indexes = [c.index for c in sched.checks]
+        assert indexes == sorted(indexes)
+
+    def test_deferred_owner_fans_out_to_duplicates(self):
+        urls = ["http://a.com/x", "http://b.com/y", "http://a.com/x"]
+        sched = schedule(urls, budget=1)
+        assert [c.url for c in sched.checks] == ["http://a.com/x"]
+        deferred = sorted(
+            index for index, o in sched.synthesized
+            if o.state is UrlState.DEFERRED
+        )
+        assert deferred == [1]
+        # The duplicate rides with its owner (selected), not deferred.
+        assert sched.checks[0].coalesced == (2,)
+
+    def test_duplicate_of_deferred_owner_is_deferred_too(self):
+        urls = ["http://a.com/x", "http://b.com/y", "http://b.com/y"]
+        sched = schedule(urls, budget=1)
+        deferred = sorted(
+            index for index, o in sched.synthesized
+            if o.state is UrlState.DEFERRED
+        )
+        assert deferred == [1, 2]
+
+
+class TestDecisions:
+    def test_decisions_recorded_by_default(self):
+        sched = schedule(["http://a.com/x", "http://never.com/c"])
+        assert sched.decisions["http://a.com/x"].action == "fetch"
+        assert sched.decisions["http://never.com/c"].action == "never"
+
+    def test_recording_can_be_disabled(self):
+        sched = schedule(["http://a.com/x"], record_decisions=False)
+        assert sched.decisions == {}
+
+    def test_policy_parse(self):
+        assert SchedulePolicy.parse(" Adaptive ") is SchedulePolicy.ADAPTIVE
+        assert SchedulePolicy.parse("static") is SchedulePolicy.STATIC
+        with pytest.raises(ValueError):
+            SchedulePolicy.parse("greedy")

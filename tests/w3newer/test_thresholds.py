@@ -104,6 +104,82 @@ class TestParsing:
         assert config.threshold_for("http://evil.com/?u=http://a.com/") == 2 * DAY
 
 
+def perl_reference_threshold(text, url):
+    """What the paper's perl script would decide for ``url``.
+
+    Reference implementation of the semantics pinned by the Table 1
+    comment: the file is an ordered pattern list, each ``Default``
+    line is literally a ``.*`` rule appended after all explicit
+    patterns (in encounter order, so the first ``Default`` shadows any
+    later one), and the first matching pattern wins.  Kept naive on
+    purpose — it must be obviously correct, not fast.
+    """
+    import re as _re
+
+    from repro.simclock import parse_duration
+
+    explicit, defaults = [], []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        pattern, spec = line.split()
+        threshold = parse_duration(spec)
+        if pattern.lower() == "default":
+            defaults.append((".*", threshold))
+        else:
+            explicit.append((pattern, threshold))
+    for pattern, threshold in explicit + defaults:
+        if _re.match(pattern, url):
+            return threshold
+    return parse_duration("2d")
+
+
+class TestPerlDifferential:
+    """parse_threshold_config vs the reference perl evaluator."""
+
+    CONFIGS = [
+        TABLE1_CONFIG,
+        # Default first (Table 1's own layout).
+        "Default 3d\nhttp://a\\.com/.* 0\nhttp://b\\.com/.* never\n",
+        # Default in the middle: explicit rules after it still win.
+        "http://a\\.com/.* 12h\nDefault 1d\nhttp://b\\.com/.* 7d\n",
+        # Default last.
+        "http://a\\.com/special.* never\nhttp://a\\.com/.* 2d\nDefault 4d\n",
+        # Two Defaults: the first one must win.
+        "Default 12h\nhttp://a\\.com/.* 0\nDefault 7d\n",
+        # No Default at all: the built-in 2d fallback.
+        "http://a\\.com/.* 1d\n",
+        # Overlapping patterns, specific first and specific last.
+        "http://a\\.com/x/.* 0\nhttp://a\\.com/.* 7d\n",
+        "http://a\\.com/.* 7d\nhttp://a\\.com/x/.* 0\n",
+    ]
+
+    URLS = [
+        "http://a.com/x/deep/page.html",
+        "http://a.com/special/today",
+        "http://a.com/other",
+        "http://b.com/index.html",
+        "http://c.org/unmatched",
+        "file:/home/user/notes.html",
+        "http://www.yahoo.com/Science/",
+        "http://www.unitedmedia.com/comics/dilbert/",
+        "http://info.att.com/",
+    ]
+
+    def test_parser_matches_perl_reference(self):
+        for config_text in self.CONFIGS:
+            config = parse_threshold_config(config_text)
+            for url in self.URLS:
+                expected = perl_reference_threshold(config_text, url)
+                actual = config.threshold_for(url)
+                assert actual == expected, (config_text, url)
+
+    def test_first_default_wins(self):
+        config = parse_threshold_config("Default 12h\nDefault 7d\n")
+        assert config.default == 12 * HOUR
+
+
 class TestDefaultEquivalence:
     def test_default_equals_trailing_catchall(self):
         # The Table 1 comment: "Default is equivalent to ending the
