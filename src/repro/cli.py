@@ -228,6 +228,15 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.summary())
+        rollup = getattr(report, "summary_dict", None)
+        if rollup is not None:
+            counts = rollup()
+            if counts["failed_shards"]:
+                print("failed shards: "
+                      + ", ".join(counts["failed_shards"]))
+            for shard, repairs in sorted(
+                    counts["repairs_by_shard"].items()):
+                print(f"repairs[{shard}]: {repairs}")
         for problem in report.problems:
             print(f"problem: {problem}")
         for note in report.notes:
@@ -336,24 +345,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from .core.snapshot.sharding import save_sharded
-    from .serve import ClosedLoopLoad, DiffServer, build_world, seed_world
+    from .serve import (
+        ClosedLoopLoad,
+        DiffServer,
+        ShardFaultPlan,
+        build_world,
+        seed_world,
+    )
 
+    fault_plan = None
+    if args.kill_shard or args.kill_each_once:
+        fault_plan = ShardFaultPlan()
+        for spec in args.kill_shard or []:
+            fields = spec.split(":")
+            if len(fields) not in (3, 4):
+                print(f"aide: bad --kill-shard spec {spec!r} "
+                      f"(want SHARD:AT:RECOVER_AT[:torn])", file=sys.stderr)
+                return 2
+            fault_plan.crash(int(fields[0]), int(fields[1]), int(fields[2]),
+                             torn_tail=len(fields) == 4
+                             and fields[3] == "torn")
+        if args.kill_each_once:
+            fields = args.kill_each_once.split(":")
+            if len(fields) not in (2, 3):
+                print(f"aide: bad --kill-each-once spec "
+                      f"{args.kill_each_once!r} (want START:DOWNTIME"
+                      f"[:SPACING])", file=sys.stderr)
+                return 2
+            staggered = ShardFaultPlan.kill_each_once(
+                args.shards, int(fields[0]), int(fields[1]),
+                spacing=int(fields[2]) if len(fields) == 3 else None,
+            )
+            fault_plan.faults.extend(staggered.faults)
     world = build_world(args.seed, pages=args.pages)
     server = DiffServer(
         world.clock, world.agent, shards=args.shards,
         workers_per_shard=args.workers, queue_limit=args.queue_limit,
+        replication=args.replication, fault_plan=fault_plan,
+        scrub_interval=args.scrub_interval,
     )
     revisions = seed_world(server, world, seed=args.seed, rounds=args.rounds)
     print(f"# seeded {len(world.urls)} pages x {args.rounds} revisions "
-          f"across {args.shards} shard(s)", file=sys.stderr)
+          f"across {args.shards} shard(s), replication "
+          f"{args.replication}", file=sys.stderr)
     load = ClosedLoopLoad(
         args.seed, world.urls, revisions, users=args.users,
         requests_per_user=args.requests_per_user,
+        mutation_rate=args.mutation_rate,
     )
     report = load.run(server, start=world.clock.now)
     payload = {"load": report.to_dict(), "server": server.stats()}
     if args.save:
-        save_sharded(server.store, args.save)
+        save_sharded(server.store, args.save,
+                     replication=args.replication)
         payload["repository"] = args.save
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0 if report.completed == report.requests else 1
@@ -626,6 +670,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="determinism seed (default 0)")
     serve.add_argument("--save", metavar="DIR",
                        help="write the seeded archives to DIR per shard")
+    serve.add_argument("--replication", type=int, default=1,
+                       help="replicas per URL (default 1: unreplicated)")
+    serve.add_argument("--scrub-interval", type=int, default=0,
+                       help="anti-entropy scrub period in virtual seconds "
+                            "(default 0: off)")
+    serve.add_argument("--mutation-rate", type=float, default=0.0,
+                       help="fraction of load requests that are remember "
+                            "re-saves (default 0.0: read-only)")
+    serve.add_argument("--kill-shard", action="append", metavar="SPEC",
+                       help="schedule a shard crash as "
+                            "SHARD:AT:RECOVER_AT[:torn]; repeatable")
+    serve.add_argument("--kill-each-once", metavar="SPEC",
+                       help="kill every shard once, staggered: "
+                            "START:DOWNTIME[:SPACING]")
     serve.set_defaults(func=_cmd_serve)
 
     newer = sub.add_parser(

@@ -65,6 +65,7 @@ from typing import Iterable, List, Optional, Tuple
 
 __all__ = ["JournalRecord", "JournalError", "JournalScan", "TxnIntent",
            "SeenRecord", "TxnCommit", "TxnAbort", "ResolvedJournal",
+           "FrameScan", "frame_payload", "scan_frames",
            "append_records", "append_entries", "resolve_entries",
            "read_journal", "scan_journal", "clear_journal", "JOURNAL_NAME"]
 
@@ -198,10 +199,20 @@ def _serialize_entry(entry: object) -> str:
     raise TypeError(f"unknown journal entry type {type(entry).__name__}")
 
 
-def _frame(entry: object) -> bytes:
-    payload = _serialize_entry(entry).encode("utf-8")
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap arbitrary payload bytes in the journal's length+CRC frame.
+
+    This is the same wire format every journal record uses, exposed so
+    sibling logs (the replication layer's hinted-handoff journals) get
+    the identical committed-vs-torn distinction without reinventing the
+    framing — and stay ``cat``-browsable next to ``journal.log``.
+    """
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     return b"frame %d %08x\n" % (len(payload), crc) + payload
+
+
+def _frame(entry: object) -> bytes:
+    return frame_payload(_serialize_entry(entry).encode("utf-8"))
 
 
 def append_entries(directory: str, entries: Iterable[object]) -> int:
@@ -371,8 +382,10 @@ def _read_entry(scanner: _Scanner) -> object:
 _ParseResult = Tuple[bool, int, Optional[object], str]
 
 
-def _parse_frame(data: bytes, pos: int) -> _ParseResult:
-    """(ok, end-offset, record, why-not) for a frame starting at pos."""
+def _parse_raw_frame(data: bytes, pos: int) -> Tuple[bool, int,
+                                                     Optional[bytes], str]:
+    """(ok, end-offset, payload, why-not) for a frame starting at pos,
+    validating the length+CRC envelope only — no record parsing."""
     newline = data.find(b"\n", pos)
     if newline == -1:
         return False, pos, None, "torn frame header (no terminating newline)"
@@ -396,6 +409,14 @@ def _parse_frame(data: bytes, pos: int) -> _ParseResult:
             f"frame checksum mismatch (recorded {parts[2].decode('ascii', 'replace')}, "
             f"computed {crc.decode('ascii')})"
         )
+    return True, newline + 1 + nbytes, payload, ""
+
+
+def _parse_frame(data: bytes, pos: int) -> _ParseResult:
+    """(ok, end-offset, record, why-not) for a frame starting at pos."""
+    ok, end, payload, why = _parse_raw_frame(data, pos)
+    if not ok:
+        return False, pos, None, why
     # The checksum vouches for the bytes; decode defensively anyway.
     scanner = _Scanner(payload.decode("utf-8", errors="replace"))
     try:
@@ -404,7 +425,49 @@ def _parse_frame(data: bytes, pos: int) -> _ParseResult:
         return False, pos, None, f"framed record does not parse: {exc}"
     if not scanner.at_end():
         return False, pos, None, "trailing bytes inside frame"
-    return True, newline + 1 + nbytes, record, ""
+    return True, end, record, ""
+
+
+@dataclass
+class FrameScan:
+    """What a tolerant scan of a generic framed stream found: every
+    intact payload up to the first damage, the byte offset a truncation
+    should cut at, and why the stream stopped parsing (empty when it
+    didn't)."""
+
+    payloads: List[bytes] = field(default_factory=list)
+    total_bytes: int = 0
+    valid_bytes: int = 0
+    damage: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.damage
+
+
+def scan_frames(data: bytes) -> FrameScan:
+    """Tolerant scan of a stream of :func:`frame_payload` frames.
+
+    The generic sibling of :func:`scan_journal` for logs that carry
+    their own payload format (hinted-handoff journals): frames are
+    validated envelope-only, damage is reported instead of raised, and
+    ``valid_bytes`` marks the safe truncation point for a torn tail.
+    """
+    scan = FrameScan(total_bytes=len(data))
+    pos = 0
+    while True:
+        while pos < len(data) and data[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= len(data):
+            scan.valid_bytes = len(data)
+            return scan
+        ok, end, payload, why = _parse_raw_frame(data, pos)
+        if not ok:
+            scan.valid_bytes = pos
+            scan.damage = f"{why} (at byte {pos})"
+            return scan
+        scan.payloads.append(payload)
+        pos = end
 
 
 def _parse_legacy(data: bytes, pos: int) -> _ParseResult:

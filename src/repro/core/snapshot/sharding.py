@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ...obs import NOOP as NOOP_OBS
 from ...simclock import SimClock
@@ -55,6 +55,7 @@ from .persistence import (
 from .store import RememberResult, SnapshotStore
 
 __all__ = [
+    "ShardConfigError",
     "ShardRouter",
     "ShardedSnapshotStore",
     "ShardedVerification",
@@ -69,6 +70,19 @@ __all__ = [
 #: Manifest file naming the shard count, so loaders and ``fsck`` can
 #: tell a sharded repository from a plain one.
 SHARDS_MANIFEST = "SHARDS"
+
+
+class ShardConfigError(ValueError):
+    """A shard-fleet configuration that cannot be honored safely.
+
+    Raised instead of a bare ``ValueError`` so callers (CLI, server
+    startup) can distinguish "the operator asked for an unsupported
+    topology change" from data corruption.  The headline case is a
+    shard-count *shrink*: rendezvous hashing guarantees growth moves
+    only URLs won by the new shard, but removing a shard would scatter
+    its URLs across every survivor — a data migration, not a config
+    edit — so decommission is refused outright.
+    """
 
 
 def shard_dirname(index: int) -> str:
@@ -122,6 +136,33 @@ class ShardRouter:
         self.routed[index] += 1
         return index
 
+    def replicas_for(self, url: str, count: int) -> List[int]:
+        """The top-``count`` shards for ``url`` in rendezvous order.
+
+        Element 0 is :meth:`shard_for`'s winner (the *primary*), so a
+        replica set at ``count=1`` degenerates to classic sharding.
+        Because each shard's score depends only on ``(shard, url)``,
+        growing the fleet N→N+1 can insert the new shard somewhere in
+        the ranking but never reorders the existing shards relative to
+        each other — replica sets are prefix-stable the same way
+        single-shard routing is, and the property test pins it.
+        """
+        if count < 1:
+            raise ValueError("replica count must be at least 1")
+        if count > self.shard_count:
+            raise ShardConfigError(
+                f"cannot place {count} replicas on {self.shard_count} "
+                f"shard(s); add shards before raising the replication "
+                f"factor"
+            )
+        key = self.canonical(url)
+        ranked = sorted(
+            range(self.shard_count),
+            key=lambda index: self._score(index, key),
+            reverse=True,
+        )
+        return ranked[:count]
+
 
 class ShardedSnapshotStore:
     """N snapshot-store shards behind one store-shaped facade.
@@ -167,6 +208,7 @@ class ShardedSnapshotStore:
                     options=options,
                     obs=self.obs,
                 )
+        self._store_factory = store_factory
         self.shards: List[SnapshotStore] = [
             store_factory(index) for index in range(shard_count)
         ]
@@ -193,6 +235,26 @@ class ShardedSnapshotStore:
         index = self.router.route(url)
         self._c_routes[index].inc()
         return self.shards[index]
+
+    def replicas_for(self, url: str, count: int) -> List[int]:
+        return self.router.replicas_for(url, count)
+
+    def reset_shard(self, index: int) -> SnapshotStore:
+        """Replace shard ``index`` with a factory-fresh empty store.
+
+        This is the crash model for replication chaos runs: a killed
+        shard loses its in-memory state entirely, and recovery must
+        rebuild it from its on-disk journal and its replica peers.  The
+        fresh store re-registers the shard's stats collector under the
+        same name, keeping the observability wiring intact.
+        """
+        if not 0 <= index < self.shard_count:
+            raise IndexError(f"no shard {index} in a "
+                             f"{self.shard_count}-shard fleet")
+        fresh = self._store_factory(index)
+        self.shards[index] = fresh
+        self.obs.register_stats(f"snapshot.shard{index:02d}", fresh.stats)
+        return fresh
 
     # ------------------------------------------------------------------
     # The SnapshotStore operation surface, routed
@@ -325,38 +387,79 @@ def _fix_ratios(stats: Dict[str, object]) -> None:
 # Per-shard persistence: one repository directory per shard
 # ----------------------------------------------------------------------
 
-def _write_manifest(directory: str, shard_count: int) -> None:
+def _write_manifest(directory: str, shard_count: int,
+                    replication: int = 1) -> None:
     os.makedirs(directory, exist_ok=True)
+    lines = [f"{shard_count}\n"]
+    if replication > 1:
+        # Appended as a tagged second line so pre-replication loaders
+        # (which read only the first line) still parse the manifest.
+        lines.append(f"replication {replication}\n")
     with open(os.path.join(directory, SHARDS_MANIFEST), "w",
               encoding="utf-8") as handle:
-        handle.write(f"{shard_count}\n")
+        handle.writelines(lines)
 
 
-def read_shard_count(directory: str) -> Optional[int]:
-    """The shard count from a repository's ``SHARDS`` manifest, or
+def _read_manifest(directory: str) -> Optional[Tuple[int, int]]:
+    """``(shard_count, replication)`` from the ``SHARDS`` manifest, or
     None when the directory is not a sharded repository."""
     path = os.path.join(directory, SHARDS_MANIFEST)
     if not os.path.exists(path):
         return None
     with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read().strip()
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        raise ValueError("empty SHARDS manifest")
     try:
-        count = int(text)
+        count = int(lines[0])
     except ValueError:
-        raise ValueError(f"unparseable SHARDS manifest: {text!r}")
+        raise ValueError(f"unparseable SHARDS manifest: {lines[0]!r}")
     if count < 1:
         raise ValueError(f"SHARDS manifest must name >= 1 shard, got {count}")
-    return count
+    replication = 1
+    for line in lines[1:]:
+        tag, _, value = line.partition(" ")
+        if tag == "replication":
+            try:
+                replication = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"unparseable replication factor in SHARDS "
+                    f"manifest: {value!r}"
+                )
+            if not 1 <= replication <= count:
+                raise ShardConfigError(
+                    f"SHARDS manifest names replication {replication} "
+                    f"on {count} shard(s)"
+                )
+        # Unknown tagged lines are ignored for forward compatibility.
+    return count, replication
+
+
+def read_shard_count(directory: str) -> Optional[int]:
+    """The shard count from a repository's ``SHARDS`` manifest, or
+    None when the directory is not a sharded repository."""
+    manifest = _read_manifest(directory)
+    return None if manifest is None else manifest[0]
+
+
+def read_replication_factor(directory: str) -> Optional[int]:
+    """The replication factor from the ``SHARDS`` manifest (1 when the
+    manifest predates replication), or None when not sharded."""
+    manifest = _read_manifest(directory)
+    return None if manifest is None else manifest[1]
 
 
 __all__.append("read_shard_count")
+__all__.append("read_replication_factor")
 
 
-def save_sharded(store: ShardedSnapshotStore, directory: str) -> int:
+def save_sharded(store: ShardedSnapshotStore, directory: str,
+                 replication: int = 1) -> int:
     """Full rewrite of every shard into ``directory/shard-NN/``;
     returns total bytes written.  Doubles as compaction, exactly like
     :func:`~.persistence.save_store` per shard."""
-    _write_manifest(directory, store.shard_count)
+    _write_manifest(directory, store.shard_count, replication)
     total = 0
     for index, shard in enumerate(store.shards):
         total += save_store(shard, os.path.join(directory,
@@ -364,12 +467,24 @@ def save_sharded(store: ShardedSnapshotStore, directory: str) -> int:
     return total
 
 
-def append_sharded(store: ShardedSnapshotStore, directory: str) -> int:
+def append_sharded(store: ShardedSnapshotStore, directory: str,
+                   replication: int = 1,
+                   only: Optional[Iterable[int]] = None) -> int:
     """O(new data) journal append per shard; each shard keeps its own
-    ``journal.log`` so shards sync (and recover) independently."""
-    _write_manifest(directory, store.shard_count)
+    ``journal.log`` so shards sync (and recover) independently.
+
+    ``only`` restricts the sync to the named shard indices — the
+    replicated server passes its *live* set, because appending a
+    crashed (freshly reset, empty) shard would rewrite its on-disk
+    control file from empty state and destroy the very stamps its
+    recovery is about to reload.
+    """
+    _write_manifest(directory, store.shard_count, replication)
+    chosen = None if only is None else set(only)
     total = 0
     for index, shard in enumerate(store.shards):
+        if chosen is not None and index not in chosen:
+            continue
         total += append_store(shard, os.path.join(directory,
                                                   shard_dirname(index)))
     return total
@@ -381,10 +496,20 @@ def load_sharded(store: ShardedSnapshotStore, directory: str) -> int:
     depends on it."""
     manifest = read_shard_count(directory)
     if manifest is not None and manifest != store.shard_count:
-        raise ValueError(
+        if store.shard_count < manifest:
+            raise ShardConfigError(
+                f"repository at {directory} has {manifest} shard(s) but "
+                f"the store expects only {store.shard_count}: shrinking "
+                f"the fleet (decommission) is unsupported — rendezvous "
+                f"routing would scatter the removed shards' URLs across "
+                f"every survivor.  Load with {manifest} shard(s), or "
+                f"migrate the data explicitly."
+            )
+        raise ShardConfigError(
             f"repository at {directory} has {manifest} shard(s) but the "
-            f"store expects {store.shard_count}; re-shard explicitly "
-            f"instead of loading across layouts"
+            f"store expects {store.shard_count}; growth is supported but "
+            f"must re-shard explicitly (load at {manifest}, then save at "
+            f"{store.shard_count}) instead of loading across layouts"
         )
     total = 0
     for index, shard in enumerate(store.shards):
@@ -438,10 +563,33 @@ class ShardedVerification:
             f"{len(self.notes)} note(s), {len(self.repaired)} repair(s)"
         )
 
+    def summary_dict(self) -> Dict[str, object]:
+        """One machine-readable rollup across the whole fleet, so
+        callers (CI gates, ``aide fsck --json`` consumers) no longer
+        walk ``per_shard`` to learn whether — and how much — repair
+        happened."""
+        failed = [shard_dirname(index) for index, report in self.reports
+                  if not report.ok]
+        return {
+            "ok": self.ok,
+            "shards": len(self.reports),
+            "clean_shards": len(self.reports) - len(failed),
+            "failed_shards": failed,
+            "problem_count": len(self.problems),
+            "note_count": len(self.notes),
+            "repair_count": len(self.repaired),
+            "repairs_by_shard": {
+                shard_dirname(index): len(report.repaired)
+                for index, report in self.reports
+                if report.repaired
+            },
+        }
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "ok": self.ok,
             "shards": len(self.reports),
+            "summary": self.summary_dict(),
             "problems": self.problems,
             "notes": self.notes,
             "repaired": self.repaired,

@@ -103,17 +103,33 @@ class ResponseCache:
             entries.popitem(last=False)
             self.evictions += 1
 
-    def invalidate_url(self, url: str) -> int:
-        """Drop the *volatile* entries for ``url`` (date-resolved
-        views); pinned-revision entries are immutable and survive."""
+    def invalidate_url(self, url: str, volatile_only: bool = True) -> int:
+        """Drop cached entries for ``url``.
+
+        The default drops only the *volatile* entries (date-resolved
+        views) — pinned-revision entries are immutable under ordinary
+        operation and survive a check-in.  ``volatile_only=False``
+        drops **everything** for the URL: replication repair can
+        rewrite a replica's archive (a divergence rebuild renumbers
+        history), so after a failover or read repair even "immutable"
+        pinned entries may describe revisions that no longer exist.
+        """
         doomed = [
             key for key in self._entries
-            if key[1] == url and key[-1] is True
+            if key[1] == url and (key[-1] is True or not volatile_only)
         ]
         for key in doomed:
             del self._entries[key]
         self.invalidations += len(doomed)
         return len(doomed)
+
+    def clear(self) -> int:
+        """Drop every entry (a crashed-and-recovered shard's cache may
+        describe state the crash destroyed); returns how many."""
+        doomed = len(self._entries)
+        self._entries.clear()
+        self.invalidations += doomed
+        return doomed
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

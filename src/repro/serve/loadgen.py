@@ -224,6 +224,7 @@ class ClosedLoopLoad:
         curators: int = 4,
         retry_jitter_cap: int = 256,
         max_dispatches: Optional[int] = None,
+        mutation_rate: float = 0.0,
     ) -> None:
         self.seed = seed
         self.urls = urls
@@ -245,12 +246,33 @@ class ClosedLoopLoad:
             max_dispatches if max_dispatches is not None
             else 400 * users * requests_per_user
         )
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError(
+                f"mutation_rate must be in [0, 1], got {mutation_rate}"
+            )
+        #: Fraction of requests that are ``remember`` re-saves (the
+        #: chaos benches use this to drive writes through failover and
+        #: hinted handoff).  The draw uses its own salt, so 0.0 — the
+        #: default — leaves the read-only stream byte-identical to the
+        #: pre-replication generator.
+        self.mutation_rate = mutation_rate
 
     # ------------------------------------------------------------------
     def _request(self, user: int, step: int) -> Request:
         salt = f"u{user}.s{step}"
         url = self.urls[_draw(self.seed, f"{salt}.url", len(self.urls))]
         revs = self.revisions[url]
+        if self.mutation_rate > 0.0 and (
+                _draw(self.seed, f"{salt}.mut", 10_000)
+                < int(self.mutation_rate * 10_000)):
+            params = {
+                "action": "remember", "url": url,
+                "user": _curator(_draw(self.seed, f"{salt}.cu",
+                                       self.curators)),
+            }
+            query = encode_query_string(params)
+            return Request(
+                "GET", f"http://aide.example.com/cgi-bin/snapshot?{query}")
         kind = _draw(self.seed, f"{salt}.kind", 100)
         if len(revs) < 2 and 40 <= kind < 70:
             kind = 0  # a single-revision archive has no diffable pair

@@ -38,7 +38,11 @@ from ..core.snapshot.service import (
     fsck_page_html,
     stats_page_html,
 )
-from ..core.snapshot.sharding import ShardedSnapshotStore, verify_sharded
+from ..core.snapshot.sharding import (
+    ShardedSnapshotStore,
+    append_sharded,
+    verify_sharded,
+)
 from ..core.snapshot.diffcache import DiffCache
 from ..core.snapshot.options import StoreOptions
 from ..obs import NOOP as NOOP_OBS, to_json, to_prometheus
@@ -48,6 +52,7 @@ from ..web.client import UserAgent
 from ..web.http import Request, Response, make_response
 from .cache import ResponseCache, cacheable_key
 from .pool import Admission, Rejection, WorkerPool
+from .replication import ReplicationManager, ShardFaultPlan
 
 __all__ = ["DiffServer"]
 
@@ -73,6 +78,10 @@ class DiffServer:
         obs=None,
         script_path: str = "/cgi-bin/snapshot",
         repository_dir: Optional[str] = None,
+        replication: int = 1,
+        fault_plan: Optional[ShardFaultPlan] = None,
+        scrub_interval: int = 0,
+        sync_interval: int = 0,
     ) -> None:
         self.clock = clock
         self.obs = obs if obs is not None else NOOP_OBS
@@ -80,6 +89,11 @@ class DiffServer:
         self.keepalive = keepalive or KeepAlive()
         self.script_path = script_path
         self.repository_dir = repository_dir
+        self.replication = replication
+        #: Mutating dispatches between on-disk journal appends (0 =
+        #: never sync automatically); requires ``repository_dir``.
+        self.sync_interval = sync_interval
+        self._mutations_since_sync = 0
         self.store = ShardedSnapshotStore(
             clock, agent, shard_count=shards,
             diff_options=diff_options, options=store_options, obs=self.obs,
@@ -101,6 +115,22 @@ class DiffServer:
         self.response_caches: List[ResponseCache] = [
             ResponseCache(capacity=response_cache_size) for _ in range(shards)
         ]
+        #: The replication layer is engaged only when asked for — at
+        #: R=1 with no fault plan the dispatch path is byte-for-byte
+        #: the unreplicated server's, which the identity gates rely on.
+        self.replicator: Optional[ReplicationManager] = None
+        if replication > 1 or fault_plan is not None or scrub_interval:
+            self.replicator = ReplicationManager(
+                self.store,
+                replication=replication,
+                fault_plan=fault_plan,
+                directory=repository_dir,
+                scrub_interval=scrub_interval,
+                on_reset=self._on_shard_reset,
+                on_repair=self._on_shard_repair,
+            )
+            self.obs.register_stats("serve.replication",
+                                    self.replicator.stats)
         self.requests = 0
         self.shed = 0
         self.cache_hits = 0
@@ -118,6 +148,27 @@ class DiffServer:
         self.obs.register_stats("serve.server", self.stats)
 
     # ------------------------------------------------------------------
+    # Replication hooks
+    # ------------------------------------------------------------------
+    def _on_shard_reset(self, shard_index: int) -> None:
+        """A shard crashed (or just recovered): its store object was
+        replaced, so rebuild the CGI service wrapping it, and drop the
+        shard's whole response cache — cached responses may describe
+        state the crash destroyed (or that recovery just rebuilt)."""
+        self.services[shard_index] = SnapshotService(
+            self.store.shards[shard_index], keepalive=self.keepalive,
+            costs=self.costs, script_path=self.script_path,
+        )
+        self.response_caches[shard_index].clear()
+
+    def _on_shard_repair(self, shard_index: int, url: str) -> None:
+        """Replication repair rewrote ``url``'s state on this shard:
+        drop every cached response for it, pinned entries included — a
+        divergence rebuild can change what a pinned revision means."""
+        self.response_caches[shard_index].invalidate_url(
+            url, volatile_only=False)
+
+    # ------------------------------------------------------------------
     # CGI entry point
     # ------------------------------------------------------------------
     def __call__(self, request: Request, now: int) -> Response:
@@ -131,6 +182,10 @@ class DiffServer:
         requests the server answers without touching a pool)."""
         self.requests += 1
         self._c_requests.inc()
+        if self.replicator is not None:
+            # Fault transitions and the anti-entropy scrub run on the
+            # request stream's virtual timestamps — deterministically.
+            self.replicator.advance(now)
         if request.method == "POST":
             params = parse_query_string(request.body)
         else:
@@ -148,7 +203,26 @@ class DiffServer:
         if action == "fsck":
             return self._fsck_page(params.get("repair") == "1"), None
 
-        shard_index = self._shard_index(url)
+        if self.replicator is not None and url:
+            serving = self.replicator.serving_index(url)
+            if serving is None:
+                # The whole replica set is down.  Tell the client when
+                # the earliest replica is scheduled back, exactly like
+                # a queue-full shed — ResilientAgent and the closed
+                # loop both honor Retry-After, so the request is
+                # retried, not lost.
+                self.replicator.unavailable += 1
+                self.shed += 1
+                self._c_shed.inc()
+                self.last_admission = None
+                rejection = Rejection(
+                    retry_after=self.replicator.retry_after(url, now))
+                return self._shed_response(rejection), rejection
+            shard_index = serving
+            self.store.router.routed[shard_index] += 1
+            self.store._c_routes[shard_index].inc()
+        else:
+            shard_index = self._shard_index(url)
         cache = self.response_caches[shard_index]
         pool = self.pools[shard_index]
         key = self._cache_key(params, url)
@@ -162,6 +236,8 @@ class DiffServer:
 
         cost = self._cost(action, params, shard_index,
                           cache_hit=cached is not None)
+        if self.replicator is not None:
+            cost *= self.replicator.slow_factor[shard_index]
         schedule = pool.admit(cost, now)
         if isinstance(schedule, Rejection):
             self.shed += 1
@@ -171,14 +247,38 @@ class DiffServer:
         self.last_admission = schedule
         self._observe_latency(action, schedule.latency(now))
 
+        mutates = self._mutates(action, params) and bool(url)
+        if (self.replicator is not None and url and not mutates):
+            # Read repair: live replicas that visibly lag the serving
+            # copy are converged before the response leaves.
+            self.replicator.on_read(url, shard_index)
         if cached is not None:
             return cached, schedule
         response = self.services[shard_index](request, now)
         if key is not None:
             cache.put(key, response)
-        if self._mutates(action, params) and url:
+        if mutates:
             cache.invalidate_url(self._canonical(url))
+            if self.replicator is not None:
+                self.replicator.on_write(url, shard_index)
+            self._note_mutation()
         return response, schedule
+
+    def _note_mutation(self) -> None:
+        """Periodic on-disk journal sync, counted in mutations so a
+        read-only stretch never rewrites anything."""
+        if not self.sync_interval or self.repository_dir is None:
+            return
+        self._mutations_since_sync += 1
+        if self._mutations_since_sync < self.sync_interval:
+            return
+        self._mutations_since_sync = 0
+        live = None
+        if self.replicator is not None:
+            live = [index for index, up
+                    in enumerate(self.replicator.alive) if up]
+        append_sharded(self.store, self.repository_dir,
+                       replication=self.replication, only=live)
 
     # ------------------------------------------------------------------
     # Routing, caching, cost model
@@ -309,7 +409,7 @@ class DiffServer:
         caches = [cache.stats() for cache in self.response_caches]
         lookups = sum(c["hits"] + c["misses"] for c in caches)
         hits = sum(c["hits"] for c in caches)
-        return {
+        out: Dict[str, object] = {
             "requests": self.requests,
             "shed": self.shed,
             "shards": self.store.shard_count,
@@ -329,3 +429,6 @@ class DiffServer:
                 "hit_rate": (hits / lookups) if lookups else 0.0,
             },
         }
+        if self.replicator is not None:
+            out["replication"] = self.replicator.stats()
+        return out

@@ -84,3 +84,34 @@ class TestResponseCache:
         assert stats["hits"] == 1 and stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
         assert stats["size"] == 1
+
+
+class TestRepairInvalidation:
+    """Replication repair rewrites a replica's archive out from under
+    its cache; these are the hooks that keep it from serving stale
+    bytes afterwards."""
+
+    def test_full_invalidation_drops_pinned_entries_too(self):
+        cache = ResponseCache()
+        other = "http://site.com/other.html"
+        cache.put(("view", URL, "1.1", False), make_response(200, "pinned"))
+        cache.put(("diff", URL, "1.1", "1.2", False),
+                  make_response(200, "diff"))
+        cache.put(("view_at", URL, "3600", True), make_response(200, "dated"))
+        cache.put(("view", other, "1.1", False), make_response(200, "keep"))
+        assert cache.invalidate_url(URL, volatile_only=False) == 3
+        assert cache.get(("view", URL, "1.1", False)) is None
+        assert cache.get(("diff", URL, "1.1", "1.2", False)) is None
+        assert cache.get(("view_at", URL, "3600", True)) is None
+        # Entries for other URLs are untouched.
+        assert cache.get(("view", other, "1.1", False)) is not None
+        assert cache.invalidations == 3
+
+    def test_clear_empties_the_cache(self):
+        cache = ResponseCache()
+        cache.put(("view", URL, "1.1", False), make_response(200, "a"))
+        cache.put(("view", URL, "1.2", False), make_response(200, "b"))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+        assert cache.get(("view", URL, "1.1", False)) is None

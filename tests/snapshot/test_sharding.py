@@ -7,12 +7,16 @@ one, and scheduler-driven interleavings stay deterministic.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.snapshot.service import SnapshotService
 from repro.core.snapshot.sharding import (
+    ShardConfigError,
     ShardRouter,
     ShardedSnapshotStore,
     load_sharded,
+    read_replication_factor,
     read_shard_count,
     save_sharded,
     shard_dirname,
@@ -257,3 +261,133 @@ class TestShardedScheduling:
         second = self.run_interleaved(seed=2)
         assert first[0] == second[0]  # same final archives
         assert first[1] == second[1]  # same fetch count
+
+
+class TestReplicaSets:
+    def test_primary_replica_is_the_classic_route(self):
+        router = ShardRouter(5)
+        for url in urls():
+            assert router.replicas_for(url, 2)[0] == router.shard_for(url)
+
+    def test_replica_sets_are_distinct_and_stable(self):
+        first, second = ShardRouter(5), ShardRouter(5)
+        for url in urls():
+            replicas = first.replicas_for(url, 3)
+            assert len(set(replicas)) == 3
+            assert replicas == second.replicas_for(url, 3)
+
+    def test_too_many_replicas_is_a_config_error(self):
+        router = ShardRouter(3)
+        with pytest.raises(ShardConfigError):
+            router.replicas_for("http://site.com/p1.html", 4)
+        with pytest.raises(ValueError):
+            router.replicas_for("http://site.com/p1.html", 0)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        path=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=24,
+        ),
+        shards=st.integers(min_value=2, max_value=9),
+        factor=st.integers(min_value=2, max_value=3),
+    )
+    def test_growth_preserves_replica_ranking(self, path, shards, factor):
+        """Rendezvous replica sets are prefix-stable: going N -> N+1
+        shards, the new shard may insert itself into a URL's ranking,
+        but the existing shards never reorder relative to each other —
+        so at most one member of any replica set changes, and it can
+        only change *to the new shard*."""
+        url = f"http://site.com/{path}"
+        factor = min(factor, shards)
+        before = ShardRouter(shards).replicas_for(url, factor)
+        after = ShardRouter(shards + 1).replicas_for(url, factor)
+        # Old shards keep their relative order in the new ranking.
+        surviving = [shard for shard in after if shard != shards]
+        positions = [before.index(shard) for shard in surviving
+                     if shard in before]
+        assert positions == sorted(positions)
+        # Any membership change is the new shard displacing the former
+        # last member; the set never changes any other way.
+        displaced = [shard for shard in before if shard not in after]
+        if shards in after:
+            assert displaced == [before[-1]]
+            assert surviving == before[:-1]
+        else:
+            assert after == before
+
+
+class TestReplicationManifest:
+    def test_replication_factor_round_trips(self, world, tmp_path):
+        clock, network, origin, agent = world
+        store = ShardedSnapshotStore(clock, agent, shard_count=4)
+        store.remember("fred@x.com", urls()[0])
+        directory = str(tmp_path / "repo")
+        save_sharded(store, directory, replication=2)
+        assert read_shard_count(directory) == 4
+        assert read_replication_factor(directory) == 2
+
+    def test_bare_count_manifest_reads_as_unreplicated(self, tmp_path):
+        # Pre-replication repositories wrote only the shard count; they
+        # must keep loading, as R=1.
+        (tmp_path / "SHARDS").write_text("3\n")
+        assert read_shard_count(str(tmp_path)) == 3
+        assert read_replication_factor(str(tmp_path)) == 1
+
+    def test_unknown_manifest_tags_are_ignored(self, tmp_path):
+        (tmp_path / "SHARDS").write_text(
+            "4\nreplication 2\nfuture-knob on\n")
+        assert read_shard_count(str(tmp_path)) == 4
+        assert read_replication_factor(str(tmp_path)) == 2
+
+    def test_oversized_replication_factor_is_rejected(self, tmp_path):
+        (tmp_path / "SHARDS").write_text("2\nreplication 3\n")
+        with pytest.raises(ShardConfigError):
+            read_replication_factor(str(tmp_path))
+
+    def test_load_refuses_shard_count_shrink(self, world, tmp_path):
+        clock, network, origin, agent = world
+        store = ShardedSnapshotStore(clock, agent, shard_count=4)
+        store.remember("fred@x.com", urls()[0])
+        directory = str(tmp_path / "repo")
+        save_sharded(store, directory)
+        shrunk = ShardedSnapshotStore(clock, agent, shard_count=3)
+        with pytest.raises(ShardConfigError, match="decommission"):
+            load_sharded(shrunk, directory)
+
+
+class TestVerificationSummary:
+    def test_summary_dict_aggregates_the_fleet(self, world, tmp_path):
+        clock, network, origin, agent = world
+        store = ShardedSnapshotStore(clock, agent, shard_count=3)
+        for url in urls():
+            store.remember("fred@x.com", url)
+        directory = str(tmp_path / "repo")
+        save_sharded(store, directory)
+        summary = verify_sharded(directory).summary_dict()
+        assert summary["ok"] is True
+        assert summary["shards"] == 3
+        assert summary["clean_shards"] == 3
+        assert summary["failed_shards"] == []
+        assert summary["problem_count"] == 0
+        assert summary["repairs_by_shard"] == {}
+
+    def test_summary_dict_names_the_failed_shard(self, world, tmp_path):
+        clock, network, origin, agent = world
+        store = ShardedSnapshotStore(clock, agent, shard_count=3)
+        for url in urls():
+            store.remember("fred@x.com", url)
+        directory = str(tmp_path / "repo")
+        save_sharded(store, directory)
+        victim = store.shard_for(urls()[0])
+        doomed = next((tmp_path / "repo" / shard_dirname(victim))
+                      .rglob("*,v"))
+        doomed.unlink()
+        report = verify_sharded(directory)
+        summary = report.summary_dict()
+        assert summary["ok"] is False
+        assert summary["failed_shards"] == [shard_dirname(victim)]
+        assert summary["clean_shards"] == 2
+        assert summary["problem_count"] >= 1
+        # ...and the JSON body carries the rollup for fsck --json.
+        assert report.to_dict()["summary"] == summary

@@ -145,6 +145,37 @@ class TestServeCommand:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+
+    def test_serve_with_replication_survives_staggered_kills(
+        self, tmp_path, capsys
+    ):
+        repo = tmp_path / "repo"
+        code = main([
+            "serve", "--shards", "2", "--replication", "2", "--users", "50",
+            "--pages", "8", "--rounds", "2", "--requests-per-user", "4",
+            "--kill-each-once", "7800:150:300", "--scrub-interval", "200",
+            "--mutation-rate", "0.05", "--save", str(repo),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # 100% eventual completion despite every shard dying once.
+        assert payload["load"]["completed"] == 200
+        replication = payload["server"]["replication"]
+        assert replication["factor"] == 2
+        assert replication["crashes"] == 2
+        assert replication["recoveries"] == 2
+        assert replication["live_replicas"] == 2
+        # The manifest records the replication factor...
+        assert (repo / "SHARDS").read_text() == "2\nreplication 2\n"
+        # ...and the replicated repository still fscks clean.
+        assert main(["fsck", str(repo)]) == 0
+
+    def test_serve_rejects_a_bad_kill_spec(self, capsys):
+        assert main(["serve", "--kill-shard", "nonsense"]) == 2
+        assert "bad --kill-shard" in capsys.readouterr().err
+        assert main(["serve", "--kill-each-once", "1:2:3:4"]) == 2
+        assert "bad --kill-each-once" in capsys.readouterr().err
+
     def test_fsck_names_the_broken_shard(self, tmp_path, capsys):
         repo = tmp_path / "repo"
         assert main([
@@ -158,6 +189,27 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "INCONSISTENT" in out
         assert "[shard-01]" in out
+        # The aggregated rollup names the failed shard on its own line.
+        assert "failed shards: shard-01" in out
+
+    def test_fsck_json_carries_the_machine_readable_summary(
+        self, tmp_path, capsys
+    ):
+        repo = tmp_path / "repo"
+        assert main([
+            "serve", "--shards", "2", "--users", "10", "--pages", "8",
+            "--rounds", "1", "--save", str(repo),
+        ]) == 0
+        capsys.readouterr()
+        doomed = next((repo / "shard-00").rglob("*,v"))
+        doomed.unlink()
+        assert main(["fsck", str(repo), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["ok"] is False
+        assert summary["failed_shards"] == ["shard-00"]
+        assert summary["clean_shards"] == 1
+        assert summary["problem_count"] >= 1
 
 
 class TestNewerCommand:
