@@ -1,0 +1,246 @@
+"""S21 — hostile-content hardening: the deterministic fuzzing harness.
+
+A change tracker that crawls the open web will sooner or later fetch
+something pathological — a truncated transfer, a decompression bomb, a
+page nested a thousand DIVs deep, binary bytes wearing a ``text/html``
+label.  The guard layer (:mod:`repro.web.guards`) must turn every such
+document into a *verdict*, never a crash, a hang, or an unbounded
+allocation; and it must be invisible on benign traffic.
+
+Four gates, all seeded and deterministic, recorded in
+``benchmarks/results/BENCH_hostile.json``:
+
+* **no-crash / no-hang / bounded-memory** — >= 500 mutated documents
+  swept through the full ingest stack (header check, transfer decode,
+  text admission, lex + repair scan, budgeted HtmlDiff) under
+  ``GuardLimits.strict()``.  Every document must resolve to admitted /
+  guard verdict; any other exception is a crash.  Admitted bodies and
+  token counts must stay within the declared caps.
+* **coverage** — every one of the nine guard classes in
+  ``GUARD_SLUGS`` must trip at least once across the sweep.
+* **quarantine** — a w3newer crawl over a hostile world must complete
+  with QUARANTINED verdicts (never wedge), journal the evidence, and
+  spend zero HTTP requests on quarantined URLs while they are in
+  backoff.
+* **differential** — on benign documents the guards must be invisible:
+  ``admit`` returns the body byte-identical, and HtmlDiff output with
+  the default budget attached is byte-identical to HtmlDiff without.
+"""
+
+import json
+import os
+import time
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.quarantine import QuarantineJournal
+from repro.core.w3newer import UrlState
+from repro.core.w3newer.hotlist import Hotlist
+from repro.core.w3newer.runner import W3Newer
+from repro.core.w3newer.thresholds import parse_threshold_config
+from repro.simclock import HOUR, SimClock
+from repro.web.client import UserAgent
+from repro.web.guards import (
+    GUARD_SLUGS,
+    ContentGuard,
+    ContentGuardError,
+    GuardLimits,
+)
+from repro.web.http import Headers
+from repro.web.network import Network
+from repro.web.server import HttpServer
+from repro.workloads import PageGenerator, hostile_corpus
+from repro.workloads.hostileworld import populate_hostile_server
+from repro.workloads.mutate import MUTATORS
+
+from conftest import RESULTS_DIR
+
+SEED = 1996
+FUZZ_DOCS = 540
+CRAWL_DOCS = 40
+BENIGN_PAIRS = 24
+#: Generous wall-clock ceiling for the whole sweep — the no-hang gate.
+#: The budgets make the work virtually bounded; this catches a real
+#: infinite loop without making the gate timing-flaky.
+SWEEP_SECONDS_LIMIT = 120.0
+
+
+class _FetchedDoc:
+    """The minimal response surface ``ContentGuard.admit`` consumes."""
+
+    def __init__(self, doc):
+        self.headers = Headers()
+        for name, value in doc.headers.items():
+            self.headers.set(name, value)
+        self.headers.set("Content-Type", doc.content_type)
+        self.body = doc.body
+        self.content_type = doc.content_type
+
+
+def run_fuzz_sweep():
+    """Gate 1+2: the corpus through the full ingest stack."""
+    limits = GuardLimits.strict()
+    guard = ContentGuard(limits)
+    docs = hostile_corpus(FUZZ_DOCS, seed=SEED)
+    reference = PageGenerator(seed=SEED).page(paragraphs=3, links=2)
+    crashes = []
+    admitted = 0
+    degraded_diffs = 0
+    oversized = 0
+    started = time.monotonic()
+    for doc in docs:
+        url = f"http://hostile.example/{doc.name}.html"
+        try:
+            body = guard.admit(url, _FetchedDoc(doc))
+        except ContentGuardError:
+            continue
+        except Exception as exc:  # noqa: BLE001 — the gate itself
+            crashes.append((doc.name, f"{type(exc).__name__}: {exc}"))
+            continue
+        admitted += 1
+        if limits.max_body_bytes and len(body) > limits.max_body_bytes:
+            oversized += 1
+        # Admitted documents must also diff safely under the budget.
+        try:
+            result = html_diff(reference, body,
+                               budget=limits.html_budget(url))
+            if result.degraded:
+                degraded_diffs += 1
+        except Exception as exc:  # noqa: BLE001
+            crashes.append((doc.name, f"diff: {type(exc).__name__}: {exc}"))
+    elapsed = time.monotonic() - started
+    return {
+        "documents": len(docs),
+        "admitted": admitted,
+        "tripped": dict(sorted(guard.trips.items())),
+        "crashes": crashes,
+        "oversized_admits": oversized,
+        "degraded_diffs": degraded_diffs,
+        "elapsed_seconds": round(elapsed, 2),
+    }
+
+
+def run_quarantine_crawl(tmp_journal):
+    """Gate 3: a w3newer crawl over a hostile world never wedges."""
+    clock = SimClock()
+    network = Network(clock)
+    server = network.add_server(HttpServer("hostile.example", clock))
+    docs = hostile_corpus(CRAWL_DOCS, seed=SEED + 1)
+    urls = populate_hostile_server(server, docs)
+    expected_bad = {
+        url for url, doc in zip(urls, docs) if doc.expect
+    }
+    journal = QuarantineJournal(tmp_journal)
+    tracker = W3Newer(
+        clock, UserAgent(network, clock),
+        Hotlist.from_lines("\n".join(urls)),
+        config=parse_threshold_config("Default 0\n"),
+        guard=ContentGuard(GuardLimits.strict()),
+        quarantine=journal,
+        abort_after_failures=len(urls) + 1,
+    )
+    first = tracker.run()
+    quarantined = {o.url for o in first.quarantined}
+    # Second run a few hours later: every quarantined URL is inside its
+    # one-day backoff window, so it must cost zero HTTP requests.
+    clock.advance(6 * HOUR)
+    second = tracker.run()
+    backoff_requests = sum(
+        o.http_requests for o in second.outcomes if o.url in quarantined
+    )
+    still_quarantined = {o.url for o in second.quarantined}
+    return {
+        "urls": len(urls),
+        "designed_hostile": len(expected_bad),
+        "first_run_quarantined": len(quarantined),
+        "missed_hostile": sorted(expected_bad - quarantined),
+        "false_quarantines": sorted(quarantined - expected_bad),
+        "journal_entries": len(journal),
+        "journal_by_guard": journal.stats()["by_guard"],
+        "backoff_http_requests": backoff_requests,
+        "second_run_quarantined": len(still_quarantined),
+        "report_mentions_quarantine": (
+            "quarantined" in first.report_html
+        ),
+    }
+
+
+def run_differential():
+    """Gate 4: guards are byte-invisible on benign traffic."""
+    guard = ContentGuard(GuardLimits())
+    generator = PageGenerator(seed=SEED + 2)
+    import random
+
+    rng = random.Random(SEED + 2)
+    mutators = sorted(MUTATORS)
+    mismatches = []
+    for index in range(BENIGN_PAIRS):
+        old = generator.page(paragraphs=4, links=3)
+        new = MUTATORS[mutators[index % len(mutators)]](old, rng)
+        url = f"http://benign.example/page{index}.html"
+        if guard.admit_body(url, old, "text/html") != old:
+            mismatches.append((index, "admit altered the body"))
+        plain = html_diff(old, new)
+        budgeted = html_diff(
+            old, new, budget=GuardLimits().html_budget(url)
+        )
+        if plain.html != budgeted.html:
+            mismatches.append((index, "budgeted diff differs"))
+        if budgeted.degraded:
+            mismatches.append((index, "benign diff degraded"))
+    return {"pairs": BENIGN_PAIRS, "mismatches": mismatches}
+
+
+def test_hostile_hardening(sink, tmp_path):
+    sink.row("S21: hostile-content hardening (seeded fuzz harness)")
+    sink.row("")
+
+    fuzz = run_fuzz_sweep()
+    sink.row(f"fuzz sweep: {fuzz['documents']} documents, "
+             f"{fuzz['admitted']} admitted, "
+             f"{sum(fuzz['tripped'].values())} guard trips, "
+             f"{len(fuzz['crashes'])} crashes, "
+             f"{fuzz['elapsed_seconds']}s")
+    for slug in GUARD_SLUGS:
+        sink.row(f"  {slug:16s} {fuzz['tripped'].get(slug, 0):5d} trips")
+
+    crawl = run_quarantine_crawl(str(tmp_path / "quarantine.jsonl"))
+    sink.row("")
+    sink.row(f"crawl: {crawl['urls']} hostile URLs, "
+             f"{crawl['first_run_quarantined']} quarantined, "
+             f"{crawl['journal_entries']} journaled, "
+             f"{crawl['backoff_http_requests']} requests wasted in backoff")
+
+    differential = run_differential()
+    sink.row("")
+    sink.row(f"differential: {differential['pairs']} benign pairs, "
+             f"{len(differential['mismatches'])} mismatches")
+
+    report = {
+        "seed": SEED,
+        "fuzz": fuzz,
+        "quarantine_crawl": crawl,
+        "differential": differential,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_hostile.json"), "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # Gate 1: no crashes, no hangs, no cap-busting admissions.
+    assert fuzz["crashes"] == [], fuzz["crashes"]
+    assert fuzz["elapsed_seconds"] < SWEEP_SECONDS_LIMIT
+    assert fuzz["oversized_admits"] == 0
+    assert fuzz["documents"] >= 500
+    # Gate 2: every guard class fired.
+    missing = [s for s in GUARD_SLUGS if not fuzz["tripped"].get(s)]
+    assert not missing, f"guards never tripped: {missing}"
+    # Gate 3: the crawl completed, quarantined every designed-hostile
+    # URL, journaled the evidence, and spent nothing during backoff.
+    assert crawl["missed_hostile"] == []
+    assert crawl["false_quarantines"] == []
+    assert crawl["journal_entries"] == crawl["first_run_quarantined"]
+    assert crawl["backoff_http_requests"] == 0
+    assert crawl["second_run_quarantined"] == crawl["first_run_quarantined"]
+    assert crawl["report_mentions_quarantine"]
+    # Gate 4: guards are invisible on benign traffic.
+    assert differential["mismatches"] == []

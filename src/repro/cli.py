@@ -13,6 +13,7 @@ archives — so the CLI provides both:
     aide rlog page.html                        # revision history
     aide rcsdiff page.html -r 1.1 -r 1.3       # diff two revisions
     aide fsck /var/aide/repo --repair          # repository consistency
+    aide quarantine list dead.jsonl            # poison-document journal
     aide serve --shards 4 --users 1000         # sharded diff server demo
 
 ``aide htmldiff``/``rcsdiff`` exit 0 when identical and 1 when
@@ -536,6 +537,53 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    """Inspect the poison-document journal: list entries, retry them
+    against (possibly loosened) guard limits, or purge them."""
+    from .core.quarantine import QuarantineJournal
+    from .web.guards import GuardLimits
+
+    journal = QuarantineJournal(args.journal)
+    if args.quarantine_cmd == "list":
+        if not len(journal):
+            print("quarantine journal is empty")
+            return 0
+        for entry in journal.entries():
+            print(f"{entry.url}")
+            print(f"  guard:    {entry.guard}")
+            print(f"  detail:   {entry.detail}")
+            print(f"  attempts: {entry.attempts}")
+            print(f"  bytes:    {len(entry.body)}")
+        stats = journal.stats()
+        print(f"{stats['entries']} entries, "
+              f"{stats['attempts']} guard trips total")
+        return 0
+    if args.quarantine_cmd == "retry":
+        limits = GuardLimits()
+        overrides = {}
+        if args.max_body_bytes is not None:
+            overrides["max_body_bytes"] = args.max_body_bytes
+        if args.max_nesting_depth is not None:
+            overrides["max_nesting_depth"] = args.max_nesting_depth
+        if args.max_tokens is not None:
+            overrides["max_tokens"] = args.max_tokens
+        if overrides:
+            import dataclasses
+            limits = dataclasses.replace(limits, **overrides)
+        released, still_bad = journal.retry(url=args.url, limits=limits)
+        for entry in released:
+            print(f"released  {entry.url}")
+        for entry, verdict in still_bad:
+            print(f"still bad {entry.url}: {verdict}")
+        return 0 if not still_bad else 1
+    if args.quarantine_cmd == "purge":
+        dropped = journal.purge(args.url)
+        print(f"purged {dropped} entr{'y' if dropped == 1 else 'ies'}")
+        return 0
+    return 2
+
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The aide argument parser (exposed for shell-completion tools)."""
     parser = argparse.ArgumentParser(
@@ -709,6 +757,33 @@ def build_parser() -> argparse.ArgumentParser:
     newer.add_argument("--explain", metavar="URL",
                        help="include this URL's scheduling rationale")
     newer.set_defaults(func=_cmd_newer)
+
+    quarantine = sub.add_parser(
+        "quarantine",
+        help="inspect the poison-document journal (list / retry / purge)",
+    )
+    qsub = quarantine.add_subparsers(dest="quarantine_cmd", required=True)
+    qlist = qsub.add_parser("list", help="show quarantined URLs")
+    qlist.add_argument("journal", help="path to the quarantine JSONL file")
+    qretry = qsub.add_parser(
+        "retry", help="re-validate stored bytes and release survivors"
+    )
+    qretry.add_argument("journal", help="path to the quarantine JSONL file")
+    qretry.add_argument("--url", help="retry only this URL")
+    qretry.add_argument("--max-body-bytes", type=int, dest="max_body_bytes",
+                        help="loosen the body-size cap before retrying")
+    qretry.add_argument("--max-nesting-depth", type=int,
+                        dest="max_nesting_depth",
+                        help="loosen the markup-depth cap before retrying")
+    qretry.add_argument("--max-tokens", type=int, dest="max_tokens",
+                        help="loosen the token-count cap before retrying")
+    qretry.set_defaults(func=_cmd_quarantine)
+    qpurge = qsub.add_parser("purge", help="drop journal entries")
+    qpurge.add_argument("journal", help="path to the quarantine JSONL file")
+    qpurge.add_argument("--url", help="purge only this URL (default: all)")
+    qpurge.set_defaults(func=_cmd_quarantine)
+    qlist.set_defaults(func=_cmd_quarantine)
+    quarantine.set_defaults(func=_cmd_quarantine)
 
     demo = sub.add_parser(
         "demo", help="run a self-contained track-and-diff tour"

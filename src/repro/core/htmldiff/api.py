@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ...obs import NOOP as NOOP_OBS
-from .classify import ClassifiedDiff, classify_documents
+from .classify import ClassifiedDiff, DiffEntry, EntryClass, classify_documents
 from .markup import MergedPageRenderer
 from .matcher import TokenMatcher
 from .options import HtmlDiffOptions, PresentationMode
@@ -40,6 +40,11 @@ class HtmlDiffResult:
     #: memo cache size/limit/evictions, prefilter and upper-bound
     #: rejections, inner LCS runs, exact-lane hits.
     matcher_stats: Dict[str, int] = field(default_factory=dict)
+    #: True when a hardening work budget forced the coarse line-diff
+    #: path instead of the quadratic sentence comparator.
+    degraded: bool = False
+    #: Human-readable reason for the degrade (empty when not degraded).
+    degrade_reason: str = ""
 
     @property
     def identical(self) -> bool:
@@ -60,6 +65,7 @@ def html_diff(
     options: Optional[HtmlDiffOptions] = None,
     matcher: Optional[TokenMatcher] = None,
     obs=None,
+    budget=None,
 ) -> HtmlDiffResult:
     """Compare two HTML documents and produce a marked-up page.
 
@@ -68,6 +74,13 @@ def html_diff(
     cache (and its instrumentation) across calls.  ``obs`` (an
     :class:`repro.obs.Observability`) gets one span per phase —
     tokenize, classify, render — plus invocation/token counters.
+
+    ``budget`` (an ``HtmlBudget`` from ``repro.web.guards``) threads
+    the hardening caps through tokenization — markup bombs raise their
+    ``ContentGuardError`` — and bounds the comparator's work: when
+    ``len(old) * len(new)`` tokens exceed the work cap, the quadratic
+    sentence matcher is skipped in favor of a linear coarse line diff
+    (``degraded=True`` on the result) instead of hanging.
     """
     options = options or HtmlDiffOptions()
     options.validate()
@@ -83,10 +96,22 @@ def html_diff(
 
     obs.counter("htmldiff.invocations").inc()
     with obs.span("htmldiff.tokenize") as span:
-        old_tokens: List[Token] = tokenize_document(old_html)
-        new_tokens: List[Token] = tokenize_document(new_html)
+        # Each document gets a fresh meter: the caps are per document,
+        # not per comparison.
+        old_tokens: List[Token] = tokenize_document(
+            old_html, budget=budget.fork() if budget is not None else None)
+        new_tokens: List[Token] = tokenize_document(
+            new_html, budget=budget.fork() if budget is not None else None)
         span.set(old_tokens=len(old_tokens), new_tokens=len(new_tokens))
     obs.counter("htmldiff.tokens").inc(len(old_tokens) + len(new_tokens))
+
+    if budget is not None and budget.over_work(len(old_tokens), len(new_tokens)):
+        obs.counter("htmldiff.degraded").inc()
+        reason = (
+            f"diff work {len(old_tokens)}x{len(new_tokens)} tokens "
+            f"exceeds the {budget.max_work}-unit budget"
+        )
+        return _coarse_line_diff(old_html, new_html, options, matcher, reason)
     with obs.span("htmldiff.classify") as span:
         diff = classify_documents(old_tokens, new_tokens, matcher=matcher)
         span.set(differences=diff.difference_count,
@@ -133,3 +158,71 @@ def html_diff(
     return HtmlDiffResult(html=html, diff=diff,
                           density_suppressed=density_suppressed,
                           matcher_stats=matcher.stats())
+
+
+def _coarse_line_diff(
+    old_html: str,
+    new_html: str,
+    options: HtmlDiffOptions,
+    matcher: TokenMatcher,
+    reason: str,
+) -> HtmlDiffResult:
+    """Linear fallback when the sentence comparator would bust its
+    work budget.
+
+    A multiset comparison of source lines: each new-document line is
+    either matched against an unconsumed identical old line (common) or
+    shown as added; old lines never matched are shown as removed.  O(n)
+    time and memory, deterministic, and honest about what changed — at
+    line granularity rather than sentence granularity.
+    """
+    from ...html.entities import encode_entities
+
+    old_lines = old_html.split("\n")
+    new_lines = new_html.split("\n")
+
+    from collections import Counter
+
+    available = Counter(old_lines)
+    consumed: Counter = Counter()
+    entries: List[DiffEntry] = []
+    shown: List[str] = []
+    for line in new_lines:
+        if consumed[line] < available[line]:
+            consumed[line] += 1
+            entries.append(DiffEntry(EntryClass.COMMON))
+            shown.append("  " + encode_entities(line))
+        else:
+            entries.append(DiffEntry(EntryClass.NEW))
+            shown.append("+ " + encode_entities(line))
+    removed: List[str] = []
+    seen: Counter = Counter()
+    for line in old_lines:
+        if seen[line] < consumed[line]:
+            seen[line] += 1
+        else:
+            removed.append(line)
+    for line in removed:
+        entries.append(DiffEntry(EntryClass.OLD))
+
+    diff = ClassifiedDiff(
+        entries=entries, old_count=len(old_lines), new_count=len(new_lines)
+    )
+    renderer = MergedPageRenderer(options)
+    note = f"Showing a coarse line diff: {reason}."
+    parts = ["<PRE>", "\n".join(shown), "</PRE>"]
+    if removed:
+        parts.append("<P><STRIKE>Removed lines:</STRIKE></P>")
+        parts.append("<PRE><STRIKE>")
+        parts.append("\n".join("- " + encode_entities(line) for line in removed))
+        parts.append("</STRIKE></PRE>")
+    body = renderer._insert_banner(
+        "\n".join(parts), renderer._banner(diff, note)
+    )
+    return HtmlDiffResult(
+        html=body,
+        diff=diff,
+        matcher_stats=matcher.stats(),
+        degraded=True,
+        degrade_reason=reason,
+    )

@@ -131,6 +131,13 @@ def tokens_from_nodes(nodes: List[Node]) -> List:
     return builder.tokens
 
 
-def tokenize_document(source: str) -> List:
-    """Lex, repair, and tokenize an HTML document."""
-    return tokens_from_nodes(repair_nodes(tokenize_html(source)))
+def tokenize_document(source: str, budget=None) -> List:
+    """Lex, repair, and tokenize an HTML document.
+
+    ``budget`` (an ``HtmlBudget`` from ``repro.web.guards``) threads
+    the hardening caps through the lex and repair passes; ``None``
+    keeps the legacy unbounded behavior.
+    """
+    return tokens_from_nodes(
+        repair_nodes(tokenize_html(source, budget=budget), budget=budget)
+    )

@@ -1,0 +1,200 @@
+"""The poison-document dead-letter journal.
+
+When a fetch trips a content guard the pipeline refuses the bytes —
+the snapshot store rolls the check-in back, w3newer records a
+QUARANTINED verdict — but throwing the evidence away would leave the
+operator blind.  The :class:`QuarantineJournal` keeps the offending
+bytes and the guard verdict per URL, so ``aide quarantine list`` can
+show what tripped, ``aide quarantine retry`` can re-validate the
+stored bytes against (possibly loosened) limits and release the
+survivors, and ``aide quarantine purge`` can drop entries for good.
+
+Persistence is an append-only JSONL file: :meth:`record` appends one
+line per trip (cheap, crash-friendly — a torn tail line is skipped on
+load), while ``retry``/``purge`` compact the file.  Everything is
+deterministic: timestamps come from the caller's sim clock, entries
+list in sorted-URL order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QuarantineEntry", "QuarantineJournal"]
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined document: the verdict plus the evidence."""
+
+    url: str
+    guard: str
+    detail: str
+    body: str
+    #: Sim-clock instant of the most recent trip.
+    at: int = 0
+    #: How many times this URL has tripped a guard.
+    attempts: int = 1
+    content_type: str = "text/html"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "url": self.url,
+                "guard": self.guard,
+                "detail": self.detail,
+                "body": self.body,
+                "at": self.at,
+                "attempts": self.attempts,
+                "content_type": self.content_type,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "QuarantineEntry":
+        data = json.loads(line)
+        return cls(
+            url=data["url"],
+            guard=data.get("guard", "content"),
+            detail=data.get("detail", ""),
+            body=data.get("body", ""),
+            at=int(data.get("at", 0)),
+            attempts=int(data.get("attempts", 1)),
+            content_type=data.get("content_type", "text/html"),
+        )
+
+
+class QuarantineJournal:
+    """URL-keyed dead letters, optionally persisted as JSONL."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, QuarantineEntry] = {}
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # ------------------------------------------------------------------
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = QuarantineEntry.from_json(line)
+                except (ValueError, KeyError):
+                    # A torn tail from a crash mid-append; later lines
+                    # for the same URL supersede earlier ones anyway.
+                    continue
+                self._entries[entry.url] = entry
+
+    def _append(self, entry: QuarantineEntry) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(entry.to_json() + "\n")
+
+    def _rewrite(self) -> None:
+        if self.path is None:
+            return
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for url in sorted(self._entries):
+                fh.write(self._entries[url].to_json() + "\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        url: str,
+        guard: str,
+        detail: str,
+        body: str,
+        at: int = 0,
+        content_type: str = "text/html",
+    ) -> QuarantineEntry:
+        """Note one guard trip; repeated trips accumulate ``attempts``."""
+        existing = self._entries.get(url)
+        if existing is not None:
+            entry = QuarantineEntry(
+                url=url, guard=guard, detail=detail, body=body, at=at,
+                attempts=existing.attempts + 1, content_type=content_type,
+            )
+        else:
+            entry = QuarantineEntry(
+                url=url, guard=guard, detail=detail, body=body, at=at,
+                content_type=content_type,
+            )
+        self._entries[url] = entry
+        self._append(entry)
+        return entry
+
+    def get(self, url: str) -> Optional[QuarantineEntry]:
+        return self._entries.get(url)
+
+    def entries(self) -> List[QuarantineEntry]:
+        return [self._entries[url] for url in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    # ------------------------------------------------------------------
+    def purge(self, url: Optional[str] = None) -> int:
+        """Drop one entry (or all of them); returns how many went."""
+        if url is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            dropped = 1 if self._entries.pop(url, None) is not None else 0
+        if dropped:
+            self._rewrite()
+        return dropped
+
+    def retry(
+        self, url: Optional[str] = None, limits=None
+    ) -> Tuple[List[QuarantineEntry], List[Tuple[QuarantineEntry, str]]]:
+        """Re-validate stored bytes; release entries that now pass.
+
+        ``limits`` (a ``GuardLimits``) lets the operator loosen caps
+        before retrying.  Returns ``(released, still_bad)`` where each
+        still-bad item carries the fresh verdict text.  Released URLs
+        leave the journal — their next crawl proceeds normally (the
+        checker clears the backoff once a fetch is admitted).
+        """
+        from ..web.guards import ContentGuard, ContentGuardError, GuardLimits
+
+        guard = ContentGuard(limits or GuardLimits())
+        candidates = (
+            self.entries() if url is None
+            else [e for e in (self.get(url),) if e is not None]
+        )
+        released: List[QuarantineEntry] = []
+        still_bad: List[Tuple[QuarantineEntry, str]] = []
+        for entry in candidates:
+            try:
+                guard.admit_body(entry.url, entry.body, entry.content_type)
+            except ContentGuardError as exc:
+                still_bad.append((entry, str(exc)))
+            else:
+                released.append(entry)
+                self._entries.pop(entry.url, None)
+        if released:
+            self._rewrite()
+        return released, still_bad
+
+    def stats(self) -> Dict[str, object]:
+        by_guard: Dict[str, int] = {}
+        for entry in self._entries.values():
+            by_guard[entry.guard] = by_guard.get(entry.guard, 0) + 1
+        return {
+            "entries": len(self._entries),
+            "by_guard": dict(sorted(by_guard.items())),
+            "attempts": sum(e.attempts for e in self._entries.values()),
+        }

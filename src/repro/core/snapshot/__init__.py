@@ -44,6 +44,7 @@ from .service import OperationCosts, SnapshotService
 from .wal import Transaction, WalError, WriteAheadLog
 from .store import (
     RememberResult,
+    ContentQuarantined,
     SnapshotError,
     SnapshotStore,
     add_base_directive,
@@ -91,6 +92,7 @@ __all__ = [
     "OperationCosts",
     "SnapshotService",
     "RememberResult",
+    "ContentQuarantined",
     "SnapshotError",
     "SnapshotStore",
     "StoreOptions",

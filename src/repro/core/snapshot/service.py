@@ -32,7 +32,7 @@ from ...web.cgi import encode_query_string, parse_query_string
 from ...web.http import Request, Response, make_response
 from .keepalive import CgiTimeout, KeepAlive
 from .persistence import verify_store
-from .store import SnapshotError, SnapshotStore
+from .store import ContentQuarantined, SnapshotError, SnapshotStore
 
 __all__ = ["SnapshotService", "OperationCosts", "stats_page_html",
            "fsck_page_html"]
@@ -148,6 +148,10 @@ class SnapshotService:
             if action == "view":
                 return self._view(url, params.get("rev"), params.get("date"))
             return self._error_page(400, f"unknown action {action!r}")
+        except ContentQuarantined as exc:
+            # A guard refusal is a verdict, not a failure: 422 with the
+            # guard's reason, deterministically, instead of a 500.
+            return self._error_page(422, str(exc))
         except SnapshotError as exc:
             return self._error_page(404, str(exc))
         except CgiTimeout as exc:

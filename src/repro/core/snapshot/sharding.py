@@ -192,6 +192,8 @@ class ShardedSnapshotStore:
         diff_cache_size: int = 256,
         options: Optional[StoreOptions] = None,
         obs=None,
+        guard=None,
+        quarantine=None,
         store_factory: Optional[Callable[[int], SnapshotStore]] = None,
     ) -> None:
         self.clock = clock
@@ -207,6 +209,8 @@ class ShardedSnapshotStore:
                     diff_cache_size=diff_cache_size,
                     options=options,
                     obs=self.obs,
+                    guard=guard,
+                    quarantine=quarantine,
                 )
         self._store_factory = store_factory
         self.shards: List[SnapshotStore] = [

@@ -24,6 +24,7 @@ from ...obs import NOOP as NOOP_OBS
 from ...rcs.archive import RcsArchive, RevisionInfo, UnknownRevision
 from ...simclock import SimClock
 from ...web.client import UserAgent
+from ...web.guards import ContentGuard, ContentGuardError
 from ...web.http import NetworkError
 from ...web.url import parse_url
 from ..htmldiff.api import HtmlDiffResult, html_diff
@@ -39,12 +40,28 @@ if TYPE_CHECKING:
     from .wal import Transaction, WriteAheadLog
 
 __all__ = ["SnapshotStore", "RememberResult", "SnapshotError",
-           "StoreOptions", "add_base_directive"]
+           "ContentQuarantined", "StoreOptions", "add_base_directive"]
 
 
 class SnapshotError(Exception):
     """A snapshot operation could not be completed (message is
     user-facing; the CGI layer turns it into an HTML error page)."""
+
+
+class ContentQuarantined(SnapshotError):
+    """The content guard refused a fetched or supplied body.
+
+    Raised *inside* the check-in transaction, so the WAL rolls the
+    whole operation back and the archive never records the hostile
+    bytes.  The CGI layer renders this as a deterministic 422 verdict
+    rather than a 500 — the refusal is the service working, not the
+    service failing."""
+
+    def __init__(self, url: str, guard: str, detail: str) -> None:
+        super().__init__(f"refused {url}: {guard}: {detail}")
+        self.url = url
+        self.guard = guard
+        self.detail = detail
 
 
 @dataclass
@@ -92,12 +109,21 @@ class SnapshotStore:
         diff_cache_size: int = 256,
         options: Optional[StoreOptions] = None,
         obs=None,
+        guard: Optional[ContentGuard] = None,
+        quarantine=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
         self.diff_options = diff_options
         self.options = options if options is not None else StoreOptions()
         self.obs = obs if obs is not None else NOOP_OBS
+        #: Optional hostile-content guard; when attached, every fetched
+        #: or caller-supplied body must be admitted before it can reach
+        #: an archive, and diffs run under the guard's work budget.
+        self.guard = guard
+        #: Optional dead-letter journal (:class:`QuarantineJournal`)
+        #: holding refused bytes for ``aide quarantine list/retry``.
+        self.quarantine = quarantine
         self.archives: Dict[str, RcsArchive] = {}
         self.users = UserControl()
         self.locks = LockManager()
@@ -143,6 +169,7 @@ class SnapshotStore:
         self._c_fetch_bytes = self.obs.counter("snapshot.fetch.bytes")
         self._c_wal_commits = self.obs.counter("snapshot.wal.commits")
         self._c_wal_rollbacks = self.obs.counter("snapshot.wal.rollbacks")
+        self._c_quarantined = self.obs.counter("snapshot.quarantined")
 
     # ------------------------------------------------------------------
     def attach_wal(self, wal: "WriteAheadLog") -> None:
@@ -370,6 +397,7 @@ class SnapshotStore:
         key = self._canonical(url)
         txn = self._begin("checkin", key, user, (user,))
         try:
+            body = self._admit_supplied(key, body)
             with self.locks.acquire(f"url:{key}"), \
                     self.locks.acquire(f"user:{user}"):
                 result = self._checkin(user, key, body, txn)
@@ -397,6 +425,7 @@ class SnapshotStore:
     ) -> List[RememberResult]:
         txn = self._begin("checkin-batch", key, author, tuple(users))
         try:
+            body = self._admit_supplied(key, body)
             if self.options.coalesce_checkins:
                 revision, changed, _ = self._coalesced_checkin(
                     author, key, body, txn
@@ -496,7 +525,37 @@ class SnapshotStore:
                 f"could not retrieve {url}: HTTP {result.response.status} "
                 f"{result.response.reason}"
             )
-        return result.response.body
+        if self.guard is None:
+            return result.response.body
+        try:
+            return self.guard.admit(url, result.response)
+        except ContentGuardError as exc:
+            self._refuse(url, exc, result.response.body,
+                         result.response.content_type)
+
+    def _admit_supplied(self, key: str, body: str,
+                        content_type: str = "text/html") -> str:
+        """Guard a body the caller fetched themselves (checkin_content
+        paths): same admission rule as :meth:`_fetch`, minus headers."""
+        if self.guard is None:
+            return body
+        try:
+            return self.guard.admit_body(key, body, content_type)
+        except ContentGuardError as exc:
+            self._refuse(key, exc, body, content_type)
+
+    def _refuse(self, url: str, exc: ContentGuardError, body: str,
+                content_type: str) -> None:
+        """Journal the evidence, then raise the 422 verdict.  Callers
+        inside a transaction unwind through :meth:`_rollback`, so the
+        archive and control files never see the bytes."""
+        self._c_quarantined.inc()
+        self.obs.event("snapshot.quarantine", url=url, guard=exc.guard)
+        if self.quarantine is not None:
+            self.quarantine.record(url, exc.guard, exc.detail, body,
+                                   at=self.clock.now,
+                                   content_type=content_type)
+        raise ContentQuarantined(url, exc.guard, exc.detail)
 
     # ------------------------------------------------------------------
     # diff
@@ -577,8 +636,10 @@ class SnapshotStore:
         except UnknownRevision as exc:
             raise SnapshotError(f"no such revision of {archive.name}: {exc}")
         self.htmldiff_invocations += 1
+        budget = (self.guard.html_budget(archive.name)
+                  if self.guard is not None else None)
         return html_diff(old_text, new_text, options=self.diff_options,
-                         obs=self.obs)
+                         obs=self.obs, budget=budget)
 
     def _checkout_text(
         self, key: str, archive: RcsArchive, revision: Optional[str] = None
@@ -713,6 +774,12 @@ class SnapshotStore:
         # documents; "wal" and "sched" are always present so the
         # action=stats surface shows whether those layers are attached.
         out["locking"] = out["locks"]
+        if self.guard is not None:
+            out["guards"] = dict(self.guard.stats(), attached=True)
+        else:
+            out["guards"] = {"attached": False}
+        if self.quarantine is not None:
+            out["quarantine"] = self.quarantine.stats()
         if self.wal is not None:
             out["wal"] = dict(self.wal.stats(), attached=True)
         else:

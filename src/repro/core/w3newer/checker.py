@@ -29,8 +29,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...obs import NOOP as NOOP_OBS
-from ...simclock import NEVER, WEEK, SimClock
+from ...simclock import DAY, NEVER, WEEK, SimClock
 from ...web.client import RobotsUnavailable, UserAgent
+from ...web.guards import ContentGuardError
 from ...web.http import NetworkError, NetworkUnreachable
 from ...web.proxy import ProxyCache
 from ...web.resilience import CircuitOpen, RetriesExhausted
@@ -41,6 +42,7 @@ from .errors import (
     CheckSource,
     SystemicFailureDetector,
     UrlState,
+    quarantine_backoff,
 )
 from .history import BrowserHistory
 from .localfs import LocalFiles
@@ -83,6 +85,10 @@ class CheckerFlags:
     #: host if a host or network error (such as 'timeout' or 'network
     #: unreachable') has already occurred."
     skip_failing_hosts: bool = False
+    #: Base window for the quarantine backoff: a URL whose content
+    #: tripped a guard is left alone for ``base * 2^(trips-1)``
+    #: (capped at 16x) before the next attempt.
+    quarantine_backoff_base: int = DAY
 
 
 class UrlChecker:
@@ -100,6 +106,8 @@ class UrlChecker:
         flags: Optional[CheckerFlags] = None,
         failure_detector: Optional[SystemicFailureDetector] = None,
         obs=None,
+        guard=None,
+        quarantine=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
@@ -118,12 +126,20 @@ class UrlChecker:
         #: Hosts that produced a transport failure during THIS run; with
         #: ``skip_failing_hosts`` their remaining URLs are not attempted.
         self._failed_hosts: set = set()
+        #: Optional :class:`~repro.web.guards.ContentGuard` applied to
+        #: every fetched body (and HEAD headers); trips quarantine the
+        #: URL instead of checksumming hostile bytes.
+        self.guard = guard
+        #: Optional :class:`~repro.core.quarantine.QuarantineJournal`
+        #: receiving the offending bytes + verdict on every trip.
+        self.quarantine = quarantine
         self.obs = obs if obs is not None else NOOP_OBS
         self._c_head = self.obs.counter("w3newer.fetch.head_requests")
         self._c_get = self.obs.counter("w3newer.fetch.get_requests")
         self._c_bytes = self.obs.counter("w3newer.fetch.bytes")
         self._c_robots = self.obs.counter("w3newer.fetch.robots_requests")
         self._c_degraded = self.obs.counter("w3newer.degraded_stale")
+        self._c_quarantined = self.obs.counter("w3newer.quarantined")
 
     # ------------------------------------------------------------------
     def check(self, url: str, force: bool = False) -> CheckOutcome:
@@ -170,6 +186,22 @@ class UrlChecker:
         if record.robot_forbidden and not self.flags.ignore_robots:
             return CheckOutcome(url=url, state=UrlState.ROBOT_FORBIDDEN,
                                 last_seen=last_seen)
+
+        # 2b. Quarantine backoff.  A URL whose content tripped a guard
+        # is left alone for an exponentially growing window; like
+        # robots, this survives ``force`` — the scheduler's budget is
+        # better spent on pages that serve sane bytes.
+        if record.quarantine_count > 0 and record.quarantined_at is not None:
+            window = quarantine_backoff(
+                record.quarantine_count, self.flags.quarantine_backoff_base
+            )
+            if now - record.quarantined_at < window:
+                return CheckOutcome(
+                    url=url, state=UrlState.QUARANTINED,
+                    error=record.last_error,
+                    error_count=record.quarantine_count,
+                    last_seen=last_seen,
+                )
 
         # 3. Cheap modification-date sources, freshest first.  A
         #    "modified since seen" verdict is actionable at any age; an
@@ -353,6 +385,15 @@ class UrlChecker:
                 moved_to=record.moved_to, http_requests=requests_spent,
             )
 
+        if self.guard is not None:
+            try:
+                # Header bombs arrive on HEAD responses too.
+                self.guard.check_headers(url, response.headers)
+            except ContentGuardError as exc:
+                return self._quarantine(
+                    url, record, last_seen, exc, requests_spent, body=""
+                )
+
         record.record_success()
 
         mod_date = response.last_modified
@@ -408,7 +449,20 @@ class UrlChecker:
                 error_count=record.error_count, last_seen=last_seen,
                 http_requests=requests_spent,
             )
-        checksum = content_checksum(response.body)
+        if self.guard is not None:
+            try:
+                body = self.guard.admit(url, response)
+            except ContentGuardError as exc:
+                return self._quarantine(
+                    url, record, last_seen, exc, requests_spent,
+                    body=response.body, content_type=response.content_type,
+                )
+            if record.quarantine_count:
+                # The page serves sane bytes again; lift the backoff.
+                record.clear_quarantine()
+        else:
+            body = response.body
+        checksum = content_checksum(body)
         previous = record.checksum
         record.checksum = checksum
         record.checksum_obtained_at = now
@@ -429,6 +483,29 @@ class UrlChecker:
             url=url, state=state, source=CheckSource.CHECKSUM,
             modification_date=record.modification_date, last_seen=last_seen,
             moved_to=record.moved_to, http_requests=requests_spent,
+        )
+
+    def _quarantine(
+        self, url: str, record, last_seen: Optional[int],
+        exc: ContentGuardError, requests_spent: int, body: str,
+        content_type: str = "text/html",
+    ) -> CheckOutcome:
+        """Record a guard trip: backoff state, journal, verdict."""
+        now = self.clock.now
+        record.record_quarantine(str(exc), now)
+        record.last_http_check = now  # real HTTP was spent
+        self._c_quarantined.inc()
+        self.obs.event("w3newer.quarantine", url=url, guard=exc.guard)
+        if self.quarantine is not None:
+            self.quarantine.record(
+                url=url, guard=exc.guard, detail=str(exc), body=body,
+                at=now, content_type=content_type,
+            )
+        return CheckOutcome(
+            url=url, state=UrlState.QUARANTINED, source=CheckSource.CHECKSUM,
+            error=str(exc), error_count=record.quarantine_count,
+            last_seen=last_seen, moved_to=record.moved_to,
+            http_requests=requests_spent,
         )
 
     def _transport_error(

@@ -15,7 +15,7 @@ from enum import Enum
 from typing import Optional
 
 __all__ = ["UrlState", "CheckSource", "CheckOutcome", "SystemicFailureDetector",
-           "RunAborted"]
+           "RunAborted", "quarantine_backoff"]
 
 
 class UrlState(Enum):
@@ -43,6 +43,10 @@ class UrlState(Enum):
     #: Degraded mode: the host is open-circuited or out of retries, so
     #: the verdict is the status cache's last word, served stale.
     STALE = "stale"
+    #: The content tripped an ingest guard (markup bomb, binary blob,
+    #: undecodable charset...) — the document is in quarantine and the
+    #: URL backs off exponentially until it serves sane bytes again.
+    QUARANTINED = "quarantined"
 
 
 class CheckSource(Enum):
@@ -74,6 +78,19 @@ class CheckOutcome:
     @property
     def is_new_to_user(self) -> bool:
         return self.state in (UrlState.CHANGED, UrlState.NEVER_SEEN)
+
+
+def quarantine_backoff(trip_count: int, base: int) -> int:
+    """Seconds to leave a quarantined URL alone: exponential in the
+    number of guard trips, capped at 16x the base window.
+
+    A page that served one binary blob gets rechecked after ``base``;
+    one that trips the guard every time it is fetched converges to a
+    16x-base cadence instead of burning a request per run forever.
+    """
+    if trip_count <= 0:
+        return 0
+    return base * min(2 ** (trip_count - 1), 16)
 
 
 class RunAborted(Exception):

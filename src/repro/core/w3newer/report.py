@@ -61,6 +61,7 @@ _STATE_LABELS: Dict[UrlState, str] = {
     UrlState.MOVED: "moved",
     UrlState.ERROR: "error",
     UrlState.STALE: "stale (last known state)",
+    UrlState.QUARANTINED: "quarantined (hostile content)",
 }
 
 _GROUP_ORDER = {
@@ -68,6 +69,7 @@ _GROUP_ORDER = {
     UrlState.NEVER_SEEN: 0,
     UrlState.MOVED: 1,
     UrlState.ERROR: 1,
+    UrlState.QUARANTINED: 2,
     UrlState.STALE: 2,
     UrlState.ROBOT_FORBIDDEN: 3,
     UrlState.SEEN: 4,
@@ -127,6 +129,13 @@ def render_report(
                 detail += (f" (modified "
                            f"{format_timestamp(outcome.modification_date)})")
             detail += "</I>"
+        if outcome.state is UrlState.QUARANTINED:
+            # The guard's verdict plus how many fetches have tripped —
+            # the operator's cue for `aide quarantine list/retry`.
+            detail = f" &#183; <I>{encode_entities(outcome.error)}"
+            if outcome.error_count > 1:
+                detail += f" ({outcome.error_count} guard trips)"
+            detail += "; in backoff</I>"
         if outcome.moved_to:
             detail += (
                 f' &#183; moved to <A HREF="{outcome.moved_to}">'
@@ -141,11 +150,16 @@ def render_report(
     changed = sum(1 for o in outcomes if o.is_new_to_user)
     errors = sum(1 for o in outcomes if o.state is UrlState.ERROR)
     stale = sum(1 for o in outcomes if o.state is UrlState.STALE)
+    quarantined = sum(
+        1 for o in outcomes if o.state is UrlState.QUARANTINED
+    )
     header_bits = [f"{len(outcomes)} URLs", f"{changed} changed"]
     if errors:
         header_bits.append(f"{errors} errors")
     if stale:
         header_bits.append(f"{stale} stale")
+    if quarantined:
+        header_bits.append(f"{quarantined} quarantined")
     status_line = ", ".join(header_bits)
     abort_html = (
         f'<P><B>Run aborted early:</B> {encode_entities(aborted)}</P>'

@@ -109,6 +109,12 @@ class RunResult:
         return [o for o in self.outcomes if o.state is UrlState.STALE]
 
     @property
+    def quarantined(self) -> List[CheckOutcome]:
+        """URLs whose content tripped an ingest guard."""
+        return [o for o in self.outcomes
+                if o.state is UrlState.QUARANTINED]
+
+    @property
     def http_requests(self) -> int:
         return sum(o.http_requests for o in self.outcomes)
 
@@ -151,6 +157,8 @@ class W3Newer:
         obs=None,
         crawl: Optional[CrawlOptions] = None,
         estimator: Optional[ChangeRateEstimator] = None,
+        guard=None,
+        quarantine=None,
     ) -> None:
         self.clock = clock
         self.agent = agent
@@ -178,6 +186,11 @@ class W3Newer:
                 and crawl.policy is SchedulePolicy.ADAPTIVE:
             estimator = ChangeRateEstimator()
         self.estimator = estimator
+        #: Optional hostile-content hardening: a ContentGuard applied
+        #: to every fetched body, and a QuarantineJournal holding the
+        #: offending bytes for `aide quarantine list/retry/purge`.
+        self.guard = guard
+        self.quarantine = quarantine
         #: The last screening pass (PolicyDecisions for ``--explain``).
         self.last_schedule: Optional[CrawlSchedule] = None
         #: Governor/scheduling stats of the last concurrent run.
@@ -236,6 +249,8 @@ class W3Newer:
             flags=self.flags,
             failure_detector=SystemicFailureDetector(self.abort_after_failures),
             obs=self.obs,
+            guard=self.guard,
+            quarantine=self.quarantine,
         )
         self._c_runs.inc()
         index = start_index
@@ -362,6 +377,8 @@ class W3Newer:
             flags=self.flags,
             failure_detector=SystemicFailureDetector(self.abort_after_failures),
             obs=self.obs,
+            guard=self.guard,
+            quarantine=self.quarantine,
         )
         if checkpoint is not None:
             checker._robots_by_host.update(checkpoint.robots_by_host)
@@ -441,7 +458,11 @@ class W3Newer:
             self.estimator.observe(url, now, changed=True)
         elif state in (UrlState.SEEN, UrlState.MOVED, UrlState.NEVER_SEEN):
             self.estimator.observe(url, now, changed=False)
-        elif state in (UrlState.ERROR, UrlState.STALE):
+        elif state in (UrlState.ERROR, UrlState.STALE,
+                       UrlState.QUARANTINED):
+            # A quarantined fetch taught us nothing about change rate;
+            # like errors, it counts as a miss so the estimator cools
+            # the URL's priority instead of re-spending budget on it.
             self.estimator.observe_miss(url, now)
 
     def _render_into(self, result: RunResult) -> None:
@@ -520,6 +541,7 @@ class W3Newer:
             "changed": len(result.changed),
             "errors": len(result.errors),
             "stale": len(result.stale),
+            "quarantined": len(result.quarantined),
             "skipped": result.skipped,
             "checked_via_http": result.checked_via_http,
             "http_requests": result.http_requests,

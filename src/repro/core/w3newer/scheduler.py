@@ -30,7 +30,7 @@ from ...simclock import NEVER
 from ...web.proxy import ProxyCache
 from ...web.url import parse_url
 from .checker import CheckerFlags
-from .errors import CheckOutcome, CheckSource, UrlState
+from .errors import CheckOutcome, CheckSource, UrlState, quarantine_backoff
 from .estimator import ChangeRateEstimator
 from .history import BrowserHistory
 from .hotlist import HotlistEntry
@@ -232,7 +232,7 @@ def build_schedule(
     schedule = CrawlSchedule(policy=policy, budget=budget)
     counters = {
         "scheduled": 0, "free": 0, "fetch": 0, "deferred": 0,
-        "never": 0, "not_due": 0, "coalesced": 0,
+        "never": 0, "not_due": 0, "coalesced": 0, "quarantined": 0,
     }
     free: List[_Candidate] = []
     fetch: List[_Candidate] = []
@@ -293,6 +293,23 @@ def build_schedule(
             free.append(candidate)
             owners[canon] = candidate
             decide(url, "free", "cached robot exclusion, no HTTP")
+            continue
+
+        if record is not None and record.quarantine_count > 0 \
+                and record.quarantined_at is not None \
+                and now - record.quarantined_at < quarantine_backoff(
+                    record.quarantine_count,
+                    flags.quarantine_backoff_base):
+            # Mirrors the checker's quarantine backoff: a poison page
+            # answers QUARANTINED for free instead of burning budget.
+            schedule.synthesized.append(
+                (index, CheckOutcome(url=url, state=UrlState.QUARANTINED,
+                                     error=record.last_error,
+                                     error_count=record.quarantine_count,
+                                     last_seen=last_seen))
+            )
+            counters["quarantined"] += 1
+            decide(url, "quarantined", "in quarantine backoff")
             continue
 
         if _cached_says_changed(record, proxy, url, last_seen):

@@ -46,10 +46,25 @@ class UrlRecord:
     #: advancing, or a checksum mismatch) — the change-rate estimator's
     #: per-URL evidence, persisted with the rest of the record.
     last_change_at: Optional[int] = None
+    #: Consecutive content-guard trips (drives the quarantine backoff)
+    #: and when the last one happened.  Cleared only when a fetch is
+    #: admitted cleanly — unlike ``error_count``, a successful HEAD does
+    #: not vouch for the body.
+    quarantine_count: int = 0
+    quarantined_at: Optional[int] = None
 
     def record_success(self) -> None:
         self.error_count = 0
         self.last_error = ""
+
+    def record_quarantine(self, message: str, at: int) -> None:
+        self.quarantine_count += 1
+        self.quarantined_at = at
+        self.last_error = message
+
+    def clear_quarantine(self) -> None:
+        self.quarantine_count = 0
+        self.quarantined_at = None
 
     def record_error(self, message: str) -> None:
         self.error_count += 1
@@ -97,8 +112,10 @@ class StatusCache:
         """A line-per-URL text format, ``|``-separated fields.
 
         The tenth field (``last_change_at``) was added for the change-
-        rate estimator; :meth:`deserialize` still accepts the legacy
-        nine-field form, so old cache files load cleanly.
+        rate estimator, and the eleventh/twelfth
+        (``quarantine_count``/``quarantined_at``) for the content-guard
+        quarantine; :meth:`deserialize` still accepts the legacy nine-
+        and ten-field forms, so old cache files load cleanly.
         """
         lines = []
         for key in sorted(self._records):
@@ -116,6 +133,8 @@ class StatusCache:
                         str(r.error_count),
                         r.moved_to or "-",
                         _opt(r.last_change_at),
+                        str(r.quarantine_count),
+                        _opt(r.quarantined_at),
                     ]
                 )
             )
@@ -126,7 +145,7 @@ class StatusCache:
         cache = cls()
         for line in text.splitlines():
             parts = line.split("|")
-            if len(parts) not in (9, 10):
+            if len(parts) not in (9, 10, 12):
                 continue
             record = cache.record_for(parts[0])
             record.modification_date = _parse_opt(parts[1])
@@ -140,8 +159,14 @@ class StatusCache:
             except ValueError:
                 record.error_count = 0
             record.moved_to = "" if parts[8] == "-" else parts[8]
-            if len(parts) == 10:
+            if len(parts) >= 10:
                 record.last_change_at = _parse_opt(parts[9])
+            if len(parts) == 12:
+                try:
+                    record.quarantine_count = int(parts[10])
+                except ValueError:
+                    record.quarantine_count = 0
+                record.quarantined_at = _parse_opt(parts[11])
         return cache
 
 

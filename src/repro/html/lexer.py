@@ -19,7 +19,8 @@ import re
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
-__all__ = ["Tag", "Text", "Comment", "Declaration", "Node", "tokenize_html"]
+__all__ = ["Tag", "Text", "Comment", "Declaration", "Node", "tokenize_html",
+           "iter_nodes"]
 
 _NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9._\-]*")
 _WS_RE = re.compile(r"\s+")
@@ -104,11 +105,14 @@ class Declaration:
 Node = Union[Tag, Text, Comment, Declaration]
 
 
-def _parse_attrs(body: str) -> Tuple[Tuple[str, Optional[str]], ...]:
+def _parse_attrs(body: str, budget=None) -> Tuple[Tuple[str, Optional[str]], ...]:
     """Parse the attribute region of a start tag.
 
     Handles ``name``, ``name=value``, ``name="value"``, ``name='value'``
     in any mix, tolerating sloppy whitespace — 1995 HTML was hand-typed.
+    An optional hardening ``budget`` caps attributes per tag (the
+    attr-bomb guard); it is charged as the list grows so a pathological
+    tag aborts early instead of being materialized first.
     """
     attrs: List[Tuple[str, Optional[str]]] = []
     pos = 0
@@ -151,50 +155,64 @@ def _parse_attrs(body: str) -> Tuple[Tuple[str, Optional[str]], ...]:
             attrs.append((name, value))
         else:
             attrs.append((name, None))
+        if budget is not None:
+            budget.check_attrs(len(attrs))
     return tuple(attrs)
 
 
-def tokenize_html(source: str) -> List[Node]:
+def tokenize_html(source: str, budget=None) -> List[Node]:
     """Lex an HTML document into a flat node list.
 
     Never raises on malformed input: unterminated tags become text, junk
     inside tags is skipped.  Robustness matters more than strictness —
     w3newer and snapshot feed this whatever the wire delivered.
+
+    The one exception is an explicit hardening ``budget`` (an
+    ``HtmlBudget`` from ``repro.web.guards``): token-count and
+    attribute caps raise its guard errors, turning markup bombs into
+    quarantine verdicts instead of memory floods.  Without a budget
+    (the default) behavior is exactly the legacy never-raises contract.
     """
-    return list(iter_nodes(source))
+    return list(iter_nodes(source, budget=budget))
 
 
-def iter_nodes(source: str) -> Iterator[Node]:
+def iter_nodes(source: str, budget=None) -> Iterator[Node]:
     """Streaming form of :func:`tokenize_html`."""
+
+    def emit(node: Node) -> Node:
+        if budget is not None:
+            budget.charge_token()
+        return node
+
     pos = 0
     length = len(source)
     while pos < length:
         lt = source.find("<", pos)
         if lt == -1:
-            yield Text(source[pos:])
+            yield emit(Text(source[pos:]))
             return
         if lt > pos:
-            yield Text(source[pos:lt])
+            yield emit(Text(source[pos:lt]))
         if source.startswith("<!--", lt):
             end = source.find("-->", lt + 4)
             if end == -1:
-                yield Comment(source[lt + 4:], raw=source[lt:])
+                yield emit(Comment(source[lt + 4:], raw=source[lt:]))
                 return
-            yield Comment(source[lt + 4:end], raw=source[lt:end + 3])
+            yield emit(Comment(source[lt + 4:end], raw=source[lt:end + 3]))
             pos = end + 3
             continue
         if source.startswith("<!", lt):
             end = source.find(">", lt)
             if end == -1:
-                yield Text(source[lt:])
+                yield emit(Text(source[lt:]))
                 return
-            yield Declaration(source[lt:end + 1])
+            yield emit(Declaration(source[lt:end + 1]))
             pos = end + 1
             continue
         end = source.find(">", lt)
         if end == -1:
             # Unterminated tag: emit as literal text, as browsers did.
-            yield Text(source[lt:])
+            yield emit(Text(source[lt:]))
             return
         inner = source[lt + 1:end]
         closing = inner.startswith("/")
@@ -203,11 +221,11 @@ def iter_nodes(source: str) -> Iterator[Node]:
         name_match = _NAME_RE.match(inner.strip())
         if not name_match:
             # "<>" or "< 3" — not markup; literal text.
-            yield Text(source[lt:end + 1])
+            yield emit(Text(source[lt:end + 1]))
             pos = end + 1
             continue
         name = name_match.group(0).upper()
         attr_body = inner.strip()[name_match.end():]
-        attrs = _parse_attrs(attr_body) if not closing else ()
-        yield Tag(name=name, attrs=attrs, closing=closing, raw=source[lt:end + 1])
+        attrs = _parse_attrs(attr_body, budget=budget) if not closing else ()
+        yield emit(Tag(name=name, attrs=attrs, closing=closing, raw=source[lt:end + 1]))
         pos = end + 1

@@ -54,12 +54,18 @@ def _synthetic_close(name: str) -> Tag:
     return Tag(name=name, closing=True, raw=f"</{name}>")
 
 
-def repair_nodes(nodes: Sequence[Node], stats: RepairStats = None) -> List[Node]:
+def repair_nodes(nodes: Sequence[Node], stats: RepairStats = None,
+                 budget=None) -> List[Node]:
     """Return a balanced copy of ``nodes``.
 
     Every start tag of a non-empty element ends up with exactly one
     matching end tag, properly nested.  Text, comments and declarations
     pass through untouched.
+
+    An optional hardening ``budget`` (``HtmlBudget`` from
+    ``repro.web.guards``) caps the open-element stack depth: a tag bomb
+    raises the nesting-depth guard error instead of building a
+    million-entry stack and a doubled output list.
     """
     if stats is None:
         stats = RepairStats()
@@ -81,6 +87,8 @@ def repair_nodes(nodes: Sequence[Node], stats: RepairStats = None) -> List[Node]
             out.append(node)
             if not is_empty_tag(name):
                 stack.append(name)
+                if budget is not None:
+                    budget.check_depth(len(stack))
             continue
         # End tag.
         if is_empty_tag(name) or name not in stack:

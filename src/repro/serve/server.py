@@ -82,6 +82,8 @@ class DiffServer:
         fault_plan: Optional[ShardFaultPlan] = None,
         scrub_interval: int = 0,
         sync_interval: int = 0,
+        guard=None,
+        quarantine=None,
     ) -> None:
         self.clock = clock
         self.obs = obs if obs is not None else NOOP_OBS
@@ -97,6 +99,7 @@ class DiffServer:
         self.store = ShardedSnapshotStore(
             clock, agent, shard_count=shards,
             diff_options=diff_options, options=store_options, obs=self.obs,
+            guard=guard, quarantine=quarantine,
         )
         #: One full CGI service per shard: the response-rendering code
         #: is shared with the reference deployment, not reimplemented.

@@ -27,6 +27,21 @@ from .http import (
     TimeoutError_,
     make_response,
 )
+from .guards import (
+    AttributeBomb,
+    BinaryContent,
+    BodyTooLarge,
+    CharsetUndecodable,
+    ContentGuard,
+    ContentGuardError,
+    EntityBomb,
+    ExpansionBomb,
+    GuardLimits,
+    HeaderBomb,
+    HtmlBudget,
+    MarkupDepthExceeded,
+    TokenBomb,
+)
 from .network import FaultPlan, FaultRule, Network, RequestRecord
 from .politeness import PolitenessLog
 from .proxy import ProxyCache
@@ -47,6 +62,19 @@ __all__ = [
     "TooManyRedirects",
     "UserAgent",
     "robots_from_response",
+    "AttributeBomb",
+    "BinaryContent",
+    "BodyTooLarge",
+    "CharsetUndecodable",
+    "ContentGuard",
+    "ContentGuardError",
+    "EntityBomb",
+    "ExpansionBomb",
+    "GuardLimits",
+    "HeaderBomb",
+    "HtmlBudget",
+    "MarkupDepthExceeded",
+    "TokenBomb",
     "FaultPlan",
     "FaultRule",
     "CircuitBreaker",

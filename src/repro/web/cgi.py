@@ -10,6 +10,7 @@ module also supplies the stock scripts those experiments need.
 
 from __future__ import annotations
 
+import codecs
 from typing import Callable, Dict, Optional
 
 from .http import Request, Response, make_response
@@ -49,12 +50,33 @@ def encode_query_string(params: Dict[str, str]) -> str:
     return "&".join(f"{_escape(k)}={_escape(v)}" for k, v in params.items())
 
 
+def _invalid_run_as_percent(err: UnicodeError) -> tuple:
+    """Codec error handler: render each invalid byte as a literal
+    ``%XX`` escape instead of U+FFFD.
+
+    ``decode("utf-8", "replace")`` folds every malformed run — overlong
+    encodings, stray continuation bytes, truncated sequences — into the
+    same replacement character, so distinct hostile query strings
+    collapse into identical keys.  Re-emitting the offending bytes as
+    percent escapes keeps distinct inputs distinct (and round-trips:
+    re-submitting the decoded form resends the same bytes).
+    """
+    raw = err.object[err.start:err.end]
+    return "".join(f"%{byte:02X}" for byte in raw), err.end
+
+
+codecs.register_error("aide-percent", _invalid_run_as_percent)
+
+
 def _unescape(text: str) -> str:
     """Decode ``+`` and ``%XX`` byte escapes (UTF-8 sequences included).
 
     Percent escapes are byte-level, so multi-byte characters arrive as
     several ``%XX`` runs; bytes are accumulated and decoded together.
-    Malformed escapes pass through literally, as servers of the era did.
+    Malformed escapes pass through literally, as servers of the era
+    did, and byte runs that are not valid UTF-8 (overlong encodings
+    included) stay visible as literal ``%XX`` text rather than being
+    folded into U+FFFD.
     """
     text = text.replace("+", " ")
     out = bytearray()
@@ -70,7 +92,7 @@ def _unescape(text: str) -> str:
                 pass
         out.extend(text[i].encode("utf-8"))
         i += 1
-    return out.decode("utf-8", "replace")
+    return out.decode("utf-8", "aide-percent")
 
 
 _SAFE = set(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"

@@ -27,7 +27,22 @@ _MAX_REDIRECTS = 5
 
 
 class TooManyRedirects(NetworkError):
-    """Redirect chain exceeded the hop limit (loop or misconfiguration)."""
+    """Redirect chain exceeded the hop limit (loop or misconfiguration).
+
+    Carries the full hop trail (``redirects``, the URLs visited in
+    order) so reports can show *where* the chain went instead of a
+    bare count — a loop between two CGI endpoints and a five-deep
+    server migration read very differently to the person fixing it.
+    """
+
+    def __init__(self, url: str, redirects: List[str]) -> None:
+        chain = " -> ".join(redirects) if redirects else str(url)
+        super().__init__(
+            f"more than {_MAX_REDIRECTS} redirects from {url} "
+            f"(chain: {chain})"
+        )
+        self.url = str(url)
+        self.redirects = list(redirects)
 
 
 class RobotsUnavailable(Exception):
@@ -140,7 +155,8 @@ class UserAgent:
                 current = join_url(current, location).normalized()
                 continue
             return FetchResult(response, current, redirects)
-        raise TooManyRedirects(f"more than {_MAX_REDIRECTS} redirects from {url}")
+        redirects.append(str(current))
+        raise TooManyRedirects(str(url), redirects)
 
     # ------------------------------------------------------------------
     def get(self, url: Union[str, Url], timeout: Optional[int] = None,

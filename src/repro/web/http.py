@@ -39,6 +39,7 @@ STATUS_REASONS: Dict[int, str] = {
     404: "Not Found",
     405: "Method Not Allowed",
     410: "Gone",
+    422: "Unprocessable Entity",
     500: "Internal Server Error",
     501: "Not Implemented",
     502: "Bad Gateway",

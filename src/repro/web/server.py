@@ -9,7 +9,7 @@ overload/timeout experiments work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..simclock import SimClock
@@ -32,6 +32,9 @@ class Page:
     send_last_modified: bool = True
     #: Revision counter, handy for tests and workload bookkeeping.
     version: int = 1
+    #: Extra response headers (e.g. ``Content-Encoding`` for the
+    #: simulated transfer coding, or a hostile server's header flood).
+    headers: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -80,6 +83,7 @@ class HttpServer:
         content_type: str = "text/html",
         send_last_modified: bool = True,
         touch: bool = True,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Page:
         """Create or replace a static page.
 
@@ -98,6 +102,7 @@ class HttpServer:
             content_type=content_type,
             send_last_modified=send_last_modified,
             version=version,
+            headers=dict(headers) if headers else {},
         )
         self._pages[path] = page
         self._gone.pop(path, None)
@@ -179,6 +184,8 @@ class HttpServer:
         response = make_response(
             200, body, last_modified=stamp, content_type=page.content_type
         )
+        for name, value in page.headers.items():
+            response.headers.set(name, value)
         if request.method == "HEAD":
             # Content-Length still advertises the entity size.
             response.headers.set("Content-Length", str(len(page.body)))

@@ -27,6 +27,12 @@ from .crawlworld import (
     revision_history,
     seed_estimator,
 )
+from .hostileworld import (
+    HOSTILE_MUTATORS,
+    HostileDoc,
+    hostile_corpus,
+    populate_hostile_server,
+)
 from .pagegen import PageGenerator
 from .schedule import PageEvolution, WebEvolver
 from .scenario import CHANGE_CLASSES, SyntheticWeb, build_hotlist, build_web
@@ -50,6 +56,10 @@ __all__ = [
     "build_crawl_world",
     "revision_history",
     "seed_estimator",
+    "HOSTILE_MUTATORS",
+    "HostileDoc",
+    "hostile_corpus",
+    "populate_hostile_server",
     "PageGenerator",
     "PageEvolution",
     "WebEvolver",

@@ -1,0 +1,237 @@
+"""Hostile-content corpus: the fuzzing harness's mutation operators.
+
+Where :mod:`repro.workloads.mutate` models how *benign* pages evolve,
+this module models how pages go wrong — truncated transfers, charset
+lies, tag bombs, decompression bombs — so the guard layer
+(:mod:`repro.web.guards`) can be exercised deterministically.  Every
+operator is seeded: the same ``(seed, count)`` pair always produces the
+same corpus, byte for byte, which is what lets ``bench_hostile``
+commit its results and CI re-verify them.
+
+Each operator takes a benign seed page and a ``random.Random`` and
+returns a :class:`HostileDoc`: the mutated body plus the transport
+envelope (content type, extra headers) and the guard slug the document
+is *designed* to trip (``expect=""`` for robustness-only mutations
+like truncation, which must not crash anything but need not trip a
+guard either).
+
+The corpus is sized against :meth:`repro.web.guards.GuardLimits.strict`
+— the fuzzing profile — so every one of the nine guard classes fires
+somewhere in a few hundred documents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..web.guards import RLE_ENCODING, GuardLimits, rle_compress
+from .pagegen import PageGenerator
+
+__all__ = [
+    "HostileDoc",
+    "HostileMutator",
+    "HOSTILE_MUTATORS",
+    "truncate",
+    "charset_swap",
+    "tag_bomb",
+    "attr_bomb",
+    "entity_bomb",
+    "token_bomb",
+    "binary_splice",
+    "zip_bomb_body",
+    "giant_body",
+    "header_bomb",
+    "hostile_corpus",
+    "populate_hostile_server",
+]
+
+
+@dataclass
+class HostileDoc:
+    """One mutated document plus its transport envelope."""
+
+    name: str
+    body: str
+    content_type: str = "text/html"
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Operator that produced it.
+    mutator: str = ""
+    #: Guard slug this document is designed to trip ("" = should be
+    #: survived gracefully but need not trip anything).
+    expect: str = ""
+
+
+HostileMutator = Callable[[str, random.Random], HostileDoc]
+
+#: The strict (fuzzing) limits the corpus is sized against.
+_STRICT = GuardLimits.strict()
+
+
+def truncate(html: str, rng: random.Random) -> HostileDoc:
+    """Cut the transfer mid-byte — possibly mid-tag, mid-entity, or
+    mid-comment.  Nothing should trip; nothing should crash."""
+    cut = rng.randrange(1, max(2, len(html)))
+    return HostileDoc(name="", body=html[:cut], mutator="truncate")
+
+
+def charset_swap(html: str, rng: random.Random) -> HostileDoc:
+    """Declare a charset the decoder has never heard of, on a body
+    that actually contains non-ASCII bytes."""
+    exotic = rng.choice(["x-klingon", "ebcdic-ch", "koi-13", "cp1995"])
+    body = html.replace(
+        "<BODY>", "<BODY><P>café — naïve résumé</P>", 1
+    )
+    if body == html:  # no <BODY> marker in the seed
+        body = "<P>café</P>" + html
+    return HostileDoc(
+        name="", body=body,
+        content_type=f"text/html; charset={exotic}",
+        mutator="charset_swap", expect="charset",
+    )
+
+
+def tag_bomb(html: str, rng: random.Random) -> HostileDoc:
+    """Nesting far beyond any sane document: ``<DIV><DIV><DIV>...``"""
+    depth = _STRICT.max_nesting_depth + rng.randrange(8, 64)
+    return HostileDoc(
+        name="", body="<DIV>" * depth + html,
+        mutator="tag_bomb", expect="nesting-depth",
+    )
+
+
+def attr_bomb(html: str, rng: random.Random) -> HostileDoc:
+    """One tag carrying hundreds of attributes."""
+    count = _STRICT.max_attrs_per_tag + rng.randrange(4, 32)
+    attrs = " ".join(f'a{i}="{i}"' for i in range(count))
+    return HostileDoc(
+        name="", body=f"<SPAN {attrs}>x</SPAN>" + html,
+        mutator="attr_bomb", expect="attr-bomb",
+    )
+
+
+def entity_bomb(html: str, rng: random.Random) -> HostileDoc:
+    """An ampersand flood — each ``&`` is a potential entity the
+    decoder would otherwise chew on."""
+    count = _STRICT.max_entity_refs + rng.randrange(16, 128)
+    return HostileDoc(
+        name="", body="&amp;" * count + html,
+        mutator="entity_bomb", expect="entity-bomb",
+    )
+
+
+def token_bomb(html: str, rng: random.Random) -> HostileDoc:
+    """Shallow but endless: token count blows past the lexer budget
+    without ever nesting."""
+    repeats = _STRICT.max_tokens // 2 + rng.randrange(16, 256)
+    return HostileDoc(
+        name="", body="<B>x</B>" * repeats,
+        mutator="token_bomb", expect="token-bomb",
+    )
+
+
+def binary_splice(html: str, rng: random.Random) -> HostileDoc:
+    """Splice raw binary (NUL runs) into the middle of the page — the
+    mislabelled-GIF case."""
+    cut = rng.randrange(0, len(html))
+    noise = "".join(chr(rng.choice((0, 1, 2, 3, 4))) for _ in range(64))
+    return HostileDoc(
+        name="", body=html[:cut] + noise + html[cut:],
+        mutator="binary_splice", expect="binary-content",
+    )
+
+
+def zip_bomb_body(html: str, rng: random.Random) -> HostileDoc:
+    """A tiny transfer that inflates enormously: the decoded size
+    stays under the absolute body cap, so it is specifically the
+    expansion *ratio* guard that must fire."""
+    line = "x" * rng.randrange(20, 40)
+    # Decoded size: runs * (len(line)+1); keep it below the strict
+    # 64 KiB body cap while the ratio (decoded/encoded) dwarfs the cap.
+    runs = (_STRICT.max_body_bytes // (len(line) + 1)) - rng.randrange(2, 10)
+    encoded = f"{runs}*{line}\n"
+    return HostileDoc(
+        name="", body=encoded,
+        headers={"Content-Encoding": RLE_ENCODING},
+        mutator="zip_bomb_body", expect="expansion-bomb",
+    )
+
+
+def giant_body(html: str, rng: random.Random) -> HostileDoc:
+    """Plain oversize: more bytes than the envelope admits."""
+    pad = "<P>" + "blah " * 64 + "</P>\n"
+    need = _STRICT.max_body_bytes + rng.randrange(256, 4096)
+    return HostileDoc(
+        name="", body=pad * (need // len(pad) + 1),
+        mutator="giant_body", expect="body-too-large",
+    )
+
+
+def header_bomb(html: str, rng: random.Random) -> HostileDoc:
+    """A benign body behind an absurd header block."""
+    count = _STRICT.max_headers + rng.randrange(4, 32)
+    headers = {f"X-Junk-{i:03d}": "y" * 16 for i in range(count)}
+    return HostileDoc(
+        name="", body=html, headers=headers,
+        mutator="header_bomb", expect="header-bomb",
+    )
+
+
+HOSTILE_MUTATORS: Dict[str, HostileMutator] = {
+    "truncate": truncate,
+    "charset_swap": charset_swap,
+    "tag_bomb": tag_bomb,
+    "attr_bomb": attr_bomb,
+    "entity_bomb": entity_bomb,
+    "token_bomb": token_bomb,
+    "binary_splice": binary_splice,
+    "zip_bomb_body": zip_bomb_body,
+    "giant_body": giant_body,
+    "header_bomb": header_bomb,
+}
+
+
+def hostile_corpus(
+    count: int, seed: int = 0, mutators: Optional[List[str]] = None
+) -> List[HostileDoc]:
+    """``count`` mutated documents, deterministically from ``seed``.
+
+    Operators are applied round-robin so even a small corpus covers
+    every guard class; the per-document ``random.Random`` stream keeps
+    sizes and cut points varied within each class.
+    """
+    names = mutators if mutators is not None else list(HOSTILE_MUTATORS)
+    rng = random.Random(seed)
+    generator = PageGenerator(seed=seed)
+    docs: List[HostileDoc] = []
+    for index in range(count):
+        name = names[index % len(names)]
+        page = generator.page(
+            paragraphs=rng.randrange(2, 6), links=rng.randrange(0, 4)
+        )
+        doc = HOSTILE_MUTATORS[name](page, rng)
+        doc.name = f"{name}-{index:04d}"
+        docs.append(doc)
+    return docs
+
+
+def populate_hostile_server(
+    server, docs: List[HostileDoc], send_last_modified: bool = False
+) -> List[str]:
+    """Publish a corpus on an :class:`~repro.web.server.HttpServer`;
+    returns the URL list (one page per document).
+
+    ``send_last_modified`` defaults to False so w3newer's checker takes
+    the GET-and-checksum path — the one that runs bodies through the
+    content guard — instead of trusting a HEAD's Last-Modified."""
+    urls = []
+    for doc in docs:
+        path = f"/{doc.name}.html"
+        server.set_page(
+            path, doc.body,
+            content_type=doc.content_type, headers=doc.headers,
+            send_last_modified=send_last_modified,
+        )
+        urls.append(f"http://{server.host}{path}")
+    return urls

@@ -106,3 +106,58 @@ class TestRepair:
     @settings(max_examples=150)
     def test_arbitrary_input_balanced(self, source):
         assert_balanced(repair_nodes(tokenize_html(source)))
+
+
+class TestAdversarialInputs:
+    """Hostile-shaped markup: repair must stay total and idempotent."""
+
+    def repair_text(self, source):
+        return serialize_nodes(repair_nodes(tokenize_html(source)))
+
+    def test_unclosed_script_at_eof(self):
+        out = self.repair_text("<P>before<SCRIPT>var x = '<b>not a tag")
+        repaired = tokenize_html(out)
+        assert_balanced(repair_nodes(repaired))
+
+    def test_unclosed_comment_at_eof(self):
+        out = self.repair_text("<P>text<!-- the comment never ends")
+        assert "text" in out
+
+    def test_comment_swallowing_markup_at_eof(self):
+        source = "<UL><LI>one<!--<LI>two</UL>"
+        assert_balanced(repair_nodes(tokenize_html(source)))
+
+    def test_misnesting_beyond_depth_100(self):
+        source = "".join(f"<T{i}>" for i in range(150)) + "core" + \
+            "".join(f"</T{i}>" for i in range(150))  # closes in open order
+        repaired = repair_nodes(tokenize_html(source))
+        assert_balanced(repaired)
+
+    def test_deep_unclosed_nesting(self):
+        repaired = repair_nodes(tokenize_html("<DIV>" * 200 + "bottom"))
+        assert_balanced(repaired)
+
+    def test_repair_is_idempotent(self):
+        sources = [
+            "<P>before<SCRIPT>var x = '<b>oops",
+            "<UL><LI>one<LI>two<B>bold</UL>trailing</B>",
+            "<DIV>" * 50 + "deep",
+            "<I><B>crossed</I></B>",
+            "<!-- unterminated",
+            "plain text only",
+        ]
+        for source in sources:
+            once = self.repair_text(source)
+            twice = self.repair_text(once)
+            assert twice == once, f"repair not idempotent for {source!r}"
+
+    def test_budget_trips_instead_of_burning_cpu(self):
+        import pytest
+
+        from repro.web.guards import HtmlBudget, MarkupDepthExceeded
+
+        budget = HtmlBudget(max_depth=32)
+        with pytest.raises(MarkupDepthExceeded):
+            list(repair_nodes(
+                tokenize_html("<DIV>" * 100, budget=budget), budget=budget
+            ))

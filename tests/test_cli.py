@@ -248,3 +248,51 @@ class TestNewerCommand:
         assert main(self.ARGS + ["--policy", "static"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["policy"] == "static"
+
+
+class TestQuarantineCommand:
+    @pytest.fixture
+    def journal_path(self, tmp_path):
+        from repro.core.quarantine import QuarantineJournal
+
+        path = str(tmp_path / "quarantine.jsonl")
+        journal = QuarantineJournal(path)
+        journal.record("http://evil.example/deep.html", "nesting-depth",
+                       "nesting deeper than 64 elements",
+                       "<DIV>" * 100 + "x", at=10)
+        journal.record("http://evil.example/nul.html", "binary-content",
+                       "NUL byte in body", "a\x00b", at=11)
+        return path
+
+    def test_list(self, journal_path, capsys):
+        assert main(["quarantine", "list", journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "http://evil.example/deep.html" in out
+        assert "nesting-depth" in out
+        assert "2 entries" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        path = str(tmp_path / "none.jsonl")
+        assert main(["quarantine", "list", path]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_retry_releases_and_reports_failures(self, journal_path, capsys):
+        # Default limits release the deep page; the NUL page stays.
+        code = main(["quarantine", "retry", journal_path])
+        out = capsys.readouterr().out
+        assert code == 1  # something is still bad
+        assert "released  http://evil.example/deep.html" in out
+        assert "still bad http://evil.example/nul.html" in out
+
+    def test_retry_with_loosened_limits(self, journal_path, capsys):
+        main(["quarantine", "retry", journal_path])
+        code = main(["quarantine", "retry", journal_path,
+                     "--url", "http://evil.example/nul.html"])
+        assert code == 1  # binary stays binary no matter the caps
+
+    def test_purge(self, journal_path, capsys):
+        assert main(["quarantine", "purge", journal_path,
+                     "--url", "http://evil.example/nul.html"]) == 0
+        assert "purged 1" in capsys.readouterr().out
+        assert main(["quarantine", "purge", journal_path]) == 0
+        assert "purged 1" in capsys.readouterr().out

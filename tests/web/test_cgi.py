@@ -41,6 +41,26 @@ class TestParseQueryString:
         assert parse_query_string("a=100%") == {"a": "100%"}
         assert parse_query_string("a=%zz") == {"a": "%zz"}
 
+    def test_overlong_utf8_not_folded(self):
+        # %C0%80 is the classic overlong encoding of NUL; a lenient
+        # decoder that folds it to "\x00" (or to U+FFFD, colliding with
+        # every other bad sequence) opens a smuggling channel.  The
+        # invalid bytes must survive as their literal escapes.
+        assert parse_query_string("a=%C0%80") == {"a": "%C0%80"}
+        assert parse_query_string("a=%C0%AF") == {"a": "%C0%AF"}
+
+    def test_distinct_malformed_sequences_stay_distinct(self):
+        decoded = {
+            parse_query_string(f"a={esc}")["a"]
+            for esc in ("%C0%80", "%C0%AF", "%FF", "%FE%FF", "%ED%A0%80")
+        }
+        assert len(decoded) == 5
+
+    def test_invalid_bytes_beside_valid_utf8(self):
+        # A valid multi-byte rune next to a stray continuation byte:
+        # the rune decodes, the stray byte stays a literal escape.
+        assert parse_query_string("a=caf%C3%A9%80") == {"a": "café%80"}
+
     def test_url_values_pass_through(self):
         params = parse_query_string(
             "action=diff&url=http%3A//site.com/page%3Fq%3D1"

@@ -1,0 +1,227 @@
+"""Tests for the resource-bounded ingest envelope."""
+
+import pytest
+
+from repro.web.guards import (
+    GUARD_SLUGS,
+    RLE_ENCODING,
+    AttributeBomb,
+    BinaryContent,
+    BodyTooLarge,
+    CharsetUndecodable,
+    ContentGuard,
+    ContentGuardError,
+    EntityBomb,
+    ExpansionBomb,
+    GuardLimits,
+    HeaderBomb,
+    HtmlBudget,
+    MarkupDepthExceeded,
+    TokenBomb,
+    rle_compress,
+    rle_decompress,
+)
+from repro.web.http import Headers
+
+
+def make_headers(**extra):
+    headers = Headers()
+    headers.set("Content-Type", "text/html")
+    for name, value in extra.items():
+        headers.set(name.replace("_", "-"), value)
+    return headers
+
+
+class TestTaxonomy:
+    def test_every_error_carries_its_slug(self):
+        classes = [
+            BodyTooLarge, ExpansionBomb, HeaderBomb, CharsetUndecodable,
+            BinaryContent, MarkupDepthExceeded, TokenBomb, AttributeBomb,
+            EntityBomb,
+        ]
+        assert sorted(c.guard for c in classes) == sorted(GUARD_SLUGS)
+        for cls in classes:
+            err = cls("http://h/x", "some detail")
+            assert isinstance(err, ContentGuardError)
+            assert err.url == "http://h/x"
+            assert err.guard in str(err) or "some detail" in str(err)
+
+    def test_slugs_are_distinct(self):
+        assert len(set(GUARD_SLUGS)) == len(GUARD_SLUGS)
+
+
+class TestRle:
+    def test_round_trip(self):
+        text = "\n".join(["alpha"] * 40 + ["beta", "gamma"] * 3)
+        encoded = rle_compress(text)
+        assert len(encoded) < len(text)
+        assert rle_decompress(encoded, GuardLimits(), "http://h/x") == text
+
+    def test_round_trip_literal_lines_that_look_like_runs(self):
+        text = "5*boom\nplain\n12*wide"
+        encoded = rle_compress(text)
+        assert rle_decompress(encoded, GuardLimits(), "http://h/x") == text
+
+    def test_expansion_bomb_aborts_incrementally(self):
+        # Decoded size stays under the body cap but dwarfs the ratio.
+        limits = GuardLimits(max_body_bytes=1 << 20, max_expansion_ratio=8)
+        encoded = "20000*" + "x" * 30 + "\n"
+        with pytest.raises(ExpansionBomb):
+            rle_decompress(encoded, limits, "http://h/x")
+
+    def test_body_cap_takes_precedence(self):
+        limits = GuardLimits(max_body_bytes=1024, max_expansion_ratio=8)
+        encoded = "20000*" + "x" * 30 + "\n"
+        with pytest.raises(BodyTooLarge):
+            rle_decompress(encoded, limits, "http://h/x")
+
+
+class TestHeaderEnvelope:
+    def test_too_many_headers(self):
+        guard = ContentGuard(GuardLimits(max_headers=4))
+        headers = make_headers(**{f"X_h{i}": "v" for i in range(8)})
+        with pytest.raises(HeaderBomb):
+            guard.check_headers("http://h/x", headers)
+
+    def test_oversized_header_block(self):
+        guard = ContentGuard(GuardLimits(max_header_bytes=64))
+        headers = make_headers(X_big="y" * 200)
+        with pytest.raises(HeaderBomb):
+            guard.check_headers("http://h/x", headers)
+
+    def test_sane_headers_pass(self):
+        guard = ContentGuard(GuardLimits())
+        guard.check_headers("http://h/x", make_headers(X_ok="fine"))
+
+
+class TestTextAdmission:
+    def test_benign_body_returned_unchanged(self):
+        guard = ContentGuard(GuardLimits())
+        body = "<HTML><BODY><P>hello &amp; welcome</P></BODY></HTML>"
+        assert guard.admit_body("http://h/x", body) == body
+        assert guard.admitted == 1
+
+    def test_body_too_large(self):
+        guard = ContentGuard(GuardLimits(max_body_bytes=32))
+        with pytest.raises(BodyTooLarge):
+            guard.admit_body("http://h/x", "y" * 64)
+
+    def test_unknown_charset_with_non_ascii_trips(self):
+        guard = ContentGuard(GuardLimits())
+        with pytest.raises(CharsetUndecodable):
+            guard.admit_body("http://h/x", "<P>café</P>",
+                             "text/html; charset=x-martian")
+
+    def test_unknown_charset_pure_ascii_passes(self):
+        guard = ContentGuard(GuardLimits())
+        body = "<P>plain ascii</P>"
+        assert guard.admit_body(
+            "http://h/x", body, "text/html; charset=x-martian"
+        ) == body
+
+    def test_latin1_and_utf8_accepted(self):
+        guard = ContentGuard(GuardLimits())
+        for charset in ("utf-8", "iso-8859-1", "latin-1", "us-ascii"):
+            guard.admit_body("http://h/x", "<P>ok</P>",
+                             f"text/html; charset={charset}")
+
+    def test_nul_byte_is_binary(self):
+        guard = ContentGuard(GuardLimits())
+        with pytest.raises(BinaryContent):
+            guard.admit_body("http://h/x", "<P>x\x00y</P>")
+
+    def test_control_character_flood_is_binary(self):
+        guard = ContentGuard(GuardLimits())
+        with pytest.raises(BinaryContent):
+            guard.admit_body("http://h/x", "\x01\x02\x03\x04" * 40 + "text")
+
+    def test_tabs_and_newlines_are_not_binary(self):
+        guard = ContentGuard(GuardLimits())
+        body = "line\tone\r\nline two\n" * 20
+        assert guard.admit_body("http://h/x", body) == body
+
+    def test_entity_bomb(self):
+        guard = ContentGuard(GuardLimits(max_entity_refs=16))
+        with pytest.raises(EntityBomb):
+            guard.admit_body("http://h/x", "&amp;" * 32)
+
+    def test_nesting_depth(self):
+        guard = ContentGuard(GuardLimits(max_nesting_depth=8))
+        with pytest.raises(MarkupDepthExceeded):
+            guard.admit_body("http://h/x", "<DIV>" * 20 + "deep")
+
+    def test_token_bomb(self):
+        guard = ContentGuard(GuardLimits(max_tokens=64))
+        with pytest.raises(TokenBomb):
+            guard.admit_body("http://h/x", "<B>x</B>" * 64)
+
+    def test_attr_bomb(self):
+        guard = ContentGuard(GuardLimits(max_attrs_per_tag=4))
+        attrs = " ".join(f'a{i}="{i}"' for i in range(10))
+        with pytest.raises(AttributeBomb):
+            guard.admit_body("http://h/x", f"<SPAN {attrs}>x</SPAN>")
+
+    def test_non_html_skips_markup_scan(self):
+        guard = ContentGuard(GuardLimits(max_nesting_depth=2))
+        body = "<DIV>" * 50  # would trip as text/html
+        assert guard.admit_body("http://h/x", body, "text/plain") == body
+
+
+class TestAdmitEnvelope:
+    class Response:
+        def __init__(self, body, headers, content_type="text/html"):
+            self.body = body
+            self.headers = headers
+            self.content_type = content_type
+
+    def test_rle_transfer_decoded(self):
+        guard = ContentGuard(GuardLimits())
+        text = "\n".join(["the same line"] * 30)
+        response = self.Response(
+            rle_compress(text),
+            make_headers(Content_Encoding=RLE_ENCODING),
+        )
+        assert guard.admit("http://h/x", response) == text
+
+    def test_unknown_encoding_refused(self):
+        guard = ContentGuard(GuardLimits())
+        response = self.Response(
+            "payload", make_headers(Content_Encoding="x-mystery")
+        )
+        with pytest.raises(CharsetUndecodable):
+            guard.admit("http://h/x", response)
+
+    def test_trips_counted_per_slug(self):
+        guard = ContentGuard(GuardLimits(max_body_bytes=8))
+        for _ in range(3):
+            with pytest.raises(BodyTooLarge):
+                guard.admit_body("http://h/x", "toolongbody!")
+        stats = guard.stats()
+        assert stats["tripped"] == 3
+        assert stats["trips"]["body-too-large"] == 3
+
+
+class TestHtmlBudget:
+    def test_fork_isolates_counters(self):
+        budget = HtmlBudget(max_tokens=10)
+        for _ in range(6):
+            budget.charge_token()
+        child = budget.fork()
+        for _ in range(6):
+            child.charge_token()  # fresh meter: 6 < 10, no trip
+        with pytest.raises(TokenBomb):
+            for _ in range(10):
+                budget.charge_token()
+
+    def test_zero_caps_mean_unlimited(self):
+        budget = HtmlBudget()
+        for _ in range(100_000):
+            budget.charge_token()
+        budget.check_depth(10_000)
+        budget.check_attrs(10_000)
+        assert not budget.over_work(10**6, 10**6)
+
+    def test_over_work(self):
+        budget = HtmlBudget(max_work=100)
+        assert budget.over_work(20, 20)
+        assert not budget.over_work(5, 5)

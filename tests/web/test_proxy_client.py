@@ -146,3 +146,23 @@ class TestUserAgent:
         server.register_cgi("/cgi-bin/spy", spy)
         agent.get("http://origin.com/cgi-bin/spy")
         assert captured["ua"] == "w3newer/1.0"
+
+
+class TestRedirectChain:
+    def test_too_many_redirects_records_chain(self):
+        clock = SimClock()
+        network = Network(clock)
+        server = network.create_server("loop.com")
+        server.add_redirect("/a", "/b")
+        server.add_redirect("/b", "/a")
+        agent = UserAgent(network, clock)
+        with pytest.raises(TooManyRedirects) as excinfo:
+            agent.get("http://loop.com/a")
+        exc = excinfo.value
+        assert exc.url == "http://loop.com/a"
+        assert len(exc.redirects) > 2
+        assert exc.redirects[0] == "http://loop.com/a"
+        # The chain is embedded in the message, so the Figure-1 report
+        # (which renders outcome.error verbatim) shows the loop.
+        assert "chain:" in str(exc)
+        assert "http://loop.com/b" in str(exc)
