@@ -1,0 +1,236 @@
+"""S22 — the Memento interop layer's three hard gates.
+
+All in virtual time, over deterministically seeded worlds:
+
+* **negotiation identity** — over a 1,000-URL world with 20 revisions
+  per page, TimeGate negotiation (302 + follow the Location) returns
+  the revision ``view_at`` would pick for 100% of 5,000 seeded random
+  datetimes, with byte-identical bodies — on the reference CGI
+  :class:`~repro.core.snapshot.service.SnapshotService` *and* on the
+  sharded, response-cached :class:`~repro.serve.server.DiffServer`;
+* **federation fidelity** — a cross-archive diff (local revision vs a
+  memento negotiated from a simulated remote archive over the virtual
+  network) is byte-identical to a direct ``html_diff`` of the same
+  revision pair;
+* **spoiler avoidance** — a datetime-pinned browse session following
+  ≥ 50 links through the TimeGate never serves a memento newer than
+  the pin.
+
+Writes ``benchmarks/results/BENCH_memento.json`` next to the other
+BENCH_* files so CI can archive them.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.aide.browser import TimeTravelSession
+from repro.memento.client import MementoClient
+from repro.memento.core import ACCEPT_DATETIME
+from repro.memento.endpoints import MementoEndpoints
+from repro.memento.federation import ArchiveFederation
+from repro.serve import DiffServer, build_world, seed_world
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.http import Headers, Request
+from repro.web.network import Network
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SEED = 7089  # the Memento RFC number
+PAGES = 1000
+ROUNDS = 20
+TRIALS = 5000
+SHARDED_TRIALS = 500  # the DiffServer subcheck replays a seeded subset
+FOLLOWS = 60  # the pinned browse gate requires >= 50
+
+
+def _draw(salt: str, bound: int) -> int:
+    digest = hashlib.sha256(f"{SEED}|{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % bound
+
+
+def _get(service, query, now, headers=None):
+    request = Request(
+        "GET", f"http://aide.example.com/cgi-bin/snapshot?{query}",
+        headers=Headers(headers or {}))
+    return service(request, now)
+
+
+def _negotiate(service, url, target, now):
+    """One TimeGate negotiation: the 302 followed by hand.
+
+    Returns ``(status, rev, body)`` — rev/body are None on a 406.
+    """
+    gate = _get(service, f"action=timegate&url={url}", now,
+                {ACCEPT_DATETIME: str(target)})
+    if gate.status != 302:
+        return gate.status, None, None
+    location = gate.headers.get("Location")
+    memento = _get(service, location.split("?", 1)[1], now)
+    rev = location.split("rev=")[1].split("&")[0]
+    return gate.status, rev, memento.body
+
+
+def test_memento_gates(sink):
+    sink.row("S22: Memento TimeGate / federation / pinned-browse gates")
+    sink.row(f"  pages={PAGES} rounds={ROUNDS} trials={TRIALS} "
+             f"follows={FOLLOWS} seed={SEED}")
+    sink.row("")
+
+    # == gate 1: negotiation identity against view_at ==================
+    world = build_world(SEED, pages=PAGES)
+    store = SnapshotStore(world.clock, world.agent)
+    service = SnapshotService(store)
+    seed_world(service, world, seed=SEED, rounds=ROUNDS)
+    now = world.clock.now
+
+    matches = refusals = 0
+    for trial in range(TRIALS):
+        url = world.urls[_draw(f"t{trial}.url", len(world.urls))]
+        # Targets straddle the archive: pages check in staggered over
+        # each round, so early draws land before a page's first capture
+        # (406 territory) and the rest inside its revision history.
+        target = _draw(f"t{trial}.date", now + now // 4)
+        status, rev, body = _negotiate(service, url, target, now)
+        oracle = store.archive_for(url).revision_at(target)
+        if oracle is None:
+            assert status == 406, (
+                f"view_at refuses but timegate served: {url} @ {target}")
+            refusals += 1
+            continue
+        assert status == 302 and rev == oracle.number, (
+            f"negotiated {rev}, view_at picks {oracle.number}: "
+            f"{url} @ {target}")
+        view = _get(service, f"action=view&url={url}&date={target}", now)
+        assert body == view.body, (
+            f"negotiated body diverged from view_at: {url} @ {target}")
+        matches += 1
+    sink.row(f"  gate 1 (reference): {matches} byte-identical "
+             f"negotiations, {refusals} agreed refusals "
+             f"({matches + refusals}/{TRIALS})")
+    assert matches + refusals == TRIALS
+    assert matches > 0 and refusals > 0, "trial mix never hit both sides"
+
+    # -- subcheck: the sharded server negotiates identically -----------
+    sharded_world = build_world(SEED, pages=PAGES)
+    server = DiffServer(sharded_world.clock, sharded_world.agent,
+                        shards=4, workers_per_shard=2, queue_limit=64)
+    seed_world(server, sharded_world, seed=SEED, rounds=ROUNDS)
+    sharded_now = sharded_world.clock.now
+    assert sharded_now == now
+    sharded_matches = 0
+    for trial in range(SHARDED_TRIALS):
+        url = world.urls[_draw(f"t{trial}.url", len(world.urls))]
+        target = _draw(f"t{trial}.date", now + now // 4)
+        # Space the requests out in virtual time so the shard pools
+        # drain; an open-loop burst at one instant just measures the
+        # (already benchmarked) backpressure path.
+        sharded_world.clock.advance(60)
+        mine = _negotiate(server, url, target, sharded_world.clock.now)
+        theirs = _negotiate(service, url, target, now)
+        assert mine == theirs, (
+            f"sharded negotiation diverged: {url} @ {target}")
+        sharded_matches += 1
+    cache_stats = server.stats()["response_cache"]
+    sink.row(f"  gate 1 (sharded):   {sharded_matches}/{SHARDED_TRIALS} "
+             f"identical to reference "
+             f"(cache hits {cache_stats['hits']})")
+
+    # == gate 2: federated diff fidelity ===============================
+    clock = SimClock()
+    network = Network(clock)
+    url = "http://site.com/fed.html"
+
+    def archive_on(host, bodies):
+        agent = UserAgent(network, clock)
+        fed_store = SnapshotStore(clock, agent)
+        for body in bodies:
+            clock.advance(3600)
+            fed_store.checkin_content("bench@repro", url, body)
+        network.create_server(host).register_cgi(
+            "/cgi-bin/snapshot", SnapshotService(fed_store))
+        return fed_store
+
+    remote_store = archive_on("archive.example.org", [
+        "<HTML><BODY><P>shared opening line.</P>"
+        "<P>remote revision one.</P></BODY></HTML>",
+        "<HTML><BODY><P>shared opening line.</P>"
+        "<P>remote revision two, reworded.</P></BODY></HTML>",
+    ])
+    local_store = archive_on("aide.att.com", [
+        "<HTML><BODY><P>shared opening line.</P>"
+        "<P>the local capture.</P></BODY></HTML>",
+    ])
+    peer = MementoClient(UserAgent(network, clock),
+                         "http://archive.example.org/cgi-bin/snapshot",
+                         source="example.org")
+    federation = ArchiveFederation(MementoEndpoints(local_store), [peer])
+    remote_first = remote_store.archive_for(url).revisions()[0]
+    fed = federation.cross_diff(url, "1.1", target=remote_first.date,
+                                policy="exact")
+    direct = html_diff(local_store.view(url, "1.1"),
+                       remote_store.view(url, remote_first.number),
+                       options=local_store.diff_options)
+    assert fed.html == direct.html, "federated diff diverged from direct"
+    assert fed.source == "example.org"
+    merged = federation.merged_timemap(url)
+    sink.row(f"  gate 2: federated diff byte-identical to direct "
+             f"html_diff ({len(fed.html)} bytes); merged timeline has "
+             f"{len(merged.mementos)} mementos across 2 archives")
+
+    # == gate 3: pinned browsing never leaks the future ================
+    browse_world = build_world(SEED, pages=64, linked=True)
+    browse_store = SnapshotStore(browse_world.clock, browse_world.agent)
+    browse_world.network.create_server("aide.example.com").register_cgi(
+        "/cgi-bin/snapshot", SnapshotService(browse_store))
+    seed_world(SnapshotService(browse_store), browse_world,
+               seed=SEED, rounds=4)
+    pin = browse_world.clock.now // 2
+    session = TimeTravelSession(
+        UserAgent(browse_world.network, browse_world.clock),
+        "http://aide.example.com/cgi-bin/snapshot", pin=pin)
+    session.browse(browse_world.urls[0])
+    follows = 0
+    while follows < FOLLOWS:
+        if session.current is None or not session.current.served \
+                or not session.current.links:
+            # Dead end in the archived web: restart from a seeded page.
+            session.browse(browse_world.urls[
+                _draw(f"restart{follows}", len(browse_world.urls))])
+            continue
+        session.follow(_draw(f"f{follows}", 997))
+        follows += 1
+    served = [p for p in session.trail if p.served]
+    newest = max(p.datetime for p in served)
+    assert follows >= 50
+    assert all(p.datetime <= pin for p in served), (
+        "pinned session served a memento newer than the pin")
+    sink.row(f"  gate 3: {follows} pinned link-follows, "
+             f"{len(served)} pages served, newest {newest} <= pin {pin}")
+
+    # == persist =======================================================
+    payload = {
+        "seed": SEED,
+        "pages": PAGES,
+        "rounds": ROUNDS,
+        "trials": TRIALS,
+        "gates": {
+            "negotiation_matches": matches,
+            "negotiation_refusals": refusals,
+            "sharded_trials_identical": sharded_matches,
+            "sharded_cache_hits": cache_stats["hits"],
+            "federated_diff_bytes": len(fed.html),
+            "federated_diff_identical": True,
+            "pinned_follows": follows,
+            "pinned_pages_served": len(served),
+            "pinned_newest_served": newest,
+            "pin": pin,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_memento.json"), "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)

@@ -23,17 +23,19 @@ hold filled-out forms and replay them through a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..core.w3newer.history import BrowserHistory
+from ..memento.client import MementoClient, MementoClientError, MementoFetch
 from ..simclock import SimClock
 from ..web.cgi import encode_query_string, parse_query_string
 from ..web.client import UserAgent
-from ..web.http import Response
+from ..web.http import Response, format_http_date
 from ..web.url import parse_url
 
-__all__ = ["IntegratedBrowser", "FormBookmark"]
+__all__ = ["IntegratedBrowser", "FormBookmark", "TimeTravelSession",
+           "TimeTravelPage"]
 
 
 @dataclass(frozen=True)
@@ -130,3 +132,92 @@ class IntegratedBrowser:
         if bookmark is None:
             raise KeyError(f"no form bookmark named {name!r}")
         return bookmark
+
+
+# ----------------------------------------------------------------------
+# Datetime-pinned browsing (Memento §3: "navigating the past web")
+# ----------------------------------------------------------------------
+@dataclass
+class TimeTravelPage:
+    """One page of a pinned session: the memento plus its outlinks."""
+
+    #: The original URL the user asked for.
+    url: str
+    #: The memento actually served (None when the archive had nothing
+    #: old enough — a recorded *miss*, not an exception).
+    memento: Optional[MementoFetch]
+    #: Outgoing links of the memento body, as original-web URLs — the
+    #: addresses the *next* negotiation will pin, not URI-Ms.
+    links: List[str] = field(default_factory=list)
+
+    @property
+    def served(self) -> bool:
+        return self.memento is not None
+
+    @property
+    def datetime(self) -> Optional[int]:
+        return self.memento.datetime if self.memento else None
+
+
+class TimeTravelSession:
+    """Browse the archived web as it stood at one pinned instant.
+
+    Every navigation — the entry page and every followed link — goes
+    through the archive's TimeGate with ``Accept-Datetime`` set to the
+    pin, so under the default ``past`` policy the session can *never*
+    surface a page state newer than the pin: the reader sees the web
+    of that day, spoiler-free.  Links inside a memento are the
+    original web's addresses (the BASE rewrite keeps them resolvable),
+    and following one re-negotiates rather than fetching the live page.
+
+    A link whose URL the archive never captured (404) or only captured
+    later than the pin (406 under ``past``) is recorded as a miss in
+    :attr:`trail` — the dead ends of the archived web are part of the
+    experience, not crashes.
+    """
+
+    def __init__(self, agent, endpoint: str, pin: int,
+                 policy: str = "past", source: str = "archive") -> None:
+        self.client = MementoClient(agent, endpoint, source=source)
+        self.pin = pin
+        self.policy = policy
+        #: Every navigation in order: the served pages and the misses.
+        self.trail: List[TimeTravelPage] = []
+        self.current: Optional[TimeTravelPage] = None
+
+    @property
+    def pin_string(self) -> str:
+        """The pinned instant as an HTTP date (what goes on the wire)."""
+        return format_http_date(self.pin)
+
+    # ------------------------------------------------------------------
+    def browse(self, url: str) -> TimeTravelPage:
+        """Negotiate ``url`` at the pin and make it the current page."""
+        try:
+            fetch = self.client.memento_at(url, self.pin, policy=self.policy)
+        except MementoClientError:
+            page = TimeTravelPage(url=url, memento=None)
+        else:
+            page = TimeTravelPage(
+                url=url, memento=fetch,
+                links=self._outlinks(fetch.body, url),
+            )
+        self.trail.append(page)
+        self.current = page
+        return page
+
+    def follow(self, index: int) -> TimeTravelPage:
+        """Follow the current page's ``index``-th link, pinned."""
+        if self.current is None or not self.current.served:
+            raise MementoClientError("no current page to follow links from")
+        links = self.current.links
+        if not links:
+            raise MementoClientError(
+                f"{self.current.url} has no followable links")
+        return self.browse(links[index % len(links)])
+
+    @staticmethod
+    def _outlinks(body: str, base_url: str) -> List[str]:
+        from .tracker import extract_links
+
+        return extract_links(body, base_url)

@@ -537,6 +537,180 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timemap(args: argparse.Namespace) -> int:
+    """Print a local ``,v`` archive's Memento TimeMap.
+
+    The original resource defaults to the file path; give ``--url``
+    when the archive tracks a web page.  Output is RFC 7089
+    ``application/link-format`` (the wire shape), or structured JSON
+    with ``--json``.  Exit 2 when there is no archive.
+    """
+    import json
+
+    from .memento.core import (
+        Memento,
+        TimeMap,
+        format_timemap,
+        memento_uri,
+        timegate_uri,
+        timemap_uri,
+    )
+
+    archive = _load_archive(args.file)
+    if archive.revision_count == 0:
+        print(f"aide: no archive for {args.file}", file=sys.stderr)
+        return 2
+    original = args.url or args.file
+    script = "/cgi-bin/snapshot"
+    timemap = TimeMap(
+        original=original,
+        timegate=timegate_uri(script, original),
+        timemap=timemap_uri(script, original),
+        mementos=sorted(
+            Memento(datetime=info.date,
+                    uri=memento_uri(script, original, info.number),
+                    revision=info.number)
+            for info in archive.revisions()
+        ),
+    )
+    if args.json:
+        print(json.dumps({
+            "original": timemap.original,
+            "mementos": [
+                {"revision": m.revision, "datetime": m.datetime,
+                 "datetime_http": m.datetime_string}
+                for m in timemap.mementos
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(format_timemap(timemap))
+    return 0
+
+
+def _cmd_memento(args: argparse.Namespace) -> int:
+    """Datetime negotiation over a local ``,v`` archive.
+
+    ``--at`` takes an HTTP date (any of the three RFC formats) or a
+    bare simulation timestamp; ``--policy`` selects the boundary
+    semantics (``past``/``nearest``/``exact``).  Prints the selected
+    revision's text (metadata on stderr), or metadata as JSON with
+    ``--json``.  Exit 1 when the policy refuses (nothing archived that
+    satisfies it), 2 on usage errors.
+    """
+    import json
+
+    from .memento.core import NegotiationError
+    from .memento.endpoints import parse_datetime_value
+
+    archive = _load_archive(args.file)
+    if archive.revision_count == 0:
+        print(f"aide: no archive for {args.file}", file=sys.stderr)
+        return 2
+    target = parse_datetime_value(args.at)
+    if target is None:
+        print(f"aide: unparseable datetime {args.at!r} (want an HTTP "
+              f"date or a simulation timestamp)", file=sys.stderr)
+        return 2
+    try:
+        info = archive.revision_at(target, policy=args.policy)
+    except NegotiationError as exc:
+        print(f"aide: {exc}", file=sys.stderr)
+        return 2
+    if info is None:
+        print(f"aide: no revision of {args.file} satisfies "
+              f"{args.policy!r} negotiation for {args.at}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "revision": info.number,
+            "datetime": info.date,
+            "datetime_http": info.date_string,
+            "author": info.author,
+            "policy": args.policy,
+            "target": target,
+        }, indent=2, sort_keys=True))
+        return 0
+    text = archive.checkout(info.number)
+    print(f"memento: revision {info.number} ({info.date_string})",
+          file=sys.stderr)
+    sys.stdout.write(text)
+    if not text.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_timetravel(args: argparse.Namespace) -> int:
+    """Browse a seeded archive pinned to one instant, in virtual time.
+
+    Builds a deterministic linked world, seeds ``--rounds`` revisions
+    of every page through the snapshot CGI, then walks ``--follows``
+    links starting from page 0 with every navigation negotiated
+    through the TimeGate at the pinned datetime — so nothing served is
+    ever newer than the pin (under the default ``past`` policy).
+    Prints the trail; same arguments, same bytes.
+    """
+    import json
+
+    from .aide.browser import TimeTravelSession
+    from .core.snapshot.service import SnapshotService
+    from .core.snapshot.store import SnapshotStore
+    from .memento.endpoints import parse_datetime_value
+    from .serve import build_world, seed_world
+    from .web.client import UserAgent
+
+    world = build_world(args.seed, pages=args.pages, linked=True)
+    store = SnapshotStore(world.clock, world.agent)
+    service = SnapshotService(store)
+    gate_host = world.network.create_server("aide.example.com")
+    gate_host.register_cgi("/cgi-bin/snapshot", service)
+    seed_world(service, world, seed=args.seed, rounds=args.rounds)
+
+    if args.at is not None:
+        pin = parse_datetime_value(args.at)
+        if pin is None:
+            print(f"aide: unparseable datetime {args.at!r}",
+                  file=sys.stderr)
+            return 2
+    else:
+        # Default pin: mid-history, so both older and newer revisions
+        # exist on every page and the pin visibly matters.
+        pin = world.clock.now // 2
+
+    browser_agent = UserAgent(world.network, world.clock,
+                              agent_name="Mozilla/1.1N")
+    session = TimeTravelSession(
+        browser_agent, "http://aide.example.com/cgi-bin/snapshot",
+        pin=pin, policy=args.policy,
+    )
+    session.browse(world.urls[0])
+    for step in range(args.follows):
+        if session.current is None or not session.current.served:
+            break
+        session.follow(step)
+    trail = [
+        {"url": page.url, "served": page.served,
+         "memento_datetime": page.datetime,
+         "links": len(page.links)}
+        for page in session.trail
+    ]
+    served = [p for p in session.trail if p.served]
+    payload = {
+        "pin": pin,
+        "pin_http": session.pin_string,
+        "policy": args.policy,
+        "pages_visited": len(session.trail),
+        "served": len(served),
+        "misses": len(session.trail) - len(served),
+        "newest_served": max((p.datetime for p in served), default=None),
+        "trail": trail,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    violations = [p for p in served
+                  if p.datetime is not None and p.datetime > pin]
+    return 0 if not violations else 1
+
+
 def _cmd_quarantine(args: argparse.Namespace) -> int:
     """Inspect the poison-document journal: list entries, retry them
     against (possibly loosened) guard limits, or purge them."""
@@ -784,6 +958,57 @@ def build_parser() -> argparse.ArgumentParser:
     qpurge.set_defaults(func=_cmd_quarantine)
     qlist.set_defaults(func=_cmd_quarantine)
     quarantine.set_defaults(func=_cmd_quarantine)
+
+    timemap = sub.add_parser(
+        "timemap",
+        help="print a ,v archive's Memento TimeMap "
+             "(application/link-format)",
+    )
+    timemap.add_argument("file", help="working file (its ,v archive is read)")
+    timemap.add_argument("--url", help="original URL the archive tracks "
+                                       "(default: the file path)")
+    timemap.add_argument("--json", action="store_true",
+                         help="structured JSON instead of link-format")
+    timemap.set_defaults(func=_cmd_timemap)
+
+    memento = sub.add_parser(
+        "memento",
+        help="datetime negotiation over a ,v archive: the revision as "
+             "of --at",
+    )
+    memento.add_argument("file", help="working file (its ,v archive is read)")
+    memento.add_argument("--at", required=True,
+                         help="target datetime: an HTTP date or a "
+                              "simulation timestamp")
+    memento.add_argument("--policy", choices=["past", "nearest", "exact"],
+                         default="past",
+                         help="boundary semantics (default past)")
+    memento.add_argument("--json", action="store_true",
+                         help="print revision metadata as JSON instead "
+                              "of the text")
+    memento.set_defaults(func=_cmd_memento)
+
+    timetravel = sub.add_parser(
+        "timetravel",
+        help="browse a seeded archive pinned to one datetime; every "
+             "followed link resolves through the TimeGate",
+    )
+    timetravel.add_argument("--at", help="pinned datetime (HTTP date or "
+                                         "simulation timestamp; default: "
+                                         "mid-history)")
+    timetravel.add_argument("--policy", choices=["past", "nearest"],
+                            default="past",
+                            help="negotiation policy (default past: "
+                                 "never newer than the pin)")
+    timetravel.add_argument("--pages", type=int, default=16,
+                            help="pages in the seeded world (default 16)")
+    timetravel.add_argument("--rounds", type=int, default=3,
+                            help="revisions seeded per page (default 3)")
+    timetravel.add_argument("--follows", type=int, default=10,
+                            help="links to follow (default 10)")
+    timetravel.add_argument("--seed", type=int, default=0,
+                            help="determinism seed (default 0)")
+    timetravel.set_defaults(func=_cmd_timetravel)
 
     demo = sub.add_parser(
         "demo", help="run a self-contained track-and-diff tour"

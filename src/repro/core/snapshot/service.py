@@ -27,6 +27,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ...html.entities import encode_entities
+from ...memento.endpoints import (
+    MEMENTO_ACTIONS,
+    MementoEndpoints,
+    MementoHttpError,
+)
 from ...obs import to_json, to_prometheus
 from ...web.cgi import encode_query_string, parse_query_string
 from ...web.http import Request, Response, make_response
@@ -116,6 +121,16 @@ class SnapshotService:
         self.script_path = script_path
         #: On-disk repository for the ``fsck`` action; None disables it.
         self.repository_dir = repository_dir
+        self._memento_endpoints: Optional[MementoEndpoints] = None
+
+    @property
+    def memento(self) -> MementoEndpoints:
+        """The Memento endpoints bound to this service's store."""
+        if self._memento_endpoints is None:
+            self._memento_endpoints = MementoEndpoints(
+                self.store, self.script_path
+            )
+        return self._memento_endpoints
 
     # ------------------------------------------------------------------
     # CGI entry point
@@ -147,7 +162,11 @@ class SnapshotService:
                 return self._history(user, url)
             if action == "view":
                 return self._view(url, params.get("rev"), params.get("date"))
+            if action in MEMENTO_ACTIONS:
+                return self._memento(action, url, request, params)
             return self._error_page(400, f"unknown action {action!r}")
+        except MementoHttpError as exc:
+            return self._error_page(exc.status, exc.message)
         except ContentQuarantined as exc:
             # A guard refusal is a verdict, not a failure: 422 with the
             # guard's reason, deterministically, instead of a 500.
@@ -267,6 +286,22 @@ class SnapshotService:
         else:
             text = self.store.view(url, revision)
         return make_response(200, padding + text)
+
+    def _memento(self, action: str, url: str, request: Request,
+                 params: dict) -> Response:
+        """RFC 7089 actions.  The URI-M body is padded through the same
+        keep-alive path as ``action=view`` so a TimeGate redirect is
+        byte-identical to the ``view``/``view_at`` it negotiates for;
+        the 302 and the link-format TimeMap are machine-readable and
+        stay unpadded."""
+        if action == "timegate":
+            return self.memento.timegate(
+                url, request, policy=params.get("policy")
+            )
+        if action == "timemap":
+            return self.memento.timemap(url, params.get("format", "link"))
+        padding = self.keepalive.padding(self.costs.cheap)
+        return self.memento.memento(url, params.get("rev"), padding=padding)
 
     def _stats(self) -> Response:
         """Operator page: every storage layer's counters in one table

@@ -1,0 +1,65 @@
+"""Memento (RFC 7089) interop for the snapshot archives.
+
+The paper's AIDE can address a stored page only by revision number
+through its own CGI.  This package makes *datetime* a first-class
+address across every layer, the way "Memento: Time Travel for the Web"
+(PAPERS.md) standardized it:
+
+* :mod:`.core` — the protocol vocabulary: datetime negotiation
+  policies (one shared resolver that :meth:`RcsArchive.revision_at`
+  and every endpoint reuse), ``Link`` header serialization with the
+  ``timegate``/``timemap``/``memento``/``first``/``last``/``prev``/
+  ``next`` relations, and ``application/link-format`` TimeMap bodies;
+* :mod:`.endpoints` — the server side: TimeGate (302 to the nearest
+  revision), per-URL TimeMap, and URI-M memento endpoints mounted on
+  both the CGI :class:`~repro.core.snapshot.service.SnapshotService`
+  and the sharded :class:`~repro.serve.server.DiffServer`;
+* :mod:`.client` — a :class:`MementoClient` that walks a *remote*
+  archive's TimeGates and TimeMaps over any agent (including
+  :class:`~repro.web.resilience.ResilientAgent`);
+* :mod:`.federation` — merged local + remote TimeMaps and
+  cross-archive diffs via :func:`~repro.core.htmldiff.api.html_diff`.
+
+Only :mod:`.core` is imported here: it has no dependency on the store
+or the web client, so low layers (``rcs.archive``) can import the
+shared resolver without a cycle.  Import ``.endpoints`` / ``.client`` /
+``.federation`` explicitly where needed.
+"""
+
+from .core import (
+    ACCEPT_DATETIME,
+    LINK_FORMAT,
+    MEMENTO_DATETIME,
+    LinkEntry,
+    Memento,
+    NegotiationError,
+    TimeMap,
+    format_link_header,
+    format_timemap,
+    memento_uri,
+    parse_link_header,
+    parse_timemap,
+    resolve_datetime,
+    timegate_uri,
+    timemap_uri,
+    validate_policy,
+)
+
+__all__ = [
+    "ACCEPT_DATETIME",
+    "LINK_FORMAT",
+    "MEMENTO_DATETIME",
+    "LinkEntry",
+    "Memento",
+    "NegotiationError",
+    "TimeMap",
+    "format_link_header",
+    "format_timemap",
+    "memento_uri",
+    "parse_link_header",
+    "parse_timemap",
+    "resolve_datetime",
+    "timegate_uri",
+    "timemap_uri",
+    "validate_policy",
+]

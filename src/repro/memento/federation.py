@@ -1,0 +1,142 @@
+"""Cross-archive federation: one timeline from several archives.
+
+The paper's AIDE is a single-site service; the Memento literature's
+point (PAPERS.md: "Memento: Time Travel for the Web") is that *every*
+archive holding captures of a URL contributes to one logical history.
+This layer merges the local store's TimeMap with any number of remote
+archives' TimeMaps (fetched by :class:`~repro.memento.client.
+MementoClient`), answers datetime negotiation over the merged timeline
+with the same :func:`~repro.memento.core.resolve_datetime` semantics
+every other layer uses, and diffs a local revision against a remote
+memento with the same :func:`~repro.core.htmldiff.api.html_diff` the
+snapshot service runs — so a federated comparison is byte-identical to
+the diff the remote itself would have rendered for that pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.htmldiff.api import html_diff
+from .client import MementoClient, MementoClientError, MementoFetch
+from .core import Memento, TimeMap
+from .endpoints import MementoEndpoints
+
+__all__ = ["ArchiveFederation", "FederatedDiff"]
+
+
+@dataclass
+class FederatedDiff:
+    """A cross-archive comparison and its provenance."""
+
+    url: str
+    #: The local revision number compared.
+    local_revision: str
+    #: The remote memento that was fetched for the other side.
+    remote: MementoFetch
+    #: The HtmlDiff markup of local → remote.
+    html: str
+    #: Where the remote side came from (the client's source label).
+    source: str = "remote"
+
+
+class ArchiveFederation:
+    """The local archive plus remote peers, as one timeline."""
+
+    def __init__(self, endpoints: MementoEndpoints,
+                 peers: Optional[List[MementoClient]] = None) -> None:
+        self.endpoints = endpoints
+        self.peers: List[MementoClient] = list(peers or [])
+
+    def add_peer(self, peer: MementoClient) -> None:
+        """Register another remote archive to federate with."""
+        self.peers.append(peer)
+
+    # ------------------------------------------------------------------
+    def merged_timemap(self, url: str) -> TimeMap:
+        """Local + every peer's mementos of ``url``, one sorted map.
+
+        A peer that has never archived the URL (or is down hard enough
+        for its resilient agent to give up) simply contributes nothing;
+        federation degrades to whatever subset of archives answers.
+        The local TimeMap's URI-G/URI-T identify the merged map — the
+        local archive is the one answering for it.
+        """
+        local: Optional[TimeMap] = None
+        mementos: List[Memento] = []
+        try:
+            local = self.endpoints.timemap_for(url)
+            mementos.extend(local.mementos)
+        except Exception:
+            local = None
+        for peer in self.peers:
+            try:
+                mementos.extend(peer.timemap(url).mementos)
+            except Exception:
+                # A refusing (404) or unreachable peer contributes
+                # nothing; the merged map is whatever subset answered.
+                continue
+        if local is None:
+            # Purely remote history: keep the first peer's identity.
+            base = TimeMap(original=url, timegate="", timemap="")
+        else:
+            base = local
+        # De-duplicate on (datetime, uri): the same capture learned
+        # twice (e.g. a peer that mirrors us) collapses to one entry.
+        unique = sorted(set(mementos))
+        return TimeMap(original=base.original or url,
+                       timegate=base.timegate, timemap=base.timemap,
+                       mementos=unique)
+
+    def best_at(self, url: str, target: int,
+                policy: str = "past") -> Optional[Memento]:
+        """Negotiate over the *merged* timeline."""
+        return self.merged_timemap(url).at(target, policy)
+
+    # ------------------------------------------------------------------
+    def cross_diff(self, url: str, local_revision: str, target: int,
+                   policy: str = "past") -> FederatedDiff:
+        """Diff a local revision against a remote memento at ``target``.
+
+        Both sides are served the way a browser would see them — the
+        local revision through ``store.view`` (BASE-rewritten) and the
+        remote through TimeGate negotiation, whose URI-M body carries
+        the same BASE directive for the same original URL — so the
+        rewrite lines cancel and the markup shows *content* changes.
+        The markup is produced by the same ``html_diff`` the snapshot
+        service uses, so diffing the same pair of texts directly gives
+        identical bytes.
+        """
+        store = self.endpoints.store
+        local_text = store.view(url, local_revision)
+        remote = self._remote_at(url, target, policy)
+        result = html_diff(local_text, remote.body,
+                           options=getattr(store, "diff_options", None))
+        return FederatedDiff(
+            url=url,
+            local_revision=local_revision,
+            remote=remote,
+            html=result.html,
+            source=_source_of(remote, self.peers),
+        )
+
+    def _remote_at(self, url: str, target: int, policy: str) -> MementoFetch:
+        last_error: Optional[Exception] = None
+        for peer in self.peers:
+            try:
+                return peer.memento_at(url, target, policy=policy)
+            except MementoClientError as exc:
+                last_error = exc
+                continue
+        if last_error is not None:
+            raise last_error
+        raise MementoClientError(f"no federation peers hold {url}")
+
+
+def _source_of(fetch: MementoFetch, peers: List[MementoClient]) -> str:
+    """Which peer served a fetch, judged by endpoint prefix."""
+    for peer in peers:
+        if fetch.uri.startswith(peer.endpoint.rsplit("/", 1)[0]):
+            return peer.source
+    return "remote"

@@ -38,7 +38,6 @@ observable text:
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -298,23 +297,45 @@ class RcsArchive:
             return None
         return self.checkout(info.number)
 
-    def revision_at(self, date: int) -> Optional[RevisionInfo]:
-        """Newest revision whose datestamp is <= ``date``.
+    def revision_at(
+        self, date: int, policy: str = "past"
+    ) -> Optional[RevisionInfo]:
+        """The revision the datetime-negotiation ``policy`` selects.
 
-        O(log n) bisect while datestamps are monotone; the linear scan
-        (last match in revision order) when a clock ran backwards, so
-        non-monotonic histories keep the paper's exact semantics.
+        The semantics live in :func:`repro.memento.core.resolve_datetime`
+        — one resolver shared with the TimeGate, the TimeMap client,
+        and the federation layer, so "the page at time T" means the
+        same revision at every layer.  Policies:
+
+        * ``"past"`` (default, the paper's §2.2 behaviour): the newest
+          revision whose datestamp is **<=** ``date``.  An
+          exact-timestamp hit returns that revision (the newest one,
+          if several share the stamp); a ``date`` before the first
+          revision returns **None** — nothing that old is archived.
+        * ``"nearest"``: minimal ``|datestamp - date|``; ties resolve
+          to the older revision, and a ``date`` before the first
+          revision returns the **first** revision.
+        * ``"exact"``: only a revision stamped at precisely ``date``.
+
+        Resolution is an O(log n) bisect while datestamps are monotone.
+        The moment a clock runs backwards (Section 4.1's non-monotonic
+        timestamps — ``checkin`` flips ``_dates_monotonic`` when a new
+        revision's stamp precedes its predecessor's), every policy
+        falls back to a linear scan with last-match-wins semantics, the
+        paper-faithful behaviour: for ``"past"`` the scan keeps the
+        *last revision in check-in order* whose stamp qualifies, which
+        can differ from "globally newest stamp" precisely when the
+        history is disordered.
         """
-        if self._dates_monotonic:
-            index = bisect_right(self._dates, date)
-            if index == 0:
-                return None
-            return self._revisions[index - 1].info
-        best = None
-        for stored in self._revisions:
-            if stored.info.date <= date:
-                best = stored.info
-        return best
+        from ..memento.core import resolve_datetime
+
+        index = resolve_datetime(
+            self._dates, date, policy=policy,
+            monotonic=self._dates_monotonic,
+        )
+        if index is None:
+            return None
+        return self._revisions[index].info
 
     # ------------------------------------------------------------------
     # Keyframe maintenance

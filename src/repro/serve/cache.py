@@ -19,6 +19,13 @@ not produce different bytes.  Three request shapes qualify:
   and are dropped for a URL whenever the server routes a mutating
   action (remember, or a diff that may check in the live page) there.
 
+The Memento actions follow the same split: ``action=memento&rev=R`` is
+a pinned revision (immutable, like a pinned view), while
+``action=timegate`` (keyed by the request's ``Accept-Datetime`` value
+and policy — the 302 is a *negotiation result*, cacheable like a 200)
+and ``action=timemap`` enumerate history that the next check-in
+extends, so both are volatile.
+
 Everything else (default diffs, history, remember, stats) is
 state-dependent or side-effecting and is never cached.  Entries are
 LRU-bounded; the hit counters feed the ``serve.cache.*`` metrics.
@@ -55,6 +62,19 @@ def cacheable_key(params: Dict[str, str]) -> Optional[Tuple]:
         if r1 is not None and r2 is not None:
             return ("diff", url, str(r1), str(r2), False)
         return None
+    if action == "memento":
+        rev = params.get("rev")
+        if rev is not None:
+            return ("memento", url, str(rev), False)
+        return None
+    if action == "timegate":
+        # The negotiated target lives in the Accept-Datetime *header*;
+        # the server folds it into params as ``accept_datetime`` before
+        # asking for a key (absent header ≠ any dated request).
+        return ("timegate", url, params.get("policy") or "",
+                params.get("accept_datetime", ""), True)
+    if action == "timemap":
+        return ("timemap", url, params.get("format", "link"), True)
     return None
 
 
@@ -91,9 +111,11 @@ class ResponseCache:
     def put(self, key: Hashable, response: Response) -> None:
         if self.capacity == 0:
             return
-        # Only successful pages are worth replaying; error pages are
-        # cheap to regenerate and may reflect transient state.
-        if response.status != 200:
+        # Only successful pages — plus the TimeGate's 302, which is a
+        # deterministic negotiation *result* — are worth replaying;
+        # error pages are cheap to regenerate and may reflect transient
+        # state.
+        if response.status not in (200, 302):
             return
         entries = self._entries
         if key in entries:

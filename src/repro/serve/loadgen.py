@@ -53,10 +53,13 @@ def _draw(seed: int, salt: str, bound: int) -> int:
     return int.from_bytes(digest[:8], "big") % bound
 
 
-def _page_html(seed: int, index: int, round_no: int) -> str:
+def _page_html(seed: int, index: int, round_no: int,
+               link_pages: int = 0) -> str:
     """Deterministic page content that changes every seeding round (so
     every round checks in a new revision) with some lines kept stable
-    (so diffs have common context, like real edits)."""
+    (so diffs have common context, like real edits).  With
+    ``link_pages`` set, each page carries three relative links into the
+    same world — the web a datetime-pinned browsing session walks."""
     lines = []
     for line in range(12):
         if _draw(seed, f"p{index}.l{line}.stable", 3) == 0:
@@ -64,6 +67,15 @@ def _page_html(seed: int, index: int, round_no: int) -> str:
         else:
             stamp = _draw(seed, f"p{index}.l{line}.word", 9999)
         lines.append(f"<P>page {index} line {line} token {stamp}</P>")
+    if link_pages > 1:
+        targets = sorted({
+            (index + 1) % link_pages,
+            _draw(seed, f"p{index}.link.a", link_pages),
+            _draw(seed, f"p{index}.link.b", link_pages),
+        } - {index})
+        lines.append("<P>See also: " + " ".join(
+            f'<A HREF="page{t:03d}.html">page {t}</A>' for t in targets
+        ) + "</P>")
     return (
         f"<HTML><HEAD><TITLE>Page {index}</TITLE></HEAD><BODY>"
         f"<H1>Tracked page {index} (round {round_no})</H1>"
@@ -81,26 +93,31 @@ class World:
     origin: object
     agent: UserAgent
     urls: List[str]
+    #: Pages carry in-world links (datetime-pinned browsing walks them).
+    linked: bool = False
 
 
-def build_world(seed: int = 0, pages: int = 64) -> World:
+def build_world(seed: int = 0, pages: int = 64,
+                linked: bool = False) -> World:
     """A fresh world with ``pages`` deterministic origin pages.
 
     Build one world per service under comparison — each gets its own
     clock — and seed both with the same seed; everything downstream is
-    then byte-for-byte reproducible.
+    then byte-for-byte reproducible.  ``linked`` adds three relative
+    links per page, for browsing sessions that follow them.
     """
     clock = SimClock()
     network = Network(clock)
     origin = network.create_server(ORIGIN_HOST)
     urls = []
+    link_pages = pages if linked else 0
     for index in range(pages):
         path = f"/page{index:03d}.html"
-        origin.set_page(path, _page_html(seed, index, 0))
+        origin.set_page(path, _page_html(seed, index, 0, link_pages))
         urls.append(f"http://{ORIGIN_HOST}{path}")
     agent = UserAgent(network, clock)
     return World(clock=clock, network=network, origin=origin, agent=agent,
-                 urls=urls)
+                 urls=urls, linked=linked)
 
 
 def _curator(index: int) -> str:
@@ -131,9 +148,11 @@ def seed_world(
     revisions: Dict[str, List[str]] = {url: [] for url in world.urls}
     for round_no in range(rounds):
         if round_no:
+            link_pages = len(world.urls) if world.linked else 0
             for index, url in enumerate(world.urls):
                 path = f"/page{index:03d}.html"
-                world.origin.set_page(path, _page_html(seed, index, round_no))
+                world.origin.set_page(
+                    path, _page_html(seed, index, round_no, link_pages))
         for index, url in enumerate(world.urls):
             user = _curator(index % curators)
             query = encode_query_string(

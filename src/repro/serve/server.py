@@ -45,6 +45,7 @@ from ..core.snapshot.sharding import (
 )
 from ..core.snapshot.diffcache import DiffCache
 from ..core.snapshot.options import StoreOptions
+from ..memento.core import ACCEPT_DATETIME
 from ..obs import NOOP as NOOP_OBS, to_json, to_prometheus
 from ..simclock import SimClock
 from ..web.cgi import parse_query_string
@@ -57,7 +58,8 @@ from .replication import ReplicationManager, ShardFaultPlan
 __all__ = ["DiffServer"]
 
 #: Actions with their own latency histogram; anything else is "other".
-_TRACKED_ACTIONS = ("remember", "diff", "history", "view", "form")
+_TRACKED_ACTIONS = ("remember", "diff", "history", "view", "form",
+                    "timegate", "timemap", "memento")
 
 
 class DiffServer:
@@ -228,7 +230,7 @@ class DiffServer:
             shard_index = self._shard_index(url)
         cache = self.response_caches[shard_index]
         pool = self.pools[shard_index]
-        key = self._cache_key(params, url)
+        key = self._cache_key(params, url, request)
 
         cached = cache.get(key) if key is not None else None
         if cached is not None:
@@ -267,6 +269,21 @@ class DiffServer:
             self._note_mutation()
         return response, schedule
 
+    def checkin_content(self, user: str, url: str, body: str):
+        """Check in content out-of-band (the tracker / fixed-page
+        archiver path) without going stale: the shard's volatile cache
+        entries for the URL — date-resolved views, TimeGate 302s,
+        TimeMaps — are dropped, exactly as a dispatched ``remember``
+        would have dropped them."""
+        result = self.store.checkin_content(user, url, body)
+        try:
+            index = self.store.router.route(url)
+        except Exception:
+            index = 0
+        self.response_caches[index].invalidate_url(self._canonical(url))
+        self._note_mutation()
+        return result
+
     def _note_mutation(self) -> None:
         """Periodic on-disk journal sync, counted in mutations so a
         read-only stretch never rewrites anything."""
@@ -304,11 +321,20 @@ class DiffServer:
         self.store._c_routes[index].inc()
         return index
 
-    def _cache_key(self, params: Dict[str, str], url: str):
+    def _cache_key(self, params: Dict[str, str], url: str,
+                   request: Optional[Request] = None):
         if not url:
             return None
         canonical = dict(params)
         canonical["url"] = self._canonical(url)
+        if canonical.get("action") == "timegate" and request is not None:
+            # Datetime negotiation varies on a header, not a query
+            # parameter; fold it into the key so two targets never
+            # share a cached 302 (exactly what Vary: accept-datetime
+            # tells a real shared cache).
+            canonical["accept_datetime"] = request.headers.get(
+                ACCEPT_DATETIME, ""
+            ) or ""
         return cacheable_key(canonical)
 
     @staticmethod

@@ -30,6 +30,8 @@ __all__ = [
     "format_duration",
     "format_timestamp",
     "parse_timestamp",
+    "timestamp_from_civil",
+    "MONTH_NAMES",
     "SimClock",
     "CronScheduler",
     "CronJob",
@@ -59,6 +61,10 @@ _MONTH_NAMES = (
     "Jan", "Feb", "Mar", "Apr", "May", "Jun",
     "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 )
+#: Public alias — HTTP date parsers (RFC 850 / asctime tolerance in
+#: :mod:`repro.web.http`) resolve month names against the same table
+#: the formatter draws from.
+MONTH_NAMES = _MONTH_NAMES
 _DAY_NAMES = ("Fri", "Sat", "Sun", "Mon", "Tue", "Wed", "Thu")
 
 
@@ -168,25 +174,22 @@ _HTTP_DATE_RE = re.compile(
 )
 
 
-def parse_timestamp(text: str) -> Optional[int]:
-    """Parse an RFC-1123 date back into a simulation timestamp.
+def timestamp_from_civil(
+    year: int, month: int, day: int,
+    hours: int = 0, minutes: int = 0, seconds: int = 0,
+) -> Optional[int]:
+    """Convert a civil date into a simulation timestamp.
 
-    The inverse of :func:`format_timestamp`; None for unparseable input
-    or for dates before the simulation epoch (1 Sep 1995) — real 1995
-    servers emitted all three HTTP date formats plus garbage, and a
-    tracker must shrug at anything it cannot read.
+    None for out-of-range fields, impossible calendar dates, or dates
+    before the simulation epoch (1 Sep 1995).  The shared tail of every
+    HTTP date parser — RFC 1123 here, and the tolerant RFC 850/asctime
+    variants in :func:`repro.web.http.parse_http_date`.
     """
-    match = _HTTP_DATE_RE.match(text or "")
-    if not match:
+    if not 1 <= month <= 12:
         return None
-    day = int(match.group(1))
-    month_name = match.group(2).capitalize()
-    if month_name not in _MONTH_NAMES:
-        return None
-    month = _MONTH_NAMES.index(month_name) + 1
-    year = int(match.group(3))
-    hours, minutes, seconds = (int(match.group(i)) for i in (4, 5, 6))
     if hours > 23 or minutes > 59 or seconds > 59:
+        return None
+    if min(hours, minutes, seconds, day) < 0:
         return None
     # Count days from the epoch (1 Sep 1995) to (year, month, day).
     e_year, e_month, e_day = _EPOCH_LABEL
@@ -211,6 +214,29 @@ def parse_timestamp(text: str) -> Optional[int]:
         return None
     days += day - d
     return days * DAY + hours * HOUR + minutes * MINUTE + seconds * SECOND
+
+
+def parse_timestamp(text: str) -> Optional[int]:
+    """Parse an RFC-1123 date back into a simulation timestamp.
+
+    The inverse of :func:`format_timestamp`; None for unparseable input
+    or for dates before the simulation epoch (1 Sep 1995) — real 1995
+    servers emitted all three HTTP date formats plus garbage, and a
+    tracker must shrug at anything it cannot read.  (The tolerant
+    all-three-formats parser is :func:`repro.web.http.parse_http_date`,
+    which funnels into :func:`timestamp_from_civil` like this one.)
+    """
+    match = _HTTP_DATE_RE.match(text or "")
+    if not match:
+        return None
+    day = int(match.group(1))
+    month_name = match.group(2).capitalize()
+    if month_name not in _MONTH_NAMES:
+        return None
+    month = _MONTH_NAMES.index(month_name) + 1
+    year = int(match.group(3))
+    hours, minutes, seconds = (int(match.group(i)) for i in (4, 5, 6))
+    return timestamp_from_civil(year, month, day, hours, minutes, seconds)
 
 
 class SimClock:

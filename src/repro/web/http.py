@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
-from ..simclock import format_timestamp
+import re
+
+from ..simclock import MONTH_NAMES, format_timestamp, timestamp_from_civil
 from .url import Url, parse_url
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "Request",
     "Response",
     "STATUS_REASONS",
+    "format_http_date",
+    "parse_http_date",
     "NetworkError",
     "DnsError",
     "ConnectionRefused",
@@ -31,6 +35,7 @@ STATUS_REASONS: Dict[int, str] = {
     201: "Created",
     204: "No Content",
     301: "Moved Permanently",
+    #: HTTP/1.0's spelling; the Memento TimeGate's redirect carries it.
     302: "Moved Temporarily",
     304: "Not Modified",
     400: "Bad Request",
@@ -38,6 +43,9 @@ STATUS_REASONS: Dict[int, str] = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    #: Datetime negotiation (RFC 7089): an exact-match TimeGate with no
+    #: revision at the requested instant refuses rather than guesses.
+    406: "Not Acceptable",
     410: "Gone",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
@@ -46,6 +54,77 @@ STATUS_REASONS: Dict[int, str] = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+# ----------------------------------------------------------------------
+# HTTP dates
+# ----------------------------------------------------------------------
+#: RFC 850 / obsolete cookie-era dates: ``Sunday, 06-Nov-95 08:49:37 GMT``
+#: (full weekday name, two-digit year).
+_RFC850_RE = re.compile(
+    r"^\s*[A-Za-z]+,\s+(\d{1,2})-([A-Za-z]{3})-(\d{2,4})\s+"
+    r"(\d{2}):(\d{2}):(\d{2})\s+GMT\s*$"
+)
+#: asctime(): ``Sun Nov  6 08:49:37 1995`` (no comma, no zone).
+_ASCTIME_RE = re.compile(
+    r"^\s*[A-Za-z]{3}\s+([A-Za-z]{3})\s+(\d{1,2})\s+"
+    r"(\d{2}):(\d{2}):(\d{2})\s+(\d{4})\s*$"
+)
+
+
+def format_http_date(ts: int) -> str:
+    """Render a simulation timestamp as an RFC 1123 HTTP date.
+
+    The one format a server may *send* (``Last-Modified``,
+    ``Memento-Datetime``, ``Accept-Datetime`` values).  Alias of
+    :func:`repro.simclock.format_timestamp`, re-exported here so HTTP
+    code has one obvious import instead of inline strftime variants.
+    """
+    return format_timestamp(ts)
+
+
+def parse_http_date(text: Optional[str]) -> Optional[int]:
+    """Parse any of the three HTTP date formats into a sim timestamp.
+
+    RFC 1123 (``Fri, 01 Sep 1995 00:00:00 GMT``) is the preferred form;
+    RFC 850 (``Friday, 01-Sep-95 00:00:00 GMT``) and C asctime
+    (``Fri Sep  1 00:00:00 1995``) are tolerated because a reader
+    "MUST accept" all three — 1995 servers emitted every one of them.
+    Two-digit RFC 850 years are windowed: 70-99 → 19xx, else 20xx.
+    None for garbage or pre-epoch dates, same contract as
+    :func:`repro.simclock.parse_timestamp`.
+    """
+    if not text:
+        return None
+    from ..simclock import parse_timestamp
+
+    ts = parse_timestamp(text)
+    if ts is not None:
+        return ts
+    match = _RFC850_RE.match(text)
+    if match:
+        day = int(match.group(1))
+        month_name = match.group(2).capitalize()
+        if month_name not in MONTH_NAMES:
+            return None
+        year = int(match.group(3))
+        if year < 100:
+            year += 1900 if year >= 70 else 2000
+        return timestamp_from_civil(
+            year, MONTH_NAMES.index(month_name) + 1, day,
+            int(match.group(4)), int(match.group(5)), int(match.group(6)),
+        )
+    match = _ASCTIME_RE.match(text)
+    if match:
+        month_name = match.group(1).capitalize()
+        if month_name not in MONTH_NAMES:
+            return None
+        return timestamp_from_civil(
+            int(match.group(6)), MONTH_NAMES.index(month_name) + 1,
+            int(match.group(2)),
+            int(match.group(3)), int(match.group(4)), int(match.group(5)),
+        )
+    return None
 
 
 class NetworkError(Exception):
@@ -165,12 +244,7 @@ class Response:
                 return int(raw)
             except ValueError:
                 return None
-        from ..simclock import parse_timestamp
-
-        date_text = self.headers.get("Last-Modified")
-        if date_text is None:
-            return None
-        return parse_timestamp(date_text)
+        return parse_http_date(self.headers.get("Last-Modified"))
 
     @property
     def content_type(self) -> str:
@@ -190,7 +264,7 @@ def make_response(
     headers.set("Content-Type", content_type)
     headers.set("Content-Length", str(len(body)))
     if last_modified is not None:
-        headers.set("Last-Modified", format_timestamp(last_modified))
+        headers.set("Last-Modified", format_http_date(last_modified))
         headers.set("X-Sim-Last-Modified", str(last_modified))
     if location is not None:
         headers.set("Location", location)

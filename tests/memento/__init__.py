@@ -1,0 +1,1 @@
+"""Memento interop layer tests."""

@@ -1,0 +1,140 @@
+"""Tests for the Memento client and the cross-archive federation layer."""
+
+import pytest
+
+from repro.core.htmldiff.api import html_diff
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.memento.client import MementoClient, MementoClientError
+from repro.memento.endpoints import MementoEndpoints
+from repro.memento.federation import ArchiveFederation
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+URL = "http://site.com/page.html"
+REMOTE = "http://archive.example.org/cgi-bin/snapshot"
+
+
+def _make_archive(network, clock, host, bodies_and_dates):
+    """A SnapshotStore behind a CGI service on ``host``."""
+    agent = UserAgent(network, clock)
+    store = SnapshotStore(clock, agent)
+    for body, date in bodies_and_dates:
+        while clock.now < date:
+            clock.advance(date - clock.now)
+        store.checkin_content("u@e", URL, body)
+    service = SnapshotService(store)
+    network.create_server(host).register_cgi("/cgi-bin/snapshot", service)
+    return store
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    # Remote archive holds the early history; local the late one.
+    remote_store = _make_archive(
+        network, clock, "archive.example.org",
+        [("<HTML><BODY>remote v1</BODY></HTML>", 100),
+         ("<HTML><BODY>remote v2</BODY></HTML>", 200)])
+    local_store = _make_archive(
+        network, clock, "aide.att.com",
+        [("<HTML><BODY>local v1</BODY></HTML>", 300)])
+    client_agent = UserAgent(network, clock)
+    peer = MementoClient(client_agent, REMOTE, source="example.org")
+    endpoints = MementoEndpoints(local_store)
+    federation = ArchiveFederation(endpoints, [peer])
+    return clock, network, local_store, remote_store, peer, federation
+
+
+class TestMementoClient:
+    def test_timemap_walk(self, world):
+        clock, network, local, remote, peer, federation = world
+        timemap = peer.timemap(URL)
+        assert [m.datetime for m in timemap.mementos] == [100, 200]
+        assert all(m.source == "example.org" for m in timemap.mementos)
+        # URI-Ms come back absolute, fetchable directly.
+        assert all(m.uri.startswith("http://archive.example.org/")
+                   for m in timemap.mementos)
+
+    def test_negotiation_follows_the_302(self, world):
+        clock, network, local, remote, peer, federation = world
+        fetch = peer.memento_at(URL, 150)
+        assert fetch.datetime == 100
+        assert "remote v1" in fetch.body
+        # The TimeGate hop is on the redirect trail.
+        assert any("timegate" in hop for hop in fetch.redirects)
+
+    def test_newest_without_header(self, world):
+        clock, network, local, remote, peer, federation = world
+        fetch = peer.newest(URL)
+        assert fetch.datetime == 200
+        assert "remote v2" in fetch.body
+
+    def test_fetch_listed_uri_m(self, world):
+        clock, network, local, remote, peer, federation = world
+        timemap = peer.timemap(URL)
+        fetch = peer.fetch(timemap.mementos[0].uri, original=URL)
+        assert fetch.datetime == 100
+        assert fetch.original == URL
+
+    def test_406_and_404_surface_with_status(self, world):
+        clock, network, local, remote, peer, federation = world
+        with pytest.raises(MementoClientError) as exc:
+            peer.memento_at(URL, 5)  # before the remote's first capture
+        assert exc.value.status == 406
+        with pytest.raises(MementoClientError) as exc:
+            peer.timemap("http://site.com/never.html")
+        assert exc.value.status == 404
+
+
+class TestFederation:
+    def test_merged_timemap_spans_archives(self, world):
+        clock, network, local, remote, peer, federation = world
+        merged = federation.merged_timemap(URL)
+        assert [m.datetime for m in merged.mementos] == [100, 200, 300]
+        sources = {m.datetime: m.source for m in merged.mementos}
+        assert sources[100] == "example.org"
+        assert sources[300] == "local"
+
+    def test_merged_timemap_deduplicates(self, world):
+        clock, network, local, remote, peer, federation = world
+        federation.add_peer(MementoClient(
+            peer.agent, REMOTE, source="example.org"))  # same archive twice
+        merged = federation.merged_timemap(URL)
+        assert [m.datetime for m in merged.mementos] == [100, 200, 300]
+
+    def test_best_at_negotiates_over_merged_timeline(self, world):
+        clock, network, local, remote, peer, federation = world
+        # 250: the local store alone has nothing ≤ 250; the remote does.
+        best = federation.best_at(URL, 250)
+        assert best.datetime == 200
+        assert best.source == "example.org"
+        assert federation.best_at(URL, 9999).source == "local"
+        assert federation.best_at(URL, 5) is None
+
+    def test_down_peer_degrades_to_local(self, world):
+        clock, network, local, remote, peer, federation = world
+        dead = MementoClient(peer.agent,
+                             "http://gone.example.net/cgi-bin/snapshot",
+                             source="gone")
+        federation.peers = [dead]
+        merged = federation.merged_timemap(URL)
+        assert [m.datetime for m in merged.mementos] == [300]
+
+    def test_cross_diff_byte_identical_to_direct(self, world):
+        clock, network, local, remote, peer, federation = world
+        diff = federation.cross_diff(URL, "1.1", target=150)
+        direct = html_diff(local.view(URL, "1.1"),
+                           remote.view(URL, "1.1"),
+                           options=local.diff_options)
+        assert diff.html == direct.html
+        assert diff.source == "example.org"
+        assert diff.remote.datetime == 100
+
+    def test_cross_diff_no_peer_answers(self, world):
+        clock, network, local, remote, peer, federation = world
+        federation.peers = []
+        with pytest.raises(MementoClientError):
+            federation.cross_diff(URL, "1.1", target=150)

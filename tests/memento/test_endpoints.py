@@ -1,0 +1,201 @@
+"""Tests for the server-side Memento endpoints (TimeGate edge cases)."""
+
+import json
+
+import pytest
+
+from repro.core.quarantine import QuarantineJournal
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.memento.core import ACCEPT_DATETIME, MEMENTO_DATETIME
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.guards import ContentGuard, GuardLimits
+from repro.web.http import Headers, Request, format_http_date
+from repro.web.network import Network
+
+URL = "http://site.com/page.html"
+
+
+@pytest.fixture
+def world(tmp_path):
+    clock = SimClock()
+    network = Network(clock)
+    agent = UserAgent(network, clock)
+    quarantine = QuarantineJournal(str(tmp_path / "quarantine.jsonl"))
+    store = SnapshotStore(clock, agent, quarantine=quarantine)
+    service = SnapshotService(store)
+    clock.advance(100)
+    store.checkin_content("u@e", URL, "<HTML><BODY>v1</BODY></HTML>")
+    clock.advance(100)
+    store.checkin_content("u@e", URL, "<HTML><BODY>v2</BODY></HTML>")
+    return clock, store, service
+
+
+def call(service, clock, query, headers=None):
+    request = Request("GET", f"http://aide/cgi-bin/snapshot?{query}",
+                      headers=Headers(headers or {}))
+    return service(request, clock.now)
+
+
+class TestTimeGate:
+    def test_redirects_to_negotiated_memento(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=timegate&url={URL}",
+                        {ACCEPT_DATETIME: format_http_date(150)})
+        assert response.status == 302
+        assert "rev=1.1" in response.headers.get("Location")
+        assert response.headers.get("Vary") == "accept-datetime"
+        assert 'rel="original"' in response.headers.get("Link")
+
+    def test_absent_accept_datetime_serves_last_memento(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=timegate&url={URL}")
+        assert response.status == 302
+        assert "rev=1.2" in response.headers.get("Location")
+
+    def test_malformed_datetime_is_400(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=timegate&url={URL}",
+                        {ACCEPT_DATETIME: "three days ago"})
+        assert response.status == 400
+
+    def test_before_first_revision_is_406_under_past(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=timegate&url={URL}",
+                        {ACCEPT_DATETIME: format_http_date(5)})
+        assert response.status == 406
+        assert "Not Acceptable" in response.reason
+
+    def test_before_first_revision_nearest_serves_first(self, world):
+        clock, store, service = world
+        response = call(service, clock,
+                        f"action=timegate&url={URL}&policy=nearest",
+                        {ACCEPT_DATETIME: format_http_date(5)})
+        assert response.status == 302
+        assert "rev=1.1" in response.headers.get("Location")
+
+    def test_exact_policy_miss_is_406(self, world):
+        clock, store, service = world
+        response = call(service, clock,
+                        f"action=timegate&url={URL}&policy=exact",
+                        {ACCEPT_DATETIME: format_http_date(150)})
+        assert response.status == 406
+
+    def test_empty_archive_is_404(self, world):
+        clock, store, service = world
+        response = call(service, clock,
+                        "action=timegate&url=http://site.com/nothing.html")
+        assert response.status == 404
+
+    def test_unknown_policy_is_400(self, world):
+        clock, store, service = world
+        response = call(service, clock,
+                        f"action=timegate&url={URL}&policy=fuzzy",
+                        {ACCEPT_DATETIME: format_http_date(150)})
+        assert response.status == 400
+
+    def test_integer_accept_datetime_accepted(self, world):
+        # Sim tools speak raw timestamps; the gate accepts them too.
+        clock, store, service = world
+        response = call(service, clock, f"action=timegate&url={URL}",
+                        {ACCEPT_DATETIME: "150"})
+        assert response.status == 302
+        assert "rev=1.1" in response.headers.get("Location")
+
+    def test_quarantined_url_is_422(self, world):
+        clock, store, service = world
+        bad_url = "http://site.com/poison.html"
+        store.guard = ContentGuard(GuardLimits(max_nesting_depth=64))
+        with pytest.raises(Exception):
+            store.checkin_content("u@e", bad_url, "<DIV>" * 200 + "boom")
+        response = call(service, clock, f"action=timegate&url={bad_url}")
+        assert response.status == 422
+
+
+class TestMementoEndpoint:
+    def test_body_byte_identical_to_dated_view(self, world):
+        clock, store, service = world
+        gate = call(service, clock, f"action=timegate&url={URL}",
+                    {ACCEPT_DATETIME: format_http_date(150)})
+        location = gate.headers.get("Location")
+        query = location.split("?", 1)[1]
+        memento = call(service, clock, query)
+        view = call(service, clock, f"action=view&url={URL}&date=150")
+        assert memento.status == 200
+        assert memento.body == view.body
+
+    def test_memento_datetime_and_navigation_links(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=memento&url={URL}&rev=1.1")
+        assert response.headers.get(MEMENTO_DATETIME) == format_http_date(100)
+        link = response.headers.get("Link")
+        assert 'rel="timegate"' in link
+        assert 'rel="next memento"' in link
+        assert "prev" not in link  # first revision has no predecessor
+
+    def test_missing_rev_is_400(self, world):
+        clock, store, service = world
+        assert call(service, clock,
+                    f"action=memento&url={URL}").status == 400
+
+    def test_unknown_rev_is_404(self, world):
+        clock, store, service = world
+        assert call(service, clock,
+                    f"action=memento&url={URL}&rev=9.9").status == 404
+
+
+class TestTimeMapEndpoint:
+    def test_link_format_lists_every_revision(self, world):
+        clock, store, service = world
+        response = call(service, clock, f"action=timemap&url={URL}")
+        assert response.status == 200
+        assert response.content_type == "application/link-format"
+        assert "rev=1.1" in response.body and "rev=1.2" in response.body
+        assert 'rel="first memento"' in response.body
+        assert 'rel="last memento"' in response.body
+
+    def test_json_format(self, world):
+        clock, store, service = world
+        response = call(service, clock,
+                        f"action=timemap&url={URL}&format=json")
+        payload = json.loads(response.body)
+        assert [m["revision"] for m in payload["mementos"]] == ["1.1", "1.2"]
+        assert payload["original"] == URL
+
+    def test_unknown_format_is_400(self, world):
+        clock, store, service = world
+        assert call(service, clock,
+                    f"action=timemap&url={URL}&format=xml").status == 400
+
+    def test_empty_archive_is_404(self, world):
+        clock, store, service = world
+        assert call(service, clock,
+                    "action=timemap&url=http://site.com/none.html"
+                    ).status == 404
+
+
+class TestObservability:
+    def test_counters_move(self, tmp_path):
+        from repro.obs import Observability
+
+        clock = SimClock()
+        network = Network(clock)
+        agent = UserAgent(network, clock)
+        store = SnapshotStore(clock, agent, obs=Observability(clock=clock))
+        service = SnapshotService(store)
+        clock.advance(100)
+        store.checkin_content("u@e", URL, "<HTML><BODY>v1</BODY></HTML>")
+        clock.advance(100)
+        store.checkin_content("u@e", URL, "<HTML><BODY>v2</BODY></HTML>")
+        call(service, clock, f"action=timegate&url={URL}",
+             {ACCEPT_DATETIME: "150"})
+        call(service, clock, f"action=timemap&url={URL}")
+        call(service, clock, f"action=memento&url={URL}&rev=1.1")
+        call(service, clock, f"action=timegate&url={URL}",
+             {ACCEPT_DATETIME: "5"})  # refused (406)
+        snapshot = store.obs.snapshot()
+        counters = snapshot.get("counters", snapshot)
+        flat = json.dumps(counters)
+        assert "memento.timegate.requests" in flat
+        assert "memento.timegate.refused" in flat

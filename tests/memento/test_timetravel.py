@@ -1,0 +1,113 @@
+"""Tests for datetime-pinned browsing (TimeTravelSession)."""
+
+import pytest
+
+from repro.aide.browser import TimeTravelSession
+from repro.core.snapshot.service import SnapshotService
+from repro.core.snapshot.store import SnapshotStore
+from repro.memento.client import MementoClientError
+from repro.simclock import SimClock
+from repro.web.client import UserAgent
+from repro.web.network import Network
+
+ENDPOINT = "http://aide.att.com/cgi-bin/snapshot"
+
+HOME = "http://site.com/home.html"
+NEWS = "http://site.com/news.html"
+LATE = "http://site.com/late.html"
+
+
+def _page(text, *hrefs):
+    links = "".join(f'<A HREF="{h}">link</A>' for h in hrefs)
+    return f"<HTML><BODY><P>{text}</P>{links}</BODY></HTML>"
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    network = Network(clock)
+    agent = UserAgent(network, clock)
+    store = SnapshotStore(clock, agent)
+    network.create_server("aide.att.com").register_cgi(
+        "/cgi-bin/snapshot", SnapshotService(store))
+    clock.advance(100)
+    store.checkin_content("u@e", HOME, _page("home v1", "news.html",
+                                             "late.html"))
+    store.checkin_content("u@e", NEWS, _page("news v1", "home.html"))
+    clock.advance(100)  # t=200
+    store.checkin_content("u@e", HOME, _page("home v2", "news.html"))
+    clock.advance(100)  # t=300: LATE only exists after the pin below
+    store.checkin_content("u@e", LATE, _page("late arrival"))
+    browser = UserAgent(network, clock, agent_name="Mozilla/1.1N")
+    return clock, store, browser
+
+
+class TestPinnedBrowsing:
+    def test_browse_serves_the_pinned_state(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        page = session.browse(HOME)
+        assert page.served
+        assert "home v1" in page.memento.body
+        assert page.datetime == 100
+
+    def test_links_are_original_web_urls(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        page = session.browse(HOME)
+        assert NEWS in page.links and LATE in page.links
+
+    def test_follow_renegotiates_at_the_pin(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        session.browse(HOME)
+        index = session.current.links.index(NEWS)
+        page = session.follow(index)
+        assert "news v1" in page.memento.body
+        assert page.datetime == 100
+        assert len(session.trail) == 2
+
+    def test_never_serves_newer_than_pin(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        session.browse(HOME)
+        for index in range(len(session.current.links)):
+            session.browse(HOME)
+            session.follow(index)
+        for page in session.trail:
+            if page.served:
+                assert page.datetime <= session.pin
+
+    def test_link_captured_after_pin_is_a_miss(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        session.browse(HOME)
+        miss = session.browse(LATE)  # captured at 300, pin is 150
+        assert not miss.served
+        assert miss.memento is None
+        assert miss in session.trail
+
+    def test_uncaptured_link_is_a_miss_not_a_crash(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        miss = session.browse("http://site.com/never.html")
+        assert not miss.served
+
+    def test_follow_from_miss_raises(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=150)
+        session.browse(LATE)
+        with pytest.raises(MementoClientError):
+            session.follow(0)
+
+    def test_later_pin_sees_later_world(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=250)
+        page = session.browse(HOME)
+        assert "home v2" in page.memento.body
+        assert page.datetime == 200
+
+    def test_pin_string_is_http_date(self, world):
+        clock, store, browser = world
+        session = TimeTravelSession(browser, ENDPOINT, pin=100)
+        assert session.pin_string == "Fri, 01 Sep 1995 00:01:40 GMT"

@@ -107,6 +107,58 @@ class TestDatestamps:
         archive.checkin("b", date=100)  # clock went backwards
         assert archive.revision_at(100).number == "1.2"
 
+    def test_exact_policy(self):
+        archive = RcsArchive()
+        archive.checkin("v1", date=100)
+        archive.checkin("v2", date=200)
+        assert archive.revision_at(200, policy="exact").number == "1.2"
+        assert archive.revision_at(150, policy="exact") is None
+        assert archive.revision_at(50, policy="exact") is None
+
+    def test_nearest_policy(self):
+        archive = RcsArchive()
+        archive.checkin("v1", date=100)
+        archive.checkin("v2", date=200)
+        # closer to the older side
+        assert archive.revision_at(140, policy="nearest").number == "1.1"
+        # closer to the newer side
+        assert archive.revision_at(180, policy="nearest").number == "1.2"
+        # equidistant: the tie goes to the *older* revision
+        assert archive.revision_at(150, policy="nearest").number == "1.1"
+        # before the first revision: nearest serves the first, not None
+        assert archive.revision_at(10, policy="nearest").number == "1.1"
+
+    def test_exact_hit_on_shared_stamp_returns_newest(self):
+        # Two revisions checked in within the same second: the exact
+        # (and past) resolution returns the newest with that stamp.
+        archive = RcsArchive()
+        archive.checkin("v1", date=100)
+        archive.checkin("v2", date=100)
+        assert archive.revision_at(100).number == "1.2"
+        assert archive.revision_at(100, policy="exact").number == "1.2"
+
+    def test_policies_on_non_monotonic_history(self):
+        # The linear-scan fallback honours the same boundary semantics.
+        archive = RcsArchive()
+        archive.checkin("a", date=300)
+        archive.checkin("b", date=100)
+        archive.checkin("c", date=200)
+        # past: last revision in scan order with date <= target
+        assert archive.revision_at(250).number == "1.3"
+        # nearest from below first date: smallest date wins
+        assert archive.revision_at(10, policy="nearest").number == "1.2"
+        # exact needs a precise stamp
+        assert archive.revision_at(300, policy="exact").number == "1.1"
+        assert archive.revision_at(150, policy="exact") is None
+
+    def test_unknown_policy_raises(self):
+        from repro.memento.core import NegotiationError
+
+        archive = RcsArchive()
+        archive.checkin("v1", date=100)
+        with pytest.raises(NegotiationError):
+            archive.revision_at(100, policy="fuzzy")
+
 
 class TestStorage:
     def test_delta_storage_is_small(self):

@@ -296,3 +296,95 @@ class TestQuarantineCommand:
         assert "purged 1" in capsys.readouterr().out
         assert main(["quarantine", "purge", journal_path]) == 0
         assert "purged 1" in capsys.readouterr().out
+
+
+class TestMementoCommands:
+    @pytest.fixture
+    def tracked(self, tmp_path):
+        from repro.rcs.archive import RcsArchive
+        from repro.rcs.rcsfile import serialize_rcsfile
+
+        page = tmp_path / "page.html"
+        page.write_text("<HTML><BODY>v2</BODY></HTML>")
+        archive = RcsArchive(name="page.html")
+        archive.checkin("<HTML><BODY>v1</BODY></HTML>", date=100,
+                        author="fred")
+        archive.checkin("<HTML><BODY>v2</BODY></HTML>", date=200,
+                        author="fred")
+        (tmp_path / "page.html,v").write_text(serialize_rcsfile(archive))
+        return str(page)
+
+    def test_timemap_link_format(self, tracked, capsys):
+        assert main(["timemap", tracked,
+                     "--url", "http://site.com/page.html"]) == 0
+        out = capsys.readouterr().out
+        assert 'rel="original"' in out
+        assert 'rel="first memento"' in out
+        assert 'rel="last memento"' in out
+        assert "rev=1.1" in out and "rev=1.2" in out
+
+    def test_timemap_json(self, tracked, capsys):
+        assert main(["timemap", tracked, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["revision"] for m in payload["mementos"]] == ["1.1", "1.2"]
+        assert payload["mementos"][0]["datetime"] == 100
+
+    def test_timemap_without_archive(self, tmp_path, capsys):
+        lone = tmp_path / "untracked.html"
+        lone.write_text("x")
+        assert main(["timemap", str(lone)]) == 2
+
+    def test_memento_negotiates_past(self, tracked, capsys):
+        assert main(["memento", tracked, "--at", "150"]) == 0
+        captured = capsys.readouterr()
+        assert "v1" in captured.out
+        assert "revision 1.1" in captured.err
+
+    def test_memento_json_metadata(self, tracked, capsys):
+        assert main(["memento", tracked, "--at", "150", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["revision"] == "1.1"
+        assert payload["datetime"] == 100
+        assert payload["policy"] == "past"
+        assert payload["target"] == 150
+
+    def test_memento_accepts_http_dates(self, tracked, capsys):
+        assert main(["memento", tracked, "--json",
+                     "--at", "Fri, 01 Sep 1995 00:02:30 GMT"]) == 0
+        assert json.loads(capsys.readouterr().out)["revision"] == "1.1"
+
+    def test_memento_policy_miss_exits_one(self, tracked, capsys):
+        assert main(["memento", tracked, "--at", "50"]) == 1
+        assert main(["memento", tracked, "--at", "150",
+                     "--policy", "exact"]) == 1
+        assert main(["memento", tracked, "--at", "50",
+                     "--policy", "nearest"]) == 0
+
+    def test_memento_unparseable_datetime(self, tracked, capsys):
+        assert main(["memento", tracked, "--at", "whenever"]) == 2
+        assert "unparseable" in capsys.readouterr().err
+
+    def test_timetravel_never_serves_newer_than_pin(self, capsys):
+        assert main(["timetravel", "--pages", "6", "--rounds", "2",
+                     "--follows", "6", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pages_visited"] >= 1
+        assert payload["served"] >= 1
+        assert payload["newest_served"] <= payload["pin"]
+        for page in payload["trail"]:
+            if page["served"]:
+                assert page["memento_datetime"] <= payload["pin"]
+
+    def test_timetravel_is_deterministic(self, capsys):
+        args = ["timetravel", "--pages", "6", "--rounds", "2",
+                "--follows", "5", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_timetravel_explicit_pin(self, capsys):
+        assert main(["timetravel", "--pages", "4", "--rounds", "2",
+                     "--follows", "3", "--at", "1"]) in (0, 1)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pin"] == 1

@@ -104,3 +104,54 @@ class TestMakeResponse:
     def test_content_type_override(self):
         response = make_response(200, "{}", content_type="application/json")
         assert response.content_type == "application/json"
+
+
+class TestHttpDates:
+    def test_format_is_rfc1123(self):
+        from repro.web.http import format_http_date
+
+        assert format_http_date(0) == "Fri, 01 Sep 1995 00:00:00 GMT"
+        assert format_http_date(100) == "Fri, 01 Sep 1995 00:01:40 GMT"
+
+    def test_parse_rfc1123_round_trip(self):
+        from repro.web.http import format_http_date, parse_http_date
+
+        for ts in (0, 100, 86400, 12345678):
+            assert parse_http_date(format_http_date(ts)) == ts
+
+    def test_parse_rfc850(self):
+        from repro.web.http import parse_http_date
+
+        # Two-digit year windows into the 1900s for 70-99...
+        assert parse_http_date("Friday, 01-Sep-95 00:01:40 GMT") == 100
+        # ...and the 2000s below 70.
+        assert parse_http_date("Sunday, 01-Sep-02 00:00:00 GMT") is not None
+        # Four-digit years are accepted too.
+        assert parse_http_date("Friday, 01-Sep-1995 00:01:40 GMT") == 100
+
+    def test_parse_asctime(self):
+        from repro.web.http import parse_http_date
+
+        assert parse_http_date("Fri Sep  1 00:01:40 1995") == 100
+        assert parse_http_date("Fri Sep 15 12:00:00 1995") is not None
+
+    def test_parse_garbage_and_pre_epoch(self):
+        from repro.web.http import parse_http_date
+
+        assert parse_http_date(None) is None
+        assert parse_http_date("") is None
+        assert parse_http_date("yesterday-ish") is None
+        assert parse_http_date("Mon, 01 Jan 1990 00:00:00 GMT") is None
+
+    def test_response_last_modified_falls_back_to_parsing(self):
+        from repro.web.http import format_http_date
+
+        response = Response(status=200)
+        response.headers.set("Last-Modified", format_http_date(4242))
+        assert response.last_modified == 4242
+
+    def test_status_reasons_for_negotiation(self):
+        from repro.web.http import STATUS_REASONS
+
+        assert STATUS_REASONS[302] == "Moved Temporarily"
+        assert STATUS_REASONS[406] == "Not Acceptable"
